@@ -1,0 +1,134 @@
+/// \file
+/// Google-benchmark micro suite for the substrate hot paths: BitVector
+/// arithmetic, interpreter scheduling, levelized bitstream evaluation, and
+/// the MMIO transaction path. These are the quantities the macro benches
+/// (Figs. 11/12) are built from.
+
+#include <benchmark/benchmark.h>
+
+#include "fpga/bitstream.h"
+#include "fpga/synth.h"
+#include "runtime/runtime.h"
+#include "sim/interpreter.h"
+#include "verilog/parser.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace cascade;
+
+void
+BM_BitVectorAdd(benchmark::State& state)
+{
+    const uint32_t w = static_cast<uint32_t>(state.range(0));
+    BitVector a = BitVector::all_ones(w);
+    BitVector b(w, 12345);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(BitVector::add(a, b));
+    }
+}
+BENCHMARK(BM_BitVectorAdd)->Arg(8)->Arg(32)->Arg(64)->Arg(256);
+
+void
+BM_BitVectorMul(benchmark::State& state)
+{
+    const uint32_t w = static_cast<uint32_t>(state.range(0));
+    BitVector a = BitVector::all_ones(w);
+    BitVector b(w, 98765);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(BitVector::mul(a, b));
+    }
+}
+BENCHMARK(BM_BitVectorMul)->Arg(32)->Arg(256);
+
+std::shared_ptr<const verilog::ElaboratedModule>
+counter_module()
+{
+    static std::shared_ptr<const verilog::ElaboratedModule> em = [] {
+        Diagnostics diags;
+        auto unit = verilog::parse(R"(
+            module M(input wire clk, output wire [31:0] o);
+              reg [31:0] cnt = 0;
+              always @(posedge clk) cnt <= cnt * 3 + 1;
+              assign o = cnt ^ (cnt >> 7);
+            endmodule
+        )", &diags);
+        verilog::Elaborator elab(&diags);
+        return std::shared_ptr<const verilog::ElaboratedModule>(
+            elab.elaborate(*unit.modules[0]));
+    }();
+    return em;
+}
+
+void
+BM_InterpreterTick(benchmark::State& state)
+{
+    sim::ModuleInterpreter interp(counter_module(), nullptr);
+    interp.run_initials();
+    bool level = false;
+    for (auto _ : state) {
+        level = !level;
+        interp.set_input("clk", BitVector(1, level ? 1 : 0));
+        interp.evaluate();
+        if (interp.there_are_updates()) {
+            interp.update();
+        }
+        interp.evaluate();
+    }
+}
+BENCHMARK(BM_InterpreterTick);
+
+void
+BM_BitstreamCycle(benchmark::State& state)
+{
+    Diagnostics diags;
+    auto nl = fpga::synthesize(*counter_module(), &diags);
+    fpga::Bitstream bs(std::shared_ptr<const fpga::Netlist>(std::move(nl)));
+    bool level = false;
+    for (auto _ : state) {
+        level = !level;
+        bs.set_input("clk", BitVector(1, level ? 1 : 0));
+        bs.step();
+    }
+}
+BENCHMARK(BM_BitstreamCycle);
+
+void
+BM_ShaBitstreamCycle(benchmark::State& state)
+{
+    Diagnostics diags;
+    auto unit = verilog::parse(workloads::proof_of_work_module(16), &diags);
+    verilog::Elaborator elab(&diags);
+    std::shared_ptr<const verilog::ElaboratedModule> em(
+        elab.elaborate(*unit.modules[0]));
+    auto nl = fpga::synthesize(*em, &diags);
+    fpga::Bitstream bs(std::shared_ptr<const fpga::Netlist>(std::move(nl)));
+    bool level = false;
+    for (auto _ : state) {
+        level = !level;
+        bs.set_input("clk", BitVector(1, level ? 1 : 0));
+        bs.step();
+    }
+}
+BENCHMARK(BM_ShaBitstreamCycle);
+
+void
+BM_RuntimeEval(benchmark::State& state)
+{
+    using cascade::runtime::Runtime;
+    for (auto _ : state) {
+        Runtime::Options opts;
+        opts.enable_hardware = false;
+        Runtime rt(opts);
+        std::string errors;
+        benchmark::DoNotOptimize(rt.eval(
+            "Led#(8) led(); reg [7:0] c = 0; "
+            "always @(posedge clk.val) c <= c + 1; assign led.val = c;",
+            &errors));
+    }
+}
+BENCHMARK(BM_RuntimeEval);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+/// \file
+/// The cascade command-line tool: a Verilog REPL (paper §3.1). With a file
+/// argument it runs in batch mode; without one it reads eval's from stdin,
+/// stepping the program between inputs so IO side effects appear live.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "runtime/repl.h"
+#include "runtime/runtime.h"
+
+using cascade::runtime::Repl;
+using cascade::runtime::Runtime;
+
+int
+main(int argc, char** argv)
+{
+    Runtime::Options options;
+    options.compile_effort = 0.3;
+    Runtime rt(options);
+    Repl repl(&rt, &std::cout);
+
+    if (argc > 1) {
+        std::ifstream file(argv[1]);
+        if (!file) {
+            std::cerr << "cannot open " << argv[1] << "\n";
+            return 1;
+        }
+        const bool ok = repl.run_batch(file, 1u << 22);
+        return ok ? 0 : 1;
+    }
+
+    std::cout << "Cascade: a JIT compiler for Verilog (type Verilog, "
+                 "ctrl-d to exit)\n";
+    std::string line;
+    while (true) {
+        std::cout << repl.prompt() << std::flush;
+        if (!std::getline(std::cin, line)) {
+            break;
+        }
+        repl.feed(line + "\n");
+        // Let the program run between inputs; side effects surface now.
+        rt.run(512);
+        if (rt.finished()) {
+            std::cout << "($finish executed)\n";
+            break;
+        }
+    }
+    return 0;
+}

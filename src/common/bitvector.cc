@@ -1,0 +1,633 @@
+#include "common/bitvector.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace cascade {
+
+BitVector::BitVector(uint32_t width, uint64_t value)
+    : width_(width)
+{
+    CASCADE_CHECK(width >= 1);
+    if (is_inline()) {
+        inline_word_ = value;
+    } else {
+        heap_ = new uint64_t[num_words()]();
+        heap_[0] = value;
+    }
+    mask_top();
+}
+
+BitVector::BitVector(const BitVector& other)
+    : width_(other.width_)
+{
+    if (is_inline()) {
+        inline_word_ = other.inline_word_;
+    } else {
+        heap_ = new uint64_t[num_words()];
+        std::memcpy(heap_, other.heap_, num_words() * sizeof(uint64_t));
+    }
+}
+
+BitVector::BitVector(BitVector&& other) noexcept
+    : width_(other.width_)
+{
+    if (is_inline()) {
+        inline_word_ = other.inline_word_;
+    } else {
+        heap_ = other.heap_;
+        other.width_ = 1;
+        other.inline_word_ = 0;
+    }
+}
+
+BitVector&
+BitVector::operator=(const BitVector& other)
+{
+    if (this == &other) {
+        return *this;
+    }
+    if (!is_inline()) {
+        if (!other.is_inline() && num_words() == other.num_words()) {
+            // Reuse the existing allocation.
+            width_ = other.width_;
+            std::memcpy(heap_, other.heap_, num_words() * sizeof(uint64_t));
+            return *this;
+        }
+        delete[] heap_;
+    }
+    width_ = other.width_;
+    if (is_inline()) {
+        inline_word_ = other.inline_word_;
+    } else {
+        heap_ = new uint64_t[num_words()];
+        std::memcpy(heap_, other.heap_, num_words() * sizeof(uint64_t));
+    }
+    return *this;
+}
+
+BitVector&
+BitVector::operator=(BitVector&& other) noexcept
+{
+    if (this == &other) {
+        return *this;
+    }
+    if (!is_inline()) {
+        delete[] heap_;
+    }
+    width_ = other.width_;
+    if (is_inline()) {
+        inline_word_ = other.inline_word_;
+    } else {
+        heap_ = other.heap_;
+        other.width_ = 1;
+        other.inline_word_ = 0;
+    }
+    return *this;
+}
+
+BitVector::~BitVector()
+{
+    if (!is_inline()) {
+        delete[] heap_;
+    }
+}
+
+BitVector
+BitVector::all_ones(uint32_t width)
+{
+    BitVector v(width);
+    uint64_t* w = v.words();
+    for (uint32_t i = 0; i < v.num_words(); ++i) {
+        w[i] = ~uint64_t{0};
+    }
+    v.mask_top();
+    return v;
+}
+
+std::optional<BitVector>
+BitVector::from_decimal(uint32_t width, const std::string& digits)
+{
+    if (digits.empty()) {
+        return std::nullopt;
+    }
+    BitVector v(width, 0);
+    for (char c : digits) {
+        if (c == '_') {
+            continue;
+        }
+        if (c < '0' || c > '9') {
+            return std::nullopt;
+        }
+        v.muladd_small(10, static_cast<uint32_t>(c - '0'));
+    }
+    return v;
+}
+
+void
+BitVector::set_word(uint32_t i, uint64_t w)
+{
+    CASCADE_CHECK(i < num_words());
+    words()[i] = w;
+    mask_top();
+}
+
+bool
+BitVector::bit(uint32_t i) const
+{
+    if (i >= width_) {
+        return false;
+    }
+    return (words()[i / 64] >> (i % 64)) & 1;
+}
+
+void
+BitVector::set_bit(uint32_t i, bool b)
+{
+    CASCADE_CHECK(i < width_);
+    uint64_t& w = words()[i / 64];
+    const uint64_t mask = uint64_t{1} << (i % 64);
+    w = b ? (w | mask) : (w & ~mask);
+}
+
+bool
+BitVector::to_bool() const
+{
+    const uint64_t* w = words();
+    for (uint32_t i = 0; i < num_words(); ++i) {
+        if (w[i] != 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+BitVector
+BitVector::resized(uint32_t new_width, bool sign_extend) const
+{
+    BitVector out(new_width);
+    const bool sign = sign_extend && sign_bit();
+    const uint32_t copy_words = std::min(num_words(), out.num_words());
+    uint64_t* ow = out.words();
+    const uint64_t* iw = words();
+    for (uint32_t i = 0; i < copy_words; ++i) {
+        ow[i] = iw[i];
+    }
+    if (sign && new_width > width_) {
+        // Fill the extension region with ones.
+        for (uint32_t i = width_; i < new_width; ++i) {
+            ow[i / 64] |= uint64_t{1} << (i % 64);
+        }
+    }
+    out.mask_top();
+    return out;
+}
+
+BitVector
+BitVector::slice(uint32_t lsb, uint32_t width) const
+{
+    BitVector out(width);
+    uint64_t* ow = out.words();
+    const uint64_t* iw = words();
+    const uint32_t word_shift = lsb / 64;
+    const uint32_t bit_shift = lsb % 64;
+    for (uint32_t i = 0; i < out.num_words(); ++i) {
+        const uint32_t src = i + word_shift;
+        uint64_t lo = src < num_words() ? iw[src] : 0;
+        uint64_t hi = src + 1 < num_words() ? iw[src + 1] : 0;
+        ow[i] = bit_shift == 0 ? lo : (lo >> bit_shift) | (hi << (64 - bit_shift));
+    }
+    out.mask_top();
+    return out;
+}
+
+void
+BitVector::set_slice(uint32_t lsb, const BitVector& v)
+{
+    const uint32_t n = std::min(v.width_, lsb >= width_ ? 0 : width_ - lsb);
+    for (uint32_t i = 0; i < n; ++i) {
+        set_bit(lsb + i, v.bit(i));
+    }
+}
+
+BitVector
+BitVector::add(const BitVector& a, const BitVector& b)
+{
+    CASCADE_CHECK(a.width_ == b.width_);
+    BitVector out(a.width_);
+    uint64_t* ow = out.words();
+    const uint64_t* aw = a.words();
+    const uint64_t* bw = b.words();
+    uint64_t carry = 0;
+    for (uint32_t i = 0; i < out.num_words(); ++i) {
+        const uint64_t s1 = aw[i] + bw[i];
+        const uint64_t c1 = s1 < aw[i];
+        const uint64_t s2 = s1 + carry;
+        const uint64_t c2 = s2 < s1;
+        ow[i] = s2;
+        carry = c1 | c2;
+    }
+    out.mask_top();
+    return out;
+}
+
+BitVector
+BitVector::sub(const BitVector& a, const BitVector& b)
+{
+    return add(a, b.negated());
+}
+
+BitVector
+BitVector::negated() const
+{
+    BitVector one(width_, 1);
+    return add(bit_not(), one);
+}
+
+BitVector
+BitVector::mul(const BitVector& a, const BitVector& b)
+{
+    CASCADE_CHECK(a.width_ == b.width_);
+    BitVector out(a.width_);
+    uint64_t* ow = out.words();
+    const uint64_t* aw = a.words();
+    const uint64_t* bw = b.words();
+    const uint32_t n = out.num_words();
+    for (uint32_t i = 0; i < n; ++i) {
+        if (aw[i] == 0) {
+            continue;
+        }
+        uint64_t carry = 0;
+        for (uint32_t j = 0; i + j < n; ++j) {
+            const unsigned __int128 p =
+                static_cast<unsigned __int128>(aw[i]) * bw[j] +
+                ow[i + j] + carry;
+            ow[i + j] = static_cast<uint64_t>(p);
+            carry = static_cast<uint64_t>(p >> 64);
+        }
+    }
+    out.mask_top();
+    return out;
+}
+
+void
+BitVector::udivrem(const BitVector& a, const BitVector& b,
+                   BitVector* quot, BitVector* rem)
+{
+    CASCADE_CHECK(a.width_ == b.width_);
+    const uint32_t w = a.width_;
+    if (b.is_zero()) {
+        // Two-state substitute for Verilog's x result.
+        *quot = BitVector(w, 0);
+        *rem = BitVector(w, 0);
+        return;
+    }
+    if (a.num_words() == 1) {
+        *quot = BitVector(w, a.word(0) / b.word(0));
+        *rem = BitVector(w, a.word(0) % b.word(0));
+        return;
+    }
+    // Binary long division, MSB first.
+    BitVector q(w, 0);
+    BitVector r(w, 0);
+    for (int32_t i = static_cast<int32_t>(w) - 1; i >= 0; --i) {
+        r = r.shl(1);
+        r.set_bit(0, a.bit(static_cast<uint32_t>(i)));
+        if (ule(b, r)) {
+            r = sub(r, b);
+            q.set_bit(static_cast<uint32_t>(i), true);
+        }
+    }
+    *quot = std::move(q);
+    *rem = std::move(r);
+}
+
+BitVector
+BitVector::divu(const BitVector& a, const BitVector& b)
+{
+    BitVector q, r;
+    udivrem(a, b, &q, &r);
+    return q;
+}
+
+BitVector
+BitVector::remu(const BitVector& a, const BitVector& b)
+{
+    BitVector q, r;
+    udivrem(a, b, &q, &r);
+    return r;
+}
+
+BitVector
+BitVector::divs(const BitVector& a, const BitVector& b)
+{
+    const bool na = a.sign_bit();
+    const bool nb = b.sign_bit();
+    const BitVector pa = na ? a.negated() : a;
+    const BitVector pb = nb ? b.negated() : b;
+    BitVector q = divu(pa, pb);
+    return (na != nb) ? q.negated() : q;
+}
+
+BitVector
+BitVector::rems(const BitVector& a, const BitVector& b)
+{
+    // Verilog: result takes the sign of the first operand.
+    const bool na = a.sign_bit();
+    const BitVector pa = na ? a.negated() : a;
+    const BitVector pb = b.sign_bit() ? b.negated() : b;
+    BitVector r = remu(pa, pb);
+    return na ? r.negated() : r;
+}
+
+BitVector
+BitVector::pow(const BitVector& a, const BitVector& b)
+{
+    BitVector result(a.width_, 1);
+    BitVector base = a;
+    // Exponent is treated as unsigned; cap iterations at the exponent's
+    // bit count, relying on wrap-around for large values.
+    for (uint32_t i = 0; i < b.width_; ++i) {
+        if (b.bit(i)) {
+            result = mul(result, base);
+        }
+        base = mul(base, base);
+    }
+    return result;
+}
+
+BitVector
+BitVector::bit_and(const BitVector& a, const BitVector& b)
+{
+    CASCADE_CHECK(a.width_ == b.width_);
+    BitVector out(a.width_);
+    for (uint32_t i = 0; i < out.num_words(); ++i) {
+        out.words()[i] = a.words()[i] & b.words()[i];
+    }
+    return out;
+}
+
+BitVector
+BitVector::bit_or(const BitVector& a, const BitVector& b)
+{
+    CASCADE_CHECK(a.width_ == b.width_);
+    BitVector out(a.width_);
+    for (uint32_t i = 0; i < out.num_words(); ++i) {
+        out.words()[i] = a.words()[i] | b.words()[i];
+    }
+    return out;
+}
+
+BitVector
+BitVector::bit_xor(const BitVector& a, const BitVector& b)
+{
+    CASCADE_CHECK(a.width_ == b.width_);
+    BitVector out(a.width_);
+    for (uint32_t i = 0; i < out.num_words(); ++i) {
+        out.words()[i] = a.words()[i] ^ b.words()[i];
+    }
+    return out;
+}
+
+BitVector
+BitVector::bit_not() const
+{
+    BitVector out(width_);
+    for (uint32_t i = 0; i < num_words(); ++i) {
+        out.words()[i] = ~words()[i];
+    }
+    out.mask_top();
+    return out;
+}
+
+BitVector
+BitVector::shl(uint64_t amount) const
+{
+    BitVector out(width_);
+    if (amount >= width_) {
+        return out;
+    }
+    const uint32_t word_shift = static_cast<uint32_t>(amount / 64);
+    const uint32_t bit_shift = static_cast<uint32_t>(amount % 64);
+    uint64_t* ow = out.words();
+    const uint64_t* iw = words();
+    for (uint32_t i = num_words(); i-- > word_shift;) {
+        const uint32_t src = i - word_shift;
+        uint64_t v = iw[src] << bit_shift;
+        if (bit_shift != 0 && src > 0) {
+            v |= iw[src - 1] >> (64 - bit_shift);
+        }
+        ow[i] = v;
+    }
+    out.mask_top();
+    return out;
+}
+
+BitVector
+BitVector::lshr(uint64_t amount) const
+{
+    if (amount >= width_) {
+        return BitVector(width_, 0);
+    }
+    return slice(static_cast<uint32_t>(amount), width_);
+}
+
+BitVector
+BitVector::ashr(uint64_t amount) const
+{
+    const bool sign = sign_bit();
+    if (amount >= width_) {
+        return sign ? all_ones(width_) : BitVector(width_, 0);
+    }
+    BitVector out = lshr(amount);
+    if (sign) {
+        for (uint32_t i = width_ - static_cast<uint32_t>(amount); i < width_;
+             ++i) {
+            out.set_bit(i, true);
+        }
+    }
+    return out;
+}
+
+bool
+BitVector::eq(const BitVector& a, const BitVector& b)
+{
+    CASCADE_CHECK(a.width_ == b.width_);
+    for (uint32_t i = 0; i < a.num_words(); ++i) {
+        if (a.words()[i] != b.words()[i]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+BitVector::ult(const BitVector& a, const BitVector& b)
+{
+    CASCADE_CHECK(a.width_ == b.width_);
+    for (uint32_t i = a.num_words(); i-- > 0;) {
+        if (a.words()[i] != b.words()[i]) {
+            return a.words()[i] < b.words()[i];
+        }
+    }
+    return false;
+}
+
+bool
+BitVector::ule(const BitVector& a, const BitVector& b)
+{
+    return !ult(b, a);
+}
+
+bool
+BitVector::slt(const BitVector& a, const BitVector& b)
+{
+    const bool sa = a.sign_bit();
+    const bool sb = b.sign_bit();
+    if (sa != sb) {
+        return sa;
+    }
+    return ult(a, b);
+}
+
+bool
+BitVector::sle(const BitVector& a, const BitVector& b)
+{
+    return !slt(b, a);
+}
+
+bool
+BitVector::reduce_and() const
+{
+    return eq(*this, all_ones(width_));
+}
+
+bool
+BitVector::reduce_xor() const
+{
+    uint64_t acc = 0;
+    for (uint32_t i = 0; i < num_words(); ++i) {
+        acc ^= words()[i];
+    }
+    return __builtin_parityll(acc);
+}
+
+BitVector
+BitVector::concat(const BitVector& msbs, const BitVector& lsbs)
+{
+    BitVector out(msbs.width_ + lsbs.width_);
+    out.set_slice(0, lsbs);
+    out.set_slice(lsbs.width_, msbs);
+    return out;
+}
+
+std::string
+BitVector::to_bin_string() const
+{
+    std::string out;
+    out.reserve(width_);
+    for (uint32_t i = width_; i-- > 0;) {
+        out += bit(i) ? '1' : '0';
+    }
+    return out;
+}
+
+std::string
+BitVector::to_hex_string() const
+{
+    static const char digits[] = "0123456789abcdef";
+    const uint32_t nibbles = (width_ + 3) / 4;
+    std::string out;
+    out.reserve(nibbles);
+    for (uint32_t i = nibbles; i-- > 0;) {
+        const uint64_t nib = slice(i * 4, 4).to_uint64();
+        out += digits[nib];
+    }
+    return out;
+}
+
+std::string
+BitVector::to_dec_string() const
+{
+    if (is_zero()) {
+        return "0";
+    }
+    BitVector tmp = *this;
+    std::string out;
+    while (!tmp.is_zero()) {
+        out += static_cast<char>('0' + tmp.divmod_small(10));
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string
+BitVector::to_signed_dec_string() const
+{
+    if (sign_bit()) {
+        return "-" + negated().to_dec_string();
+    }
+    return to_dec_string();
+}
+
+bool
+BitVector::operator==(const BitVector& other) const
+{
+    if (width_ != other.width_) {
+        return false;
+    }
+    return eq(*this, other);
+}
+
+size_t
+BitVector::hash() const
+{
+    size_t h = std::hash<uint32_t>{}(width_);
+    for (uint32_t i = 0; i < num_words(); ++i) {
+        h ^= std::hash<uint64_t>{}(words()[i]) + 0x9e3779b97f4a7c15ull +
+             (h << 6) + (h >> 2);
+    }
+    return h;
+}
+
+void
+BitVector::mask_top()
+{
+    const uint32_t rem = width_ % 64;
+    if (rem != 0) {
+        words()[num_words() - 1] &= (~uint64_t{0}) >> (64 - rem);
+    }
+}
+
+uint32_t
+BitVector::divmod_small(uint32_t divisor)
+{
+    CASCADE_CHECK(divisor != 0);
+    uint64_t rem = 0;
+    uint64_t* w = words();
+    for (uint32_t i = num_words(); i-- > 0;) {
+        const unsigned __int128 cur =
+            (static_cast<unsigned __int128>(rem) << 64) | w[i];
+        w[i] = static_cast<uint64_t>(cur / divisor);
+        rem = static_cast<uint64_t>(cur % divisor);
+    }
+    return static_cast<uint32_t>(rem);
+}
+
+void
+BitVector::muladd_small(uint32_t factor, uint32_t addend)
+{
+    uint64_t carry = addend;
+    uint64_t* w = words();
+    for (uint32_t i = 0; i < num_words(); ++i) {
+        const unsigned __int128 cur =
+            static_cast<unsigned __int128>(w[i]) * factor + carry;
+        w[i] = static_cast<uint64_t>(cur);
+        carry = static_cast<uint64_t>(cur >> 64);
+    }
+    mask_top();
+}
+
+} // namespace cascade

@@ -1,0 +1,169 @@
+/// \file
+/// Arbitrary-width bit vectors with Verilog value semantics.
+///
+/// Every signal, register, and intermediate expression value in Cascade is a
+/// BitVector. The representation is two-state (no x/z; see DESIGN.md §5):
+/// registers initialize to zero unless the program says otherwise, and
+/// division by zero yields zero. Values of 64 bits or fewer are stored
+/// inline (no heap allocation), which keeps the software-engine interpreter
+/// and the levelized bitstream evaluator allocation-free on hot paths.
+///
+/// Invariant: bits above \c width() in the top storage word are always zero.
+
+#ifndef CASCADE_COMMON_BITVECTOR_H
+#define CASCADE_COMMON_BITVECTOR_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace cascade {
+
+class BitVector {
+  public:
+    /// A 1-bit zero.
+    BitVector() { inline_word_ = 0; }
+
+    /// A \p width bit vector holding \p value (truncated to fit).
+    explicit BitVector(uint32_t width, uint64_t value = 0);
+
+    BitVector(const BitVector& other);
+    BitVector(BitVector&& other) noexcept;
+    BitVector& operator=(const BitVector& other);
+    BitVector& operator=(BitVector&& other) noexcept;
+    ~BitVector();
+
+    /// A 1-bit vector holding \p b.
+    static BitVector from_bool(bool b) { return BitVector(1, b ? 1 : 0); }
+
+    /// A \p width bit vector with every bit set.
+    static BitVector all_ones(uint32_t width);
+
+    /// Parses an unsigned decimal string of arbitrary length.
+    /// Returns std::nullopt on malformed input.
+    static std::optional<BitVector> from_decimal(uint32_t width,
+                                                 const std::string& digits);
+
+    uint32_t width() const { return width_; }
+    uint32_t num_words() const { return (width_ + 63) / 64; }
+
+    /// Word \p i of the little-endian storage (word 0 holds bits [63:0]).
+    uint64_t word(uint32_t i) const { return words()[i]; }
+    void set_word(uint32_t i, uint64_t w);
+
+    bool bit(uint32_t i) const;
+    void set_bit(uint32_t i, bool b);
+
+    /// The low 64 bits (truncating).
+    uint64_t to_uint64() const { return words()[0]; }
+
+    /// Reduction-OR: true iff any bit is set.
+    bool to_bool() const;
+    bool is_zero() const { return !to_bool(); }
+
+    /// True iff the MSB is set (the sign bit under signed interpretation).
+    bool sign_bit() const { return bit(width_ - 1); }
+
+    /// Returns this value resized to \p new_width, zero- or sign-extending
+    /// when growing and truncating when shrinking.
+    BitVector resized(uint32_t new_width, bool sign_extend = false) const;
+
+    /// Bits [lsb + width - 1 : lsb]. Bits beyond this->width() read as zero.
+    BitVector slice(uint32_t lsb, uint32_t width) const;
+
+    /// Overwrites bits [lsb + v.width() - 1 : lsb] with \p v; writes beyond
+    /// this->width() are dropped.
+    void set_slice(uint32_t lsb, const BitVector& v);
+
+    /// @{ Arithmetic. Operands must have equal width; the result has the
+    /// same width, with wrap-around (two's complement) semantics.
+    static BitVector add(const BitVector& a, const BitVector& b);
+    static BitVector sub(const BitVector& a, const BitVector& b);
+    static BitVector mul(const BitVector& a, const BitVector& b);
+    static BitVector divu(const BitVector& a, const BitVector& b);
+    static BitVector remu(const BitVector& a, const BitVector& b);
+    static BitVector divs(const BitVector& a, const BitVector& b);
+    static BitVector rems(const BitVector& a, const BitVector& b);
+    /// a ** b with wrap-around semantics (unsigned exponent).
+    static BitVector pow(const BitVector& a, const BitVector& b);
+    BitVector negated() const;
+    /// @}
+
+    /// @{ Bitwise logic. Operands must have equal width.
+    static BitVector bit_and(const BitVector& a, const BitVector& b);
+    static BitVector bit_or(const BitVector& a, const BitVector& b);
+    static BitVector bit_xor(const BitVector& a, const BitVector& b);
+    BitVector bit_not() const;
+    /// @}
+
+    /// @{ Shifts by a dynamic amount. Shifts >= width yield zero
+    /// (or all-signs for ashr of a negative value).
+    BitVector shl(uint64_t amount) const;
+    BitVector lshr(uint64_t amount) const;
+    BitVector ashr(uint64_t amount) const;
+    /// @}
+
+    /// @{ Comparisons. Operands must have equal width.
+    static bool eq(const BitVector& a, const BitVector& b);
+    static bool ult(const BitVector& a, const BitVector& b);
+    static bool ule(const BitVector& a, const BitVector& b);
+    static bool slt(const BitVector& a, const BitVector& b);
+    static bool sle(const BitVector& a, const BitVector& b);
+    /// @}
+
+    /// @{ Reductions over all bits.
+    bool reduce_and() const;
+    bool reduce_or() const { return to_bool(); }
+    bool reduce_xor() const;
+    /// @}
+
+    /// Concatenation: \p msbs becomes the high bits of the result.
+    static BitVector concat(const BitVector& msbs, const BitVector& lsbs);
+
+    /// @{ String rendering (used by $display format specifiers).
+    std::string to_bin_string() const;
+    std::string to_hex_string() const;
+    std::string to_dec_string() const;           ///< unsigned
+    std::string to_signed_dec_string() const;    ///< two's complement
+    /// @}
+
+    bool operator==(const BitVector& other) const;
+    bool operator!=(const BitVector& other) const { return !(*this == other); }
+
+    size_t hash() const;
+
+  private:
+    static constexpr uint32_t kInlineWords = 1;
+
+    bool is_inline() const { return num_words() <= kInlineWords; }
+    const uint64_t* words() const { return is_inline() ? &inline_word_ : heap_; }
+    uint64_t* words() { return is_inline() ? &inline_word_ : heap_; }
+
+    /// Zeroes the unused high bits of the top word.
+    void mask_top();
+
+    /// Divides in place by a small divisor, returning the remainder.
+    uint32_t divmod_small(uint32_t divisor);
+
+    /// Multiplies in place by a small factor and adds a small addend.
+    void muladd_small(uint32_t factor, uint32_t addend);
+
+    static void udivrem(const BitVector& a, const BitVector& b,
+                        BitVector* quot, BitVector* rem);
+
+    uint32_t width_ = 1;
+    union {
+        uint64_t inline_word_;
+        uint64_t* heap_;
+    };
+};
+
+} // namespace cascade
+
+template <>
+struct std::hash<cascade::BitVector> {
+    size_t operator()(const cascade::BitVector& v) const { return v.hash(); }
+};
+
+#endif // CASCADE_COMMON_BITVECTOR_H

@@ -1,0 +1,34 @@
+/// \file
+/// Internal invariant checking. CASCADE_CHECK is for conditions that can
+/// never fail unless Cascade itself is broken (gem5's panic()); user-caused
+/// failures are reported through Diagnostics instead.
+
+#ifndef CASCADE_COMMON_CHECK_H
+#define CASCADE_COMMON_CHECK_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cascade {
+
+[[noreturn]] inline void
+check_fail(const char* cond, const char* file, int line)
+{
+    std::fprintf(stderr, "CASCADE_CHECK failed: %s at %s:%d\n",
+                 cond, file, line);
+    std::abort();
+}
+
+} // namespace cascade
+
+#define CASCADE_CHECK(cond)                                                  \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::cascade::check_fail(#cond, __FILE__, __LINE__);                \
+        }                                                                    \
+    } while (0)
+
+#define CASCADE_UNREACHABLE()                                                \
+    ::cascade::check_fail("unreachable", __FILE__, __LINE__)
+
+#endif // CASCADE_COMMON_CHECK_H

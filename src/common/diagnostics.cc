@@ -1,0 +1,47 @@
+#include "common/diagnostics.h"
+
+namespace cascade {
+
+std::string
+Diagnostic::str() const
+{
+    std::string out = severity == Severity::Error ? "error: " : "warning: ";
+    if (loc.valid()) {
+        out += loc.str() + ": ";
+    }
+    out += message;
+    return out;
+}
+
+void
+Diagnostics::error(SourceLoc loc, std::string msg)
+{
+    diags_.push_back({Severity::Error, loc, std::move(msg)});
+    ++num_errors_;
+}
+
+void
+Diagnostics::warning(SourceLoc loc, std::string msg)
+{
+    diags_.push_back({Severity::Warning, loc, std::move(msg)});
+}
+
+std::string
+Diagnostics::str() const
+{
+    std::string out;
+    for (const auto& d : diags_) {
+        out += d.str();
+        out += '\n';
+    }
+    return out;
+}
+
+void
+Diagnostics::clear()
+{
+    diags_.clear();
+    num_errors_ = 0;
+}
+
+} // namespace cascade

@@ -1,0 +1,55 @@
+/// \file
+/// Diagnostic collection. User-facing errors (parse errors, type errors,
+/// elaboration failures) are accumulated here rather than thrown; the REPL
+/// reports them and discards the offending input, per Cascade's model of
+/// rejecting ill-formed eval's without disturbing the running program.
+
+#ifndef CASCADE_COMMON_DIAGNOSTICS_H
+#define CASCADE_COMMON_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+#include "common/source_loc.h"
+
+namespace cascade {
+
+/// Severity of a diagnostic message.
+enum class Severity {
+    Warning,
+    Error,
+};
+
+/// A single diagnostic message with optional source location.
+struct Diagnostic {
+    Severity severity = Severity::Error;
+    SourceLoc loc;
+    std::string message;
+
+    /// Renders "error: 3:14: message" style text.
+    std::string str() const;
+};
+
+/// An ordered collection of diagnostics produced by one front-end pass.
+class Diagnostics {
+  public:
+    void error(SourceLoc loc, std::string msg);
+    void warning(SourceLoc loc, std::string msg);
+
+    bool has_errors() const { return num_errors_ > 0; }
+    size_t error_count() const { return num_errors_; }
+    const std::vector<Diagnostic>& all() const { return diags_; }
+
+    /// All diagnostics rendered one per line.
+    std::string str() const;
+
+    void clear();
+
+  private:
+    std::vector<Diagnostic> diags_;
+    size_t num_errors_ = 0;
+};
+
+} // namespace cascade
+
+#endif // CASCADE_COMMON_DIAGNOSTICS_H

@@ -1,0 +1,35 @@
+/// \file
+/// Source locations for diagnostics. Every token and AST node carries one so
+/// that errors in REPL input can be reported with line/column precision.
+
+#ifndef CASCADE_COMMON_SOURCE_LOC_H
+#define CASCADE_COMMON_SOURCE_LOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace cascade {
+
+/// A position in a source buffer. Lines and columns are 1-based; a value of
+/// zero means "unknown" (e.g. synthesized AST nodes).
+struct SourceLoc {
+    uint32_t line = 0;
+    uint32_t column = 0;
+
+    bool valid() const { return line != 0; }
+
+    std::string
+    str() const
+    {
+        if (!valid()) {
+            return "<unknown>";
+        }
+        return std::to_string(line) + ":" + std::to_string(column);
+    }
+
+    bool operator==(const SourceLoc&) const = default;
+};
+
+} // namespace cascade
+
+#endif // CASCADE_COMMON_SOURCE_LOC_H

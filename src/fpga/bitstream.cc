@@ -1,0 +1,214 @@
+#include "fpga/bitstream.h"
+
+#include "common/check.h"
+
+namespace cascade::fpga {
+
+Bitstream::Bitstream(std::shared_ptr<const Netlist> netlist)
+    : nl_(std::move(netlist))
+{
+    CASCADE_CHECK(nl_ != nullptr);
+    values_.resize(nl_->nodes.size());
+    for (size_t i = 0; i < nl_->nodes.size(); ++i) {
+        const Node& n = nl_->nodes[i];
+        values_[i] = n.op == Op::Const ? n.cval : BitVector(n.width, 0);
+    }
+    reg_state_.reserve(nl_->regs.size());
+    for (const RegDef& r : nl_->regs) {
+        reg_state_.push_back(r.init);
+    }
+    mem_state_.reserve(nl_->mems.size());
+    for (const MemDef& m : nl_->mems) {
+        std::vector<BitVector> contents(m.size, BitVector(m.width, 0));
+        for (const auto& [addr, value] : m.init) {
+            if (addr < m.size) {
+                contents[addr] = value.resized(m.width);
+            }
+        }
+        mem_state_.push_back(std::move(contents));
+    }
+    for (size_t i = 0; i < nl_->inputs.size(); ++i) {
+        input_index_[nl_->inputs[i].name] = static_cast<int>(i);
+    }
+    for (size_t i = 0; i < nl_->outputs.size(); ++i) {
+        output_index_[nl_->outputs[i].name] = static_cast<int>(i);
+    }
+    for (size_t i = 0; i < nl_->regs.size(); ++i) {
+        reg_index_[nl_->regs[i].name] = static_cast<uint32_t>(i);
+    }
+    for (size_t i = 0; i < nl_->mems.size(); ++i) {
+        mem_index_[nl_->mems[i].name] = static_cast<uint32_t>(i);
+    }
+    eval_comb();
+    prev_reg_clock_.resize(nl_->regs.size());
+    for (size_t i = 0; i < nl_->regs.size(); ++i) {
+        prev_reg_clock_[i] = nl_->regs[i].clock != kNoClock &&
+                             values_[nl_->regs[i].clock].bit(0);
+    }
+    prev_port_clock_.resize(nl_->write_ports.size());
+    for (size_t i = 0; i < nl_->write_ports.size(); ++i) {
+        prev_port_clock_[i] = values_[nl_->write_ports[i].clock].bit(0);
+    }
+}
+
+int
+Bitstream::input_index(const std::string& name) const
+{
+    const auto it = input_index_.find(name);
+    return it == input_index_.end() ? -1 : it->second;
+}
+
+int
+Bitstream::output_index(const std::string& name) const
+{
+    const auto it = output_index_.find(name);
+    return it == output_index_.end() ? -1 : it->second;
+}
+
+void
+Bitstream::set_input(const std::string& name, const BitVector& value)
+{
+    const int i = input_index(name);
+    CASCADE_CHECK(i >= 0);
+    set_input(i, value);
+}
+
+void
+Bitstream::set_input(int index, const BitVector& value)
+{
+    const PortDef& port = nl_->inputs[static_cast<size_t>(index)];
+    values_[port.node] = value.resized(port.width);
+}
+
+const BitVector&
+Bitstream::output(const std::string& name) const
+{
+    const int i = output_index(name);
+    CASCADE_CHECK(i >= 0);
+    return output(i);
+}
+
+const BitVector&
+Bitstream::output(int index) const
+{
+    return values_[nl_->outputs[static_cast<size_t>(index)].node];
+}
+
+void
+Bitstream::eval_comb()
+{
+    // Nodes are in topological order by construction: a single pass
+    // settles everything.
+    const size_t n = nl_->nodes.size();
+    std::vector<BitVector> argv;
+    for (size_t i = 0; i < n; ++i) {
+        const Node& node = nl_->nodes[i];
+        switch (node.op) {
+          case Op::Const:
+          case Op::Input:
+            continue;
+          case Op::RegQ:
+            values_[i] = reg_state_[node.aux];
+            continue;
+          case Op::MemRead: {
+            const uint64_t addr = values_[node.args[0]].to_uint64();
+            const auto& mem = mem_state_[node.aux];
+            values_[i] = addr < mem.size()
+                             ? mem[addr]
+                             : BitVector(node.width, 0);
+            continue;
+          }
+          default: {
+            argv.clear();
+            for (uint32_t a : node.args) {
+                argv.push_back(values_[a]);
+            }
+            values_[i] = eval_node(node, argv);
+            continue;
+          }
+        }
+    }
+}
+
+void
+Bitstream::step()
+{
+    ++cycles_;
+    eval_comb();
+    // Cascade derived clock domains: latch every register whose clock
+    // rose, re-settle, repeat until no clock rises (bounded).
+    for (int iter = 0; iter < 8; ++iter) {
+        std::vector<std::pair<uint32_t, BitVector>> latches;
+        for (size_t r = 0; r < nl_->regs.size(); ++r) {
+            const RegDef& reg = nl_->regs[r];
+            if (reg.clock == kNoClock) {
+                continue;
+            }
+            const bool now = values_[reg.clock].bit(0);
+            if (now && !prev_reg_clock_[r]) {
+                latches.emplace_back(static_cast<uint32_t>(r),
+                                     values_[reg.next]);
+            }
+            prev_reg_clock_[r] = now;
+        }
+        struct MemLatch {
+            uint32_t mem;
+            uint64_t addr;
+            BitVector data;
+        };
+        std::vector<MemLatch> mem_latches;
+        for (size_t p = 0; p < nl_->write_ports.size(); ++p) {
+            const MemWritePort& port = nl_->write_ports[p];
+            const bool now = values_[port.clock].bit(0);
+            if (now && !prev_port_clock_[p] &&
+                values_[port.enable].to_bool()) {
+                mem_latches.push_back({port.mem,
+                                       values_[port.addr].to_uint64(),
+                                       values_[port.data]});
+            }
+            prev_port_clock_[p] = now;
+        }
+        if (latches.empty() && mem_latches.empty()) {
+            return;
+        }
+        for (auto& [r, v] : latches) {
+            reg_state_[r] = std::move(v);
+        }
+        for (auto& ml : mem_latches) {
+            if (ml.addr < mem_state_[ml.mem].size()) {
+                mem_state_[ml.mem][ml.addr] = std::move(ml.data);
+            }
+        }
+        eval_comb();
+    }
+}
+
+const BitVector&
+Bitstream::reg_value(const std::string& name) const
+{
+    return reg_state_[reg_index_.at(name)];
+}
+
+void
+Bitstream::set_reg(const std::string& name, const BitVector& value)
+{
+    const uint32_t r = reg_index_.at(name);
+    reg_state_[r] = value.resized(nl_->regs[r].width);
+}
+
+const BitVector&
+Bitstream::mem_value(const std::string& name, uint64_t idx) const
+{
+    return mem_state_[mem_index_.at(name)][idx];
+}
+
+void
+Bitstream::set_mem(const std::string& name, uint64_t idx,
+                   const BitVector& value)
+{
+    const uint32_t m = mem_index_.at(name);
+    CASCADE_CHECK(idx < mem_state_[m].size());
+    mem_state_[m][idx] = value.resized(nl_->mems[m].width);
+}
+
+} // namespace cascade::fpga

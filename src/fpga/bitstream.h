@@ -1,0 +1,72 @@
+/// \file
+/// The "bitstream": a levelized, cycle-based evaluator for a synthesized
+/// netlist. This plays the role of the programmed FPGA fabric in our
+/// substrate — orders of magnitude faster than AST interpretation, with
+/// per-cycle semantics identical to real registered hardware (including
+/// derived/gated clock domains, which cascade within a device cycle).
+
+#ifndef CASCADE_FPGA_BITSTREAM_H
+#define CASCADE_FPGA_BITSTREAM_H
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "fpga/netlist.h"
+
+namespace cascade::fpga {
+
+class Bitstream {
+  public:
+    explicit Bitstream(std::shared_ptr<const Netlist> netlist);
+
+    const Netlist& netlist() const { return *nl_; }
+
+    /// @{ Port access by name (cached index lookups available below).
+    void set_input(const std::string& name, const BitVector& value);
+    const BitVector& output(const std::string& name) const;
+    int input_index(const std::string& name) const;
+    int output_index(const std::string& name) const;
+    void set_input(int index, const BitVector& value);
+    const BitVector& output(int index) const;
+    /// @}
+
+    /// Settles all combinational logic for the current inputs/state.
+    void eval_comb();
+
+    /// One device clock cycle: settle, latch every register whose clock
+    /// rose (cascading derived clock domains), settle again.
+    void step();
+
+    /// @{ Direct state access (used by native mode and tests; the hardware
+    /// engine goes through MMIO instead).
+    const BitVector& reg_value(const std::string& name) const;
+    void set_reg(const std::string& name, const BitVector& value);
+    const BitVector& mem_value(const std::string& name, uint64_t idx) const;
+    void set_mem(const std::string& name, uint64_t idx,
+                 const BitVector& value);
+    /// @}
+
+    uint64_t cycles() const { return cycles_; }
+
+  private:
+    void eval_range(size_t first);
+
+    std::shared_ptr<const Netlist> nl_;
+    std::vector<BitVector> values_;       ///< per node
+    std::vector<BitVector> reg_state_;    ///< per register
+    std::vector<std::vector<BitVector>> mem_state_;
+    std::vector<bool> prev_reg_clock_;
+    std::vector<bool> prev_port_clock_;
+    std::unordered_map<std::string, int> input_index_;
+    std::unordered_map<std::string, int> output_index_;
+    std::unordered_map<std::string, uint32_t> reg_index_;
+    std::unordered_map<std::string, uint32_t> mem_index_;
+    uint64_t cycles_ = 0;
+};
+
+} // namespace cascade::fpga
+
+#endif // CASCADE_FPGA_BITSTREAM_H

@@ -1,0 +1,94 @@
+#include "fpga/compile.h"
+
+#include <chrono>
+
+namespace cascade::fpga {
+
+namespace {
+
+double
+seconds_since(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+} // namespace
+
+CompileResult
+compile(const verilog::ElaboratedModule& em, const CompileOptions& options)
+{
+    CompileResult result;
+    const auto t0 = std::chrono::steady_clock::now();
+
+    Diagnostics diags;
+    auto nl = synthesize(em, &diags);
+    if (nl == nullptr) {
+        result.error = "synthesis failed:\n" + diags.str();
+        return result;
+    }
+    result.report.netlist_nodes = nl->size();
+    result.report.synth_seconds = seconds_since(t0);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    MappedDesign mapped = technology_map(*nl);
+    result.report.area = mapped.area;
+    result.report.cells = mapped.cells.size();
+
+    PlaceOptions popts;
+    popts.effort = options.effort;
+    popts.seed = options.seed;
+    PlacementResult placement = place(mapped, popts);
+    result.report.anneal_moves = placement.moves_evaluated;
+    result.report.wirelength = placement.final_wirelength;
+    result.report.place_seconds = seconds_since(t1);
+
+    result.report.timing =
+        analyze_timing(*nl, mapped, placement, options.target_clock_mhz);
+    result.report.total_seconds = seconds_since(t0);
+
+    result.netlist = std::shared_ptr<const Netlist>(std::move(nl));
+    result.ok = true;
+    return result;
+}
+
+std::unique_ptr<Bitstream>
+FpgaDevice::program(const CompileResult& result, std::string* error,
+                    bool allow_derated_clock,
+                    double* actual_clock_mhz) const
+{
+    if (!result.ok) {
+        if (error != nullptr) {
+            *error = result.error;
+        }
+        return nullptr;
+    }
+    if (!result.report.area.fits(les_, bram_bits_)) {
+        if (error != nullptr) {
+            *error = "design does not fit: needs " +
+                     std::to_string(result.report.area.les) + " LEs / " +
+                     std::to_string(result.report.area.bram_bits) +
+                     " BRAM bits";
+        }
+        return nullptr;
+    }
+    double clock = clock_mhz_;
+    if (!result.report.timing.met) {
+        if (!allow_derated_clock) {
+            if (error != nullptr) {
+                *error = "timing closure failed: Fmax " +
+                         std::to_string(result.report.timing.fmax_mhz) +
+                         " MHz below target";
+            }
+            return nullptr;
+        }
+        clock = result.report.timing.fmax_mhz * 0.9;
+    }
+    if (actual_clock_mhz != nullptr) {
+        *actual_clock_mhz = clock;
+    }
+    return std::make_unique<Bitstream>(result.netlist);
+}
+
+} // namespace cascade::fpga

@@ -1,0 +1,84 @@
+/// \file
+/// The blackbox toolchain driver (our stand-in for Quartus/Vivado):
+/// synthesis -> technology mapping -> placement -> timing closure. Compile
+/// latency is genuine work that scales with design size; Cascade hides it
+/// behind software execution (paper §1, §3).
+
+#ifndef CASCADE_FPGA_COMPILE_H
+#define CASCADE_FPGA_COMPILE_H
+
+#include <memory>
+#include <string>
+
+#include "fpga/bitstream.h"
+#include "fpga/place.h"
+#include "fpga/synth.h"
+#include "fpga/techmap.h"
+
+namespace cascade::fpga {
+
+struct CompileOptions {
+    /// Annealing effort multiplier (1.0 default; benches scale it).
+    double effort = 1.0;
+    double target_clock_mhz = 50.0;
+    uint64_t seed = 1;
+};
+
+struct CompileReport {
+    AreaEstimate area;
+    TimingReport timing;
+    size_t netlist_nodes = 0;
+    size_t cells = 0;
+    uint64_t anneal_moves = 0;
+    double wirelength = 0;
+    double synth_seconds = 0;
+    double place_seconds = 0;
+    double total_seconds = 0;
+};
+
+struct CompileResult {
+    bool ok = false;
+    std::string error;
+    std::shared_ptr<const Netlist> netlist;
+    CompileReport report;
+};
+
+/// Runs the full flow. Blocking; Cascade's runtime invokes this on the
+/// compile-server thread.
+CompileResult compile(const verilog::ElaboratedModule& em,
+                      const CompileOptions& options);
+
+/// The reprogrammable device (Cyclone V-class by default): capacity limits
+/// plus the fabric clock the runtime models hardware time against.
+class FpgaDevice {
+  public:
+    FpgaDevice(uint64_t les = 110000, uint64_t bram_bits = 11000000,
+               double clock_mhz = 50.0)
+        : les_(les), bram_bits_(bram_bits), clock_mhz_(clock_mhz)
+    {}
+
+    uint64_t les() const { return les_; }
+    uint64_t bram_bits() const { return bram_bits_; }
+    double clock_mhz() const { return clock_mhz_; }
+
+    /// Loads a bitstream if the design fits and made timing; returns null
+    /// (with \p error set) otherwise. "Programming ... requires less than
+    /// a millisecond" — it is just object construction here.
+    ///
+    /// With \p allow_derated_clock, a design that misses the target clock
+    /// is still programmed, clocked from a PLL at 90% of its achieved
+    /// Fmax; \p actual_clock_mhz (if non-null) receives the final rate.
+    std::unique_ptr<Bitstream>
+    program(const CompileResult& result, std::string* error,
+            bool allow_derated_clock = false,
+            double* actual_clock_mhz = nullptr) const;
+
+  private:
+    uint64_t les_;
+    uint64_t bram_bits_;
+    double clock_mhz_;
+};
+
+} // namespace cascade::fpga
+
+#endif // CASCADE_FPGA_COMPILE_H

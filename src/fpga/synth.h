@@ -1,0 +1,29 @@
+/// \file
+/// RTL synthesis: lowers an elaborated, hierarchy-free module to a
+/// word-level netlist by symbolic execution. Combinational processes are
+/// topologically ordered and executed once; sequential processes produce
+/// per-register next-state expressions with guarded (mux-merged) updates,
+/// and memories synthesize to read nodes plus clocked write ports. This is
+/// the first of the two NP-hard-in-general steps the paper describes for
+/// the FPGA toolchain (the second, place and route, lives in place.h).
+
+#ifndef CASCADE_FPGA_SYNTH_H
+#define CASCADE_FPGA_SYNTH_H
+
+#include <memory>
+
+#include "common/diagnostics.h"
+#include "fpga/netlist.h"
+#include "verilog/elaborate.h"
+
+namespace cascade::fpga {
+
+/// Synthesizes \p em into a netlist. Returns null and reports diagnostics
+/// on failure (combinational cycles, unsupported constructs, system tasks
+/// that survived wrapping, non-static loop bounds).
+std::unique_ptr<Netlist> synthesize(const verilog::ElaboratedModule& em,
+                                    Diagnostics* diags);
+
+} // namespace cascade::fpga
+
+#endif // CASCADE_FPGA_SYNTH_H

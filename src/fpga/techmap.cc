@@ -1,0 +1,202 @@
+#include "fpga/techmap.h"
+
+#include <cmath>
+
+namespace cascade::fpga {
+
+namespace {
+
+uint32_t
+log2_ceil(uint32_t v)
+{
+    uint32_t r = 0;
+    while ((1u << r) < v) {
+        ++r;
+    }
+    return r;
+}
+
+} // namespace
+
+uint32_t
+le_cost(const Node& node)
+{
+    const uint32_t w = node.width;
+    switch (node.op) {
+      case Op::Const:
+      case Op::Input:
+      case Op::Concat:
+      case Op::Slice:
+      case Op::ZExt:
+      case Op::SExt:
+        return 0; // wiring
+      case Op::Not:
+        return 0; // absorbed into downstream LUT inputs
+      case Op::RegQ:
+        return w; // one FF per bit
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Mux:
+        return w;
+      case Op::Add:
+      case Op::Sub:
+        return w; // carry-chain adders: one LE per bit
+      case Op::Mul:
+        return w * w / 2 + 1;
+      case Op::Divu:
+      case Op::Remu:
+      case Op::Divs:
+      case Op::Rems:
+      case Op::Pow:
+        return w * w + 4; // array divider / exponentiation network
+      case Op::Eq:
+      case Op::Ult:
+      case Op::Slt:
+        return (w + 1) / 2 + 1;
+      case Op::Shl:
+      case Op::Lshr:
+      case Op::Ashr:
+      case Op::DynSlice:
+        return w * std::max(1u, log2_ceil(std::max(2u, w)));
+      case Op::ReduceAnd:
+      case Op::ReduceOr:
+      case Op::ReduceXor:
+        return (w + 2) / 3;
+      case Op::MemRead:
+        return log2_ceil(std::max(2u, w)) + 2; // address decode margin
+    }
+    return w;
+}
+
+double
+node_delay_ns(const Node& node)
+{
+    const uint32_t w = node.width;
+    // Roughly one LUT level = 0.5 ns on a mid-grade fabric; carry chains
+    // and barrel shifters take multiple levels.
+    switch (node.op) {
+      case Op::Const:
+      case Op::Input:
+      case Op::RegQ:
+      case Op::Concat:
+      case Op::Slice:
+      case Op::ZExt:
+      case Op::SExt:
+      case Op::Not:
+        return 0.0;
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Mux:
+        return 0.5;
+      case Op::Add:
+      case Op::Sub:
+        return 0.5 + 0.015 * w; // carry propagation
+      case Op::Mul:
+        return 0.8 + 0.05 * w;
+      case Op::Divu:
+      case Op::Remu:
+      case Op::Divs:
+      case Op::Rems:
+      case Op::Pow:
+        return 2.0 + 0.25 * w;
+      case Op::Eq:
+      case Op::Ult:
+      case Op::Slt:
+        return 0.5 + 0.02 * w;
+      case Op::Shl:
+      case Op::Lshr:
+      case Op::Ashr:
+      case Op::DynSlice:
+        return 0.5 * std::max(1u, log2_ceil(std::max(2u, w)));
+      case Op::ReduceAnd:
+      case Op::ReduceOr:
+      case Op::ReduceXor:
+        return 0.5 * std::max(1u, log2_ceil(std::max(3u, w)) - 1);
+      case Op::MemRead:
+        return 1.5; // BRAM access
+    }
+    return 0.5;
+}
+
+MappedDesign
+technology_map(const Netlist& nl)
+{
+    MappedDesign out;
+    out.node_delay_ns.resize(nl.nodes.size());
+    out.cell_of_node.assign(nl.nodes.size(), -1);
+
+    // A chained node continues a cascade of the same operation (a case
+    // statement's mux chain, a mask OR reduction). Technology mappers
+    // rebalance such cascades into trees; charge the amortized
+    // tree depth instead of the full chain.
+    auto continues_chain = [&nl](const Node& n) {
+        if (n.op != Op::Mux && n.op != Op::And && n.op != Op::Or &&
+            n.op != Op::Xor) {
+            return false;
+        }
+        for (uint32_t a : n.args) {
+            if (nl.nodes[a].op == n.op) {
+                return true;
+            }
+        }
+        return false;
+    };
+
+    for (size_t i = 0; i < nl.nodes.size(); ++i) {
+        const Node& n = nl.nodes[i];
+        const uint32_t les = le_cost(n);
+        out.node_delay_ns[i] =
+            continues_chain(n) ? 0.08 : node_delay_ns(n);
+        out.area.les += les;
+        if (n.op == Op::RegQ) {
+            out.area.ffs += n.width;
+        }
+        if (les > 0) {
+            out.cell_of_node[i] = static_cast<int32_t>(out.cells.size());
+            out.cells.push_back(
+                {static_cast<uint32_t>(i), std::max(1u, les)});
+        }
+    }
+    for (const MemDef& m : nl.mems) {
+        out.area.bram_bits +=
+            static_cast<uint64_t>(m.width) * m.size;
+    }
+
+    // Edges: connect each cell to the nearest mapped ancestor of each of
+    // its arguments (walking through zero-area wiring nodes).
+    std::vector<int32_t> rep(nl.nodes.size(), -1);
+    for (size_t i = 0; i < nl.nodes.size(); ++i) {
+        if (out.cell_of_node[i] >= 0) {
+            rep[i] = out.cell_of_node[i];
+        } else if (!nl.nodes[i].args.empty()) {
+            rep[i] = rep[nl.nodes[i].args[0]];
+        }
+    }
+    for (size_t i = 0; i < nl.nodes.size(); ++i) {
+        const int32_t self = out.cell_of_node[i];
+        if (self < 0) {
+            continue;
+        }
+        for (uint32_t a : nl.nodes[i].args) {
+            const int32_t other = rep[a];
+            if (other >= 0 && other != self) {
+                out.edges.push_back({static_cast<uint32_t>(other),
+                                     static_cast<uint32_t>(self)});
+            }
+        }
+    }
+    // Register feedback edges (next -> q).
+    for (const RegDef& r : nl.regs) {
+        const int32_t q = out.cell_of_node[r.q];
+        const int32_t d = rep[r.next];
+        if (q >= 0 && d >= 0 && q != d) {
+            out.edges.push_back({static_cast<uint32_t>(d),
+                                 static_cast<uint32_t>(q)});
+        }
+    }
+    return out;
+}
+
+} // namespace cascade::fpga

@@ -1,0 +1,61 @@
+/// \file
+/// Technology mapping: lowers a word-level netlist onto the device's
+/// logic-element (4-LUT + FF) fabric, producing per-node area costs, the
+/// cell graph used by placement, and aggregate area numbers (the paper's
+/// spatial-overhead metric).
+
+#ifndef CASCADE_FPGA_TECHMAP_H
+#define CASCADE_FPGA_TECHMAP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "fpga/netlist.h"
+
+namespace cascade::fpga {
+
+struct AreaEstimate {
+    uint64_t les = 0;       ///< logic elements (LUT4 + optional FF)
+    uint64_t ffs = 0;       ///< flip-flops (subset of les)
+    uint64_t bram_bits = 0; ///< block-RAM bits for memories
+
+    bool
+    fits(uint64_t device_les, uint64_t device_bram_bits) const
+    {
+        return les <= device_les && bram_bits <= device_bram_bits;
+    }
+};
+
+/// One placeable cell (a mapped netlist node with nonzero area).
+struct Cell {
+    uint32_t node = 0; ///< originating netlist node
+    uint32_t les = 1;  ///< logic elements occupied
+};
+
+/// Connectivity for placement: cell indices joined by a signal.
+struct CellEdge {
+    uint32_t a = 0;
+    uint32_t b = 0;
+};
+
+struct MappedDesign {
+    AreaEstimate area;
+    std::vector<Cell> cells;
+    std::vector<CellEdge> edges;
+    /// Per-netlist-node intrinsic delay in nanoseconds (0 for free ops).
+    std::vector<double> node_delay_ns;
+    /// Per-netlist-node cell index (-1 when the node mapped to wiring).
+    std::vector<int32_t> cell_of_node;
+};
+
+/// LE cost of a single node (exposed for tests and ablation benches).
+uint32_t le_cost(const Node& node);
+
+/// Intrinsic (pre-routing) delay of a node in nanoseconds.
+double node_delay_ns(const Node& node);
+
+MappedDesign technology_map(const Netlist& nl);
+
+} // namespace cascade::fpga
+
+#endif // CASCADE_FPGA_TECHMAP_H

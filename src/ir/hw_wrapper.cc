@@ -1,0 +1,1007 @@
+#include "ir/hw_wrapper.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "ir/rewrite.h"
+
+namespace cascade::ir {
+
+using namespace verilog;
+
+const VarSlot*
+WrapperMap::find(const std::string& name) const
+{
+    for (const auto& v : vars) {
+        if (v.name == name) {
+            return &v;
+        }
+    }
+    return nullptr;
+}
+
+namespace {
+
+// --- Small AST construction helpers ---------------------------------------
+
+ExprPtr
+id(const std::string& name)
+{
+    return std::make_unique<IdentifierExpr>(std::vector<std::string>{name});
+}
+
+ExprPtr
+num(uint32_t width, uint64_t value)
+{
+    return std::make_unique<NumberExpr>(BitVector(width, value), true,
+                                        false);
+}
+
+ExprPtr
+binop(BinaryOp op, ExprPtr l, ExprPtr r)
+{
+    return std::make_unique<BinaryExpr>(op, std::move(l), std::move(r));
+}
+
+ExprPtr
+unop(UnaryOp op, ExprPtr e)
+{
+    return std::make_unique<UnaryExpr>(op, std::move(e));
+}
+
+ExprPtr
+ternary(ExprPtr c, ExprPtr t, ExprPtr e)
+{
+    return std::make_unique<TernaryExpr>(std::move(c), std::move(t),
+                                         std::move(e));
+}
+
+/// var[lo*32 +: 32] — the j'th MMIO word of a value.
+ExprPtr
+word_of(const std::string& name, uint32_t j)
+{
+    return std::make_unique<IndexedSelectExpr>(id(name), num(32, j * 32),
+                                               num(32, 32), /*up=*/true);
+}
+
+StmtPtr
+nb_assign(ExprPtr lhs, ExprPtr rhs)
+{
+    return std::make_unique<NonblockingAssignStmt>(std::move(lhs),
+                                                   std::move(rhs));
+}
+
+StmtPtr
+if_stmt(ExprPtr cond, StmtPtr then_stmt, StmtPtr else_stmt = nullptr)
+{
+    return std::make_unique<IfStmt>(std::move(cond), std::move(then_stmt),
+                                    std::move(else_stmt));
+}
+
+StmtPtr
+block(std::vector<StmtPtr> stmts)
+{
+    return std::make_unique<BlockStmt>(std::move(stmts));
+}
+
+/// reg [width-1:0] name = init;
+ItemPtr
+reg_decl(const std::string& name, uint32_t width, uint64_t init)
+{
+    auto nd = std::make_unique<NetDecl>();
+    nd->is_reg = true;
+    if (width > 1) {
+        nd->range.msb = num(32, width - 1);
+        nd->range.lsb = num(32, 0);
+    }
+    NetDeclarator d;
+    d.name = name;
+    d.init = std::make_unique<NumberExpr>(BitVector(width, init), true,
+                                          false);
+    nd->decls.push_back(std::move(d));
+    return nd;
+}
+
+/// wire [width-1:0] name;
+ItemPtr
+wire_decl(const std::string& name, uint32_t width)
+{
+    auto nd = std::make_unique<NetDecl>();
+    if (width > 1) {
+        nd->range.msb = num(32, width - 1);
+        nd->range.lsb = num(32, 0);
+    }
+    NetDeclarator d;
+    d.name = name;
+    nd->decls.push_back(std::move(d));
+    return nd;
+}
+
+Port
+make_port(const std::string& name, PortDir dir, uint32_t width,
+          bool is_reg = false)
+{
+    Port p;
+    p.name = name;
+    p.dir = dir;
+    p.is_reg = is_reg;
+    if (width > 1) {
+        p.range.msb = num(32, width - 1);
+        p.range.lsb = num(32, 0);
+    }
+    return p;
+}
+
+// --- The rewriter ----------------------------------------------------------
+
+class WrapperBuilder {
+  public:
+    WrapperBuilder(const ElaboratedModule& em,
+                   const std::string& clock_input, WrapperMap* map,
+                   Diagnostics* diags)
+        : em_(em), clock_input_(clock_input), map_(map), diags_(diags)
+    {}
+
+    std::unique_ptr<ModuleDecl>
+    run()
+    {
+        scan_blocking_targets();
+        allocate_slots();
+
+        auto out = std::make_unique<ModuleDecl>();
+        out->name = em_.name + "_axi";
+        out->ports.push_back(make_port("CLK", PortDir::Input, 1));
+        out->ports.push_back(make_port("RW", PortDir::Input, 1));
+        out->ports.push_back(make_port("ADDR", PortDir::Input, 32));
+        out->ports.push_back(make_port("IN", PortDir::Input, 32));
+        out->ports.push_back(make_port("OUT", PortDir::Output, 32,
+                                       /*is_reg=*/true));
+        out->ports.push_back(make_port("WAIT", PortDir::Output, 1));
+
+        // Frozen parameters.
+        for (const auto& [name, value] : em_.params) {
+            auto lp = std::make_unique<ParamDecl>();
+            lp->local = true;
+            lp->name = name;
+            lp->is_signed = em_.param_signed.at(name);
+            lp->value =
+                std::make_unique<NumberExpr>(value, true, false);
+            out->items.push_back(std::move(lp));
+        }
+
+        // Former ports become internal nets; other declarations carry over.
+        for (const NetInfo& net : em_.nets) {
+            if (net.is_port) {
+                if (net.dir == PortDir::Input) {
+                    out->items.push_back(reg_decl(net.name, net.width, 0));
+                } else if (net.is_reg) {
+                    out->items.push_back(reg_decl(net.name, net.width, 0));
+                } else {
+                    out->items.push_back(wire_decl(net.name, net.width));
+                }
+            }
+        }
+
+        // Rewrite the original items.
+        for (const auto& item : em_.decl->items) {
+            switch (item->kind) {
+              case ItemKind::NetDecl:
+                out->items.push_back(item->clone());
+                break;
+              case ItemKind::ParamDecl:
+                break; // frozen above
+              case ItemKind::ContinuousAssign:
+              case ItemKind::FunctionDecl: {
+                ItemPtr clone = item->clone();
+                rewrite_time_refs(clone.get());
+                out->items.push_back(std::move(clone));
+                break;
+              }
+              case ItemKind::Always: {
+                const auto& ab = static_cast<const AlwaysBlock&>(*item);
+                bool has_edge = false;
+                for (const auto& s : ab.sensitivity) {
+                    if (s.edge != EdgeKind::Level) {
+                        has_edge = true;
+                    }
+                }
+                if (!has_edge) {
+                    if (contains_task_or_nb(*ab.body)) {
+                        diags_->error(ab.loc,
+                                      "system tasks and nonblocking "
+                                      "assignments in combinational blocks "
+                                      "cannot be compiled to hardware");
+                        ok_ = false;
+                    }
+                    ItemPtr clone = item->clone();
+                    rewrite_time_refs(clone.get());
+                    out->items.push_back(std::move(clone));
+                    break;
+                }
+                auto clone_item = item->clone();
+                auto* seq = static_cast<AlwaysBlock*>(clone_item.get());
+                rewrite_time_refs(clone_item.get());
+                seq->body = rewrite_seq(std::move(seq->body));
+                out->items.push_back(std::move(clone_item));
+                break;
+              }
+              case ItemKind::Initial:
+                // Initial blocks run in software before the handoff; their
+                // effects arrive via set_state.
+                break;
+              case ItemKind::Instantiation:
+                diags_->error(item->loc,
+                              "subprogram still contains an instantiation; "
+                              "split before wrapping");
+                ok_ = false;
+                break;
+            }
+        }
+        if (!ok_) {
+            return nullptr;
+        }
+
+        emit_generated_decls(out.get());
+        emit_control_wires(out.get());
+        emit_mmio_block(out.get());
+        emit_out_mux(out.get());
+
+        // WAIT while the open-loop controller holds control.
+        out->items.push_back(std::make_unique<ContinuousAssign>(
+            id("WAIT"),
+            binop(BinaryOp::Neq, id("_oloop"), num(32, 0))));
+
+        return out;
+    }
+
+  private:
+    struct UpdateSite {
+        ExprPtr lvalue;        ///< clone with dynamic indices replaced
+        std::string value_reg; ///< shadow value register
+        uint32_t width = 1;
+    };
+
+    /// Regs assigned with blocking assignments anywhere in user always
+    /// blocks (cannot be MMIO-writable: the user logic drives them).
+    void
+    scan_blocking_targets()
+    {
+        for (const auto& item : em_.decl->items) {
+            const Stmt* body = nullptr;
+            if (item->kind == ItemKind::Always) {
+                body = static_cast<const AlwaysBlock&>(*item).body.get();
+            } else if (item->kind == ItemKind::Initial) {
+                continue;
+            }
+            if (body == nullptr) {
+                continue;
+            }
+            scan_blocking(*body);
+        }
+    }
+
+    void
+    scan_blocking(const Stmt& stmt)
+    {
+        switch (stmt.kind) {
+          case StmtKind::Block:
+            for (const auto& s :
+                 static_cast<const BlockStmt&>(stmt).stmts) {
+                scan_blocking(*s);
+            }
+            return;
+          case StmtKind::BlockingAssign: {
+            const Expr* e =
+                static_cast<const BlockingAssignStmt&>(stmt).lhs.get();
+            record_target(e);
+            return;
+          }
+          case StmtKind::If: {
+            const auto& s = static_cast<const IfStmt&>(stmt);
+            scan_blocking(*s.then_stmt);
+            if (s.else_stmt != nullptr) {
+                scan_blocking(*s.else_stmt);
+            }
+            return;
+          }
+          case StmtKind::Case:
+            for (const auto& item :
+                 static_cast<const CaseStmt&>(stmt).items) {
+                scan_blocking(*item.stmt);
+            }
+            return;
+          case StmtKind::For: {
+            const auto& s = static_cast<const ForStmt&>(stmt);
+            scan_blocking(*s.init);
+            scan_blocking(*s.step);
+            scan_blocking(*s.body);
+            return;
+          }
+          case StmtKind::While:
+            scan_blocking(*static_cast<const WhileStmt&>(stmt).body);
+            return;
+          case StmtKind::Repeat:
+            scan_blocking(*static_cast<const RepeatStmt&>(stmt).body);
+            return;
+          default:
+            return;
+        }
+    }
+
+    void
+    record_target(const Expr* e)
+    {
+        while (e != nullptr) {
+            if (e->kind == ExprKind::Identifier) {
+                const auto& idx = static_cast<const IdentifierExpr&>(*e);
+                if (idx.simple()) {
+                    blocking_targets_.insert(idx.path[0]);
+                }
+                return;
+            }
+            if (e->kind == ExprKind::Index) {
+                e = static_cast<const IndexExpr&>(*e).base.get();
+            } else if (e->kind == ExprKind::RangeSelect) {
+                e = static_cast<const RangeSelectExpr&>(*e).base.get();
+            } else if (e->kind == ExprKind::IndexedSelect) {
+                e = static_cast<const IndexedSelectExpr&>(*e).base.get();
+            } else if (e->kind == ExprKind::Concat) {
+                for (const auto& el :
+                     static_cast<const ConcatExpr&>(*e).elements) {
+                    record_target(el.get());
+                }
+                return;
+            } else {
+                return;
+            }
+        }
+    }
+
+    void
+    allocate_slots()
+    {
+        auto add = [this](const NetInfo& net, bool writable) {
+            VarSlot slot;
+            slot.name = net.name;
+            slot.width = net.width;
+            slot.words = (net.width + 31) / 32;
+            slot.elems = net.array_size;
+            slot.writable = writable;
+            slot.is_signed = net.is_signed;
+            slot.base = next_addr_;
+            next_addr_ += slot.words * std::max(1u, slot.elems);
+            map_->vars.push_back(slot);
+        };
+        for (const NetInfo& net : em_.nets) {
+            if (net.is_port && net.dir == PortDir::Input) {
+                add(net, true);
+            }
+        }
+        for (const NetInfo& net : em_.nets) {
+            if (!net.is_port && net.is_reg) {
+                add(net, blocking_targets_.count(net.name) == 0);
+            }
+        }
+        for (const NetInfo& net : em_.nets) {
+            if (net.is_port && net.dir == PortDir::Output) {
+                add(net, false);
+            }
+        }
+        map_->ctrl.latch = kCtrlBase + 0;
+        map_->ctrl.clear = kCtrlBase + 1;
+        map_->ctrl.oloop = kCtrlBase + 2;
+        map_->ctrl.updates = kCtrlBase + 3;
+        map_->ctrl.tasks = kCtrlBase + 4;
+        map_->ctrl.itrs = kCtrlBase + 5;
+        map_->ctrl.vtime = kCtrlBase + 6; // two words
+        map_->clock_input = clock_input_;
+    }
+
+    bool
+    contains_task_or_nb(const Stmt& stmt) const
+    {
+        bool found = false;
+        std::function<void(const Stmt&)> walk = [&](const Stmt& s) {
+            if (s.kind == StmtKind::SystemTask ||
+                s.kind == StmtKind::NonblockingAssign) {
+                found = true;
+                return;
+            }
+            switch (s.kind) {
+              case StmtKind::Block:
+                for (const auto& sub :
+                     static_cast<const BlockStmt&>(s).stmts) {
+                    walk(*sub);
+                }
+                return;
+              case StmtKind::If: {
+                const auto& i = static_cast<const IfStmt&>(s);
+                walk(*i.then_stmt);
+                if (i.else_stmt != nullptr) {
+                    walk(*i.else_stmt);
+                }
+                return;
+              }
+              case StmtKind::Case:
+                for (const auto& item :
+                     static_cast<const CaseStmt&>(s).items) {
+                    walk(*item.stmt);
+                }
+                return;
+              case StmtKind::For:
+                walk(*static_cast<const ForStmt&>(s).body);
+                return;
+              case StmtKind::While:
+                walk(*static_cast<const WhileStmt&>(s).body);
+                return;
+              case StmtKind::Repeat:
+                walk(*static_cast<const RepeatStmt&>(s).body);
+                return;
+              default:
+                return;
+            }
+        };
+        walk(stmt);
+        return found;
+    }
+
+    /// Replaces $time with the hardware virtual-time counter.
+    void
+    rewrite_time_refs(ModuleItem* item)
+    {
+        for_each_expr(item, [](Expr* e) {
+            if (e->kind == ExprKind::SystemCall) {
+                auto* s = static_cast<SystemCallExpr*>(e);
+                if (s->callee == "$time") {
+                    // Morph the node in place into $unsigned(_vtime): same
+                    // width/sign behavior as reading a 64-bit counter.
+                    s->callee = "$unsigned";
+                    s->args.clear();
+                    s->args.push_back(id("_vtime"));
+                }
+            }
+        });
+    }
+
+    /// Rewrites one edge-triggered statement tree: nonblocking assignments
+    /// are redirected to shadows, system tasks to argument saves + mask
+    /// toggles.
+    StmtPtr
+    rewrite_seq(StmtPtr stmt)
+    {
+        switch (stmt->kind) {
+          case StmtKind::Block: {
+            auto* b = static_cast<BlockStmt*>(stmt.get());
+            for (auto& s : b->stmts) {
+                s = rewrite_seq(std::move(s));
+            }
+            return stmt;
+          }
+          case StmtKind::NonblockingAssign: {
+            auto* a = static_cast<NonblockingAssignStmt*>(stmt.get());
+            return rewrite_nb_site(std::move(a->lhs), std::move(a->rhs));
+          }
+          case StmtKind::If: {
+            auto* s = static_cast<IfStmt*>(stmt.get());
+            s->then_stmt = rewrite_seq(std::move(s->then_stmt));
+            if (s->else_stmt != nullptr) {
+                s->else_stmt = rewrite_seq(std::move(s->else_stmt));
+            }
+            return stmt;
+          }
+          case StmtKind::Case: {
+            auto* s = static_cast<CaseStmt*>(stmt.get());
+            for (auto& item : s->items) {
+                item.stmt = rewrite_seq(std::move(item.stmt));
+            }
+            return stmt;
+          }
+          case StmtKind::For: {
+            auto* s = static_cast<ForStmt*>(stmt.get());
+            s->body = rewrite_seq(std::move(s->body));
+            return stmt;
+          }
+          case StmtKind::While: {
+            auto* s = static_cast<WhileStmt*>(stmt.get());
+            s->body = rewrite_seq(std::move(s->body));
+            return stmt;
+          }
+          case StmtKind::Repeat: {
+            auto* s = static_cast<RepeatStmt*>(stmt.get());
+            s->body = rewrite_seq(std::move(s->body));
+            return stmt;
+          }
+          case StmtKind::SystemTask: {
+            auto* s = static_cast<SystemTaskStmt*>(stmt.get());
+            return rewrite_task_site(*s);
+          }
+          default:
+            return stmt;
+        }
+    }
+
+    /// One nonblocking site: "lhs <= rhs" becomes shadow-value and
+    /// shadow-index captures plus a mask toggle; the commit happens at
+    /// <LATCH> time in the MMIO block.
+    StmtPtr
+    rewrite_nb_site(ExprPtr lhs, ExprPtr rhs)
+    {
+        const uint32_t k = static_cast<uint32_t>(update_sites_.size());
+        ExprTyper typer(em_);
+        UpdateSite site;
+        site.width = typer.self_width(*lhs);
+        site.value_reg = "_nv" + std::to_string(k);
+
+        std::vector<StmtPtr> stmts;
+        // Replace dynamic index expressions in the lvalue clone with shadow
+        // index registers, capturing each.
+        uint32_t index_count = 0;
+        site.lvalue = capture_lvalue(*lhs, k, &index_count, &stmts);
+        stmts.push_back(nb_assign(id(site.value_reg), std::move(rhs)));
+        stmts.push_back(nb_assign(
+            id("_num" + std::to_string(k)),
+            unop(UnaryOp::BitwiseNot, id("_um" + std::to_string(k)))));
+        update_sites_.push_back(std::move(site));
+        return block(std::move(stmts));
+    }
+
+    /// Clones an lvalue, replacing every dynamic index with a fresh shadow
+    /// register (and emitting the capture assignment).
+    ExprPtr
+    capture_lvalue(const Expr& lhs, uint32_t site, uint32_t* index_count,
+                   std::vector<StmtPtr>* stmts)
+    {
+        switch (lhs.kind) {
+          case ExprKind::Identifier:
+            return lhs.clone();
+          case ExprKind::Index: {
+            const auto& ix = static_cast<const IndexExpr&>(lhs);
+            const std::string reg = "_nx" + std::to_string(site) + "_" +
+                                    std::to_string((*index_count)++);
+            index_regs_.push_back(reg);
+            stmts->push_back(nb_assign(id(reg), ix.index->clone()));
+            return std::make_unique<IndexExpr>(
+                capture_lvalue(*ix.base, site, index_count, stmts),
+                id(reg));
+          }
+          case ExprKind::IndexedSelect: {
+            const auto& s = static_cast<const IndexedSelectExpr&>(lhs);
+            const std::string reg = "_nx" + std::to_string(site) + "_" +
+                                    std::to_string((*index_count)++);
+            index_regs_.push_back(reg);
+            stmts->push_back(nb_assign(id(reg), s.offset->clone()));
+            return std::make_unique<IndexedSelectExpr>(
+                capture_lvalue(*s.base, site, index_count, stmts), id(reg),
+                s.width->clone(), s.up);
+          }
+          case ExprKind::RangeSelect: {
+            const auto& r = static_cast<const RangeSelectExpr&>(lhs);
+            return std::make_unique<RangeSelectExpr>(
+                capture_lvalue(*r.base, site, index_count, stmts),
+                r.msb->clone(), r.lsb->clone());
+          }
+          case ExprKind::Concat: {
+            const auto& c = static_cast<const ConcatExpr&>(lhs);
+            std::vector<ExprPtr> elements;
+            for (const auto& e : c.elements) {
+                elements.push_back(
+                    capture_lvalue(*e, site, index_count, stmts));
+            }
+            return std::make_unique<ConcatExpr>(std::move(elements));
+          }
+          default:
+            ok_ = false;
+            diags_->error(lhs.loc, "unsupported assignment target for "
+                                   "hardware compilation");
+            return lhs.clone();
+        }
+    }
+
+    /// One system-task site: save argument values, toggle the task mask.
+    StmtPtr
+    rewrite_task_site(const SystemTaskStmt& task)
+    {
+        const uint32_t k = static_cast<uint32_t>(map_->tasks.size());
+        TaskSite site;
+        if (task.name == "$finish") {
+            site.kind = TaskKind::Finish;
+        } else if (task.name == "$write") {
+            site.kind = TaskKind::Write;
+        } else if (task.name == "$monitor") {
+            site.kind = TaskKind::Monitor;
+        } else {
+            site.kind = TaskKind::Display;
+        }
+
+        std::vector<StmtPtr> stmts;
+        ExprTyper typer(em_);
+        size_t value_index = 0;
+        for (size_t i = 0; i < task.args.size(); ++i) {
+            const Expr& arg = *task.args[i];
+            if (arg.kind == ExprKind::String) {
+                if (i == 0) {
+                    site.has_format = true;
+                    site.format =
+                        static_cast<const StringExpr&>(arg).text;
+                }
+                continue;
+            }
+            const uint32_t width = std::max(1u, typer.self_width(arg));
+            const std::string reg = "_ta" + std::to_string(k) + "_" +
+                                    std::to_string(value_index++);
+            // Argument-save registers are readable MMIO slots.
+            VarSlot slot;
+            slot.name = reg;
+            slot.width = width;
+            slot.words = (width + 31) / 32;
+            slot.base = next_addr_;
+            slot.is_signed = typer.is_signed(arg);
+            next_addr_ += slot.words;
+            site.arg_slots.push_back(
+                static_cast<uint32_t>(map_->vars.size()));
+            map_->vars.push_back(slot);
+            arg_regs_.emplace_back(reg, width);
+            stmts.push_back(nb_assign(id(reg), arg.clone()));
+        }
+        stmts.push_back(nb_assign(
+            id("_ntm" + std::to_string(k)),
+            unop(UnaryOp::BitwiseNot, id("_tm" + std::to_string(k)))));
+        map_->tasks.push_back(std::move(site));
+        return block(std::move(stmts));
+    }
+
+    void
+    emit_generated_decls(ModuleDecl* out)
+    {
+        for (size_t k = 0; k < update_sites_.size(); ++k) {
+            out->items.push_back(
+                reg_decl(update_sites_[k].value_reg,
+                         update_sites_[k].width, 0));
+            out->items.push_back(
+                reg_decl("_um" + std::to_string(k), 1, 0));
+            out->items.push_back(
+                reg_decl("_num" + std::to_string(k), 1, 0));
+        }
+        for (const auto& reg : index_regs_) {
+            out->items.push_back(reg_decl(reg, 32, 0));
+        }
+        for (size_t k = 0; k < map_->tasks.size(); ++k) {
+            out->items.push_back(
+                reg_decl("_tm" + std::to_string(k), 1, 0));
+            out->items.push_back(
+                reg_decl("_ntm" + std::to_string(k), 1, 0));
+        }
+        for (const auto& [name, width] : arg_regs_) {
+            out->items.push_back(reg_decl(name, width, 0));
+        }
+        out->items.push_back(reg_decl("_oloop", 32, 0));
+        out->items.push_back(reg_decl("_itrs", 32, 0));
+        out->items.push_back(reg_decl("_vtime", 64, 0));
+    }
+
+    /// OR chain over per-site mask XORs (constant 0 when there are none).
+    ExprPtr
+    mask_or(const std::string& a_prefix, const std::string& b_prefix,
+            size_t count)
+    {
+        if (count == 0) {
+            return num(1, 0);
+        }
+        ExprPtr acc;
+        for (size_t k = 0; k < count; ++k) {
+            ExprPtr x = binop(BinaryOp::BitXor,
+                              id(a_prefix + std::to_string(k)),
+                              id(b_prefix + std::to_string(k)));
+            acc = acc == nullptr
+                      ? std::move(x)
+                      : binop(BinaryOp::BitOr, std::move(acc), std::move(x));
+        }
+        return acc;
+    }
+
+    ExprPtr
+    addr_is(uint32_t addr)
+    {
+        return binop(BinaryOp::Eq, id("ADDR"), num(32, addr));
+    }
+
+    ExprPtr
+    write_to(uint32_t addr)
+    {
+        return binop(BinaryOp::LogicalAnd, id("RW"), addr_is(addr));
+    }
+
+    void
+    emit_control_wires(ModuleDecl* out)
+    {
+        auto assign_wire = [out](const std::string& name, uint32_t width,
+                                 ExprPtr rhs) {
+            out->items.push_back(wire_decl(name, width));
+            out->items.push_back(std::make_unique<ContinuousAssign>(
+                id(name), std::move(rhs)));
+        };
+        assign_wire("_updates", 1,
+                    mask_or("_um", "_num", update_sites_.size()));
+        assign_wire("_tasks", 1,
+                    mask_or("_tm", "_ntm", map_->tasks.size()));
+        assign_wire("_w_latch", 1, write_to(map_->ctrl.latch));
+        assign_wire("_w_clear", 1, write_to(map_->ctrl.clear));
+        assign_wire("_w_oloop", 1, write_to(map_->ctrl.oloop));
+        assign_wire(
+            "_latch", 1,
+            binop(BinaryOp::BitOr, id("_w_latch"),
+                  binop(BinaryOp::BitAnd, id("_updates"),
+                        binop(BinaryOp::Neq, id("_oloop"), num(32, 0)))));
+        assign_wire(
+            "_otick", 1,
+            binop(BinaryOp::BitAnd,
+                  binop(BinaryOp::Neq, id("_oloop"), num(32, 0)),
+                  unop(UnaryOp::BitwiseNot, id("_tasks"))));
+    }
+
+    void
+    emit_mmio_block(ModuleDecl* out)
+    {
+        std::vector<StmtPtr> stmts;
+
+        // Open-loop controller.
+        stmts.push_back(nb_assign(
+            id("_oloop"),
+            ternary(id("_w_oloop"), id("IN"),
+                    ternary(id("_otick"),
+                            binop(BinaryOp::Sub, id("_oloop"), num(32, 1)),
+                            ternary(id("_tasks"), num(32, 0),
+                                    id("_oloop"))))));
+        stmts.push_back(nb_assign(
+            id("_itrs"),
+            ternary(id("_w_oloop"), num(32, 0),
+                    ternary(id("_otick"),
+                            binop(BinaryOp::Add, id("_itrs"), num(32, 1)),
+                            id("_itrs")))));
+        if (!clock_input_.empty()) {
+            stmts.push_back(if_stmt(
+                id("_otick"),
+                nb_assign(id(clock_input_),
+                          unop(UnaryOp::BitwiseNot, id(clock_input_)))));
+            // A full virtual tick completes when the clock falls.
+            stmts.push_back(if_stmt(
+                binop(BinaryOp::BitAnd, id("_otick"), id(clock_input_)),
+                nb_assign(id("_vtime"),
+                          binop(BinaryOp::Add, id("_vtime"),
+                                num(64, 1)))));
+        }
+
+        // <LATCH>: commit every pending shadow, then sync the masks.
+        {
+            std::vector<StmtPtr> latch_stmts;
+            for (size_t k = 0; k < update_sites_.size(); ++k) {
+                latch_stmts.push_back(if_stmt(
+                    binop(BinaryOp::BitXor, id("_um" + std::to_string(k)),
+                          id("_num" + std::to_string(k))),
+                    nb_assign(update_sites_[k].lvalue->clone(),
+                              id(update_sites_[k].value_reg))));
+                latch_stmts.push_back(
+                    nb_assign(id("_um" + std::to_string(k)),
+                              id("_num" + std::to_string(k))));
+            }
+            if (!latch_stmts.empty()) {
+                stmts.push_back(
+                    if_stmt(id("_latch"), block(std::move(latch_stmts))));
+            }
+        }
+
+        // <CLEAR>: acknowledge task sites.
+        {
+            std::vector<StmtPtr> clear_stmts;
+            for (size_t k = 0; k < map_->tasks.size(); ++k) {
+                clear_stmts.push_back(
+                    nb_assign(id("_tm" + std::to_string(k)),
+                              id("_ntm" + std::to_string(k))));
+            }
+            if (!clear_stmts.empty()) {
+                stmts.push_back(
+                    if_stmt(id("_w_clear"), block(std::move(clear_stmts))));
+            }
+        }
+
+        // <SET>: word writes, last so they take priority over the
+        // open-loop clock toggle.
+        {
+            std::vector<CaseItem> items;
+            for (const VarSlot& slot : map_->vars) {
+                if (!slot.writable || slot.elems > 0) {
+                    continue;
+                }
+                for (uint32_t j = 0; j < slot.words; ++j) {
+                    CaseItem item;
+                    item.labels.push_back(num(32, slot.base + j));
+                    item.stmt = nb_assign(
+                        slot.words == 1 ? id(slot.name)
+                                        : word_of(slot.name, j),
+                        id("IN"));
+                    items.push_back(std::move(item));
+                }
+            }
+            for (uint32_t j = 0; j < 2; ++j) {
+                CaseItem item;
+                item.labels.push_back(num(32, map_->ctrl.vtime + j));
+                item.stmt = nb_assign(word_of("_vtime", j), id("IN"));
+                items.push_back(std::move(item));
+            }
+            if (!items.empty()) {
+                stmts.push_back(if_stmt(
+                    id("RW"),
+                    std::make_unique<CaseStmt>(CaseKind::Case, id("ADDR"),
+                                               std::move(items))));
+            }
+            // Memory writes: address-range decode.
+            for (const VarSlot& slot : map_->vars) {
+                if (!slot.writable || slot.elems == 0) {
+                    continue;
+                }
+                stmts.push_back(if_stmt(
+                    mem_range_cond(slot),
+                    nb_assign(mem_word_lvalue(slot), id("IN"))));
+            }
+        }
+
+        auto always = std::make_unique<AlwaysBlock>();
+        SensitivityItem sens;
+        sens.edge = EdgeKind::Pos;
+        sens.signal = id("CLK");
+        always->sensitivity.push_back(std::move(sens));
+        always->body = block(std::move(stmts));
+        out->items.push_back(std::move(always));
+    }
+
+    ExprPtr
+    mem_range_cond(const VarSlot& slot)
+    {
+        const uint32_t end = slot.base + slot.elems * slot.words;
+        return binop(
+            BinaryOp::LogicalAnd, id("RW"),
+            binop(BinaryOp::LogicalAnd,
+                  binop(BinaryOp::Geq, id("ADDR"), num(32, slot.base)),
+                  binop(BinaryOp::Lt, id("ADDR"), num(32, end))));
+    }
+
+    /// mem[(ADDR-base)/words][((ADDR-base)%words)*32 +: 32]
+    ExprPtr
+    mem_word_expr(const VarSlot& slot)
+    {
+        ExprPtr rel =
+            binop(BinaryOp::Sub, id("ADDR"), num(32, slot.base));
+        ExprPtr element = std::make_unique<IndexExpr>(
+            id(slot.name),
+            binop(BinaryOp::Div, rel->clone(), num(32, slot.words)));
+        if (slot.words == 1) {
+            return element;
+        }
+        return std::make_unique<IndexedSelectExpr>(
+            std::move(element),
+            binop(BinaryOp::Mul,
+                  binop(BinaryOp::Mod, std::move(rel),
+                        num(32, slot.words)),
+                  num(32, 32)),
+            num(32, 32), /*up=*/true);
+    }
+
+    ExprPtr
+    mem_word_lvalue(const VarSlot& slot)
+    {
+        return mem_word_expr(slot);
+    }
+
+    void
+    emit_out_mux(ModuleDecl* out)
+    {
+        std::vector<StmtPtr> stmts;
+        stmts.push_back(std::make_unique<BlockingAssignStmt>(
+            id("OUT"), num(32, 0)));
+
+        std::vector<CaseItem> items;
+        for (const VarSlot& slot : map_->vars) {
+            if (slot.elems > 0) {
+                continue;
+            }
+            for (uint32_t j = 0; j < slot.words; ++j) {
+                CaseItem item;
+                item.labels.push_back(num(32, slot.base + j));
+                item.stmt = std::make_unique<BlockingAssignStmt>(
+                    id("OUT"), slot.words == 1 && slot.width <= 32
+                                   ? id(slot.name)
+                                   : word_of(slot.name, j));
+                items.push_back(std::move(item));
+            }
+        }
+        auto add_ctrl = [&items](uint32_t addr, ExprPtr rhs) {
+            CaseItem item;
+            item.labels.push_back(num(32, addr));
+            item.stmt = std::make_unique<BlockingAssignStmt>(
+                id("OUT"), std::move(rhs));
+            items.push_back(std::move(item));
+        };
+        add_ctrl(map_->ctrl.updates, id("_updates"));
+        add_ctrl(map_->ctrl.tasks, task_mask_expr());
+        add_ctrl(map_->ctrl.itrs, id("_itrs"));
+        add_ctrl(map_->ctrl.vtime, word_of("_vtime", 0));
+        add_ctrl(map_->ctrl.vtime + 1, word_of("_vtime", 1));
+        stmts.push_back(std::make_unique<CaseStmt>(
+            CaseKind::Case, id("ADDR"), std::move(items)));
+
+        for (const VarSlot& slot : map_->vars) {
+            if (slot.elems == 0) {
+                continue;
+            }
+            const uint32_t end = slot.base + slot.elems * slot.words;
+            ExprPtr cond = binop(
+                BinaryOp::LogicalAnd,
+                binop(BinaryOp::Geq, id("ADDR"), num(32, slot.base)),
+                binop(BinaryOp::Lt, id("ADDR"), num(32, end)));
+            stmts.push_back(if_stmt(
+                std::move(cond),
+                std::make_unique<BlockingAssignStmt>(
+                    id("OUT"), mem_word_expr(slot))));
+        }
+
+        auto always = std::make_unique<AlwaysBlock>();
+        always->star = true;
+        always->body = block(std::move(stmts));
+        out->items.push_back(std::move(always));
+    }
+
+    /// {siteN-1 pending, ..., site0 pending} zero-extended to 32 bits.
+    ExprPtr
+    task_mask_expr()
+    {
+        if (map_->tasks.empty()) {
+            return num(32, 0);
+        }
+        std::vector<ExprPtr> bits;
+        for (size_t k = map_->tasks.size(); k-- > 0;) {
+            bits.push_back(binop(BinaryOp::BitXor,
+                                 id("_tm" + std::to_string(k)),
+                                 id("_ntm" + std::to_string(k))));
+        }
+        if (bits.size() == 1) {
+            return std::move(bits[0]);
+        }
+        return std::make_unique<ConcatExpr>(std::move(bits));
+    }
+
+    const ElaboratedModule& em_;
+    std::string clock_input_;
+    WrapperMap* map_;
+    Diagnostics* diags_;
+
+    bool ok_ = true;
+    uint32_t next_addr_ = 0;
+    std::unordered_set<std::string> blocking_targets_;
+    std::vector<UpdateSite> update_sites_;
+    std::vector<std::string> index_regs_;
+    std::vector<std::pair<std::string, uint32_t>> arg_regs_;
+};
+
+} // namespace
+
+std::unique_ptr<ModuleDecl>
+generate_hw_wrapper(const ElaboratedModule& em,
+                    const std::string& clock_input, WrapperMap* map,
+                    Diagnostics* diags)
+{
+    CASCADE_CHECK(map != nullptr);
+    if (!clock_input.empty()) {
+        const NetInfo* clk = em.find_net(clock_input);
+        if (clk == nullptr || !clk->is_port || clk->dir != PortDir::Input) {
+            diags->error({}, "open-loop clock '" + clock_input +
+                                 "' is not an input of '" + em.name + "'");
+            return nullptr;
+        }
+    }
+    WrapperBuilder builder(em, clock_input, map, diags);
+    return builder.run();
+}
+
+} // namespace cascade::ir

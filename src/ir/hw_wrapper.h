@@ -1,0 +1,86 @@
+/// \file
+/// The Fig. 10 transformation: rewrites a standalone subprogram into an
+/// AXI-style memory-mapped module suitable for hardware compilation.
+///
+/// The generated module exposes CLK/RW/ADDR/IN/OUT/WAIT. Inputs and state
+/// become MMIO-writable registers; nonblocking assignments are redirected
+/// to per-site shadow registers with update-mask bits (committed by the
+/// <LATCH> RPC, so the runtime retains control of the evaluate/update
+/// split); system tasks save their argument values to dedicated registers
+/// and toggle task-mask bits that the software stub polls, which is how
+/// unsynthesizable Verilog keeps working from hardware. The <OLOOP> RPC
+/// implements open-loop scheduling (§4.4): the module toggles its own
+/// clock until the iteration budget is exhausted or a task fires.
+///
+/// The WrapperMap records the address map the software stub needs to drive
+/// the module (variable slots, control addresses, task-site metadata).
+
+#ifndef CASCADE_IR_HW_WRAPPER_H
+#define CASCADE_IR_HW_WRAPPER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/diagnostics.h"
+#include "verilog/elaborate.h"
+
+namespace cascade::ir {
+
+/// One MMIO-addressable variable (32-bit words, little-endian word order).
+struct VarSlot {
+    std::string name;      ///< net name in the original subprogram
+    uint32_t base = 0;     ///< first word address
+    uint32_t words = 1;    ///< words per element
+    uint32_t width = 1;    ///< bit width per element
+    uint32_t elems = 0;    ///< 0 for scalars, element count for memories
+    bool writable = false; ///< supports <SET> writes
+    bool is_signed = false;
+};
+
+enum class TaskKind { Display, Write, Finish, Monitor };
+
+/// One rewritten system-task site.
+struct TaskSite {
+    TaskKind kind = TaskKind::Display;
+    std::string format; ///< empty when the task had no format string
+    bool has_format = false;
+    /// Indices into WrapperMap::vars of the saved-argument slots.
+    std::vector<uint32_t> arg_slots;
+};
+
+/// Control-register addresses (all in the high control window).
+struct CtrlAddrs {
+    uint32_t latch = 0;   ///< write: commit shadow updates
+    uint32_t clear = 0;   ///< write: acknowledge task mask
+    uint32_t oloop = 0;   ///< write: start open loop with N iterations
+    uint32_t updates = 0; ///< read: 1 if shadow updates pending
+    uint32_t tasks = 0;   ///< read: pending task-site bitmask
+    uint32_t itrs = 0;    ///< read: iterations completed in open loop
+    uint32_t vtime = 0;   ///< read/write: virtual time counter
+};
+
+struct WrapperMap {
+    std::vector<VarSlot> vars;
+    std::vector<TaskSite> tasks;
+    CtrlAddrs ctrl;
+    std::string clock_input; ///< input toggled by the open-loop controller
+
+    const VarSlot* find(const std::string& name) const;
+};
+
+/// Constant for the control window base (word address).
+inline constexpr uint32_t kCtrlBase = 0x4000'0000;
+
+/// Generates the wrapper for \p em. \p clock_input names the input port the
+/// open-loop controller toggles (empty disables open loop). Returns null
+/// and reports a diagnostic if the subprogram cannot be compiled to
+/// hardware (e.g. system tasks outside edge-triggered blocks).
+std::unique_ptr<verilog::ModuleDecl>
+generate_hw_wrapper(const verilog::ElaboratedModule& em,
+                    const std::string& clock_input, WrapperMap* map,
+                    Diagnostics* diags);
+
+} // namespace cascade::ir
+
+#endif // CASCADE_IR_HW_WRAPPER_H

@@ -1,0 +1,264 @@
+#include "ir/rewrite.h"
+
+namespace cascade::ir {
+
+using namespace verilog;
+
+void
+for_each_expr(Expr* expr, const std::function<void(Expr*)>& fn)
+{
+    if (expr == nullptr) {
+        return;
+    }
+    fn(expr);
+    switch (expr->kind) {
+      case ExprKind::Unary:
+        for_each_expr(static_cast<UnaryExpr*>(expr)->operand.get(), fn);
+        return;
+      case ExprKind::Binary: {
+        auto* b = static_cast<BinaryExpr*>(expr);
+        for_each_expr(b->lhs.get(), fn);
+        for_each_expr(b->rhs.get(), fn);
+        return;
+      }
+      case ExprKind::Ternary: {
+        auto* t = static_cast<TernaryExpr*>(expr);
+        for_each_expr(t->cond.get(), fn);
+        for_each_expr(t->then_expr.get(), fn);
+        for_each_expr(t->else_expr.get(), fn);
+        return;
+      }
+      case ExprKind::Concat:
+        for (auto& e : static_cast<ConcatExpr*>(expr)->elements) {
+            for_each_expr(e.get(), fn);
+        }
+        return;
+      case ExprKind::Replicate: {
+        auto* r = static_cast<ReplicateExpr*>(expr);
+        for_each_expr(r->count.get(), fn);
+        for_each_expr(r->body.get(), fn);
+        return;
+      }
+      case ExprKind::Index: {
+        auto* i = static_cast<IndexExpr*>(expr);
+        for_each_expr(i->base.get(), fn);
+        for_each_expr(i->index.get(), fn);
+        return;
+      }
+      case ExprKind::RangeSelect: {
+        auto* r = static_cast<RangeSelectExpr*>(expr);
+        for_each_expr(r->base.get(), fn);
+        for_each_expr(r->msb.get(), fn);
+        for_each_expr(r->lsb.get(), fn);
+        return;
+      }
+      case ExprKind::IndexedSelect: {
+        auto* s = static_cast<IndexedSelectExpr*>(expr);
+        for_each_expr(s->base.get(), fn);
+        for_each_expr(s->offset.get(), fn);
+        for_each_expr(s->width.get(), fn);
+        return;
+      }
+      case ExprKind::Call:
+        for (auto& a : static_cast<CallExpr*>(expr)->args) {
+            for_each_expr(a.get(), fn);
+        }
+        return;
+      case ExprKind::SystemCall:
+        for (auto& a : static_cast<SystemCallExpr*>(expr)->args) {
+            for_each_expr(a.get(), fn);
+        }
+        return;
+      default:
+        return;
+    }
+}
+
+void
+for_each_expr(Stmt* stmt, const std::function<void(Expr*)>& fn)
+{
+    if (stmt == nullptr) {
+        return;
+    }
+    switch (stmt->kind) {
+      case StmtKind::Block:
+        for (auto& s : static_cast<BlockStmt*>(stmt)->stmts) {
+            for_each_expr(s.get(), fn);
+        }
+        return;
+      case StmtKind::BlockingAssign: {
+        auto* a = static_cast<BlockingAssignStmt*>(stmt);
+        for_each_expr(a->lhs.get(), fn);
+        for_each_expr(a->rhs.get(), fn);
+        return;
+      }
+      case StmtKind::NonblockingAssign: {
+        auto* a = static_cast<NonblockingAssignStmt*>(stmt);
+        for_each_expr(a->lhs.get(), fn);
+        for_each_expr(a->rhs.get(), fn);
+        return;
+      }
+      case StmtKind::If: {
+        auto* s = static_cast<IfStmt*>(stmt);
+        for_each_expr(s->cond.get(), fn);
+        for_each_expr(s->then_stmt.get(), fn);
+        for_each_expr(s->else_stmt.get(), fn);
+        return;
+      }
+      case StmtKind::Case: {
+        auto* s = static_cast<CaseStmt*>(stmt);
+        for_each_expr(s->subject.get(), fn);
+        for (auto& item : s->items) {
+            for (auto& label : item.labels) {
+                for_each_expr(label.get(), fn);
+            }
+            for_each_expr(item.stmt.get(), fn);
+        }
+        return;
+      }
+      case StmtKind::For: {
+        auto* s = static_cast<ForStmt*>(stmt);
+        for_each_expr(s->init.get(), fn);
+        for_each_expr(s->cond.get(), fn);
+        for_each_expr(s->step.get(), fn);
+        for_each_expr(s->body.get(), fn);
+        return;
+      }
+      case StmtKind::While: {
+        auto* s = static_cast<WhileStmt*>(stmt);
+        for_each_expr(s->cond.get(), fn);
+        for_each_expr(s->body.get(), fn);
+        return;
+      }
+      case StmtKind::Repeat: {
+        auto* s = static_cast<RepeatStmt*>(stmt);
+        for_each_expr(s->count.get(), fn);
+        for_each_expr(s->body.get(), fn);
+        return;
+      }
+      case StmtKind::Forever:
+        for_each_expr(static_cast<ForeverStmt*>(stmt)->body.get(), fn);
+        return;
+      case StmtKind::SystemTask:
+        for (auto& a : static_cast<SystemTaskStmt*>(stmt)->args) {
+            for_each_expr(a.get(), fn);
+        }
+        return;
+      case StmtKind::Null:
+        return;
+    }
+}
+
+void
+for_each_expr(ModuleItem* item, const std::function<void(Expr*)>& fn)
+{
+    if (item == nullptr) {
+        return;
+    }
+    switch (item->kind) {
+      case ItemKind::NetDecl: {
+        auto* d = static_cast<NetDecl*>(item);
+        for_each_expr(d->range.msb.get(), fn);
+        for_each_expr(d->range.lsb.get(), fn);
+        for (auto& decl : d->decls) {
+            for_each_expr(decl.array_dim.msb.get(), fn);
+            for_each_expr(decl.array_dim.lsb.get(), fn);
+            for_each_expr(decl.init.get(), fn);
+        }
+        return;
+      }
+      case ItemKind::ParamDecl: {
+        auto* p = static_cast<ParamDecl*>(item);
+        for_each_expr(p->range.msb.get(), fn);
+        for_each_expr(p->range.lsb.get(), fn);
+        for_each_expr(p->value.get(), fn);
+        return;
+      }
+      case ItemKind::ContinuousAssign: {
+        auto* a = static_cast<ContinuousAssign*>(item);
+        for_each_expr(a->lhs.get(), fn);
+        for_each_expr(a->rhs.get(), fn);
+        return;
+      }
+      case ItemKind::Always: {
+        auto* a = static_cast<AlwaysBlock*>(item);
+        for (auto& s : a->sensitivity) {
+            for_each_expr(s.signal.get(), fn);
+        }
+        for_each_expr(a->body.get(), fn);
+        return;
+      }
+      case ItemKind::Initial:
+        for_each_expr(static_cast<InitialBlock*>(item)->body.get(), fn);
+        return;
+      case ItemKind::Instantiation: {
+        auto* i = static_cast<Instantiation*>(item);
+        for (auto& c : i->parameters) {
+            for_each_expr(c.expr.get(), fn);
+        }
+        for (auto& c : i->ports) {
+            for_each_expr(c.expr.get(), fn);
+        }
+        return;
+      }
+      case ItemKind::FunctionDecl: {
+        auto* f = static_cast<FunctionDecl*>(item);
+        for (auto& d : f->decls) {
+            for_each_expr(d.get(), fn);
+        }
+        for_each_expr(f->body.get(), fn);
+        return;
+      }
+    }
+}
+
+void
+for_each_expr(const ModuleItem& item,
+              const std::function<void(const Expr&)>& fn)
+{
+    for_each_expr(const_cast<ModuleItem*>(&item),
+                  [&fn](Expr* e) { fn(*e); });
+}
+
+void
+for_each_expr(const Stmt& stmt, const std::function<void(const Expr&)>& fn)
+{
+    for_each_expr(const_cast<Stmt*>(&stmt), [&fn](Expr* e) { fn(*e); });
+}
+
+void
+for_each_expr(const Expr& expr, const std::function<void(const Expr&)>& fn)
+{
+    for_each_expr(const_cast<Expr*>(&expr), [&fn](Expr* e) { fn(*e); });
+}
+
+void
+rename_identifiers(
+    ModuleDecl* module,
+    const std::function<void(std::vector<std::string>* path)>& fn)
+{
+    auto visit = [&fn](Expr* e) {
+        if (e->kind == ExprKind::Identifier) {
+            fn(&static_cast<IdentifierExpr*>(e)->path);
+        } else if (e->kind == ExprKind::Call) {
+            // Function names live outside the identifier namespace but are
+            // renamed with the same mapping.
+            auto* call = static_cast<CallExpr*>(e);
+            std::vector<std::string> path{call->callee};
+            fn(&path);
+            call->callee = path[0];
+        }
+    };
+    for (auto& p : module->header_params) {
+        for_each_expr(p.get(), visit);
+    }
+    for (auto& port : module->ports) {
+        for_each_expr(port.range.msb.get(), visit);
+        for_each_expr(port.range.lsb.get(), visit);
+    }
+    for (auto& item : module->items) {
+        for_each_expr(item.get(), visit);
+    }
+}
+
+} // namespace cascade::ir

@@ -1,0 +1,44 @@
+/// \file
+/// AST rewriting utilities shared by the IR transforms: in-place identifier
+/// renaming (hierarchical-reference promotion, inliner prefixing) and
+/// expression walks.
+
+#ifndef CASCADE_IR_REWRITE_H
+#define CASCADE_IR_REWRITE_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "verilog/ast.h"
+
+namespace cascade::ir {
+
+/// Visits every expression reachable from \p item (including nested
+/// statements), invoking \p fn. Identifier mutation happens in place, so a
+/// rename callback can simply rewrite IdentifierExpr::path.
+void for_each_expr(verilog::ModuleItem* item,
+                   const std::function<void(verilog::Expr*)>& fn);
+void for_each_expr(verilog::Stmt* stmt,
+                   const std::function<void(verilog::Expr*)>& fn);
+void for_each_expr(verilog::Expr* expr,
+                   const std::function<void(verilog::Expr*)>& fn);
+
+/// Const variants for analyses.
+void for_each_expr(const verilog::ModuleItem& item,
+                   const std::function<void(const verilog::Expr&)>& fn);
+void for_each_expr(const verilog::Stmt& stmt,
+                   const std::function<void(const verilog::Expr&)>& fn);
+void for_each_expr(const verilog::Expr& expr,
+                   const std::function<void(const verilog::Expr&)>& fn);
+
+/// Renames every simple identifier occurrence per \p mapping (old -> new).
+/// Hierarchical paths have each component renamed only when the full path's
+/// first component matches (instance renames are handled separately).
+void rename_identifiers(
+    verilog::ModuleDecl* module,
+    const std::function<void(std::vector<std::string>* path)>& fn);
+
+} // namespace cascade::ir
+
+#endif // CASCADE_IR_REWRITE_H

@@ -1,0 +1,689 @@
+#include "ir/subprogram.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "ir/rewrite.h"
+
+namespace cascade::ir {
+
+using namespace verilog;
+
+namespace {
+
+/// Resolves instantiation parameter overrides to literal connections using
+/// the parent's parameter environment.
+bool
+resolve_overrides(const Instantiation& inst,
+                  const std::unordered_map<std::string, BitVector>& env,
+                  Diagnostics* diags, std::vector<Connection>* out)
+{
+    for (const auto& c : inst.parameters) {
+        if (c.expr == nullptr) {
+            continue;
+        }
+        auto v = eval_const_expr(*c.expr, env, diags);
+        if (!v.has_value()) {
+            return false;
+        }
+        Connection lit;
+        lit.name = c.name;
+        lit.expr = std::make_unique<NumberExpr>(*std::move(v), true, false,
+                                                c.expr->loc);
+        out->push_back(std::move(lit));
+    }
+    return true;
+}
+
+/// Returns a name not yet declared in \p used, based on \p base.
+std::string
+fresh_name(const std::string& base,
+           const std::unordered_set<std::string>& used)
+{
+    std::string name = base;
+    while (used.count(name) != 0) {
+        name = "_" + name;
+    }
+    return name;
+}
+
+/// Collects every name declared at module scope (ports, nets, params,
+/// functions).
+std::unordered_set<std::string>
+declared_names(const ModuleDecl& decl)
+{
+    std::unordered_set<std::string> names;
+    for (const auto& p : decl.ports) {
+        names.insert(p.name);
+    }
+    for (const auto& hp : decl.header_params) {
+        names.insert(static_cast<const ParamDecl&>(*hp).name);
+    }
+    for (const auto& item : decl.items) {
+        switch (item->kind) {
+          case ItemKind::NetDecl:
+            for (const auto& d : static_cast<const NetDecl&>(*item).decls) {
+                names.insert(d.name);
+            }
+            break;
+          case ItemKind::ParamDecl:
+            names.insert(static_cast<const ParamDecl&>(*item).name);
+            break;
+          case ItemKind::FunctionDecl:
+            names.insert(static_cast<const FunctionDecl&>(*item).name);
+            break;
+          case ItemKind::Instantiation:
+            names.insert(
+                static_cast<const Instantiation&>(*item).instance_name);
+            break;
+          default:
+            break;
+        }
+    }
+    return names;
+}
+
+ExprPtr
+make_id(const std::string& name)
+{
+    return std::make_unique<IdentifierExpr>(
+        std::vector<std::string>{name});
+}
+
+ExprPtr
+make_number(const BitVector& v)
+{
+    return std::make_unique<NumberExpr>(v, true, false);
+}
+
+/// The splitter's per-module transformation: removes instantiations,
+/// promotes cross-module variables to ports (Fig. 4), and recurses into
+/// children.
+class SplitWorker {
+  public:
+    SplitWorker(const ModuleLibrary& lib,
+                const std::set<std::string>& stdlib_types,
+                Diagnostics* diags)
+        : lib_(lib), stdlib_types_(stdlib_types), diags_(diags)
+    {}
+
+    bool
+    run(const std::string& path, const ModuleDecl& decl,
+        std::vector<Connection> params, std::vector<Subprogram>* out)
+    {
+        if (depth_ > 64) {
+            diags_->error(decl.loc, "instantiation hierarchy too deep "
+                                    "(recursive modules?)");
+            return false;
+        }
+
+        Elaborator elab(diags_, &lib_);
+        auto em = elab.elaborate(decl, params);
+        if (em == nullptr) {
+            return false;
+        }
+
+        auto source = decl.clone();
+
+        // Gather instantiations (and remove them from the source below).
+        std::vector<const Instantiation*> insts;
+        for (const auto& item : source->items) {
+            if (item->kind == ItemKind::Instantiation) {
+                insts.push_back(
+                    static_cast<const Instantiation*>(item.get()));
+            }
+        }
+
+        // Elaborate each child so port widths are known, and recurse.
+        struct ChildInfo {
+            const Instantiation* inst; ///< valid until source->items swap
+            std::string module_name;   ///< copy that outlives the swap
+            std::unique_ptr<ElaboratedModule> em;
+            std::vector<Connection> params;
+            bool stdlib;
+        };
+        std::map<std::string, ChildInfo> children;
+        for (const Instantiation* inst : insts) {
+            ChildInfo info;
+            info.inst = inst;
+            info.module_name = inst->module_name;
+            info.stdlib = stdlib_types_.count(inst->module_name) != 0;
+            if (!resolve_overrides(*inst, em->params, diags_,
+                                   &info.params)) {
+                return false;
+            }
+            const ModuleDecl* child_decl = lib_.find(inst->module_name);
+            CASCADE_CHECK(child_decl != nullptr); // elaboration checked
+            Elaborator child_elab(diags_, &lib_);
+            info.em = child_elab.elaborate(*child_decl, info.params);
+            if (info.em == nullptr) {
+                return false;
+            }
+            children.emplace(inst->instance_name, std::move(info));
+        }
+
+        // Which (instance, port) pairs does this module's code touch?
+        // Pairs with explicit connections are always promoted.
+        std::set<std::pair<std::string, std::string>> touched;
+        // (instance, port) pairs written from procedural code: the promoted
+        // output port must be a reg.
+        std::set<std::pair<std::string, std::string>> proc_written;
+        auto record = [&](const Expr& e) {
+            if (e.kind != ExprKind::Identifier) {
+                return;
+            }
+            const auto& id = static_cast<const IdentifierExpr&>(e);
+            if (id.path.size() == 2 && children.count(id.path[0]) != 0) {
+                touched.insert({id.path[0], id.path[1]});
+            }
+        };
+        for (const auto& item : source->items) {
+            // Connection expressions may reference sibling instances
+            // (.clk(clk.val)), so instantiations are scanned too.
+            for_each_expr(*item, record);
+            // Procedural writes to hierarchical names.
+            if (item->kind == ItemKind::Always ||
+                item->kind == ItemKind::Initial) {
+                const Stmt* body =
+                    item->kind == ItemKind::Always
+                        ? static_cast<const AlwaysBlock&>(*item).body.get()
+                        : static_cast<const InitialBlock&>(*item)
+                              .body.get();
+                collect_proc_writes(*body, children, &proc_written);
+            }
+        }
+        for (const auto& [name, info] : children) {
+            size_t positional = 0;
+            for (const auto& conn : info.inst->ports) {
+                std::string port_name = conn.name;
+                if (port_name.empty()) {
+                    if (positional >= info.em->decl->ports.size()) {
+                        break;
+                    }
+                    port_name = info.em->decl->ports[positional++].name;
+                }
+                if (conn.expr != nullptr) {
+                    touched.insert({name, port_name});
+                }
+            }
+        }
+
+        // Build the promoted port set, remembering names.
+        std::unordered_set<std::string> used = declared_names(*source);
+        // (instance, port) -> promoted name.
+        std::map<std::pair<std::string, std::string>, std::string>
+            promoted;
+        for (const auto& key : touched) {
+            const auto& [inst_name, port_name] = key;
+            const ChildInfo& info = children.at(inst_name);
+            const NetInfo* child_port = info.em->find_net(port_name);
+            if (child_port == nullptr || !child_port->is_port) {
+                diags_->error(info.inst->loc,
+                              "module '" + info.inst->module_name +
+                                  "' has no port '" + port_name + "'");
+                return false;
+            }
+            const std::string pname =
+                fresh_name(inst_name + "_" + port_name, used);
+            used.insert(pname);
+            promoted[key] = pname;
+
+            Port port;
+            port.name = pname;
+            // Child input -> we drive it -> our output, and vice versa.
+            port.dir = child_port->dir == PortDir::Input ? PortDir::Output
+                                                         : PortDir::Input;
+            port.is_signed = child_port->is_signed;
+            port.is_reg = port.dir == PortDir::Output &&
+                          proc_written.count(key) != 0;
+            if (child_port->width > 1) {
+                port.range.msb = make_number(
+                    BitVector(32, child_port->width - 1));
+                port.range.lsb = make_number(BitVector(32, 0));
+            }
+            source->ports.push_back(std::move(port));
+        }
+
+        // Rewrite hierarchical references to the promoted names.
+        rename_identifiers(source.get(),
+                           [&promoted](std::vector<std::string>* p) {
+                               if (p->size() == 2) {
+                                   const auto it = promoted.find(
+                                       {(*p)[0], (*p)[1]});
+                                   if (it != promoted.end()) {
+                                       *p = {it->second};
+                                   }
+                               }
+                           });
+
+        // Remove the instantiations and add glue assigns for connections.
+        std::vector<ItemPtr> new_items;
+        for (auto& item : source->items) {
+            if (item->kind != ItemKind::Instantiation) {
+                new_items.push_back(std::move(item));
+            }
+        }
+        for (const auto& [name, info] : children) {
+            size_t positional = 0;
+            for (const auto& conn : info.inst->ports) {
+                std::string port_name = conn.name;
+                if (port_name.empty()) {
+                    if (positional >= info.em->decl->ports.size()) {
+                        break;
+                    }
+                    port_name = info.em->decl->ports[positional++].name;
+                }
+                if (conn.expr == nullptr) {
+                    continue;
+                }
+                const std::string& pname =
+                    promoted.at({name, port_name});
+                const NetInfo* child_port = info.em->find_net(port_name);
+                // Clone the (already rewritten? no - the connection lives in
+                // the original inst, pre-rewrite) expression and rewrite its
+                // hierarchical refs too.
+                ExprPtr expr = conn.expr->clone();
+                for_each_expr(expr.get(), [&promoted](Expr* e) {
+                    if (e->kind == ExprKind::Identifier) {
+                        auto* id = static_cast<IdentifierExpr*>(e);
+                        if (id->path.size() == 2) {
+                            const auto it = promoted.find(
+                                {id->path[0], id->path[1]});
+                            if (it != promoted.end()) {
+                                id->path = {it->second};
+                            }
+                        }
+                    }
+                });
+                if (child_port->dir == PortDir::Input) {
+                    // assign <promoted output> = <connection expr>;
+                    new_items.push_back(std::make_unique<ContinuousAssign>(
+                        make_id(pname), std::move(expr), info.inst->loc));
+                } else {
+                    // assign <connection lvalue> = <promoted input>;
+                    new_items.push_back(std::make_unique<ContinuousAssign>(
+                        std::move(expr), make_id(pname), info.inst->loc));
+                }
+            }
+        }
+        source->items = std::move(new_items);
+
+        // Bindings: own ports to "<path>.<port>"; promoted ports to the
+        // child's net "<path>.<inst>.<port>".
+        Subprogram sub;
+        sub.path = path;
+        sub.module_name = decl.name;
+        sub.params = std::move(params);
+        sub.is_stdlib = stdlib_types_.count(decl.name) != 0;
+        for (const Port& p : source->ports) {
+            PortBinding b;
+            b.port = p.name;
+            b.global_net = path + "." + p.name;
+            sub.bindings.push_back(std::move(b));
+        }
+        for (const auto& [key, pname] : promoted) {
+            for (auto& b : sub.bindings) {
+                if (b.port == pname) {
+                    b.global_net = path + "." + key.first + "." + key.second;
+                }
+            }
+        }
+        sub.source = std::move(source);
+        out->push_back(std::move(sub));
+
+        // Recurse into children. Their ports bind to
+        // "<path>.<inst>.<port>", which is exactly what the child run
+        // produces with path = "<path>.<inst>".
+        for (auto& [name, info] : children) {
+            const ModuleDecl* child_decl = lib_.find(info.module_name);
+            ++depth_;
+            const bool ok = run(path + "." + name, *child_decl,
+                                std::move(info.params), out);
+            --depth_;
+            if (!ok) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    template <typename Children>
+    void
+    collect_proc_writes(
+        const Stmt& stmt, const Children& children,
+        std::set<std::pair<std::string, std::string>>* out) const
+    {
+        switch (stmt.kind) {
+          case StmtKind::Block:
+            for (const auto& s :
+                 static_cast<const BlockStmt&>(stmt).stmts) {
+                collect_proc_writes(*s, children, out);
+            }
+            return;
+          case StmtKind::BlockingAssign:
+          case StmtKind::NonblockingAssign: {
+            const Expr* lhs =
+                stmt.kind == StmtKind::BlockingAssign
+                    ? static_cast<const BlockingAssignStmt&>(stmt).lhs.get()
+                    : static_cast<const NonblockingAssignStmt&>(stmt)
+                          .lhs.get();
+            // Walk to the base identifier through selects.
+            while (lhs != nullptr) {
+                if (lhs->kind == ExprKind::Identifier) {
+                    const auto& id =
+                        static_cast<const IdentifierExpr&>(*lhs);
+                    if (id.path.size() == 2 &&
+                        children.count(id.path[0]) != 0) {
+                        out->insert({id.path[0], id.path[1]});
+                    }
+                    return;
+                }
+                if (lhs->kind == ExprKind::Index) {
+                    lhs = static_cast<const IndexExpr&>(*lhs).base.get();
+                } else if (lhs->kind == ExprKind::RangeSelect) {
+                    lhs = static_cast<const RangeSelectExpr&>(*lhs)
+                              .base.get();
+                } else if (lhs->kind == ExprKind::IndexedSelect) {
+                    lhs = static_cast<const IndexedSelectExpr&>(*lhs)
+                              .base.get();
+                } else {
+                    return;
+                }
+            }
+            return;
+          }
+          case StmtKind::If: {
+            const auto& s = static_cast<const IfStmt&>(stmt);
+            collect_proc_writes(*s.then_stmt, children, out);
+            if (s.else_stmt != nullptr) {
+                collect_proc_writes(*s.else_stmt, children, out);
+            }
+            return;
+          }
+          case StmtKind::Case:
+            for (const auto& item :
+                 static_cast<const CaseStmt&>(stmt).items) {
+                collect_proc_writes(*item.stmt, children, out);
+            }
+            return;
+          case StmtKind::For: {
+            const auto& s = static_cast<const ForStmt&>(stmt);
+            collect_proc_writes(*s.init, children, out);
+            collect_proc_writes(*s.step, children, out);
+            collect_proc_writes(*s.body, children, out);
+            return;
+          }
+          case StmtKind::While:
+            collect_proc_writes(
+                *static_cast<const WhileStmt&>(stmt).body, children, out);
+            return;
+          case StmtKind::Repeat:
+            collect_proc_writes(
+                *static_cast<const RepeatStmt&>(stmt).body, children, out);
+            return;
+          default:
+            return;
+        }
+    }
+
+    const ModuleLibrary& lib_;
+    const std::set<std::string>& stdlib_types_;
+    Diagnostics* diags_;
+    int depth_ = 0;
+};
+
+} // namespace
+
+std::vector<Subprogram>
+split_program(const ModuleDecl& root, const ModuleLibrary& library,
+              const std::set<std::string>& stdlib_types, Diagnostics* diags)
+{
+    std::vector<Subprogram> out;
+    SplitWorker worker(library, stdlib_types, diags);
+    if (!worker.run("root", root, {}, &out)) {
+        return {};
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Inliner
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class InlineWorker {
+  public:
+    InlineWorker(const ModuleLibrary& lib,
+                 const std::set<std::string>& stdlib_types,
+                 Diagnostics* diags)
+        : lib_(lib), stdlib_types_(stdlib_types), diags_(diags)
+    {}
+
+    /// Returns a clone of \p decl with parameters frozen to literals and
+    /// all non-stdlib children recursively merged in.
+    std::unique_ptr<ModuleDecl>
+    run(const ModuleDecl& decl, const std::vector<Connection>& params)
+    {
+        if (++depth_ > 64) {
+            diags_->error(decl.loc, "instantiation hierarchy too deep");
+            return nullptr;
+        }
+        Elaborator elab(diags_, &lib_);
+        auto em = elab.elaborate(decl, params);
+        if (em == nullptr) {
+            return nullptr;
+        }
+
+        auto out = decl.clone();
+
+        // Freeze parameters: drop declarations, prepend literal localparams.
+        std::vector<ItemPtr> items;
+        for (const auto& [name, value] : em->params) {
+            auto lp = std::make_unique<ParamDecl>();
+            lp->local = true;
+            lp->name = name;
+            lp->is_signed = em->param_signed.at(name);
+            lp->value = make_number(value);
+            items.push_back(std::move(lp));
+        }
+        out->header_params.clear();
+        for (auto& item : out->items) {
+            if (item->kind != ItemKind::ParamDecl) {
+                items.push_back(std::move(item));
+            }
+        }
+        out->items = std::move(items);
+
+        // Repeatedly inline the first non-stdlib instantiation.
+        while (true) {
+            size_t index = out->items.size();
+            for (size_t i = 0; i < out->items.size(); ++i) {
+                if (out->items[i]->kind == ItemKind::Instantiation &&
+                    stdlib_types_.count(
+                        static_cast<const Instantiation&>(*out->items[i])
+                            .module_name) == 0) {
+                    index = i;
+                    break;
+                }
+            }
+            if (index == out->items.size()) {
+                break;
+            }
+            auto inst_item = std::move(out->items[index]);
+            out->items.erase(out->items.begin() +
+                             static_cast<ptrdiff_t>(index));
+            const auto& inst = static_cast<const Instantiation&>(*inst_item);
+            if (!inline_one(inst, em->params, out.get())) {
+                return nullptr;
+            }
+        }
+        --depth_;
+        return out;
+    }
+
+  private:
+    bool
+    inline_one(const Instantiation& inst,
+               const std::unordered_map<std::string, BitVector>& env,
+               ModuleDecl* out)
+    {
+        const ModuleDecl* child_decl = lib_.find(inst.module_name);
+        if (child_decl == nullptr) {
+            diags_->error(inst.loc, "instantiation of unknown module '" +
+                                        inst.module_name + "'");
+            return false;
+        }
+        std::vector<Connection> overrides;
+        if (!resolve_overrides(inst, env, diags_, &overrides)) {
+            return false;
+        }
+        auto child = run(*child_decl, overrides);
+        if (child == nullptr) {
+            return false;
+        }
+
+        // Pick a collision-free prefix for the child's names.
+        std::unordered_set<std::string> parent_names = declared_names(*out);
+        std::string prefix = inst.instance_name + "__";
+        {
+            bool collide = true;
+            while (collide) {
+                collide = false;
+                for (const auto& n : declared_names(*child)) {
+                    if (parent_names.count(prefix + n) != 0) {
+                        collide = true;
+                        prefix = "_" + prefix;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Rename the child's module-scope names.
+        const std::unordered_set<std::string> child_names =
+            declared_names(*child);
+        rename_identifiers(child.get(),
+                           [&](std::vector<std::string>* p) {
+                               if (child_names.count((*p)[0]) != 0) {
+                                   (*p)[0] = prefix + (*p)[0];
+                               }
+                           });
+        for (auto& item : child->items) {
+            switch (item->kind) {
+              case ItemKind::NetDecl:
+                for (auto& d : static_cast<NetDecl&>(*item).decls) {
+                    d.name = prefix + d.name;
+                }
+                break;
+              case ItemKind::ParamDecl: {
+                auto& p = static_cast<ParamDecl&>(*item);
+                p.name = prefix + p.name;
+                break;
+              }
+              case ItemKind::FunctionDecl: {
+                auto& f = static_cast<FunctionDecl&>(*item);
+                f.name = prefix + f.name;
+                break;
+              }
+              case ItemKind::Instantiation: {
+                auto& i = static_cast<Instantiation&>(*item);
+                i.instance_name = prefix + i.instance_name;
+                break;
+              }
+              default:
+                break;
+            }
+        }
+
+        // Child ports become plain nets in the parent.
+        for (const Port& p : child->ports) {
+            auto nd = std::make_unique<NetDecl>();
+            nd->is_reg = p.is_reg;
+            nd->is_signed = p.is_signed;
+            nd->range = p.range.clone();
+            NetDeclarator d;
+            d.name = prefix + p.name;
+            nd->decls.push_back(std::move(d));
+            out->items.push_back(std::move(nd));
+        }
+
+        // Glue assigns for the connections.
+        size_t positional = 0;
+        for (const auto& conn : inst.ports) {
+            std::string port_name = conn.name;
+            const Port* port = nullptr;
+            if (port_name.empty()) {
+                if (positional >= child->ports.size()) {
+                    diags_->error(inst.loc, "too many port connections");
+                    return false;
+                }
+                port = &child->ports[positional++];
+                port_name = port->name;
+            } else {
+                for (const Port& p : child->ports) {
+                    if (p.name == port_name) {
+                        port = &p;
+                        break;
+                    }
+                }
+                if (port == nullptr) {
+                    diags_->error(inst.loc, "module '" + inst.module_name +
+                                                "' has no port '" +
+                                                port_name + "'");
+                    return false;
+                }
+            }
+            if (conn.expr == nullptr) {
+                continue;
+            }
+            ExprPtr expr = conn.expr->clone();
+            if (port->dir == PortDir::Input) {
+                out->items.push_back(std::make_unique<ContinuousAssign>(
+                    make_id(prefix + port_name), std::move(expr),
+                    inst.loc));
+            } else {
+                out->items.push_back(std::make_unique<ContinuousAssign>(
+                    std::move(expr), make_id(prefix + port_name),
+                    inst.loc));
+            }
+        }
+
+        // Rewrite the parent's hierarchical references (r.y -> r__y).
+        const std::string inst_name = inst.instance_name;
+        rename_identifiers(out, [&](std::vector<std::string>* p) {
+            if (p->size() == 2 && (*p)[0] == inst_name &&
+                child_names.count((*p)[1]) != 0) {
+                *p = {prefix + (*p)[1]};
+            }
+        });
+
+        // Merge the child's items.
+        for (auto& item : child->items) {
+            out->items.push_back(std::move(item));
+        }
+        return true;
+    }
+
+    const ModuleLibrary& lib_;
+    const std::set<std::string>& stdlib_types_;
+    Diagnostics* diags_;
+    int depth_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<ModuleDecl>
+inline_hierarchy(const ModuleDecl& top, const ModuleLibrary& library,
+                 const std::set<std::string>& stdlib_types,
+                 Diagnostics* diags)
+{
+    InlineWorker worker(library, stdlib_types, diags);
+    return worker.run(top, {});
+}
+
+} // namespace cascade::ir

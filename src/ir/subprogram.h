@@ -1,0 +1,62 @@
+/// \file
+/// Cascade's distributed-system IR (paper §3.3). A program is split into
+/// standalone Verilog subprograms, one per module instance. Variables
+/// accessed across module boundaries are promoted to ports and renamed
+/// (r.y becomes the port r_y, Fig. 4), so no subprogram names anything
+/// outside its own syntactic scope. The runtime wires subprogram ports
+/// together with global nets carried over the data/control plane.
+
+#ifndef CASCADE_IR_SUBPROGRAM_H
+#define CASCADE_IR_SUBPROGRAM_H
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/diagnostics.h"
+#include "verilog/ast.h"
+#include "verilog/elaborate.h"
+
+namespace cascade::ir {
+
+/// Connects a subprogram port to a global (cross-subprogram) net.
+struct PortBinding {
+    std::string port;       ///< port name in the subprogram's source
+    std::string global_net; ///< e.g. "root.r.x"
+};
+
+/// One standalone module instance: transformed source plus wiring metadata.
+struct Subprogram {
+    std::string path;        ///< hierarchical instance path ("root.r")
+    std::string module_name; ///< original declared module type
+    std::unique_ptr<verilog::ModuleDecl> source;
+    /// Parameter overrides, reduced to literal values.
+    std::vector<verilog::Connection> params;
+    std::vector<PortBinding> bindings;
+    /// True for standard-library components (placed directly in hardware).
+    bool is_stdlib = false;
+};
+
+/// Splits a hierarchical design rooted at \p root into one subprogram per
+/// instance. \p stdlib_types marks module names whose instances become
+/// pre-compiled standard components. Returns an empty vector on error.
+std::vector<Subprogram>
+split_program(const verilog::ModuleDecl& root,
+              const verilog::ModuleLibrary& library,
+              const std::set<std::string>& stdlib_types,
+              Diagnostics* diags);
+
+/// Inlines every non-stdlib instantiation reachable from \p top into a
+/// single module (paper §4.2: reduces data/control-plane traffic to zero
+/// for user logic). Instantiations of stdlib types are left in place.
+/// Returns null on error.
+std::unique_ptr<verilog::ModuleDecl>
+inline_hierarchy(const verilog::ModuleDecl& top,
+                 const verilog::ModuleLibrary& library,
+                 const std::set<std::string>& stdlib_types,
+                 Diagnostics* diags);
+
+} // namespace cascade::ir
+
+#endif // CASCADE_IR_SUBPROGRAM_H

@@ -1,0 +1,287 @@
+#include "runtime/hw_engine.h"
+
+#include "common/check.h"
+#include "sim/format.h"
+
+namespace cascade::runtime {
+
+HwEngine::HwEngine(std::unique_ptr<fpga::Bitstream> fabric,
+                   ir::WrapperMap map, std::vector<std::string> port_names,
+                   std::vector<bool> port_is_input,
+                   EngineCallbacks* callbacks, double clock_mhz,
+                   double mmio_latency_s)
+    : fabric_(std::move(fabric)), map_(std::move(map)),
+      port_is_input_(std::move(port_is_input)), callbacks_(callbacks),
+      clock_period_s_(1.0 / (clock_mhz * 1e6)),
+      mmio_latency_s_(mmio_latency_s)
+{
+    for (const std::string& name : port_names) {
+        const ir::VarSlot* slot = map_.find(name);
+        CASCADE_CHECK(slot != nullptr);
+        port_slots_.push_back(slot);
+        output_cache_.emplace_back(slot->width, 0);
+    }
+    in_clk_ = fabric_->input_index("CLK");
+    in_rw_ = fabric_->input_index("RW");
+    in_addr_ = fabric_->input_index("ADDR");
+    in_in_ = fabric_->input_index("IN");
+    out_out_ = fabric_->output_index("OUT");
+    out_wait_ = fabric_->output_index("WAIT");
+    CASCADE_CHECK(in_clk_ >= 0 && in_rw_ >= 0 && in_addr_ >= 0 &&
+                  in_in_ >= 0 && out_out_ >= 0 && out_wait_ >= 0);
+    fabric_->set_input(in_rw_, BitVector(1, 0));
+    fabric_->eval_comb();
+}
+
+uint32_t
+HwEngine::mmio_read(uint32_t addr)
+{
+    ++transactions_;
+    fabric_->set_input(in_rw_, BitVector(1, 0));
+    fabric_->set_input(in_addr_, BitVector(32, addr));
+    fabric_->eval_comb();
+    return static_cast<uint32_t>(fabric_->output(out_out_).to_uint64());
+}
+
+void
+HwEngine::mmio_write(uint32_t addr, uint32_t value)
+{
+    ++transactions_;
+    fabric_->set_input(in_rw_, BitVector(1, 1));
+    fabric_->set_input(in_addr_, BitVector(32, addr));
+    fabric_->set_input(in_in_, BitVector(32, value));
+    fabric_->set_input(in_clk_, BitVector(1, 1));
+    fabric_->step();
+    fabric_->set_input(in_clk_, BitVector(1, 0));
+    fabric_->step();
+    fabric_->set_input(in_rw_, BitVector(1, 0));
+    cycles_accum_ += 2;
+}
+
+BitVector
+HwEngine::read_var(const ir::VarSlot& slot, uint64_t element)
+{
+    BitVector v(slot.width, 0);
+    const uint32_t base =
+        slot.base + static_cast<uint32_t>(element) * slot.words;
+    for (uint32_t j = 0; j < slot.words; ++j) {
+        v.set_slice(j * 32, BitVector(32, mmio_read(base + j)));
+    }
+    return v;
+}
+
+void
+HwEngine::write_var(const ir::VarSlot& slot, const BitVector& value,
+                    uint64_t element)
+{
+    const uint32_t base =
+        slot.base + static_cast<uint32_t>(element) * slot.words;
+    for (uint32_t j = 0; j < slot.words; ++j) {
+        mmio_write(base + j,
+                   static_cast<uint32_t>(
+                       value.slice(j * 32, 32).to_uint64()));
+    }
+}
+
+sim::StateSnapshot
+HwEngine::get_state()
+{
+    sim::StateSnapshot snap;
+    for (const ir::VarSlot& slot : map_.vars) {
+        if (!slot.writable || slot.name[0] == '_') {
+            continue;
+        }
+        if (slot.elems > 0) {
+            std::vector<BitVector> contents;
+            contents.reserve(slot.elems);
+            for (uint32_t i = 0; i < slot.elems; ++i) {
+                contents.push_back(read_var(slot, i));
+            }
+            snap.memories[slot.name] = std::move(contents);
+        } else {
+            snap.regs[slot.name] = read_var(slot);
+        }
+    }
+    return snap;
+}
+
+void
+HwEngine::set_state(const sim::StateSnapshot& snapshot)
+{
+    for (const auto& [name, value] : snapshot.regs) {
+        const ir::VarSlot* slot = map_.find(name);
+        if (slot != nullptr && slot->writable) {
+            write_var(*slot, value);
+        }
+    }
+    for (const auto& [name, contents] : snapshot.memories) {
+        const ir::VarSlot* slot = map_.find(name);
+        if (slot == nullptr || !slot->writable) {
+            continue;
+        }
+        for (size_t i = 0; i < contents.size() && i < slot->elems; ++i) {
+            write_var(*slot, contents[i], i);
+        }
+    }
+    input_dirty_ = true;
+}
+
+void
+HwEngine::read(const Event& event)
+{
+    const ir::VarSlot* slot = port_slots_[event.port];
+    if (!slot->writable) {
+        return; // output port: nothing to drive
+    }
+    write_var(*slot, event.value);
+    input_dirty_ = true;
+}
+
+std::vector<Event>
+HwEngine::write()
+{
+    std::vector<Event> events;
+    for (size_t p = 0; p < port_slots_.size(); ++p) {
+        if (port_is_input_[p]) {
+            continue;
+        }
+        BitVector v = read_var(*port_slots_[p]);
+        if (v != output_cache_[p]) {
+            output_cache_[p] = v;
+            events.push_back({static_cast<uint32_t>(p), std::move(v)});
+        }
+    }
+    return events;
+}
+
+bool
+HwEngine::there_are_evals()
+{
+    return input_dirty_ || task_pending_;
+}
+
+void
+HwEngine::evaluate()
+{
+    // Combinational logic settles as part of every transaction; evaluate
+    // only needs to surface pending system tasks.
+    input_dirty_ = false;
+    service_tasks();
+}
+
+bool
+HwEngine::service_tasks()
+{
+    if (map_.tasks.empty()) {
+        task_pending_ = false;
+        return false;
+    }
+    const uint32_t pending = mmio_read(map_.ctrl.tasks);
+    if (pending == 0) {
+        task_pending_ = false;
+        return false;
+    }
+    for (size_t k = 0; k < map_.tasks.size(); ++k) {
+        if ((pending & (1u << k)) == 0) {
+            continue;
+        }
+        const ir::TaskSite& site = map_.tasks[k];
+        switch (site.kind) {
+          case ir::TaskKind::Finish:
+            finished_ = true;
+            if (callbacks_ != nullptr) {
+                callbacks_->on_finish();
+            }
+            break;
+          case ir::TaskKind::Display:
+          case ir::TaskKind::Write:
+          case ir::TaskKind::Monitor: {
+            std::vector<sim::DisplayValue> values;
+            for (uint32_t slot_index : site.arg_slots) {
+                const ir::VarSlot& slot = map_.vars[slot_index];
+                sim::DisplayValue dv;
+                dv.value = read_var(slot);
+                dv.is_signed = slot.is_signed;
+                values.push_back(std::move(dv));
+            }
+            const std::string text =
+                site.has_format ? sim::format_display(site.format, values)
+                                : sim::format_values(values);
+            if (callbacks_ != nullptr) {
+                if (site.kind == ir::TaskKind::Write) {
+                    callbacks_->on_write(text);
+                } else {
+                    callbacks_->on_display(text);
+                }
+            }
+            break;
+          }
+        }
+    }
+    mmio_write(map_.ctrl.clear, 1);
+    task_pending_ = false;
+    return true;
+}
+
+bool
+HwEngine::there_are_updates()
+{
+    return mmio_read(map_.ctrl.updates) != 0;
+}
+
+void
+HwEngine::update()
+{
+    mmio_write(map_.ctrl.latch, 1);
+    // A committed update can trigger system tasks on the next evaluation.
+    task_pending_ = !map_.tasks.empty();
+    input_dirty_ = true;
+}
+
+uint64_t
+HwEngine::open_loop(uint64_t max_iterations)
+{
+    if (!supports_open_loop() || max_iterations == 0) {
+        return 0;
+    }
+    mmio_write(map_.ctrl.oloop,
+               static_cast<uint32_t>(
+                   std::min<uint64_t>(max_iterations, 0x7fffffff)));
+    // The fabric free-runs until the budget is exhausted or a task fires.
+    // One open-loop iteration (clock toggle) happens per CLK rising edge,
+    // i.e. one per two fabric cycles here.
+    const uint64_t cycle_limit = 2 * max_iterations + 64;
+    uint64_t cycles = 0;
+    fabric_->set_input(in_rw_, BitVector(1, 0));
+    while (cycles < cycle_limit) {
+        fabric_->set_input(in_clk_, BitVector(1, 1));
+        fabric_->step();
+        fabric_->set_input(in_clk_, BitVector(1, 0));
+        fabric_->step();
+        cycles += 2;
+        if (fabric_->output(out_wait_).is_zero()) {
+            break;
+        }
+    }
+    cycles_accum_ += cycles;
+    const uint32_t itrs = mmio_read(map_.ctrl.itrs);
+    if (service_tasks()) {
+        task_pending_ = false;
+    }
+    // Output caches are stale after free-running.
+    input_dirty_ = true;
+    return itrs;
+}
+
+double
+HwEngine::take_modeled_seconds()
+{
+    double out = static_cast<double>(cycles_accum_) * clock_period_s_;
+    cycles_accum_ = 0;
+    out += static_cast<double>(transactions_ - transactions_reported_) *
+           mmio_latency_s_;
+    transactions_reported_ = transactions_;
+    return out;
+}
+
+} // namespace cascade::runtime

@@ -1,0 +1,92 @@
+/// \file
+/// Hardware engines (paper §5.2): a subprogram compiled through the Fig. 10
+/// wrapper and lowered onto the FPGA fabric, driven by a software stub that
+/// speaks the AXI-style MMIO protocol. Supports get/set_state over MMIO,
+/// task readback ($display from hardware), and open-loop scheduling.
+///
+/// Time model: each fabric cycle costs one device clock period and each
+/// bus transaction costs the modeled MMIO latency; the runtime folds these
+/// into the virtual timeline (see DESIGN.md §1).
+
+#ifndef CASCADE_RUNTIME_HW_ENGINE_H
+#define CASCADE_RUNTIME_HW_ENGINE_H
+
+#include <memory>
+#include <unordered_map>
+
+#include "fpga/bitstream.h"
+#include "ir/hw_wrapper.h"
+#include "runtime/engine.h"
+
+namespace cascade::runtime {
+
+class HwEngine : public Engine {
+  public:
+    /// \p port_names: the subprogram's port order (each must be a VarSlot
+    /// in \p map). \p clock_mhz / \p mmio_latency_s define the time model.
+    HwEngine(std::unique_ptr<fpga::Bitstream> fabric, ir::WrapperMap map,
+             std::vector<std::string> port_names,
+             std::vector<bool> port_is_input, EngineCallbacks* callbacks,
+             double clock_mhz, double mmio_latency_s);
+
+    sim::StateSnapshot get_state() override;
+    void set_state(const sim::StateSnapshot& snapshot) override;
+    void read(const Event& event) override;
+    std::vector<Event> write() override;
+    bool there_are_evals() override;
+    void evaluate() override;
+    bool there_are_updates() override;
+    void update() override;
+    bool finished() const override { return finished_; }
+    bool is_hardware() const override { return true; }
+
+    uint64_t open_loop(uint64_t max_iterations) override;
+    bool
+    supports_open_loop() const override
+    {
+        return !map_.clock_input.empty();
+    }
+
+    double take_modeled_seconds() override;
+
+    /// @{ Raw slot access for the runtime's peripheral drivers (hardware
+    /// FIFO feeding during open loop, state sync).
+    BitVector read_var(const ir::VarSlot& slot, uint64_t element = 0);
+    void write_var(const ir::VarSlot& slot, const BitVector& value,
+                   uint64_t element = 0);
+    const ir::WrapperMap& map() const { return map_; }
+    /// @}
+
+    uint64_t mmio_transactions() const { return transactions_; }
+    uint64_t fabric_cycles() const { return fabric_->cycles(); }
+
+  private:
+    uint32_t mmio_read(uint32_t addr);
+    void mmio_write(uint32_t addr, uint32_t value);
+    /// Services pending task sites; returns true if any fired.
+    bool service_tasks();
+
+    std::unique_ptr<fpga::Bitstream> fabric_;
+    ir::WrapperMap map_;
+    std::vector<const ir::VarSlot*> port_slots_;
+    std::vector<bool> port_is_input_;
+    std::vector<BitVector> output_cache_;
+    EngineCallbacks* callbacks_;
+    double clock_period_s_;
+    double mmio_latency_s_;
+
+    // Cached fabric input indices for the AXI pins.
+    int in_clk_, in_rw_, in_addr_, in_in_;
+    int out_out_, out_wait_;
+
+    bool input_dirty_ = true;
+    bool task_pending_ = false;
+    bool finished_ = false;
+    uint64_t transactions_ = 0;
+    uint64_t transactions_reported_ = 0;
+    uint64_t cycles_accum_ = 0;
+};
+
+} // namespace cascade::runtime
+
+#endif // CASCADE_RUNTIME_HW_ENGINE_H

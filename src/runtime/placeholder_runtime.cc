@@ -1,0 +1,3 @@
+namespace cascade {
+// placeholder translation unit; replaced as the runtime subsystem lands.
+}

@@ -1,0 +1,112 @@
+#include "runtime/repl.h"
+
+#include <istream>
+#include <ostream>
+#include <regex>
+
+#include "common/check.h"
+
+namespace cascade::runtime {
+
+Repl::Repl(Runtime* runtime, std::ostream* out)
+    : runtime_(runtime), out_(out)
+{
+    CASCADE_CHECK(runtime != nullptr);
+    runtime_->on_output = [this](const std::string& text) {
+        if (out_ != nullptr) {
+            *out_ << text;
+        }
+    };
+}
+
+const std::string&
+Repl::prompt() const
+{
+    static const std::string p = "CASCADE >>> ";
+    return p;
+}
+
+bool
+Repl::buffer_complete() const
+{
+    // Count module/endmodule nesting and require a terminated final item.
+    // This is a line-accumulation heuristic, not a parse: the parser is
+    // the authority once we submit.
+    int depth = 0;
+    std::string token;
+    bool last_semi_or_end = false;
+    for (size_t i = 0; i <= buffer_.size(); ++i) {
+        const char c = i < buffer_.size() ? buffer_[i] : ' ';
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '$') {
+            token += c;
+            continue;
+        }
+        if (token == "module" || token == "begin" || token == "case" ||
+            token == "casez" || token == "casex" || token == "function") {
+            ++depth;
+        } else if (token == "endmodule" || token == "end" ||
+                   token == "endcase" || token == "endfunction") {
+            --depth;
+            last_semi_or_end = true;
+        } else if (!token.empty()) {
+            last_semi_or_end = false;
+        }
+        token.clear();
+        if (c == ';') {
+            last_semi_or_end = true;
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            last_semi_or_end = false;
+        }
+    }
+    return depth <= 0 && last_semi_or_end;
+}
+
+bool
+Repl::feed(const std::string& text)
+{
+    buffer_ += text;
+    if (buffer_.find_first_not_of(" \t\r\n") == std::string::npos) {
+        buffer_.clear();
+        return true;
+    }
+    if (!buffer_complete()) {
+        return true; // keep accumulating
+    }
+    std::string source;
+    source.swap(buffer_);
+    std::string errors;
+    if (!runtime_->eval(source, &errors)) {
+        if (out_ != nullptr) {
+            *out_ << errors;
+        }
+        return false;
+    }
+    return true;
+}
+
+bool
+Repl::run_batch(std::istream& in, uint64_t max_iterations)
+{
+    std::string line;
+    bool ok = true;
+    while (std::getline(in, line)) {
+        ok &= feed(line + "\n");
+    }
+    if (!buffer_.empty()) {
+        // Force-submit whatever is left.
+        std::string source;
+        source.swap(buffer_);
+        std::string errors;
+        if (!runtime_->eval(source, &errors)) {
+            if (out_ != nullptr) {
+                *out_ << errors;
+            }
+            ok = false;
+        }
+    }
+    runtime_->run(max_iterations);
+    return ok;
+}
+
+} // namespace cascade::runtime

@@ -1,0 +1,43 @@
+/// \file
+/// The REPL controller/view (paper §3.1, Fig. 3): Verilog is lexed,
+/// parsed, and type-checked one input at a time; code that passes is
+/// integrated into the running program, and IO side effects are visible
+/// immediately. Also supports batch mode with input provided from a file.
+
+#ifndef CASCADE_RUNTIME_REPL_H
+#define CASCADE_RUNTIME_REPL_H
+
+#include <iosfwd>
+#include <string>
+
+#include "runtime/runtime.h"
+
+namespace cascade::runtime {
+
+class Repl {
+  public:
+    /// Output (program $display/$write and REPL messages) goes to \p out.
+    Repl(Runtime* runtime, std::ostream* out);
+
+    /// Feeds one chunk of input. Complete declarations are eval'ed; a
+    /// trailing incomplete module accumulates until its endmodule arrives.
+    /// Returns false if the chunk was rejected.
+    bool feed(const std::string& text);
+
+    /// Batch mode: feeds the whole stream, then runs until $finish or
+    /// \p max_iterations.
+    bool run_batch(std::istream& in, uint64_t max_iterations);
+
+    const std::string& prompt() const;
+
+  private:
+    bool buffer_complete() const;
+
+    Runtime* runtime_;
+    std::ostream* out_;
+    std::string buffer_;
+};
+
+} // namespace cascade::runtime
+
+#endif // CASCADE_RUNTIME_REPL_H

@@ -1,0 +1,1522 @@
+#include "runtime/runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+#include "ir/rewrite.h"
+#include "runtime/hw_engine.h"
+#include "runtime/sw_engine.h"
+#include "stdlib/stdlib.h"
+#include "verilog/parser.h"
+#include "verilog/printer.h"
+
+namespace cascade::runtime {
+
+using namespace verilog;
+
+namespace {
+
+/// Peripheral-facing ("pins") ports per standard-library type, with
+/// direction from the device's point of view (true = driven by the host).
+const std::vector<std::pair<std::string, bool>>&
+peripheral_ports(const std::string& type)
+{
+    static const std::map<std::string,
+                          std::vector<std::pair<std::string, bool>>>
+        table = {
+            {"Pad", {{"pins", true}}},
+            {"Reset", {{"pins", true}}},
+            {"Led", {{"pins", false}}},
+            {"GPIO", {{"pins", true}, {"out_pins", false}}},
+            {"FIFO", {{"pins", true}, {"push", true}}},
+        };
+    static const std::vector<std::pair<std::string, bool>> empty;
+    const auto it = table.find(type);
+    return it == table.end() ? empty : it->second;
+}
+
+double
+wall_seconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// ClockEngine: the standard clock is "just another engine" (§4.1) whose
+// tick is re-queued by end_step.
+// ---------------------------------------------------------------------------
+
+class ClockEngine : public Engine {
+  public:
+    ClockEngine() : val_(1, 0) {}
+
+    sim::StateSnapshot
+    get_state() override
+    {
+        sim::StateSnapshot snap;
+        snap.regs["val"] = val_;
+        return snap;
+    }
+
+    void
+    set_state(const sim::StateSnapshot& snapshot) override
+    {
+        const auto it = snapshot.regs.find("val");
+        if (it != snapshot.regs.end()) {
+            val_ = it->second.resized(1);
+        }
+    }
+
+    void read(const Event&) override {}
+
+    std::vector<Event>
+    write() override
+    {
+        if (!changed_) {
+            return {};
+        }
+        changed_ = false;
+        return {{0, val_}};
+    }
+
+    bool there_are_evals() override { return false; }
+    void evaluate() override {}
+    bool there_are_updates() override { return armed_; }
+
+    void
+    update() override
+    {
+        armed_ = false;
+        val_ = BitVector(1, val_.is_zero() ? 1 : 0);
+        changed_ = true;
+    }
+
+    void end_step() override { armed_ = true; }
+    bool is_hardware() const override { return true; }
+
+    bool value() const { return !val_.is_zero(); }
+
+    /// Open-loop resynchronization: adopt the clock value the hardware
+    /// engine left behind, without emitting an event.
+    void
+    force_value(bool v)
+    {
+        val_ = BitVector(1, v ? 1 : 0);
+    }
+
+  private:
+    BitVector val_;
+    bool armed_ = true;
+    bool changed_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// NativeEngine: §4.5 native mode — the design compiled exactly as written
+// (no Fig. 10 instrumentation), running at full fabric speed.
+// ---------------------------------------------------------------------------
+
+class NativeEngine : public Engine {
+  public:
+    NativeEngine(std::unique_ptr<fpga::Bitstream> fabric,
+                 std::vector<std::string> port_names,
+                 std::vector<bool> port_is_input, std::string clock_port,
+                 double clock_mhz)
+        : fabric_(std::move(fabric)), port_names_(std::move(port_names)),
+          port_is_input_(std::move(port_is_input)),
+          clock_port_(std::move(clock_port)),
+          clock_period_s_(1.0 / (clock_mhz * 1e6))
+    {
+        for (size_t p = 0; p < port_names_.size(); ++p) {
+            if (port_is_input_[p]) {
+                port_index_.push_back(
+                    fabric_->input_index(port_names_[p]));
+            } else {
+                port_index_.push_back(
+                    fabric_->output_index(port_names_[p]));
+                output_cache_.emplace_back();
+            }
+        }
+        output_cache_.clear();
+        for (size_t p = 0; p < port_names_.size(); ++p) {
+            output_cache_.emplace_back(1, 0);
+        }
+        fabric_->eval_comb();
+    }
+
+    sim::StateSnapshot
+    get_state() override
+    {
+        sim::StateSnapshot snap;
+        const fpga::Netlist& nl = fabric_->netlist();
+        for (const fpga::RegDef& r : nl.regs) {
+            snap.regs[r.name] = fabric_->reg_value(r.name);
+        }
+        for (const fpga::MemDef& m : nl.mems) {
+            std::vector<BitVector> contents;
+            contents.reserve(m.size);
+            for (uint32_t i = 0; i < m.size; ++i) {
+                contents.push_back(fabric_->mem_value(m.name, i));
+            }
+            snap.memories[m.name] = std::move(contents);
+        }
+        return snap;
+    }
+
+    void
+    set_state(const sim::StateSnapshot& snapshot) override
+    {
+        const fpga::Netlist& nl = fabric_->netlist();
+        for (const fpga::RegDef& r : nl.regs) {
+            const auto it = snapshot.regs.find(r.name);
+            if (it != snapshot.regs.end()) {
+                fabric_->set_reg(r.name, it->second);
+            }
+        }
+        for (const fpga::MemDef& m : nl.mems) {
+            const auto it = snapshot.memories.find(m.name);
+            if (it == snapshot.memories.end()) {
+                continue;
+            }
+            for (size_t i = 0; i < it->second.size() && i < m.size; ++i) {
+                fabric_->set_mem(m.name, i, it->second[i]);
+            }
+        }
+        dirty_ = true;
+    }
+
+    void
+    read(const Event& event) override
+    {
+        if (port_is_input_[event.port] && port_index_[event.port] >= 0) {
+            fabric_->set_input(port_index_[event.port], event.value);
+            dirty_ = true;
+        }
+    }
+
+    std::vector<Event>
+    write() override
+    {
+        std::vector<Event> events;
+        for (size_t p = 0; p < port_names_.size(); ++p) {
+            if (port_is_input_[p] || port_index_[p] < 0) {
+                continue;
+            }
+            BitVector v = fabric_->output(port_index_[p]);
+            if (v != output_cache_[p]) {
+                output_cache_[p] = v;
+                events.push_back({static_cast<uint32_t>(p), std::move(v)});
+            }
+        }
+        return events;
+    }
+
+    bool there_are_evals() override { return dirty_; }
+
+    void
+    evaluate() override
+    {
+        // One fabric step settles logic and latches any input clock edge.
+        fabric_->step();
+        ++cycles_;
+        dirty_ = false;
+    }
+
+    bool there_are_updates() override { return false; }
+    void update() override {}
+    bool is_hardware() const override { return true; }
+
+    uint64_t
+    open_loop(uint64_t max_iterations) override
+    {
+        if (clock_port_.empty()) {
+            return 0;
+        }
+        const int clk = fabric_->input_index(clock_port_);
+        if (clk < 0) {
+            return 0;
+        }
+        bool level = clock_level_;
+        for (uint64_t i = 0; i < max_iterations; ++i) {
+            level = !level;
+            fabric_->set_input(clk, BitVector(1, level ? 1 : 0));
+            fabric_->step();
+        }
+        clock_level_ = level;
+        cycles_ += max_iterations;
+        dirty_ = true;
+        return max_iterations;
+    }
+
+    bool
+    supports_open_loop() const override
+    {
+        return !clock_port_.empty();
+    }
+
+    double
+    take_modeled_seconds() override
+    {
+        const double out =
+            static_cast<double>(cycles_) * clock_period_s_;
+        cycles_ = 0;
+        return out;
+    }
+
+    bool clock_level() const { return clock_level_; }
+
+    void
+    sync_clock_level(bool level)
+    {
+        clock_level_ = level;
+    }
+
+  private:
+    std::unique_ptr<fpga::Bitstream> fabric_;
+    std::vector<std::string> port_names_;
+    std::vector<bool> port_is_input_;
+    std::vector<int> port_index_;
+    std::vector<BitVector> output_cache_;
+    std::string clock_port_;
+    double clock_period_s_;
+    bool dirty_ = true;
+    bool clock_level_ = false;
+    uint64_t cycles_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// CompileServer: the networked Quartus stand-in. One worker thread runs
+// fpga::compile jobs in the background (paper §3: "a potentially lengthy
+// compilation is initiated for each in the background").
+// ---------------------------------------------------------------------------
+
+class CompileServer {
+  public:
+    struct Job {
+        uint64_t version = 0;
+        std::shared_ptr<const ElaboratedModule> module;
+        fpga::CompileOptions options;
+    };
+
+    struct Done {
+        uint64_t version = 0;
+        fpga::CompileResult result;
+    };
+
+    CompileServer()
+        : worker_([this] { run(); })
+    {}
+
+    ~CompileServer()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        worker_.join();
+    }
+
+    void
+    submit(Job job)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            // A newer eval obsoletes any queued (not yet running) job.
+            jobs_.clear();
+            jobs_.push_back(std::move(job));
+        }
+        cv_.notify_all();
+    }
+
+    std::vector<Done>
+    poll()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::vector<Done> out = std::move(done_);
+        done_.clear();
+        return out;
+    }
+
+    bool
+    busy() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return running_ || !jobs_.empty();
+    }
+
+  private:
+    void
+    run()
+    {
+        while (true) {
+            Job job;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+                if (stop_) {
+                    return;
+                }
+                job = std::move(jobs_.front());
+                jobs_.pop_front();
+                running_ = true;
+            }
+            Done done;
+            done.version = job.version;
+            done.result = fpga::compile(*job.module, job.options);
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                done_.push_back(std::move(done));
+                running_ = false;
+            }
+        }
+    }
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Job> jobs_;
+    std::vector<Done> done_;
+    bool running_ = false;
+    bool stop_ = false;
+    std::thread worker_;
+};
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime() : Runtime(Options()) {}
+
+Runtime::Runtime(Options options)
+    : options_(std::move(options)),
+      device_(options_.device_les, options_.device_bram_bits,
+              options_.device_clock_mhz),
+      compile_server_(std::make_unique<CompileServer>())
+{
+    // Load the standard library and implicitly instantiate the Clock
+    // (paper §3.2: Clock/Pad/Led are implicitly provided; we instantiate
+    // peripherals lazily when the user references them — see eval()).
+    SourceUnit unit = parse(stdlib::stdlib_source(), &startup_diags_);
+    CASCADE_CHECK(!startup_diags_.has_errors());
+    for (auto& m : unit.modules) {
+        lib_.add(std::move(m));
+    }
+    std::string errors;
+    const bool ok = eval("Clock clk();", &errors);
+    CASCADE_CHECK(ok);
+}
+
+Runtime::~Runtime() = default;
+
+bool
+Runtime::eval(std::string_view source, std::string* errors)
+{
+    Diagnostics diags;
+    SourceUnit unit = parse(source, &diags);
+    if (diags.has_errors()) {
+        if (errors != nullptr) {
+            *errors = diags.str();
+        }
+        return false;
+    }
+
+    // Integrate tentatively, roll back on elaboration failure (the REPL
+    // rejects bad evals without disturbing the running program).
+    std::vector<std::string> added_modules;
+    for (auto& m : unit.modules) {
+        if (lib_.find(m->name) != nullptr) {
+            if (errors != nullptr) {
+                *errors = "module '" + m->name +
+                          "' is already declared (Cascade evals are "
+                          "append-only, see paper §7.2)";
+            }
+            return false;
+        }
+        added_modules.push_back(m->name);
+        lib_.add(std::move(m));
+    }
+    const size_t old_item_count = root_items_.size();
+    for (auto& item : unit.root_items) {
+        root_items_.push_back(std::move(item));
+    }
+
+    std::string rebuild_errors;
+    if (!rebuild_program(&rebuild_errors)) {
+        // Roll back.
+        root_items_.resize(old_item_count);
+        for (const std::string& name : added_modules) {
+            lib_.remove(name);
+        }
+        if (!added_modules.empty() || old_item_count != 0 ||
+            !root_items_.empty()) {
+            std::string ignored;
+            rebuild_program(&ignored); // restore previous good program
+        }
+        if (errors != nullptr) {
+            *errors = rebuild_errors;
+        }
+        return false;
+    }
+    return true;
+}
+
+std::unique_ptr<ModuleDecl>
+make_root(const std::vector<ItemPtr>& items)
+{
+    auto root = std::make_unique<ModuleDecl>();
+    root->name = "Root";
+    for (const auto& item : items) {
+        root->items.push_back(item->clone());
+    }
+    return root;
+}
+
+std::vector<bool>
+Runtime::initial_skip_mask(const ElaboratedModule& em,
+                           const std::string& path, bool record)
+{
+    std::vector<bool> mask;
+    std::map<std::string, int> used;
+    auto& executed = executed_initials_[path];
+    for (const auto& item : em.decl->items) {
+        if (item->kind != ItemKind::Initial) {
+            continue;
+        }
+        const std::string key = print(*item, 0);
+        const int ran = [&] {
+            const auto it = executed.find(key);
+            return it == executed.end() ? 0 : it->second;
+        }();
+        if (used[key] < ran) {
+            mask.push_back(true); // already fired in a past incarnation
+        } else {
+            mask.push_back(false);
+            if (record) {
+                ++executed[key];
+            }
+        }
+        ++used[key];
+    }
+    return mask;
+}
+
+bool
+Runtime::rebuild_program(std::string* errors)
+{
+    Diagnostics diags;
+    auto root = make_root(root_items_);
+
+    const ModuleDecl* top = root.get();
+    std::unique_ptr<ModuleDecl> inlined;
+    if (options_.enable_inlining) {
+        inlined = ir::inline_hierarchy(*root, lib_,
+                                       stdlib::stdlib_type_names(), &diags);
+        if (inlined == nullptr) {
+            if (errors != nullptr) {
+                *errors = diags.str();
+            }
+            return false;
+        }
+        top = inlined.get();
+    }
+    auto subs = ir::split_program(*top, lib_,
+                                  stdlib::stdlib_type_names(), &diags);
+    if (subs.empty()) {
+        if (errors != nullptr) {
+            *errors = diags.str();
+        }
+        return false;
+    }
+
+    // Save state and net values from the current incarnation.
+    std::map<std::string, sim::StateSnapshot> old_state;
+    for (Slot& slot : slots_) {
+        if (slot.engine != nullptr) {
+            old_state[slot.sub.path] = slot.engine->get_state();
+        }
+    }
+    // A hardware engine's snapshot covers the stdlib components inlined
+    // into it; split it back out by prefix.
+    if (user_location_ == Location::HardwareForwarded ||
+        user_location_ == Location::Native) {
+        const auto it = old_state.find("root");
+        if (it != old_state.end()) {
+            for (const auto& [instance, prefix] : adopted_prefixes_) {
+                sim::StateSnapshot sub_snap;
+                for (const auto& [name, value] : it->second.regs) {
+                    if (name.rfind(prefix, 0) == 0) {
+                        sub_snap.regs[name.substr(prefix.size())] = value;
+                    }
+                }
+                for (const auto& [name, mem] : it->second.memories) {
+                    if (name.rfind(prefix, 0) == 0) {
+                        sub_snap.memories[name.substr(prefix.size())] =
+                            mem;
+                    }
+                }
+                old_state["root." + instance] = std::move(sub_snap);
+            }
+        }
+    }
+    std::map<std::string, BitVector> old_nets;
+    for (const Net& net : nets_) {
+        if (net.has_value) {
+            old_nets[net.name] = net.value;
+        }
+    }
+
+    // Build the new engine set (everything starts in software, §3.3).
+    std::vector<Slot> new_slots;
+    for (auto& sub : subs) {
+        Slot slot;
+        slot.sub = std::move(sub);
+        const size_t dot = slot.sub.path.rfind('.');
+        slot.instance = dot == std::string::npos
+                            ? slot.sub.path
+                            : slot.sub.path.substr(dot + 1);
+        slot.is_stdlib = slot.sub.is_stdlib;
+        slot_type_[slot.sub.path] = slot.sub.module_name;
+        if (slot.sub.module_name == "Clock") {
+            slot.is_clock = true;
+            auto clock = std::make_unique<ClockEngine>();
+            clock_engine_ = clock.get();
+            slot.engine = std::move(clock);
+        } else {
+            Diagnostics ediags;
+            Elaborator elab(&ediags);
+            auto em = elab.elaborate(*slot.sub.source, slot.sub.params);
+            if (em == nullptr) {
+                if (errors != nullptr) {
+                    *errors = "internal elaboration failure for '" +
+                              slot.sub.path + "':\n" + ediags.str();
+                }
+                return false;
+            }
+            std::shared_ptr<const ElaboratedModule> shared(std::move(em));
+            const auto mask =
+                initial_skip_mask(*shared, slot.sub.path, true);
+            slot.engine = std::make_unique<SwEngine>(
+                shared, this, mask, /*hardware_resident=*/slot.is_stdlib);
+        }
+        for (const Port& p : slot.sub.source->ports) {
+            slot.port_is_input.push_back(p.dir == PortDir::Input);
+        }
+        const auto st = old_state.find(slot.sub.path);
+        if (st != old_state.end()) {
+            slot.engine->set_state(st->second);
+        }
+        new_slots.push_back(std::move(slot));
+    }
+
+    slots_ = std::move(new_slots);
+    hw_engine_ = nullptr;
+    user_location_ = Location::Software;
+    ++version_;
+
+    wire_nets();
+    for (const auto& [name, value] : old_nets) {
+        inject_net(name, value);
+    }
+    resolve_peripherals();
+    service_peripherals();
+
+    settle_evaluations();
+
+    if (options_.enable_hardware) {
+        launch_compile();
+    }
+    return true;
+}
+
+void
+Runtime::settle_evaluations()
+{
+    for (int guard = 0; guard < 4096; ++guard) {
+        bool any = false;
+        for (Slot& slot : slots_) {
+            if (slot.engine->there_are_evals()) {
+                slot.engine->evaluate();
+                any = true;
+            }
+        }
+        if (!any) {
+            return;
+        }
+        route_outputs();
+    }
+}
+
+void
+Runtime::flush_interrupts()
+{
+    while (!interrupt_queue_.empty()) {
+        if (on_output) {
+            on_output(interrupt_queue_.front());
+        }
+        interrupt_queue_.pop_front();
+    }
+}
+
+void
+Runtime::wire_nets()
+{
+    nets_.clear();
+    net_index_.clear();
+    auto net_of = [this](const std::string& name) -> size_t {
+        const auto it = net_index_.find(name);
+        if (it != net_index_.end()) {
+            return it->second;
+        }
+        const size_t idx = nets_.size();
+        Net net;
+        net.name = name;
+        nets_.push_back(std::move(net));
+        net_index_[name] = idx;
+        return idx;
+    };
+    for (size_t s = 0; s < slots_.size(); ++s) {
+        Slot& slot = slots_[s];
+        slot.port_net.clear();
+        for (size_t p = 0; p < slot.sub.bindings.size(); ++p) {
+            const size_t n = net_of(slot.sub.bindings[p].global_net);
+            slot.port_net.push_back(static_cast<int32_t>(n));
+            if (p < slot.port_is_input.size() && slot.port_is_input[p]) {
+                nets_[n].readers.emplace_back(s,
+                                              static_cast<uint32_t>(p));
+            }
+        }
+    }
+}
+
+int
+Runtime::find_net(const std::string& name) const
+{
+    const auto it = net_index_.find(name);
+    return it == net_index_.end() ? -1 : static_cast<int>(it->second);
+}
+
+void
+Runtime::inject_net(const std::string& name, const BitVector& value)
+{
+    const int n = find_net(name);
+    if (n < 0) {
+        return;
+    }
+    Net& net = nets_[static_cast<size_t>(n)];
+    if (net.has_value && net.value == value) {
+        return;
+    }
+    net.value = value;
+    net.has_value = true;
+    for (const auto& [slot, port] : net.readers) {
+        slots_[slot].engine->read({port, value});
+    }
+}
+
+void
+Runtime::route_outputs()
+{
+    for (size_t s = 0; s < slots_.size(); ++s) {
+        Slot& slot = slots_[s];
+        for (Event& e : slot.engine->write()) {
+            const int32_t n = slot.port_net[e.port];
+            if (n < 0) {
+                continue;
+            }
+            Net& net = nets_[static_cast<size_t>(n)];
+            if (net.has_value && net.value == e.value) {
+                continue;
+            }
+            net.value = e.value;
+            net.has_value = true;
+            if (slot.is_clock) {
+                ++clock_toggles_;
+            }
+            for (const auto& [rs, rp] : net.readers) {
+                slots_[rs].engine->read({rp, net.value});
+            }
+        }
+    }
+}
+
+bool
+Runtime::step()
+{
+    if (finished_) {
+        return false;
+    }
+    const double t0 = wall_seconds();
+    ++iterations_;
+
+    // Evaluation phase: run engines with active evaluation events to a
+    // cross-engine fixed point (Fig. 6 lines 3-4, batched).
+    for (int guard = 0; guard < 4096; ++guard) {
+        bool any = false;
+        for (Slot& slot : slots_) {
+            if (slot.engine->there_are_evals()) {
+                slot.engine->evaluate();
+                any = true;
+            }
+        }
+        if (!any) {
+            break;
+        }
+        route_outputs();
+    }
+
+    // Update phase (lines 5-8) or the inter-timestep window (line 10).
+    bool any_updates = false;
+    for (Slot& slot : slots_) {
+        if (slot.engine->there_are_updates()) {
+            any_updates = true;
+        }
+    }
+    if (any_updates) {
+        for (Slot& slot : slots_) {
+            if (slot.engine->there_are_updates()) {
+                slot.engine->update();
+            }
+        }
+        route_outputs();
+    } else {
+        window();
+    }
+
+    // Timeline: wall time while the user logic is interpreted, modeled
+    // device/bus time once it lives in hardware.
+    double modeled = 0;
+    for (Slot& slot : slots_) {
+        modeled += slot.engine->take_modeled_seconds();
+    }
+    if (user_location_ == Location::Software) {
+        timeline_s_ += wall_seconds() - t0;
+    } else {
+        timeline_s_ += modeled;
+    }
+    if (finished_) {
+        // Shutdown: drain the interrupt queue so the final $display lines
+        // reach the view, and notify engines (Fig. 6 line 14).
+        flush_interrupts();
+        for (Slot& slot : slots_) {
+            slot.engine->end();
+        }
+    }
+    return !finished_;
+}
+
+void
+Runtime::window()
+{
+    // Ordered interrupt queue -> view.
+    flush_interrupts();
+    for (Slot& slot : slots_) {
+        slot.engine->end_step();
+        if (slot.engine->finished()) {
+            finished_ = true;
+        }
+    }
+    poll_compiles();
+    service_peripherals();
+    if (!finished_ && options_.enable_open_loop) {
+        run_open_loop();
+    }
+}
+
+bool
+Runtime::run_for_ticks(uint64_t ticks)
+{
+    const uint64_t target = virtual_ticks() + ticks;
+    uint64_t guard = 0;
+    while (virtual_ticks() < target && !finished_) {
+        if (!step()) {
+            break;
+        }
+        if (++guard > ticks * 64 + (1u << 22)) {
+            break;
+        }
+    }
+    return finished_;
+}
+
+bool
+Runtime::run(uint64_t max_iterations)
+{
+    for (uint64_t i = 0; i < max_iterations && !finished_; ++i) {
+        step();
+    }
+    return finished_;
+}
+
+bool
+Runtime::hardware_ready() const
+{
+    return user_location_ != Location::Software;
+}
+
+void
+Runtime::on_display(const std::string& text)
+{
+    interrupt_queue_.push_back(text + "\n");
+}
+
+void
+Runtime::on_write(const std::string& text)
+{
+    interrupt_queue_.push_back(text);
+}
+
+void
+Runtime::on_finish()
+{
+    finished_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Peripherals
+// ---------------------------------------------------------------------------
+
+void
+Runtime::resolve_peripherals()
+{
+    pads_.clear();
+    leds_.clear();
+    fifos_.clear();
+    for (const Slot& slot : slots_) {
+        if (!slot.is_stdlib) {
+            continue;
+        }
+        const std::string& type = slot.sub.module_name;
+        if (type == "Pad" || type == "Reset") {
+            pads_.push_back(slot.sub.path + ".pins");
+        } else if (type == "Led") {
+            leds_.push_back(slot.sub.path + ".pins");
+        } else if (type == "GPIO") {
+            pads_.push_back(slot.sub.path + ".pins");
+            leds_.push_back(slot.sub.path + ".out_pins");
+        } else if (type == "FIFO") {
+            FifoBinding f;
+            f.pins_net = slot.sub.path + ".pins";
+            f.push_net = slot.sub.path + ".push";
+            f.full_net = slot.sub.path + ".full";
+            f.prefix = slot.instance + "__";
+            fifos_.push_back(std::move(f));
+        }
+    }
+    // In hardware shapes the stdlib slots are gone, but the nets persist
+    // through the adopted engine's bindings; remember them from adoption.
+    for (const auto& net : adopted_pads_) {
+        pads_.push_back(net);
+    }
+    for (const auto& net : adopted_leds_) {
+        leds_.push_back(net);
+    }
+    for (const auto& f : adopted_fifos_) {
+        fifos_.push_back(f);
+    }
+}
+
+void
+Runtime::set_pad(uint64_t buttons)
+{
+    pad_value_ = buttons;
+    for (const std::string& net : pads_) {
+        const int n = find_net(net);
+        if (n < 0) {
+            continue;
+        }
+        // Width from the existing value, default 4 (the classic pad).
+        const uint32_t width = nets_[static_cast<size_t>(n)].has_value
+                                   ? nets_[static_cast<size_t>(n)]
+                                         .value.width()
+                                   : pad_width_hint(net);
+        inject_net(net, BitVector(width, buttons));
+    }
+}
+
+uint32_t
+Runtime::pad_width_hint(const std::string& net) const
+{
+    // Find the stdlib slot whose pins net this is and use its elaborated
+    // port width.
+    for (const Slot& slot : slots_) {
+        if (slot.sub.source == nullptr ||
+            net.rfind(slot.sub.path + ".", 0) != 0) {
+            continue;
+        }
+        Diagnostics diags;
+        Elaborator elab(&diags);
+        auto em = elab.elaborate(*slot.sub.source, slot.sub.params);
+        if (em != nullptr) {
+            const NetInfo* pins = em->find_net("pins");
+            if (pins != nullptr) {
+                return pins->width;
+            }
+        }
+    }
+    return 4;
+}
+
+BitVector
+Runtime::led_state()
+{
+    // Refresh output nets (a free-running hardware engine's outputs are
+    // only polled on demand).
+    route_outputs();
+    for (const std::string& net : leds_) {
+        const int n = find_net(net);
+        if (n >= 0 && nets_[static_cast<size_t>(n)].has_value) {
+            return nets_[static_cast<size_t>(n)].value;
+        }
+    }
+    return BitVector(8, 0);
+}
+
+void
+Runtime::fifo_push(const std::vector<uint8_t>& bytes)
+{
+    fifo_queue_.insert(fifo_queue_.end(), bytes.begin(), bytes.end());
+}
+
+void
+Runtime::service_peripherals()
+{
+    if (fifos_.empty()) {
+        return;
+    }
+    // Hardware-forwarded FIFOs are fed between open-loop batches through
+    // direct state writes (run_open_loop); step-mode feeding happens here,
+    // one byte per clock cycle, gated on the clock being low.
+    if (user_location_ == Location::HardwareForwarded ||
+        user_location_ == Location::Native) {
+        return;
+    }
+    if (clock_engine_ == nullptr || clock_engine_->value()) {
+        return;
+    }
+    const FifoBinding& f = fifos_.front();
+    const int full_net = find_net(f.full_net);
+    const bool full = full_net >= 0 &&
+                      nets_[static_cast<size_t>(full_net)].has_value &&
+                      !nets_[static_cast<size_t>(full_net)].value.is_zero();
+    if (!fifo_queue_.empty() && !full) {
+        inject_net(f.pins_net, BitVector(8, fifo_queue_.front()));
+        inject_net(f.push_net, BitVector(1, 1));
+        fifo_queue_.pop_front();
+        ++fifo_consumed_;
+        fifo_push_high_ = true;
+    } else if (fifo_push_high_) {
+        inject_net(f.push_net, BitVector(1, 0));
+        fifo_push_high_ = false;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Background compilation and engine transitions
+// ---------------------------------------------------------------------------
+
+void
+Runtime::launch_compile()
+{
+    if (root_items_.empty()) {
+        return;
+    }
+    Diagnostics diags;
+    auto root = make_root(root_items_);
+
+    CompileOutcome outcome;
+    outcome.version = version_;
+    outcome.native = options_.native_mode;
+
+    const bool merge_stdlib =
+        options_.native_mode ||
+        (options_.enable_forwarding && options_.enable_inlining);
+
+    std::unique_ptr<ModuleDecl> merged;
+    std::set<std::string> stops;
+    if (merge_stdlib) {
+        stops = {"Clock"};
+    } else {
+        stops = stdlib::stdlib_type_names();
+    }
+    merged = ir::inline_hierarchy(*root, lib_, stops, &diags);
+    if (merged == nullptr) {
+        return;
+    }
+
+    // Promote peripheral pins of merged stdlib instances to module ports
+    // so the runtime can keep driving/observing them.
+    std::vector<std::tuple<std::string, std::string, bool>> pin_ports;
+    if (merge_stdlib) {
+        for (const Slot& slot : slots_) {
+            if (!slot.is_stdlib || slot.is_clock) {
+                continue;
+            }
+            for (const auto& [port, is_input] :
+                 peripheral_ports(slot.sub.module_name)) {
+                const std::string net_name = slot.instance + "__" + port;
+                pin_ports.emplace_back(net_name,
+                                       slot.sub.path + "." + port,
+                                       is_input);
+                outcome.prefixes[slot.instance] = slot.instance + "__";
+            }
+            // Non-peripheral stdlib (Memory) still needs its state
+            // prefix recorded for handoff.
+            outcome.prefixes.emplace(slot.instance,
+                                     slot.instance + "__");
+        }
+        if (!promote_pins(merged.get(), pin_ports)) {
+            return;
+        }
+    }
+
+    auto subs = ir::split_program(*merged, lib_, {"Clock"}, &diags);
+    if (subs.empty()) {
+        return;
+    }
+    ir::Subprogram* user = nullptr;
+    std::string clock_path;
+    for (auto& sub : subs) {
+        if (sub.path == "root") {
+            user = &sub;
+        } else if (sub.module_name == "Clock") {
+            clock_path = sub.path;
+        }
+    }
+    if (user == nullptr) {
+        return;
+    }
+
+    // Identify the promoted clock port (bound to <clock instance>.val).
+    std::string clock_port;
+    for (const auto& b : user->bindings) {
+        if (!clock_path.empty() && b.global_net == clock_path + ".val") {
+            clock_port = b.port;
+            outcome.clock_net = b.global_net;
+        }
+    }
+
+    // Pins ports keep their original peripheral net names so the drivers
+    // and the view observe the same nets across the transition.
+    std::map<std::string, std::string> pin_net_of;
+    for (const auto& [port, net, is_input] : pin_ports) {
+        pin_net_of[port] = net;
+    }
+    for (size_t p = 0; p < user->source->ports.size(); ++p) {
+        const std::string& name = user->source->ports[p].name;
+        const auto it = pin_net_of.find(name);
+        outcome.ports.emplace_back(
+            name,
+            it != pin_net_of.end() ? it->second
+                                   : user->bindings[p].global_net,
+            user->source->ports[p].dir == PortDir::Input);
+    }
+
+    Diagnostics ediags;
+    Elaborator elab(&ediags);
+    std::shared_ptr<const ElaboratedModule> em;
+    if (options_.native_mode) {
+        auto raw = elab.elaborate(*user->source, user->params);
+        if (raw == nullptr) {
+            return;
+        }
+        em = std::shared_ptr<const ElaboratedModule>(std::move(raw));
+        outcome.clock_net =
+            clock_port.empty() ? "" : outcome.clock_net;
+        outcome.map.clock_input = clock_port;
+    } else {
+        auto raw = elab.elaborate(*user->source, user->params);
+        if (raw == nullptr) {
+            return;
+        }
+        auto wrapper = ir::generate_hw_wrapper(*raw, clock_port,
+                                               &outcome.map, &diags);
+        if (wrapper == nullptr) {
+            // Unsynthesizable in a way the wrapper cannot absorb; the
+            // subprogram stays in software.
+            return;
+        }
+        Diagnostics wdiags;
+        Elaborator welab(&wdiags);
+        auto wem = welab.elaborate(*wrapper);
+        if (wem == nullptr) {
+            return;
+        }
+        em = std::shared_ptr<const ElaboratedModule>(std::move(wem));
+    }
+
+    pending_outcome_ = std::move(outcome);
+    compile_inflight_version_ = version_;
+    CompileServer::Job job;
+    job.version = version_;
+    job.module = em;
+    job.options.effort = options_.compile_effort;
+    job.options.target_clock_mhz = options_.device_clock_mhz;
+    job.options.seed = version_;
+    compile_server_->submit(std::move(job));
+}
+
+void
+Runtime::poll_compiles()
+{
+    for (CompileServer::Done& done : compile_server_->poll()) {
+        if (done.version != version_ || !pending_outcome_.has_value()) {
+            continue; // stale: the program changed since submission
+        }
+        CompileOutcome outcome = std::move(*pending_outcome_);
+        pending_outcome_.reset();
+        outcome.result = std::move(done.result);
+        last_report_ = outcome.result.report;
+        adopt_hardware(std::move(outcome));
+    }
+}
+
+void
+Runtime::adopt_hardware(CompileOutcome outcome)
+{
+    std::string error;
+    double actual_clock_mhz = device_.clock_mhz();
+    auto fabric = device_.program(outcome.result, &error,
+                                  /*allow_derated_clock=*/true,
+                                  &actual_clock_mhz);
+    if (fabric == nullptr) {
+        // Timing or fit failure: report and stay in software (the UT
+        // study's "ran in simulation but did not pass timing closure").
+        interrupt_queue_.push_back("cascade: hardware compilation "
+                                   "rejected: " + error + "\n");
+        return;
+    }
+
+    // Gather state: the user subprogram plus (under forwarding) each
+    // stdlib component, re-prefixed to the merged module's names.
+    sim::StateSnapshot combined;
+    std::vector<Slot> kept;
+    for (Slot& slot : slots_) {
+        if (slot.sub.path == "root") {
+            combined = slot.engine->get_state();
+        }
+    }
+    for (Slot& slot : slots_) {
+        if (slot.is_clock || slot.sub.path == "root") {
+            continue;
+        }
+        const auto it = outcome.prefixes.find(slot.instance);
+        if (it == outcome.prefixes.end()) {
+            continue;
+        }
+        sim::StateSnapshot snap = slot.engine->get_state();
+        for (auto& [name, value] : snap.regs) {
+            combined.regs[it->second + name] = value;
+        }
+        for (auto& [name, mem] : snap.memories) {
+            combined.memories[it->second + name] = mem;
+        }
+    }
+
+    std::vector<std::string> port_names;
+    std::vector<bool> port_is_input;
+    for (const auto& [port, net, is_input] : outcome.ports) {
+        port_names.push_back(port);
+        port_is_input.push_back(is_input);
+    }
+
+    std::unique_ptr<Engine> engine;
+    NativeEngine* native = nullptr;
+    HwEngine* hw = nullptr;
+    if (outcome.native) {
+        auto e = std::make_unique<NativeEngine>(
+            std::move(fabric), port_names, port_is_input,
+            outcome.map.clock_input, actual_clock_mhz);
+        native = e.get();
+        engine = std::move(e);
+    } else {
+        auto e = std::make_unique<HwEngine>(
+            std::move(fabric), outcome.map, port_names, port_is_input,
+            this, actual_clock_mhz, options_.mmio_latency_s);
+        hw = e.get();
+        engine = std::move(e);
+    }
+    Engine* adopted = engine.get();
+
+    // Rebuild the slot set: clock + the hardware engine.
+    const bool merged = !outcome.prefixes.empty() || outcome.native;
+    std::vector<Slot> new_slots;
+    adopted_pads_.clear();
+    adopted_leds_.clear();
+    adopted_fifos_.clear();
+    for (Slot& slot : slots_) {
+        if (slot.is_clock) {
+            new_slots.push_back(std::move(slot));
+            continue;
+        }
+        if (slot.sub.path == "root") {
+            continue; // replaced below
+        }
+        if (merged) {
+            // Forwarded into the hardware engine; remember peripherals.
+            const std::string& type = slot.sub.module_name;
+            if (type == "Pad" || type == "Reset") {
+                adopted_pads_.push_back(slot.sub.path + ".pins");
+            } else if (type == "Led") {
+                adopted_leds_.push_back(slot.sub.path + ".pins");
+            } else if (type == "GPIO") {
+                adopted_pads_.push_back(slot.sub.path + ".pins");
+                adopted_leds_.push_back(slot.sub.path + ".out_pins");
+            } else if (type == "FIFO") {
+                FifoBinding f;
+                f.pins_net = slot.sub.path + ".pins";
+                f.push_net = slot.sub.path + ".push";
+                f.full_net = slot.sub.path + ".full";
+                f.prefix = slot.instance + "__";
+                adopted_fifos_.push_back(std::move(f));
+            }
+        } else {
+            new_slots.push_back(std::move(slot));
+        }
+    }
+
+    Slot hw_slot;
+    hw_slot.sub.path = "root";
+    hw_slot.sub.module_name = "Root";
+    hw_slot.instance = "root";
+    for (const auto& [port, net, is_input] : outcome.ports) {
+        hw_slot.sub.bindings.push_back({port, net});
+        hw_slot.port_is_input.push_back(is_input);
+    }
+    hw_slot.engine = std::move(engine);
+    new_slots.push_back(std::move(hw_slot));
+
+    slots_ = std::move(new_slots);
+    hw_engine_ = hw;
+    native_engine_ = native;
+    adopted_prefixes_ = outcome.prefixes;
+    user_location_ = outcome.native
+                         ? Location::Native
+                         : (merged ? Location::HardwareForwarded
+                                   : Location::Hardware);
+    clock_net_name_ = outcome.clock_net;
+
+    // Net values must survive the rewiring (pad levels, clock phase, ...).
+    std::map<std::string, BitVector> old_nets;
+    for (const Net& net : nets_) {
+        if (net.has_value) {
+            old_nets[net.name] = net.value;
+        }
+    }
+    wire_nets();
+    resolve_peripherals();
+    // Re-deliver current input values (clock level, pad pins, ...). Any
+    // spurious clock edge this produces is neutralized by restoring the
+    // state snapshot afterwards: the snapshot is the source of truth.
+    for (Net& net : nets_) {
+        const auto it = old_nets.find(net.name);
+        if (it != old_nets.end()) {
+            net.value = it->second;
+            net.has_value = true;
+        }
+        if (net.has_value) {
+            const BitVector v = net.value;
+            for (const auto& [slot, port] : net.readers) {
+                slots_[slot].engine->read({port, v});
+            }
+        }
+    }
+    // Hardware-forwarded FIFOs are fed through direct state writes, not
+    // the pins/push ports: park the step-mode drive lines low so a push
+    // left high by the software phase cannot free-run.
+    for (const FifoBinding& f : adopted_fifos_) {
+        inject_net(f.push_net, BitVector(1, 0));
+    }
+    fifo_push_high_ = false;
+    // Flush any spurious shadow updates the edge produced, then restore.
+    if (adopted->there_are_updates()) {
+        adopted->update();
+    }
+    adopted->set_state(combined);
+    if (clock_engine_ != nullptr && native_engine_ != nullptr) {
+        native_engine_->sync_clock_level(clock_engine_->value());
+    }
+}
+
+void
+Runtime::run_open_loop()
+{
+    if (user_location_ != Location::HardwareForwarded &&
+        user_location_ != Location::Native) {
+        return;
+    }
+    Slot* user = nullptr;
+    for (Slot& slot : slots_) {
+        if (slot.sub.path == "root") {
+            user = &slot;
+        }
+    }
+    if (user == nullptr || !user->engine->supports_open_loop()) {
+        return;
+    }
+    // Feed the hardware FIFO before relinquishing control.
+    if (hw_engine_ != nullptr) {
+        for (const FifoBinding& f : adopted_fifos_) {
+            feed_fifo_hw(f);
+        }
+    }
+    // Adaptive profiling (§4.4): size batches so the engine relinquishes
+    // control roughly every open_loop_target_wall_s of host time.
+    if (open_loop_batch_ == 0) {
+        open_loop_batch_ = std::max<uint64_t>(64,
+                                              options_.open_loop_iterations);
+    }
+    const double wall0 = wall_seconds();
+    const uint64_t itrs = user->engine->open_loop(open_loop_batch_);
+    const double wall = wall_seconds() - wall0;
+    if (std::getenv("CASCADE_DEBUG_OLOOP") != nullptr) {
+        std::fprintf(stderr, "[oloop] itrs=%llu batch=%llu wall=%.3f\n",
+                     static_cast<unsigned long long>(itrs),
+                     static_cast<unsigned long long>(open_loop_batch_),
+                     wall);
+    }
+    const double target = std::max(0.01, options_.open_loop_target_wall_s);
+    if (wall > 1.5 * target) {
+        open_loop_batch_ = std::max<uint64_t>(64, open_loop_batch_ / 2);
+    } else if (wall < 0.5 * target && itrs == open_loop_batch_) {
+        open_loop_batch_ = std::min<uint64_t>(1u << 22,
+                                              open_loop_batch_ * 2);
+    }
+    if (itrs == 0) {
+        return;
+    }
+    clock_toggles_ += itrs;
+
+    // Resynchronize the runtime's clock with the level the engine left.
+    bool level = clock_engine_ != nullptr && clock_engine_->value();
+    if (hw_engine_ != nullptr && !hw_engine_->map().clock_input.empty()) {
+        const ir::VarSlot* clk =
+            hw_engine_->map().find(hw_engine_->map().clock_input);
+        if (clk != nullptr) {
+            level = !hw_engine_->read_var(*clk).is_zero();
+        }
+    } else if (native_engine_ != nullptr) {
+        level = native_engine_->clock_level();
+    }
+    if (clock_engine_ != nullptr) {
+        clock_engine_->force_value(level);
+    }
+    const int clk_net = find_net(clock_net_name_);
+    if (clk_net >= 0) {
+        nets_[static_cast<size_t>(clk_net)].value = BitVector(1, level);
+        nets_[static_cast<size_t>(clk_net)].has_value = true;
+    }
+    route_outputs();
+    for (Slot& slot : slots_) {
+        if (slot.engine->finished()) {
+            finished_ = true;
+        }
+    }
+}
+
+void
+Runtime::feed_fifo_hw(const FifoBinding& f)
+{
+    if (fifo_queue_.empty() || hw_engine_ == nullptr) {
+        return;
+    }
+    const ir::WrapperMap& map = hw_engine_->map();
+    const ir::VarSlot* mem = map.find(f.prefix + "mem");
+    const ir::VarSlot* head = map.find(f.prefix + "head");
+    const ir::VarSlot* tail = map.find(f.prefix + "tail");
+    if (mem == nullptr || head == nullptr || tail == nullptr) {
+        return;
+    }
+    const uint64_t depth = mem->elems;
+    const uint64_t ptr_mask = (uint64_t{1} << head->width) - 1;
+    uint64_t h = hw_engine_->read_var(*head).to_uint64();
+    uint64_t t = hw_engine_->read_var(*tail).to_uint64();
+    bool wrote = false;
+    while (!fifo_queue_.empty() &&
+           ((t - h) & ptr_mask) < depth) {
+        hw_engine_->write_var(*mem, BitVector(8, fifo_queue_.front()),
+                              t & (depth - 1));
+        fifo_queue_.pop_front();
+        ++fifo_consumed_;
+        t = (t + 1) & ptr_mask;
+        wrote = true;
+    }
+    if (wrote) {
+        hw_engine_->write_var(*tail, BitVector(tail->width, t));
+    }
+}
+
+bool
+Runtime::promote_pins(
+    ModuleDecl* merged,
+    const std::vector<std::tuple<std::string, std::string, bool>>& pins)
+{
+    for (const auto& [name, net, is_input] : pins) {
+        // Find and remove the net declaration, carrying its range over.
+        Range range;
+        bool found = false;
+        for (auto it = merged->items.begin(); it != merged->items.end();
+             ++it) {
+            if ((*it)->kind != ItemKind::NetDecl) {
+                continue;
+            }
+            auto* nd = static_cast<NetDecl*>(it->get());
+            for (auto dit = nd->decls.begin(); dit != nd->decls.end();
+                 ++dit) {
+                if (dit->name == name) {
+                    range = nd->range.clone();
+                    nd->decls.erase(dit);
+                    found = true;
+                    break;
+                }
+            }
+            if (found) {
+                if (nd->decls.empty()) {
+                    merged->items.erase(it);
+                }
+                break;
+            }
+        }
+        if (!found) {
+            continue; // instance exists but pin net optimized away
+        }
+        Port port;
+        port.name = name;
+        port.dir = is_input ? PortDir::Input : PortDir::Output;
+        port.range = std::move(range);
+        merged->ports.push_back(std::move(port));
+    }
+    return true;
+}
+
+const Runtime::Slot*
+Runtime::find_stdlib(const std::string& type) const
+{
+    for (const Slot& slot : slots_) {
+        if (slot.sub.module_name == type) {
+            return &slot;
+        }
+    }
+    return nullptr;
+}
+
+Runtime::Slot*
+Runtime::user_slot()
+{
+    for (Slot& slot : slots_) {
+        if (slot.sub.path == "root") {
+            return &slot;
+        }
+    }
+    return nullptr;
+}
+
+} // namespace cascade::runtime

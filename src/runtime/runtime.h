@@ -1,0 +1,237 @@
+/// \file
+/// The Cascade runtime (paper §3.4, Fig. 5/6): REPL eval, the
+/// distributed-system IR instantiated as engines wired by global nets over
+/// the data/control plane, the batching scheduler, the interrupt queue,
+/// background compilation with software-to-hardware engine transitions,
+/// ABI forwarding (standard components inlined into the user hardware
+/// engine), open-loop scheduling, and native mode.
+
+#ifndef CASCADE_RUNTIME_RUNTIME_H
+#define CASCADE_RUNTIME_RUNTIME_H
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fpga/compile.h"
+#include "ir/hw_wrapper.h"
+#include "ir/subprogram.h"
+#include "runtime/engine.h"
+#include "verilog/elaborate.h"
+
+namespace cascade::runtime {
+
+class CompileServer;
+
+/// Where a subprogram's engine currently executes (Fig. 9 stages).
+enum class Location {
+    Software,
+    Hardware,
+    HardwareForwarded, ///< stdlib components inlined into the user engine
+    Native,            ///< compiled exactly as written, no instrumentation
+};
+
+class Runtime : public EngineCallbacks {
+  public:
+    struct Options {
+        /// §4.2: merge user logic into a single subprogram.
+        bool enable_inlining = true;
+        /// Background compilation to hardware engines.
+        bool enable_hardware = true;
+        /// §4.3: inline standard components into the user hardware engine.
+        bool enable_forwarding = true;
+        /// §4.4: let the hardware engine toggle its own clock.
+        bool enable_open_loop = true;
+        /// §4.5: compile as written; requires no unsynthesizable code.
+        bool native_mode = false;
+
+        double compile_effort = 1.0;
+        double device_clock_mhz = 50.0;
+        double mmio_latency_s = 1e-6;
+        uint64_t device_les = 110000;
+        uint64_t device_bram_bits = 11000000;
+        /// Initial open-loop batch size (clock toggles per relinquish).
+        /// Adaptive profiling (§4.4) then resizes batches so the engine
+        /// relinquishes control about every open_loop_target_wall_s.
+        uint64_t open_loop_iterations = 1u << 12;
+        /// Paper §4.4: engines relinquish control every "small number of
+        /// seconds". IO-bound programs benefit from a smaller target
+        /// (peripheral service happens between batches).
+        double open_loop_target_wall_s = 1.0;
+    };
+
+    Runtime(); ///< default options
+    explicit Runtime(Options options);
+    ~Runtime() override;
+
+    Runtime(const Runtime&) = delete;
+    Runtime& operator=(const Runtime&) = delete;
+
+    /// View: $display lines (newline-terminated) and $write chunks.
+    std::function<void(const std::string&)> on_output;
+
+    /// Lexes/parses/type-checks one eval; on success integrates the code
+    /// and (re)starts engines. On failure reports via \p errors and leaves
+    /// the running program untouched.
+    bool eval(std::string_view source, std::string* errors = nullptr);
+
+    /// One scheduler iteration (Fig. 6). Returns false once $finish ran.
+    bool step();
+    /// Runs until \p ticks virtual clock ticks elapsed (or finished).
+    bool run_for_ticks(uint64_t ticks);
+    /// Runs scheduler iterations until finished or the iteration budget is
+    /// exhausted. Returns true if finished.
+    bool run(uint64_t max_iterations);
+
+    bool finished() const { return finished_; }
+
+    /// @{ Peripherals.
+    void set_pad(uint64_t buttons);
+    BitVector led_state();
+    void fifo_push(const std::vector<uint8_t>& bytes);
+    uint64_t fifo_bytes_consumed() const { return fifo_consumed_; }
+    size_t fifo_backlog() const { return fifo_queue_.size(); }
+    /// @}
+
+    /// @{ Introspection for benches and tests.
+    uint64_t virtual_ticks() const { return clock_toggles_ / 2; }
+    /// The virtual timeline (seconds): wall time while user logic runs in
+    /// software, modeled device/bus time while it runs in hardware.
+    double timeline_seconds() const { return timeline_s_; }
+    Location user_location() const { return user_location_; }
+    bool hardware_ready() const; ///< a compile finished and was adopted
+    const std::optional<fpga::CompileReport>& last_compile_report() const
+    {
+        return last_report_;
+    }
+    uint64_t scheduler_iterations() const { return iterations_; }
+    /// @}
+
+    /// EngineCallbacks:
+    void on_display(const std::string& text) override;
+    void on_write(const std::string& text) override;
+    void on_finish() override;
+    uint64_t virtual_time() const override { return virtual_ticks(); }
+
+  private:
+    struct Net {
+        std::string name;
+        BitVector value;
+        bool has_value = false;
+        std::vector<std::pair<size_t, uint32_t>> readers;
+    };
+
+    struct Slot {
+        ir::Subprogram sub;
+        std::unique_ptr<Engine> engine;
+        std::vector<int32_t> port_net; ///< port index -> net index
+        std::vector<bool> port_is_input;
+        bool is_clock = false;
+        bool is_stdlib = false;
+        std::string instance; ///< last path component
+    };
+
+    /// A finished background compile ready for adoption.
+    struct CompileOutcome {
+        uint64_t version = 0;
+        fpga::CompileResult result;
+        ir::WrapperMap map;
+        /// Wrapper port wiring: (port name, net name, is_input).
+        std::vector<std::tuple<std::string, std::string, bool>> ports;
+        /// Prefixes for stdlib state transfer: instance -> inline prefix.
+        std::map<std::string, std::string> prefixes;
+        bool native = false;
+        std::string clock_net;
+    };
+
+    /// Runtime wiring for one FIFO standard component.
+    struct FifoBinding {
+        std::string pins_net;
+        std::string push_net;
+        std::string full_net;
+        std::string prefix; ///< inline prefix for hardware state access
+    };
+
+    bool rebuild_program(std::string* errors);
+    void settle_evaluations();
+    void flush_interrupts();
+    void wire_nets();
+    void route_outputs();
+    void inject_net(const std::string& name, const BitVector& value);
+    int find_net(const std::string& name) const;
+    void window();
+    void resolve_peripherals();
+    void service_peripherals();
+    uint32_t pad_width_hint(const std::string& net) const;
+    void poll_compiles();
+    void adopt_hardware(CompileOutcome outcome);
+    void launch_compile();
+    void run_open_loop();
+    void feed_fifo_hw(const FifoBinding& f);
+    bool promote_pins(
+        verilog::ModuleDecl* merged,
+        const std::vector<std::tuple<std::string, std::string, bool>>&
+            pins);
+    std::vector<bool> initial_skip_mask(
+        const verilog::ElaboratedModule& em, const std::string& path,
+        bool record);
+    const Slot* find_stdlib(const std::string& type) const;
+    Slot* user_slot();
+
+    Options options_;
+    Diagnostics startup_diags_;
+    verilog::ModuleLibrary lib_;
+    std::vector<verilog::ItemPtr> root_items_;
+    uint64_t version_ = 0;
+
+    std::vector<Slot> slots_;
+    std::vector<Net> nets_;
+    std::map<std::string, size_t> net_index_;
+    std::map<std::string, std::string> slot_type_; ///< path -> module type
+
+    std::deque<std::string> interrupt_queue_;
+    bool finished_ = false;
+    uint64_t clock_toggles_ = 0;
+    uint64_t iterations_ = 0;
+    double timeline_s_ = 0;
+    Location user_location_ = Location::Software;
+    std::optional<fpga::CompileReport> last_report_;
+
+    /// Executed-initial bookkeeping: path -> printed-initial -> count.
+    std::map<std::string, std::map<std::string, int>> executed_initials_;
+
+    // Peripheral state.
+    uint64_t pad_value_ = 0;
+    std::deque<uint8_t> fifo_queue_;
+    uint64_t fifo_consumed_ = 0;
+    bool fifo_push_high_ = false;
+    std::vector<std::string> pads_;
+    std::vector<std::string> leds_;
+    std::vector<FifoBinding> fifos_;
+    std::vector<std::string> adopted_pads_;
+    std::vector<std::string> adopted_leds_;
+    std::vector<FifoBinding> adopted_fifos_;
+    std::map<std::string, std::string> adopted_prefixes_;
+    std::string clock_net_name_;
+
+    // Engine shortcuts (owned by slots_).
+    class ClockEngine* clock_engine_ = nullptr;
+    class HwEngine* hw_engine_ = nullptr;
+    class NativeEngine* native_engine_ = nullptr;
+
+    /// Adaptive open-loop batch size (§4.4).
+    uint64_t open_loop_batch_ = 0;
+
+    fpga::FpgaDevice device_;
+    std::unique_ptr<CompileServer> compile_server_;
+    uint64_t compile_inflight_version_ = 0;
+    std::optional<CompileOutcome> pending_outcome_;
+};
+
+} // namespace cascade::runtime
+
+#endif // CASCADE_RUNTIME_RUNTIME_H

@@ -1,0 +1,117 @@
+#include "runtime/sw_engine.h"
+
+#include "common/check.h"
+
+namespace cascade::runtime {
+
+SwEngine::SwEngine(std::shared_ptr<const verilog::ElaboratedModule> em,
+                   EngineCallbacks* callbacks,
+                   const std::vector<bool>& initial_skip,
+                   bool hardware_resident)
+    : callbacks_(callbacks), interp_(em, this),
+      hardware_resident_(hardware_resident)
+{
+    net_to_port_.assign(em->nets.size(), -1);
+    for (const verilog::Port& p : em->decl->ports) {
+        const uint32_t net = em->net_id(p.name);
+        net_to_port_[net] = static_cast<int32_t>(port_nets_.size());
+        port_nets_.push_back(net);
+    }
+    initial_count_ = interp_.initial_count();
+    interp_.run_initials_masked(initial_skip);
+}
+
+sim::StateSnapshot
+SwEngine::get_state()
+{
+    return interp_.get_state();
+}
+
+void
+SwEngine::set_state(const sim::StateSnapshot& snapshot)
+{
+    interp_.set_state(snapshot);
+}
+
+void
+SwEngine::read(const Event& event)
+{
+    CASCADE_CHECK(event.port < port_nets_.size());
+    interp_.set_input(port_nets_[event.port], event.value);
+}
+
+std::vector<Event>
+SwEngine::write()
+{
+    std::vector<Event> events;
+    for (uint32_t net : interp_.take_changed_outputs()) {
+        const int32_t port = net_to_port_[net];
+        if (port >= 0) {
+            events.push_back(
+                {static_cast<uint32_t>(port), interp_.get(net)});
+        }
+    }
+    return events;
+}
+
+bool
+SwEngine::there_are_evals()
+{
+    return interp_.there_are_evals();
+}
+
+void
+SwEngine::evaluate()
+{
+    interp_.evaluate();
+}
+
+bool
+SwEngine::there_are_updates()
+{
+    return interp_.there_are_updates();
+}
+
+void
+SwEngine::update()
+{
+    interp_.update();
+}
+
+bool
+SwEngine::finished() const
+{
+    return interp_.finished();
+}
+
+void
+SwEngine::on_display(const std::string& text)
+{
+    if (callbacks_ != nullptr) {
+        callbacks_->on_display(text);
+    }
+}
+
+void
+SwEngine::on_write(const std::string& text)
+{
+    if (callbacks_ != nullptr) {
+        callbacks_->on_write(text);
+    }
+}
+
+void
+SwEngine::on_finish()
+{
+    if (callbacks_ != nullptr) {
+        callbacks_->on_finish();
+    }
+}
+
+uint64_t
+SwEngine::current_time() const
+{
+    return callbacks_ != nullptr ? callbacks_->virtual_time() : 0;
+}
+
+} // namespace cascade::runtime

@@ -1,0 +1,109 @@
+#include "sim/format.h"
+
+#include <cctype>
+
+namespace cascade::sim {
+
+namespace {
+
+std::string
+octal_string(const BitVector& v)
+{
+    const uint32_t digits = (v.width() + 2) / 3;
+    std::string out;
+    out.reserve(digits);
+    for (uint32_t i = digits; i-- > 0;) {
+        out += static_cast<char>('0' + v.slice(i * 3, 3).to_uint64());
+    }
+    return out;
+}
+
+std::string
+render(const DisplayValue& dv, char spec, bool pad)
+{
+    switch (spec) {
+      case 'd':
+        if (dv.is_signed) {
+            return dv.value.to_signed_dec_string();
+        }
+        if (pad) {
+            // %d pads to the widest possible decimal for the bit width.
+            std::string max_str =
+                BitVector::all_ones(dv.value.width()).to_dec_string();
+            std::string s = dv.value.to_dec_string();
+            if (s.size() < max_str.size()) {
+                s.insert(0, max_str.size() - s.size(), ' ');
+            }
+            return s;
+        }
+        return dv.value.to_dec_string();
+      case 'h':
+      case 'x':
+        return dv.value.to_hex_string();
+      case 'b':
+        return dv.value.to_bin_string();
+      case 'o':
+        return octal_string(dv.value);
+      case 'c': {
+        const char c = static_cast<char>(dv.value.to_uint64() & 0x7f);
+        return std::string(1, c);
+      }
+      default:
+        return dv.value.to_dec_string();
+    }
+}
+
+} // namespace
+
+std::string
+format_display(const std::string& fmt, const std::vector<DisplayValue>& values)
+{
+    std::string out;
+    size_t next_value = 0;
+    for (size_t i = 0; i < fmt.size(); ++i) {
+        if (fmt[i] != '%') {
+            out += fmt[i];
+            continue;
+        }
+        if (i + 1 >= fmt.size()) {
+            out += '%';
+            break;
+        }
+        ++i;
+        bool pad = true;
+        if (fmt[i] == '0' && i + 1 < fmt.size()) {
+            pad = false;
+            ++i;
+        }
+        const char spec = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(fmt[i])));
+        if (spec == '%') {
+            out += '%';
+            continue;
+        }
+        DisplayValue dv;
+        if (next_value < values.size()) {
+            dv = values[next_value++];
+        } else {
+            dv.value = BitVector(1, 0);
+        }
+        out += render(dv, spec, pad);
+    }
+    return out;
+}
+
+std::string
+format_values(const std::vector<DisplayValue>& values)
+{
+    std::string out;
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (i > 0) {
+            out += ' ';
+        }
+        out += values[i].is_signed ? values[i].value.to_signed_dec_string()
+                                   : values[i].value.to_dec_string();
+    }
+    return out;
+}
+
+} // namespace cascade::sim

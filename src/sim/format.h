@@ -1,0 +1,34 @@
+/// \file
+/// $display/$write format-string rendering, shared by the software engine
+/// (which formats during interpretation) and the hardware engine's software
+/// stub (which formats values read back over MMIO, per §5.2 of the paper).
+
+#ifndef CASCADE_SIM_FORMAT_H
+#define CASCADE_SIM_FORMAT_H
+
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+
+namespace cascade::sim {
+
+/// One $display argument: either a literal string chunk (from a string
+/// literal argument) or a formatted value.
+struct DisplayValue {
+    BitVector value;
+    bool is_signed = false;
+};
+
+/// Renders a Verilog format string against a value list. Supports %d, %0d,
+/// %h/%x, %b, %o, %c, %%; unknown specifiers pass through. Values beyond
+/// the format specifiers are ignored; missing values render as 0.
+std::string format_display(const std::string& fmt,
+                           const std::vector<DisplayValue>& values);
+
+/// Renders the no-format-string case: values as decimal, space-separated.
+std::string format_values(const std::vector<DisplayValue>& values);
+
+} // namespace cascade::sim
+
+#endif // CASCADE_SIM_FORMAT_H

@@ -1,0 +1,185 @@
+/// \file
+/// Cycle-accurate event-driven interpretation of a single elaborated module
+/// (one Cascade subprogram), in the style of iVerilog (paper §5.1).
+///
+/// The interpreter exposes the evaluate/update split of the Verilog
+/// reference scheduler (Fig. 2): evaluate() runs combinational processes to
+/// a fixed point and executes edge-triggered processes, queueing their
+/// nonblocking assignments; update() commits those assignments. Software
+/// engines wrap this class behind the Engine ABI (Fig. 7); dependency
+/// tracking keeps re-evaluation lazy, only processes whose inputs changed
+/// run again.
+
+#ifndef CASCADE_SIM_INTERPRETER_H
+#define CASCADE_SIM_INTERPRETER_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/diagnostics.h"
+#include "sim/format.h"
+#include "verilog/elaborate.h"
+
+namespace cascade::sim {
+
+/// Receiver for unsynthesizable side effects. The Cascade runtime routes
+/// these through its interrupt queue (paper §3.4); tests capture them
+/// directly.
+class SystemTaskHandler {
+  public:
+    virtual ~SystemTaskHandler() = default;
+
+    /// $display (newline already excluded; caller appends).
+    virtual void on_display(const std::string& text) = 0;
+    /// $write.
+    virtual void on_write(const std::string& text) = 0;
+    /// $finish.
+    virtual void on_finish() = 0;
+    /// Logical time for $time.
+    virtual uint64_t current_time() const = 0;
+};
+
+/// A saved register/memory snapshot, used for engine state handoff when a
+/// subprogram migrates between software and hardware (get_state/set_state
+/// in the Engine ABI).
+struct StateSnapshot {
+    std::map<std::string, BitVector> regs;
+    std::map<std::string, std::vector<BitVector>> memories;
+
+    bool operator==(const StateSnapshot&) const = default;
+};
+
+class ModuleInterpreter {
+  public:
+    /// \p handler may be null when the module contains no system tasks.
+    ModuleInterpreter(std::shared_ptr<const verilog::ElaboratedModule> em,
+                      SystemTaskHandler* handler);
+
+    const verilog::ElaboratedModule& module() const { return *em_; }
+
+    /// Runs initial blocks (once, at t=0), skipping the first
+    /// \p skip_first of them (REPL evals append items; initials that fired
+    /// in a prior engine incarnation must not re-fire). Nonblocking
+    /// assignments in initial blocks are queued like any others.
+    void run_initials(size_t skip_first = 0);
+
+    /// Runs initial blocks with a per-block skip mask (index = position of
+    /// the initial block in item order; missing entries mean "run").
+    void run_initials_masked(const std::vector<bool>& skip);
+
+    /// Number of initial blocks in the module.
+    size_t initial_count() const;
+
+    /// @{ Value access by net name (ports, regs, wires alike).
+    const BitVector& get(const std::string& name) const;
+    const BitVector& get(uint32_t net_id) const;
+    /// Drives an input port (or any net) from outside; triggers edge
+    /// detection and marks dependents for re-evaluation.
+    void set_input(const std::string& name, const BitVector& value);
+    void set_input(uint32_t net_id, const BitVector& value);
+    /// Memory element access (tests, state handoff, stdlib engines).
+    const BitVector& get_element(const std::string& name, uint64_t idx) const;
+    void set_element(const std::string& name, uint64_t idx,
+                     const BitVector& value);
+    /// @}
+
+    /// @{ The reference-scheduler interface (Fig. 2 / Fig. 7).
+    bool there_are_evals() const;
+    void evaluate();
+    bool there_are_updates() const { return !nb_queue_.empty(); }
+    void update();
+    /// @}
+
+    /// True once $finish has executed.
+    bool finished() const { return finished_; }
+
+    /// Net ids of output ports whose value changed since the last call.
+    std::vector<uint32_t> take_changed_outputs();
+
+    /// @{ State handoff for engine transitions (sw -> hw and back).
+    StateSnapshot get_state() const;
+    void set_state(const StateSnapshot& snapshot);
+    /// @}
+
+    /// Number of processes that executed since construction (profiling).
+    uint64_t process_executions() const { return process_executions_; }
+
+  private:
+    struct Trigger {
+        uint32_t net = 0;
+        verilog::EdgeKind edge = verilog::EdgeKind::Pos;
+    };
+
+    struct Process {
+        enum class Kind { Continuous, Comb, Seq, Initial };
+        Kind kind = Kind::Comb;
+        /// For Continuous: the item; for blocks: the body statement.
+        const verilog::ContinuousAssign* assign = nullptr;
+        const verilog::Stmt* body = nullptr;
+        std::vector<uint32_t> reads;    ///< comb dependency net ids
+        std::vector<Trigger> triggers;  ///< seq edge triggers
+    };
+
+    struct NbUpdate {
+        /// Target lvalue (re-resolved at commit for slices; the value and
+        /// any dynamic indices were captured at enqueue time).
+        const verilog::Expr* lhs = nullptr;
+        /// Pre-resolved dynamic index values, in lvalue nesting order.
+        std::vector<uint64_t> indices;
+        BitVector value;
+    };
+
+    friend class Evaluator;
+
+    void build_processes();
+    void collect_reads(const verilog::Expr& expr,
+                       std::vector<uint32_t>* out) const;
+    void collect_reads(const verilog::Stmt& stmt,
+                       std::vector<uint32_t>* out) const;
+    void collect_lvalue_index_reads(const verilog::Expr& lhs,
+                                    std::vector<uint32_t>* out) const;
+    /// Root nets assigned anywhere in \p stmt.
+    void collect_defs(const verilog::Stmt& stmt,
+                      std::vector<uint32_t>* out) const;
+
+    /// Writes \p value to net \p id, recording changes, waking dependent
+    /// combinational processes, and latching edge triggers.
+    void commit_net(uint32_t id, BitVector value);
+    void commit_element(uint32_t id, uint64_t index, BitVector value);
+
+    void run_process(size_t index);
+    void execute_stmt(const verilog::Stmt& stmt, bool nonblocking_allowed);
+
+    std::shared_ptr<const verilog::ElaboratedModule> em_;
+    SystemTaskHandler* handler_;
+
+    std::vector<BitVector> values_;                 ///< scalar nets
+    std::vector<std::vector<BitVector>> memories_;  ///< array nets
+    std::vector<Process> processes_;
+    /// net id -> comb process indices that read it.
+    std::vector<std::vector<uint32_t>> comb_deps_;
+    /// net id -> (process index, trigger) for seq processes.
+    std::vector<std::vector<std::pair<uint32_t, verilog::EdgeKind>>>
+        seq_deps_;
+
+    std::vector<bool> comb_pending_;
+    std::vector<uint32_t> comb_queue_;
+    std::vector<bool> seq_pending_;
+    std::vector<uint32_t> seq_queue_;
+    std::vector<NbUpdate> nb_queue_;
+
+    std::unordered_set<uint32_t> changed_outputs_;
+    bool finished_ = false;
+    uint64_t process_executions_ = 0;
+    Diagnostics runtime_diags_;
+};
+
+} // namespace cascade::sim
+
+#endif // CASCADE_SIM_INTERPRETER_H

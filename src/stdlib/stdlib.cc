@@ -1,0 +1,103 @@
+#include "stdlib/stdlib.h"
+
+namespace cascade::stdlib {
+
+const char*
+stdlib_source()
+{
+    // Note: Clock has no Verilog body; it is a native engine whose tick is
+    // re-queued by the runtime's end_step (paper §3.4). It is declared here
+    // so instantiations type-check uniformly.
+    return R"(
+module Clock(output wire val);
+endmodule
+
+module Pad#(parameter WIDTH = 4)(
+  input wire [WIDTH-1:0] pins,
+  output wire [WIDTH-1:0] val
+);
+  assign val = pins;
+endmodule
+
+module Led#(parameter WIDTH = 8)(
+  input wire [WIDTH-1:0] val,
+  output wire [WIDTH-1:0] pins
+);
+  assign pins = val;
+endmodule
+
+module GPIO#(parameter WIDTH = 8)(
+  input wire [WIDTH-1:0] val,
+  input wire [WIDTH-1:0] pins,
+  output wire [WIDTH-1:0] in_val,
+  output wire [WIDTH-1:0] out_pins
+);
+  assign in_val = pins;
+  assign out_pins = val;
+endmodule
+
+module Reset(
+  input wire pins,
+  output wire val
+);
+  assign val = pins;
+endmodule
+
+module Memory#(parameter ADDR_SIZE = 8, parameter BYTE_SIZE = 8)(
+  input wire clk,
+  input wire wen,
+  input wire [ADDR_SIZE-1:0] raddr1,
+  output wire [BYTE_SIZE-1:0] rdata1,
+  input wire [ADDR_SIZE-1:0] raddr2,
+  output wire [BYTE_SIZE-1:0] rdata2,
+  input wire [ADDR_SIZE-1:0] waddr,
+  input wire [BYTE_SIZE-1:0] wdata
+);
+  reg [BYTE_SIZE-1:0] mem [0:2**ADDR_SIZE-1];
+  always @(posedge clk)
+    if (wen)
+      mem[waddr] <= wdata;
+  assign rdata1 = mem[raddr1];
+  assign rdata2 = mem[raddr2];
+endmodule
+
+module FIFO#(parameter LOG_DEPTH = 4, parameter BYTE_SIZE = 8)(
+  input wire clk,
+  // Host-facing push side: the runtime drives these pins from the host
+  // byte stream (paper Fig. 12: host-to-FPGA transport over MMIO).
+  input wire [BYTE_SIZE-1:0] pins,
+  input wire push,
+  // User-facing pop side.
+  input wire rreq,
+  output wire [BYTE_SIZE-1:0] rdata,
+  output wire empty,
+  output wire full
+);
+  reg [BYTE_SIZE-1:0] mem [0:2**LOG_DEPTH-1];
+  reg [LOG_DEPTH:0] head = 0;
+  reg [LOG_DEPTH:0] tail = 0;
+  assign empty = head == tail;
+  assign full = (tail - head) == (1 << LOG_DEPTH);
+  assign rdata = mem[head[LOG_DEPTH-1:0]];
+  always @(posedge clk) begin
+    if (push && !full) begin
+      mem[tail[LOG_DEPTH-1:0]] <= pins;
+      tail <= tail + 1;
+    end
+    if (rreq && !empty)
+      head <= head + 1;
+  end
+endmodule
+)";
+}
+
+const std::set<std::string>&
+stdlib_type_names()
+{
+    static const std::set<std::string> names = {
+        "Clock", "Pad", "Led", "GPIO", "Reset", "Memory", "FIFO",
+    };
+    return names;
+}
+
+} // namespace cascade::stdlib

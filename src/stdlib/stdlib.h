@@ -1,0 +1,29 @@
+/// \file
+/// Cascade's standard library (paper §3.2): IO peripherals and utility
+/// components represented as pre-defined module types. Clock, Pad, Led,
+/// GPIO, and Reset are implicitly declared when Cascade starts; Memory and
+/// FIFO may be instantiated at the user's discretion. Each component has a
+/// synthesizable Verilog body whose peripheral-facing "pins" ports the
+/// runtime binds to device models — which is what lets a program be tested
+/// in the same environment it is released in, with no user-written proxies.
+
+#ifndef CASCADE_STDLIB_STDLIB_H
+#define CASCADE_STDLIB_STDLIB_H
+
+#include <set>
+#include <string>
+
+namespace cascade::stdlib {
+
+/// Verilog source declaring every standard-library module.
+const char* stdlib_source();
+
+/// Module names treated as standard components by the IR splitter.
+const std::set<std::string>& stdlib_type_names();
+
+/// Names of the peripheral-facing ports ("pins" by convention).
+inline constexpr const char* kPinsPort = "pins";
+
+} // namespace cascade::stdlib
+
+#endif // CASCADE_STDLIB_STDLIB_H

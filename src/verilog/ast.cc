@@ -1,0 +1,373 @@
+#include "verilog/ast.h"
+
+namespace cascade::verilog {
+
+namespace {
+
+ExprPtr
+clone_or_null(const ExprPtr& e)
+{
+    return e ? e->clone() : nullptr;
+}
+
+StmtPtr
+clone_or_null(const StmtPtr& s)
+{
+    return s ? s->clone() : nullptr;
+}
+
+std::vector<ExprPtr>
+clone_all(const std::vector<ExprPtr>& v)
+{
+    std::vector<ExprPtr> out;
+    out.reserve(v.size());
+    for (const auto& e : v) {
+        out.push_back(e->clone());
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+IdentifierExpr::full_name() const
+{
+    std::string out;
+    for (size_t i = 0; i < path.size(); ++i) {
+        if (i > 0) {
+            out += '.';
+        }
+        out += path[i];
+    }
+    return out;
+}
+
+ExprPtr
+NumberExpr::clone() const
+{
+    return std::make_unique<NumberExpr>(value, sized, is_signed, loc);
+}
+
+ExprPtr
+StringExpr::clone() const
+{
+    return std::make_unique<StringExpr>(text, loc);
+}
+
+ExprPtr
+IdentifierExpr::clone() const
+{
+    return std::make_unique<IdentifierExpr>(path, loc);
+}
+
+ExprPtr
+UnaryExpr::clone() const
+{
+    return std::make_unique<UnaryExpr>(op, operand->clone(), loc);
+}
+
+ExprPtr
+BinaryExpr::clone() const
+{
+    return std::make_unique<BinaryExpr>(op, lhs->clone(), rhs->clone(), loc);
+}
+
+ExprPtr
+TernaryExpr::clone() const
+{
+    return std::make_unique<TernaryExpr>(cond->clone(), then_expr->clone(),
+                                         else_expr->clone(), loc);
+}
+
+ExprPtr
+ConcatExpr::clone() const
+{
+    return std::make_unique<ConcatExpr>(clone_all(elements), loc);
+}
+
+ExprPtr
+ReplicateExpr::clone() const
+{
+    return std::make_unique<ReplicateExpr>(count->clone(), body->clone(),
+                                           loc);
+}
+
+ExprPtr
+IndexExpr::clone() const
+{
+    return std::make_unique<IndexExpr>(base->clone(), index->clone(), loc);
+}
+
+ExprPtr
+RangeSelectExpr::clone() const
+{
+    return std::make_unique<RangeSelectExpr>(base->clone(), msb->clone(),
+                                             lsb->clone(), loc);
+}
+
+ExprPtr
+IndexedSelectExpr::clone() const
+{
+    return std::make_unique<IndexedSelectExpr>(base->clone(),
+                                               offset->clone(),
+                                               width->clone(), up, loc);
+}
+
+ExprPtr
+CallExpr::clone() const
+{
+    return std::make_unique<CallExpr>(callee, clone_all(args), loc);
+}
+
+ExprPtr
+SystemCallExpr::clone() const
+{
+    return std::make_unique<SystemCallExpr>(callee, clone_all(args), loc);
+}
+
+StmtPtr
+BlockStmt::clone() const
+{
+    std::vector<StmtPtr> out;
+    out.reserve(stmts.size());
+    for (const auto& s : stmts) {
+        out.push_back(s->clone());
+    }
+    return std::make_unique<BlockStmt>(std::move(out), loc);
+}
+
+StmtPtr
+BlockingAssignStmt::clone() const
+{
+    return std::make_unique<BlockingAssignStmt>(lhs->clone(), rhs->clone(),
+                                                loc);
+}
+
+StmtPtr
+NonblockingAssignStmt::clone() const
+{
+    return std::make_unique<NonblockingAssignStmt>(lhs->clone(),
+                                                   rhs->clone(), loc);
+}
+
+StmtPtr
+IfStmt::clone() const
+{
+    return std::make_unique<IfStmt>(cond->clone(), then_stmt->clone(),
+                                    clone_or_null(else_stmt), loc);
+}
+
+StmtPtr
+CaseStmt::clone() const
+{
+    std::vector<CaseItem> out;
+    out.reserve(items.size());
+    for (const auto& item : items) {
+        CaseItem c;
+        c.labels = clone_all(item.labels);
+        c.stmt = item.stmt->clone();
+        out.push_back(std::move(c));
+    }
+    return std::make_unique<CaseStmt>(case_kind, subject->clone(),
+                                      std::move(out), loc);
+}
+
+StmtPtr
+ForStmt::clone() const
+{
+    return std::make_unique<ForStmt>(init->clone(), cond->clone(),
+                                     step->clone(), body->clone(), loc);
+}
+
+StmtPtr
+WhileStmt::clone() const
+{
+    return std::make_unique<WhileStmt>(cond->clone(), body->clone(), loc);
+}
+
+StmtPtr
+RepeatStmt::clone() const
+{
+    return std::make_unique<RepeatStmt>(count->clone(), body->clone(), loc);
+}
+
+StmtPtr
+ForeverStmt::clone() const
+{
+    return std::make_unique<ForeverStmt>(body->clone(), loc);
+}
+
+StmtPtr
+SystemTaskStmt::clone() const
+{
+    return std::make_unique<SystemTaskStmt>(name, clone_all(args), loc);
+}
+
+StmtPtr
+NullStmt::clone() const
+{
+    return std::make_unique<NullStmt>(loc);
+}
+
+Range
+Range::clone() const
+{
+    Range out;
+    out.msb = clone_or_null(msb);
+    out.lsb = clone_or_null(lsb);
+    return out;
+}
+
+NetDeclarator
+NetDeclarator::clone() const
+{
+    NetDeclarator out;
+    out.name = name;
+    out.array_dim = array_dim.clone();
+    out.init = clone_or_null(init);
+    return out;
+}
+
+ItemPtr
+NetDecl::clone() const
+{
+    auto out = std::make_unique<NetDecl>();
+    out->loc = loc;
+    out->is_reg = is_reg;
+    out->is_signed = is_signed;
+    out->range = range.clone();
+    out->decls.reserve(decls.size());
+    for (const auto& d : decls) {
+        out->decls.push_back(d.clone());
+    }
+    return out;
+}
+
+ItemPtr
+ParamDecl::clone() const
+{
+    auto out = std::make_unique<ParamDecl>();
+    out->loc = loc;
+    out->local = local;
+    out->is_signed = is_signed;
+    out->range = range.clone();
+    out->name = name;
+    out->value = clone_or_null(value);
+    return out;
+}
+
+ItemPtr
+ContinuousAssign::clone() const
+{
+    return std::make_unique<ContinuousAssign>(lhs->clone(), rhs->clone(),
+                                              loc);
+}
+
+SensitivityItem
+SensitivityItem::clone() const
+{
+    SensitivityItem out;
+    out.edge = edge;
+    out.signal = clone_or_null(signal);
+    return out;
+}
+
+ItemPtr
+AlwaysBlock::clone() const
+{
+    auto out = std::make_unique<AlwaysBlock>();
+    out->loc = loc;
+    out->star = star;
+    out->sensitivity.reserve(sensitivity.size());
+    for (const auto& s : sensitivity) {
+        out->sensitivity.push_back(s.clone());
+    }
+    out->body = clone_or_null(body);
+    return out;
+}
+
+ItemPtr
+InitialBlock::clone() const
+{
+    return std::make_unique<InitialBlock>(body->clone(), loc);
+}
+
+Connection
+Connection::clone() const
+{
+    Connection out;
+    out.name = name;
+    out.expr = clone_or_null(expr);
+    return out;
+}
+
+ItemPtr
+Instantiation::clone() const
+{
+    auto out = std::make_unique<Instantiation>();
+    out->loc = loc;
+    out->module_name = module_name;
+    out->instance_name = instance_name;
+    out->parameters.reserve(parameters.size());
+    for (const auto& p : parameters) {
+        out->parameters.push_back(p.clone());
+    }
+    out->ports.reserve(ports.size());
+    for (const auto& p : ports) {
+        out->ports.push_back(p.clone());
+    }
+    return out;
+}
+
+ItemPtr
+FunctionDecl::clone() const
+{
+    auto out = std::make_unique<FunctionDecl>();
+    out->loc = loc;
+    out->name = name;
+    out->ret_signed = ret_signed;
+    out->ret_range = ret_range.clone();
+    out->decls.reserve(decls.size());
+    for (const auto& d : decls) {
+        out->decls.push_back(d->clone());
+    }
+    out->decl_is_input = decl_is_input;
+    out->body = clone_or_null(body);
+    return out;
+}
+
+Port
+Port::clone() const
+{
+    Port out;
+    out.dir = dir;
+    out.is_reg = is_reg;
+    out.is_signed = is_signed;
+    out.range = range.clone();
+    out.name = name;
+    out.loc = loc;
+    return out;
+}
+
+std::unique_ptr<ModuleDecl>
+ModuleDecl::clone() const
+{
+    auto out = std::make_unique<ModuleDecl>();
+    out->name = name;
+    out->loc = loc;
+    out->header_params.reserve(header_params.size());
+    for (const auto& p : header_params) {
+        out->header_params.push_back(p->clone());
+    }
+    out->ports.reserve(ports.size());
+    for (const auto& p : ports) {
+        out->ports.push_back(p.clone());
+    }
+    out->items.reserve(items.size());
+    for (const auto& item : items) {
+        out->items.push_back(item->clone());
+    }
+    return out;
+}
+
+} // namespace cascade::verilog

@@ -1,0 +1,614 @@
+/// \file
+/// Abstract syntax tree for the Cascade Verilog subset.
+///
+/// The AST covers the synthesizable core (modules, nets, continuous assigns,
+/// always/initial blocks, instantiations, functions) plus the unsynthesizable
+/// system tasks ($display and friends) that Cascade keeps alive in hardware.
+/// All nodes are deep-clonable: Cascade's IR transforms (port promotion,
+/// inlining, the Fig. 10 hardware wrapper) are source-to-source rewrites.
+
+#ifndef CASCADE_VERILOG_AST_H
+#define CASCADE_VERILOG_AST_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/source_loc.h"
+
+namespace cascade::verilog {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+    Number,
+    String,
+    Identifier,
+    Unary,
+    Binary,
+    Ternary,
+    Concat,
+    Replicate,
+    Index,        ///< a[i] — bit select or memory element select
+    RangeSelect,  ///< a[msb:lsb] with constant bounds
+    IndexedSelect,///< a[base +: w] / a[base -: w]
+    Call,         ///< f(args) — user function call
+    SystemCall,   ///< $time, $signed(x), $unsigned(x)
+};
+
+enum class UnaryOp {
+    Plus, Minus, LogicalNot, BitwiseNot,
+    ReduceAnd, ReduceOr, ReduceXor,
+    ReduceNand, ReduceNor, ReduceXnor,
+};
+
+enum class BinaryOp {
+    Add, Sub, Mul, Div, Mod, Pow,
+    Eq, Neq, CaseEq, CaseNeq,
+    LogicalAnd, LogicalOr,
+    Lt, Leq, Gt, Geq,
+    Shl, Shr, AShr,   // <<< is identical to << for two-state values
+    BitAnd, BitOr, BitXor, BitXnor,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+    explicit Expr(ExprKind kind, SourceLoc loc = {}) : kind(kind), loc(loc) {}
+    virtual ~Expr() = default;
+
+    /// Deep copy.
+    virtual ExprPtr clone() const = 0;
+
+    ExprKind kind;
+    SourceLoc loc;
+};
+
+/// A numeric literal (42, 8'h80, 4'sb1010).
+struct NumberExpr final : Expr {
+    NumberExpr(BitVector value, bool sized, bool is_signed,
+               SourceLoc loc = {})
+        : Expr(ExprKind::Number, loc), value(std::move(value)), sized(sized),
+          is_signed(is_signed)
+    {}
+
+    ExprPtr clone() const override;
+
+    BitVector value;
+    bool sized;
+    bool is_signed;
+};
+
+/// A string literal, only valid as a $display/$write format argument.
+struct StringExpr final : Expr {
+    explicit StringExpr(std::string text, SourceLoc loc = {})
+        : Expr(ExprKind::String, loc), text(std::move(text))
+    {}
+
+    ExprPtr clone() const override;
+
+    std::string text;
+};
+
+/// A (possibly hierarchical) name: cnt, r.y, pad.val.
+struct IdentifierExpr final : Expr {
+    explicit IdentifierExpr(std::vector<std::string> path, SourceLoc loc = {})
+        : Expr(ExprKind::Identifier, loc), path(std::move(path))
+    {}
+
+    ExprPtr clone() const override;
+
+    /// True for a non-hierarchical (single-component) name.
+    bool simple() const { return path.size() == 1; }
+
+    /// Renders the name with '.' separators.
+    std::string full_name() const;
+
+    std::vector<std::string> path;
+};
+
+struct UnaryExpr final : Expr {
+    UnaryExpr(UnaryOp op, ExprPtr operand, SourceLoc loc = {})
+        : Expr(ExprKind::Unary, loc), op(op), operand(std::move(operand))
+    {}
+
+    ExprPtr clone() const override;
+
+    UnaryOp op;
+    ExprPtr operand;
+};
+
+struct BinaryExpr final : Expr {
+    BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc = {})
+        : Expr(ExprKind::Binary, loc), op(op), lhs(std::move(lhs)),
+          rhs(std::move(rhs))
+    {}
+
+    ExprPtr clone() const override;
+
+    BinaryOp op;
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+struct TernaryExpr final : Expr {
+    TernaryExpr(ExprPtr cond, ExprPtr then_expr, ExprPtr else_expr,
+                SourceLoc loc = {})
+        : Expr(ExprKind::Ternary, loc), cond(std::move(cond)),
+          then_expr(std::move(then_expr)), else_expr(std::move(else_expr))
+    {}
+
+    ExprPtr clone() const override;
+
+    ExprPtr cond;
+    ExprPtr then_expr;
+    ExprPtr else_expr;
+};
+
+/// {a, b, c} — element 0 holds the most significant bits.
+struct ConcatExpr final : Expr {
+    explicit ConcatExpr(std::vector<ExprPtr> elements, SourceLoc loc = {})
+        : Expr(ExprKind::Concat, loc), elements(std::move(elements))
+    {}
+
+    ExprPtr clone() const override;
+
+    std::vector<ExprPtr> elements;
+};
+
+/// {n{body}} with constant n.
+struct ReplicateExpr final : Expr {
+    ReplicateExpr(ExprPtr count, ExprPtr body, SourceLoc loc = {})
+        : Expr(ExprKind::Replicate, loc), count(std::move(count)),
+          body(std::move(body))
+    {}
+
+    ExprPtr clone() const override;
+
+    ExprPtr count;
+    ExprPtr body;
+};
+
+/// base[index] — a dynamic bit select, or an element select when base names
+/// a memory.
+struct IndexExpr final : Expr {
+    IndexExpr(ExprPtr base, ExprPtr index, SourceLoc loc = {})
+        : Expr(ExprKind::Index, loc), base(std::move(base)),
+          index(std::move(index))
+    {}
+
+    ExprPtr clone() const override;
+
+    ExprPtr base;
+    ExprPtr index;
+};
+
+/// base[msb:lsb] with constant bounds.
+struct RangeSelectExpr final : Expr {
+    RangeSelectExpr(ExprPtr base, ExprPtr msb, ExprPtr lsb,
+                    SourceLoc loc = {})
+        : Expr(ExprKind::RangeSelect, loc), base(std::move(base)),
+          msb(std::move(msb)), lsb(std::move(lsb))
+    {}
+
+    ExprPtr clone() const override;
+
+    ExprPtr base;
+    ExprPtr msb;
+    ExprPtr lsb;
+};
+
+/// base[offset +: width] (up == true) or base[offset -: width].
+struct IndexedSelectExpr final : Expr {
+    IndexedSelectExpr(ExprPtr base, ExprPtr offset, ExprPtr width, bool up,
+                      SourceLoc loc = {})
+        : Expr(ExprKind::IndexedSelect, loc), base(std::move(base)),
+          offset(std::move(offset)), width(std::move(width)), up(up)
+    {}
+
+    ExprPtr clone() const override;
+
+    ExprPtr base;
+    ExprPtr offset;
+    ExprPtr width;
+    bool up;
+};
+
+/// f(args) — call of a combinational user function.
+struct CallExpr final : Expr {
+    CallExpr(std::string callee, std::vector<ExprPtr> args,
+             SourceLoc loc = {})
+        : Expr(ExprKind::Call, loc), callee(std::move(callee)),
+          args(std::move(args))
+    {}
+
+    ExprPtr clone() const override;
+
+    std::string callee;
+    std::vector<ExprPtr> args;
+};
+
+/// $time, $signed(x), $unsigned(x) in expression position.
+struct SystemCallExpr final : Expr {
+    SystemCallExpr(std::string callee, std::vector<ExprPtr> args,
+                   SourceLoc loc = {})
+        : Expr(ExprKind::SystemCall, loc), callee(std::move(callee)),
+          args(std::move(args))
+    {}
+
+    ExprPtr clone() const override;
+
+    std::string callee;
+    std::vector<ExprPtr> args;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind {
+    Block,
+    BlockingAssign,
+    NonblockingAssign,
+    If,
+    Case,
+    For,
+    While,
+    Repeat,
+    Forever,
+    SystemTask,
+    Null,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+    explicit Stmt(StmtKind kind, SourceLoc loc = {}) : kind(kind), loc(loc) {}
+    virtual ~Stmt() = default;
+
+    virtual StmtPtr clone() const = 0;
+
+    StmtKind kind;
+    SourceLoc loc;
+};
+
+/// begin ... end
+struct BlockStmt final : Stmt {
+    explicit BlockStmt(std::vector<StmtPtr> stmts, SourceLoc loc = {})
+        : Stmt(StmtKind::Block, loc), stmts(std::move(stmts))
+    {}
+
+    StmtPtr clone() const override;
+
+    std::vector<StmtPtr> stmts;
+};
+
+/// lhs = rhs
+struct BlockingAssignStmt final : Stmt {
+    BlockingAssignStmt(ExprPtr lhs, ExprPtr rhs, SourceLoc loc = {})
+        : Stmt(StmtKind::BlockingAssign, loc), lhs(std::move(lhs)),
+          rhs(std::move(rhs))
+    {}
+
+    StmtPtr clone() const override;
+
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+/// lhs <= rhs
+struct NonblockingAssignStmt final : Stmt {
+    NonblockingAssignStmt(ExprPtr lhs, ExprPtr rhs, SourceLoc loc = {})
+        : Stmt(StmtKind::NonblockingAssign, loc), lhs(std::move(lhs)),
+          rhs(std::move(rhs))
+    {}
+
+    StmtPtr clone() const override;
+
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+struct IfStmt final : Stmt {
+    IfStmt(ExprPtr cond, StmtPtr then_stmt, StmtPtr else_stmt,
+           SourceLoc loc = {})
+        : Stmt(StmtKind::If, loc), cond(std::move(cond)),
+          then_stmt(std::move(then_stmt)), else_stmt(std::move(else_stmt))
+    {}
+
+    StmtPtr clone() const override;
+
+    ExprPtr cond;
+    StmtPtr then_stmt;
+    StmtPtr else_stmt; ///< may be null
+};
+
+enum class CaseKind { Case, Casez, Casex };
+
+struct CaseItem {
+    std::vector<ExprPtr> labels; ///< empty == default
+    StmtPtr stmt;
+};
+
+struct CaseStmt final : Stmt {
+    CaseStmt(CaseKind case_kind, ExprPtr subject,
+             std::vector<CaseItem> items, SourceLoc loc = {})
+        : Stmt(StmtKind::Case, loc), case_kind(case_kind),
+          subject(std::move(subject)), items(std::move(items))
+    {}
+
+    StmtPtr clone() const override;
+
+    CaseKind case_kind;
+    ExprPtr subject;
+    std::vector<CaseItem> items;
+};
+
+struct ForStmt final : Stmt {
+    ForStmt(StmtPtr init, ExprPtr cond, StmtPtr step, StmtPtr body,
+            SourceLoc loc = {})
+        : Stmt(StmtKind::For, loc), init(std::move(init)),
+          cond(std::move(cond)), step(std::move(step)), body(std::move(body))
+    {}
+
+    StmtPtr clone() const override;
+
+    StmtPtr init; ///< a BlockingAssignStmt
+    ExprPtr cond;
+    StmtPtr step; ///< a BlockingAssignStmt
+    StmtPtr body;
+};
+
+struct WhileStmt final : Stmt {
+    WhileStmt(ExprPtr cond, StmtPtr body, SourceLoc loc = {})
+        : Stmt(StmtKind::While, loc), cond(std::move(cond)),
+          body(std::move(body))
+    {}
+
+    StmtPtr clone() const override;
+
+    ExprPtr cond;
+    StmtPtr body;
+};
+
+struct RepeatStmt final : Stmt {
+    RepeatStmt(ExprPtr count, StmtPtr body, SourceLoc loc = {})
+        : Stmt(StmtKind::Repeat, loc), count(std::move(count)),
+          body(std::move(body))
+    {}
+
+    StmtPtr clone() const override;
+
+    ExprPtr count;
+    StmtPtr body;
+};
+
+struct ForeverStmt final : Stmt {
+    explicit ForeverStmt(StmtPtr body, SourceLoc loc = {})
+        : Stmt(StmtKind::Forever, loc), body(std::move(body))
+    {}
+
+    StmtPtr clone() const override;
+
+    StmtPtr body;
+};
+
+/// $display(...), $write(...), $finish, $monitor(...).
+struct SystemTaskStmt final : Stmt {
+    SystemTaskStmt(std::string name, std::vector<ExprPtr> args,
+                   SourceLoc loc = {})
+        : Stmt(StmtKind::SystemTask, loc), name(std::move(name)),
+          args(std::move(args))
+    {}
+
+    StmtPtr clone() const override;
+
+    std::string name;
+    std::vector<ExprPtr> args;
+};
+
+struct NullStmt final : Stmt {
+    explicit NullStmt(SourceLoc loc = {}) : Stmt(StmtKind::Null, loc) {}
+
+    StmtPtr clone() const override;
+};
+
+// ---------------------------------------------------------------------------
+// Module items
+// ---------------------------------------------------------------------------
+
+enum class ItemKind {
+    NetDecl,
+    ParamDecl,
+    ContinuousAssign,
+    Always,
+    Initial,
+    Instantiation,
+    FunctionDecl,
+};
+
+struct ModuleItem;
+using ItemPtr = std::unique_ptr<ModuleItem>;
+
+struct ModuleItem {
+    explicit ModuleItem(ItemKind kind, SourceLoc loc = {})
+        : kind(kind), loc(loc)
+    {}
+    virtual ~ModuleItem() = default;
+
+    virtual ItemPtr clone() const = 0;
+
+    ItemKind kind;
+    SourceLoc loc;
+};
+
+/// An optional [msb:lsb] range; both bounds are constant expressions.
+struct Range {
+    ExprPtr msb;
+    ExprPtr lsb;
+
+    bool valid() const { return msb != nullptr; }
+    Range clone() const;
+};
+
+/// One declarator in a net declaration: name, optional memory dimension,
+/// optional initializer.
+struct NetDeclarator {
+    std::string name;
+    Range array_dim;  ///< reg [7:0] mem [0:255] — the [0:255] part
+    ExprPtr init;     ///< reg [7:0] cnt = 1 — the = 1 part
+
+    NetDeclarator clone() const;
+};
+
+/// wire/reg/integer declaration (also used for port-direction declarations
+/// inside ANSI headers; see PortDecl below).
+struct NetDecl final : ModuleItem {
+    NetDecl() : ModuleItem(ItemKind::NetDecl) {}
+
+    ItemPtr clone() const override;
+
+    bool is_reg = false;      ///< reg or integer (vs. wire)
+    bool is_signed = false;
+    Range range;              ///< bit range
+    std::vector<NetDeclarator> decls;
+};
+
+/// parameter / localparam declaration.
+struct ParamDecl final : ModuleItem {
+    ParamDecl() : ModuleItem(ItemKind::ParamDecl) {}
+
+    ItemPtr clone() const override;
+
+    bool local = false;
+    bool is_signed = false;
+    Range range; ///< optional
+    std::string name;
+    ExprPtr value;
+};
+
+struct ContinuousAssign final : ModuleItem {
+    ContinuousAssign(ExprPtr lhs, ExprPtr rhs, SourceLoc loc = {})
+        : ModuleItem(ItemKind::ContinuousAssign, loc), lhs(std::move(lhs)),
+          rhs(std::move(rhs))
+    {}
+
+    ItemPtr clone() const override;
+
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+enum class EdgeKind { Pos, Neg, Level };
+
+/// One entry in a sensitivity list.
+struct SensitivityItem {
+    EdgeKind edge = EdgeKind::Level;
+    ExprPtr signal;
+
+    SensitivityItem clone() const;
+};
+
+/// always @(...) body, or always @* body.
+struct AlwaysBlock final : ModuleItem {
+    AlwaysBlock() : ModuleItem(ItemKind::Always) {}
+
+    ItemPtr clone() const override;
+
+    /// True for @* / @(*): sensitive to everything the body reads.
+    bool star = false;
+    std::vector<SensitivityItem> sensitivity;
+    StmtPtr body;
+};
+
+struct InitialBlock final : ModuleItem {
+    explicit InitialBlock(StmtPtr body, SourceLoc loc = {})
+        : ModuleItem(ItemKind::Initial, loc), body(std::move(body))
+    {}
+
+    ItemPtr clone() const override;
+
+    StmtPtr body;
+};
+
+/// A named or positional connection: .x(expr) or just expr.
+struct Connection {
+    std::string name; ///< empty for positional
+    ExprPtr expr;     ///< may be null for .x()
+
+    Connection clone() const;
+};
+
+/// Rol r(.x(cnt)); — also carries parameter overrides: Pad#(4) pad();
+struct Instantiation final : ModuleItem {
+    Instantiation() : ModuleItem(ItemKind::Instantiation) {}
+
+    ItemPtr clone() const override;
+
+    std::string module_name;
+    std::string instance_name;
+    std::vector<Connection> parameters;
+    std::vector<Connection> ports;
+};
+
+/// A combinational function declaration.
+struct FunctionDecl final : ModuleItem {
+    FunctionDecl() : ModuleItem(ItemKind::FunctionDecl) {}
+
+    ItemPtr clone() const override;
+
+    std::string name;
+    bool ret_signed = false;
+    Range ret_range; ///< optional; default 1-bit
+    /// Input declarations followed by local reg declarations.
+    std::vector<ItemPtr> decls;
+    /// Directions of decls entries: true if the corresponding NetDecl came
+    /// from an 'input' declaration.
+    std::vector<bool> decl_is_input;
+    StmtPtr body;
+};
+
+// ---------------------------------------------------------------------------
+// Modules and source units
+// ---------------------------------------------------------------------------
+
+enum class PortDir { Input, Output, Inout };
+
+/// An ANSI-style port: input wire [7:0] x.
+struct Port {
+    PortDir dir = PortDir::Input;
+    bool is_reg = false;
+    bool is_signed = false;
+    Range range;
+    std::string name;
+    SourceLoc loc;
+
+    Port clone() const;
+};
+
+struct ModuleDecl {
+    std::string name;
+    /// Parameter declarations from the #(...) header (non-local).
+    std::vector<ItemPtr> header_params;
+    std::vector<Port> ports;
+    std::vector<ItemPtr> items;
+    SourceLoc loc;
+
+    std::unique_ptr<ModuleDecl> clone() const;
+};
+
+/// The result of parsing one source unit (a file, or one REPL eval):
+/// module declarations plus loose items destined for the root module.
+struct SourceUnit {
+    std::vector<std::unique_ptr<ModuleDecl>> modules;
+    std::vector<ItemPtr> root_items;
+};
+
+} // namespace cascade::verilog
+
+#endif // CASCADE_VERILOG_AST_H

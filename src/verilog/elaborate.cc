@@ -1,0 +1,1220 @@
+#include "verilog/elaborate.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cascade::verilog {
+
+// ---------------------------------------------------------------------------
+// ModuleLibrary
+// ---------------------------------------------------------------------------
+
+bool
+ModuleLibrary::add(std::unique_ptr<ModuleDecl> decl)
+{
+    CASCADE_CHECK(decl != nullptr);
+    const std::string name = decl->name;
+    const bool fresh = modules_.find(name) == modules_.end();
+    modules_[name] = std::move(decl);
+    return fresh;
+}
+
+const ModuleDecl*
+ModuleLibrary::find(const std::string& name) const
+{
+    const auto it = modules_.find(name);
+    return it == modules_.end() ? nullptr : it->second.get();
+}
+
+bool
+ModuleLibrary::remove(const std::string& name)
+{
+    return modules_.erase(name) != 0;
+}
+
+// ---------------------------------------------------------------------------
+// ElaboratedModule
+// ---------------------------------------------------------------------------
+
+const NetInfo*
+ElaboratedModule::find_net(const std::string& name) const
+{
+    const auto it = net_index.find(name);
+    return it == net_index.end() ? nullptr : &nets[it->second];
+}
+
+uint32_t
+ElaboratedModule::net_id(const std::string& name) const
+{
+    const auto it = net_index.find(name);
+    CASCADE_CHECK(it != net_index.end());
+    return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Constant expression evaluation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Recursive worker; \p ok is cleared on the first failure.
+BitVector
+const_eval(const Expr& expr,
+           const std::unordered_map<std::string, BitVector>& env,
+           Diagnostics* diags, bool* ok)
+{
+    if (!*ok) {
+        return BitVector(1, 0);
+    }
+    switch (expr.kind) {
+      case ExprKind::Number:
+        return static_cast<const NumberExpr&>(expr).value;
+      case ExprKind::Identifier: {
+        const auto& id = static_cast<const IdentifierExpr&>(expr);
+        if (id.simple()) {
+            const auto it = env.find(id.path[0]);
+            if (it != env.end()) {
+                return it->second;
+            }
+        }
+        diags->error(expr.loc, "'" + id.full_name() +
+                                   "' is not a constant (parameters and "
+                                   "literals only)");
+        *ok = false;
+        return BitVector(1, 0);
+      }
+      case ExprKind::Unary: {
+        const auto& u = static_cast<const UnaryExpr&>(expr);
+        const BitVector v = const_eval(*u.operand, env, diags, ok);
+        if (!*ok) {
+            return v;
+        }
+        switch (u.op) {
+          case UnaryOp::Plus: return v;
+          case UnaryOp::Minus: return v.negated();
+          case UnaryOp::LogicalNot: return BitVector::from_bool(v.is_zero());
+          case UnaryOp::BitwiseNot: return v.bit_not();
+          case UnaryOp::ReduceAnd:
+            return BitVector::from_bool(v.reduce_and());
+          case UnaryOp::ReduceOr:
+            return BitVector::from_bool(v.reduce_or());
+          case UnaryOp::ReduceXor:
+            return BitVector::from_bool(v.reduce_xor());
+          case UnaryOp::ReduceNand:
+            return BitVector::from_bool(!v.reduce_and());
+          case UnaryOp::ReduceNor:
+            return BitVector::from_bool(!v.reduce_or());
+          case UnaryOp::ReduceXnor:
+            return BitVector::from_bool(!v.reduce_xor());
+        }
+        CASCADE_UNREACHABLE();
+      }
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(expr);
+        BitVector l = const_eval(*b.lhs, env, diags, ok);
+        BitVector r = const_eval(*b.rhs, env, diags, ok);
+        if (!*ok) {
+            return l;
+        }
+        const uint32_t w = std::max(l.width(), r.width());
+        // Constant contexts in practice involve 32-bit parameters; a plain
+        // max-width extension matches what tools do for genvar math.
+        BitVector le = l.resized(w);
+        BitVector re = r.resized(w);
+        switch (b.op) {
+          case BinaryOp::Add: return BitVector::add(le, re);
+          case BinaryOp::Sub: return BitVector::sub(le, re);
+          case BinaryOp::Mul: return BitVector::mul(le, re);
+          case BinaryOp::Div: return BitVector::divu(le, re);
+          case BinaryOp::Mod: return BitVector::remu(le, re);
+          case BinaryOp::Pow: return BitVector::pow(le, re);
+          case BinaryOp::Eq:
+          case BinaryOp::CaseEq:
+            return BitVector::from_bool(BitVector::eq(le, re));
+          case BinaryOp::Neq:
+          case BinaryOp::CaseNeq:
+            return BitVector::from_bool(!BitVector::eq(le, re));
+          case BinaryOp::LogicalAnd:
+            return BitVector::from_bool(!le.is_zero() && !re.is_zero());
+          case BinaryOp::LogicalOr:
+            return BitVector::from_bool(!le.is_zero() || !re.is_zero());
+          case BinaryOp::Lt:
+            return BitVector::from_bool(BitVector::ult(le, re));
+          case BinaryOp::Leq:
+            return BitVector::from_bool(BitVector::ule(le, re));
+          case BinaryOp::Gt:
+            return BitVector::from_bool(BitVector::ult(re, le));
+          case BinaryOp::Geq:
+            return BitVector::from_bool(BitVector::ule(re, le));
+          case BinaryOp::Shl: return l.shl(r.to_uint64());
+          case BinaryOp::Shr: return l.lshr(r.to_uint64());
+          case BinaryOp::AShr: return l.ashr(r.to_uint64());
+          case BinaryOp::BitAnd: return BitVector::bit_and(le, re);
+          case BinaryOp::BitOr: return BitVector::bit_or(le, re);
+          case BinaryOp::BitXor: return BitVector::bit_xor(le, re);
+          case BinaryOp::BitXnor:
+            return BitVector::bit_xor(le, re).bit_not();
+        }
+        CASCADE_UNREACHABLE();
+      }
+      case ExprKind::Ternary: {
+        const auto& t = static_cast<const TernaryExpr&>(expr);
+        const BitVector c = const_eval(*t.cond, env, diags, ok);
+        if (!*ok) {
+            return c;
+        }
+        return c.to_bool() ? const_eval(*t.then_expr, env, diags, ok)
+                           : const_eval(*t.else_expr, env, diags, ok);
+      }
+      case ExprKind::Concat: {
+        const auto& c = static_cast<const ConcatExpr&>(expr);
+        BitVector acc(1, 0);
+        bool first = true;
+        for (const auto& e : c.elements) {
+            BitVector v = const_eval(*e, env, diags, ok);
+            if (!*ok) {
+                return acc;
+            }
+            acc = first ? std::move(v) : BitVector::concat(acc, v);
+            first = false;
+        }
+        return acc;
+      }
+      case ExprKind::Replicate: {
+        const auto& rep = static_cast<const ReplicateExpr&>(expr);
+        const BitVector n = const_eval(*rep.count, env, diags, ok);
+        const BitVector body = const_eval(*rep.body, env, diags, ok);
+        if (!*ok) {
+            return body;
+        }
+        const uint64_t count = n.to_uint64();
+        if (count == 0 || count > 4096) {
+            diags->error(expr.loc, "replication count out of range");
+            *ok = false;
+            return body;
+        }
+        BitVector acc = body;
+        for (uint64_t i = 1; i < count; ++i) {
+            acc = BitVector::concat(acc, body);
+        }
+        return acc;
+      }
+      default:
+        diags->error(expr.loc, "expression is not constant");
+        *ok = false;
+        return BitVector(1, 0);
+    }
+}
+
+} // namespace
+
+std::optional<BitVector>
+eval_const_expr(const Expr& expr,
+                const std::unordered_map<std::string, BitVector>& env,
+                Diagnostics* diags)
+{
+    bool ok = true;
+    BitVector v = const_eval(expr, env, diags, &ok);
+    if (!ok) {
+        return std::nullopt;
+    }
+    return v;
+}
+
+// ---------------------------------------------------------------------------
+// Elaborator
+// ---------------------------------------------------------------------------
+
+Elaborator::Elaborator(Diagnostics* diags, const ModuleLibrary* library)
+    : diags_(diags), library_(library)
+{
+    CASCADE_CHECK(diags != nullptr);
+}
+
+std::unique_ptr<ElaboratedModule>
+Elaborator::elaborate(const ModuleDecl& decl,
+                      const std::vector<Connection>& param_overrides)
+{
+    auto em = std::make_unique<ElaboratedModule>();
+    em->name = decl.name;
+    em->decl = decl.clone();
+    const size_t errors_before = diags_->error_count();
+
+    if (!bind_parameters(*em->decl, param_overrides, em.get())) {
+        return nullptr;
+    }
+
+    for (const Port& port : em->decl->ports) {
+        if (!add_net(port, em.get())) {
+            return nullptr;
+        }
+    }
+    for (const auto& item : em->decl->items) {
+        if (item->kind == ItemKind::NetDecl) {
+            const auto& nd = static_cast<const NetDecl&>(*item);
+            for (const auto& d : nd.decls) {
+                if (!add_net(nd, d, em.get())) {
+                    return nullptr;
+                }
+            }
+        } else if (item->kind == ItemKind::FunctionDecl) {
+            const auto& fn = static_cast<const FunctionDecl&>(*item);
+            if (em->functions.count(fn.name) != 0) {
+                diags_->error(fn.loc,
+                              "duplicate function '" + fn.name + "'");
+                return nullptr;
+            }
+            em->functions[fn.name] = &fn;
+        }
+    }
+
+    if (!check_items(em.get()) || diags_->error_count() != errors_before) {
+        return nullptr;
+    }
+    return em;
+}
+
+bool
+Elaborator::bind_parameters(const ModuleDecl& decl,
+                            const std::vector<Connection>& overrides,
+                            ElaboratedModule* em)
+{
+    // Collect overridable (header) parameter names in declaration order.
+    std::vector<const ParamDecl*> header;
+    for (const auto& p : decl.header_params) {
+        header.push_back(static_cast<const ParamDecl*>(p.get()));
+    }
+    // Body 'parameter' declarations are also overridable by name.
+    std::vector<const ParamDecl*> body;
+    for (const auto& item : decl.items) {
+        if (item->kind == ItemKind::ParamDecl) {
+            body.push_back(static_cast<const ParamDecl*>(item.get()));
+        }
+    }
+
+    // Resolve override expressions (they are constants in the parent's
+    // scope; by the time they reach us they must be literal).
+    std::unordered_map<std::string, BitVector> given;
+    size_t positional = 0;
+    for (const auto& c : overrides) {
+        if (c.expr == nullptr) {
+            continue;
+        }
+        auto v = eval_const_expr(*c.expr, {}, diags_);
+        if (!v.has_value()) {
+            return false;
+        }
+        std::string name = c.name;
+        if (name.empty()) {
+            if (positional >= header.size()) {
+                diags_->error(c.expr->loc,
+                              "too many positional parameter overrides for "
+                              "module '" + decl.name + "'");
+                return false;
+            }
+            name = header[positional++]->name;
+        }
+        given[name] = *std::move(v);
+    }
+
+    // Bind header parameters first, then walk body items in order so later
+    // parameters may reference earlier ones.
+    auto bind_one = [&](const ParamDecl& p, bool overridable) -> bool {
+        if (em->params.count(p.name) != 0) {
+            diags_->error(p.loc, "duplicate parameter '" + p.name + "'");
+            return false;
+        }
+        BitVector value;
+        const auto it = given.find(p.name);
+        if (!p.local && overridable && it != given.end()) {
+            value = it->second;
+            given.erase(it);
+        } else {
+            if (p.value == nullptr) {
+                diags_->error(p.loc,
+                              "parameter '" + p.name + "' has no value");
+                return false;
+            }
+            auto v = eval_const_expr(*p.value, em->params, diags_);
+            if (!v.has_value()) {
+                return false;
+            }
+            value = *std::move(v);
+        }
+        if (p.range.valid()) {
+            uint32_t width = 0, lsb = 0;
+            if (!resolve_range(p.range, *em, &width, &lsb)) {
+                return false;
+            }
+            value = value.resized(width);
+        }
+        em->params[p.name] = std::move(value);
+        em->param_signed[p.name] = p.is_signed;
+        return true;
+    };
+
+    for (const ParamDecl* p : header) {
+        if (!bind_one(*p, /*overridable=*/true)) {
+            return false;
+        }
+    }
+    for (const ParamDecl* p : body) {
+        if (!bind_one(*p, /*overridable=*/!p->local)) {
+            return false;
+        }
+    }
+    for (const auto& [name, value] : given) {
+        (void)value;
+        diags_->error(decl.loc, "module '" + decl.name +
+                                    "' has no overridable parameter '" +
+                                    name + "'");
+        return false;
+    }
+    return true;
+}
+
+bool
+Elaborator::resolve_range(const Range& range, const ElaboratedModule& em,
+                          uint32_t* width, uint32_t* lsb)
+{
+    if (!range.valid()) {
+        *width = 1;
+        *lsb = 0;
+        return true;
+    }
+    auto msb_v = eval_const_expr(*range.msb, em.params, diags_);
+    auto lsb_v = eval_const_expr(*range.lsb, em.params, diags_);
+    if (!msb_v.has_value() || !lsb_v.has_value()) {
+        return false;
+    }
+    const uint64_t msb = msb_v->to_uint64();
+    const uint64_t lsb64 = lsb_v->to_uint64();
+    if (msb < lsb64) {
+        diags_->error(range.msb->loc,
+                      "ascending ranges [lsb:msb] are not supported");
+        return false;
+    }
+    if (msb - lsb64 + 1 > (1u << 20)) {
+        diags_->error(range.msb->loc, "range too wide");
+        return false;
+    }
+    *width = static_cast<uint32_t>(msb - lsb64 + 1);
+    *lsb = static_cast<uint32_t>(lsb64);
+    return true;
+}
+
+bool
+Elaborator::add_net(const Port& port, ElaboratedModule* em)
+{
+    if (em->net_index.count(port.name) != 0 ||
+        em->params.count(port.name) != 0) {
+        diags_->error(port.loc, "duplicate declaration of '" + port.name +
+                                    "'");
+        return false;
+    }
+    if (port.dir == PortDir::Inout) {
+        diags_->error(port.loc,
+                      "inout ports are not supported (see DESIGN.md §5)");
+        return false;
+    }
+    NetInfo net;
+    net.name = port.name;
+    net.is_signed = port.is_signed;
+    net.is_reg = port.is_reg;
+    net.is_port = true;
+    net.dir = port.dir;
+    if (!resolve_range(port.range, *em, &net.width, &net.lsb)) {
+        return false;
+    }
+    if (port.dir == PortDir::Input && port.is_reg) {
+        diags_->error(port.loc, "input ports cannot be declared reg");
+        return false;
+    }
+    em->net_index[net.name] = static_cast<uint32_t>(em->nets.size());
+    em->nets.push_back(std::move(net));
+    return true;
+}
+
+bool
+Elaborator::add_net(const NetDecl& decl, const NetDeclarator& d,
+                    ElaboratedModule* em)
+{
+    if (em->net_index.count(d.name) != 0 || em->params.count(d.name) != 0) {
+        diags_->error(decl.loc,
+                      "duplicate declaration of '" + d.name + "'");
+        return false;
+    }
+    NetInfo net;
+    net.name = d.name;
+    net.is_signed = decl.is_signed;
+    net.is_reg = decl.is_reg;
+    if (!resolve_range(decl.range, *em, &net.width, &net.lsb)) {
+        return false;
+    }
+    if (d.array_dim.valid()) {
+        if (!decl.is_reg) {
+            diags_->error(decl.loc,
+                          "arrays must be declared reg ('" + d.name + "')");
+            return false;
+        }
+        if (d.init != nullptr) {
+            diags_->error(decl.loc,
+                          "array '" + d.name + "' cannot have an "
+                          "initializer");
+            return false;
+        }
+        auto lo = eval_const_expr(*d.array_dim.msb, em->params, diags_);
+        auto hi = eval_const_expr(*d.array_dim.lsb, em->params, diags_);
+        if (!lo.has_value() || !hi.has_value()) {
+            return false;
+        }
+        // Arrays are declared [lo:hi] with lo <= hi (memory convention).
+        const uint64_t a = lo->to_uint64();
+        const uint64_t b = hi->to_uint64();
+        const uint64_t base = std::min(a, b);
+        const uint64_t size = std::max(a, b) - base + 1;
+        if (size > (1u << 24)) {
+            diags_->error(decl.loc, "array too large");
+            return false;
+        }
+        net.array_size = static_cast<uint32_t>(size);
+        net.array_base = static_cast<int64_t>(base);
+    }
+    net.init = d.init.get();
+    if (net.init != nullptr && !net.is_reg) {
+        diags_->error(decl.loc,
+                      "only regs may have declaration initializers");
+        return false;
+    }
+    em->net_index[net.name] = static_cast<uint32_t>(em->nets.size());
+    em->nets.push_back(std::move(net));
+    return true;
+}
+
+bool
+Elaborator::check_items(ElaboratedModule* em)
+{
+    bool ok = true;
+    for (const auto& item : em->decl->items) {
+        switch (item->kind) {
+          case ItemKind::NetDecl: {
+            const auto& nd = static_cast<const NetDecl&>(*item);
+            for (const auto& d : nd.decls) {
+                if (d.init != nullptr) {
+                    ok &= check_expr(*d.init, *em, nullptr);
+                }
+            }
+            break;
+          }
+          case ItemKind::ParamDecl:
+            break; // handled in bind_parameters
+          case ItemKind::ContinuousAssign: {
+            const auto& a = static_cast<const ContinuousAssign&>(*item);
+            ok &= check_lvalue(*a.lhs, *em, /*procedural=*/false, nullptr);
+            ok &= check_expr(*a.rhs, *em, nullptr);
+            break;
+          }
+          case ItemKind::Always: {
+            const auto& ab = static_cast<const AlwaysBlock&>(*item);
+            bool has_edge = false;
+            bool has_level = false;
+            for (const auto& s : ab.sensitivity) {
+                ok &= check_expr(*s.signal, *em, nullptr);
+                (s.edge == EdgeKind::Level ? has_level : has_edge) = true;
+            }
+            if (has_edge && has_level) {
+                diags_->error(ab.loc,
+                              "mixed edge and level sensitivities are not "
+                              "supported");
+                ok = false;
+            }
+            if (ab.body != nullptr) {
+                ok &= check_stmt(*ab.body, *em, has_edge, nullptr);
+            }
+            break;
+          }
+          case ItemKind::Initial: {
+            const auto& ib = static_cast<const InitialBlock&>(*item);
+            ok &= check_stmt(*ib.body, *em, /*in_seq_block=*/true, nullptr);
+            break;
+          }
+          case ItemKind::Instantiation:
+            ok &= check_instantiation(
+                static_cast<const Instantiation&>(*item), *em);
+            break;
+          case ItemKind::FunctionDecl: {
+            const auto& fn = static_cast<const FunctionDecl&>(*item);
+            if (fn.body != nullptr) {
+                ok &= check_stmt(*fn.body, *em, /*in_seq_block=*/true, &fn);
+            }
+            break;
+          }
+        }
+    }
+    return ok;
+}
+
+bool
+Elaborator::check_stmt(const Stmt& stmt, const ElaboratedModule& em,
+                       bool in_seq_block, const FunctionDecl* fn)
+{
+    bool ok = true;
+    switch (stmt.kind) {
+      case StmtKind::Block: {
+        const auto& b = static_cast<const BlockStmt&>(stmt);
+        for (const auto& s : b.stmts) {
+            ok &= check_stmt(*s, em, in_seq_block, fn);
+        }
+        return ok;
+      }
+      case StmtKind::BlockingAssign: {
+        const auto& a = static_cast<const BlockingAssignStmt&>(stmt);
+        ok &= check_lvalue(*a.lhs, em, /*procedural=*/true, fn);
+        ok &= check_expr(*a.rhs, em, fn);
+        return ok;
+      }
+      case StmtKind::NonblockingAssign: {
+        const auto& a = static_cast<const NonblockingAssignStmt&>(stmt);
+        if (fn != nullptr) {
+            diags_->error(stmt.loc,
+                          "nonblocking assignment inside a function");
+            ok = false;
+        }
+        if (!in_seq_block) {
+            diags_->warning(stmt.loc,
+                            "nonblocking assignment in combinational "
+                            "context");
+        }
+        ok &= check_lvalue(*a.lhs, em, /*procedural=*/true, fn);
+        ok &= check_expr(*a.rhs, em, fn);
+        return ok;
+      }
+      case StmtKind::If: {
+        const auto& s = static_cast<const IfStmt&>(stmt);
+        ok &= check_expr(*s.cond, em, fn);
+        ok &= check_stmt(*s.then_stmt, em, in_seq_block, fn);
+        if (s.else_stmt != nullptr) {
+            ok &= check_stmt(*s.else_stmt, em, in_seq_block, fn);
+        }
+        return ok;
+      }
+      case StmtKind::Case: {
+        const auto& s = static_cast<const CaseStmt&>(stmt);
+        ok &= check_expr(*s.subject, em, fn);
+        for (const auto& item : s.items) {
+            for (const auto& label : item.labels) {
+                ok &= check_expr(*label, em, fn);
+            }
+            ok &= check_stmt(*item.stmt, em, in_seq_block, fn);
+        }
+        return ok;
+      }
+      case StmtKind::For: {
+        const auto& s = static_cast<const ForStmt&>(stmt);
+        ok &= check_stmt(*s.init, em, in_seq_block, fn);
+        ok &= check_expr(*s.cond, em, fn);
+        ok &= check_stmt(*s.step, em, in_seq_block, fn);
+        ok &= check_stmt(*s.body, em, in_seq_block, fn);
+        return ok;
+      }
+      case StmtKind::While: {
+        const auto& s = static_cast<const WhileStmt&>(stmt);
+        ok &= check_expr(*s.cond, em, fn);
+        ok &= check_stmt(*s.body, em, in_seq_block, fn);
+        return ok;
+      }
+      case StmtKind::Repeat: {
+        const auto& s = static_cast<const RepeatStmt&>(stmt);
+        ok &= check_expr(*s.count, em, fn);
+        ok &= check_stmt(*s.body, em, in_seq_block, fn);
+        return ok;
+      }
+      case StmtKind::Forever: {
+        diags_->error(stmt.loc,
+                      "'forever' is not supported outside testbench code");
+        return false;
+      }
+      case StmtKind::SystemTask: {
+        const auto& s = static_cast<const SystemTaskStmt&>(stmt);
+        if (s.name != "$display" && s.name != "$write" &&
+            s.name != "$finish" && s.name != "$monitor") {
+            diags_->error(stmt.loc,
+                          "unknown system task '" + s.name + "'");
+            return false;
+        }
+        for (const auto& arg : s.args) {
+            if (arg->kind != ExprKind::String) {
+                ok &= check_expr(*arg, em, fn);
+            }
+        }
+        return ok;
+      }
+      case StmtKind::Null:
+        return true;
+    }
+    CASCADE_UNREACHABLE();
+}
+
+bool
+Elaborator::check_expr(const Expr& expr, const ElaboratedModule& em,
+                       const FunctionDecl* fn)
+{
+    bool ok = true;
+    switch (expr.kind) {
+      case ExprKind::Number:
+        return true;
+      case ExprKind::String:
+        diags_->error(expr.loc,
+                      "string literals are only valid as $display/$write "
+                      "format arguments");
+        return false;
+      case ExprKind::Identifier: {
+        const auto& id = static_cast<const IdentifierExpr&>(expr);
+        if (!id.simple()) {
+            // Hierarchical reference: needs a library to resolve.
+            if (library_ == nullptr) {
+                diags_->error(expr.loc,
+                              "hierarchical reference '" + id.full_name() +
+                                  "' is not allowed here");
+                return false;
+            }
+            if (id.path.size() != 2) {
+                diags_->error(expr.loc,
+                              "only single-level hierarchical references "
+                              "(instance.port) are supported");
+                return false;
+            }
+            // Find the instantiation in this module.
+            const Instantiation* inst = nullptr;
+            for (const auto& item : em.decl->items) {
+                if (item->kind == ItemKind::Instantiation) {
+                    const auto& i =
+                        static_cast<const Instantiation&>(*item);
+                    if (i.instance_name == id.path[0]) {
+                        inst = &i;
+                        break;
+                    }
+                }
+            }
+            if (inst == nullptr) {
+                diags_->error(expr.loc,
+                              "no instance named '" + id.path[0] + "'");
+                return false;
+            }
+            const ModuleDecl* child = library_->find(inst->module_name);
+            if (child == nullptr) {
+                return true; // instantiation check reports this
+            }
+            for (const auto& port : child->ports) {
+                if (port.name == id.path[1]) {
+                    return true;
+                }
+            }
+            diags_->error(expr.loc, "module '" + inst->module_name +
+                                        "' has no port '" + id.path[1] +
+                                        "'");
+            return false;
+        }
+        const std::string& name = id.path[0];
+        if (fn != nullptr) {
+            if (name == fn->name) {
+                return true; // the return variable
+            }
+            for (const auto& d : fn->decls) {
+                const auto& nd = static_cast<const NetDecl&>(*d);
+                for (const auto& dd : nd.decls) {
+                    if (dd.name == name) {
+                        return true;
+                    }
+                }
+            }
+        }
+        if (em.net_index.count(name) != 0 || em.params.count(name) != 0) {
+            return true;
+        }
+        diags_->error(expr.loc, "use of undeclared name '" + name + "'");
+        return false;
+      }
+      case ExprKind::Unary:
+        return check_expr(*static_cast<const UnaryExpr&>(expr).operand, em,
+                          fn);
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(expr);
+        ok &= check_expr(*b.lhs, em, fn);
+        ok &= check_expr(*b.rhs, em, fn);
+        return ok;
+      }
+      case ExprKind::Ternary: {
+        const auto& t = static_cast<const TernaryExpr&>(expr);
+        ok &= check_expr(*t.cond, em, fn);
+        ok &= check_expr(*t.then_expr, em, fn);
+        ok &= check_expr(*t.else_expr, em, fn);
+        return ok;
+      }
+      case ExprKind::Concat: {
+        const auto& c = static_cast<const ConcatExpr&>(expr);
+        for (const auto& e : c.elements) {
+            ok &= check_expr(*e, em, fn);
+        }
+        return ok;
+      }
+      case ExprKind::Replicate: {
+        const auto& r = static_cast<const ReplicateExpr&>(expr);
+        if (!eval_const_expr(*r.count, em.params, diags_).has_value()) {
+            ok = false;
+        }
+        ok &= check_expr(*r.body, em, fn);
+        return ok;
+      }
+      case ExprKind::Index: {
+        const auto& i = static_cast<const IndexExpr&>(expr);
+        ok &= check_expr(*i.base, em, fn);
+        ok &= check_expr(*i.index, em, fn);
+        return ok;
+      }
+      case ExprKind::RangeSelect: {
+        const auto& r = static_cast<const RangeSelectExpr&>(expr);
+        ok &= check_expr(*r.base, em, fn);
+        ok &= eval_const_expr(*r.msb, em.params, diags_).has_value();
+        ok &= eval_const_expr(*r.lsb, em.params, diags_).has_value();
+        return ok;
+      }
+      case ExprKind::IndexedSelect: {
+        const auto& s = static_cast<const IndexedSelectExpr&>(expr);
+        ok &= check_expr(*s.base, em, fn);
+        ok &= check_expr(*s.offset, em, fn);
+        ok &= eval_const_expr(*s.width, em.params, diags_).has_value();
+        return ok;
+      }
+      case ExprKind::Call: {
+        const auto& c = static_cast<const CallExpr&>(expr);
+        const auto it = em.functions.find(c.callee);
+        if (it == em.functions.end()) {
+            diags_->error(expr.loc,
+                          "call of undeclared function '" + c.callee + "'");
+            return false;
+        }
+        size_t inputs = 0;
+        for (size_t i = 0; i < it->second->decls.size(); ++i) {
+            if (it->second->decl_is_input[i]) {
+                const auto& nd =
+                    static_cast<const NetDecl&>(*it->second->decls[i]);
+                inputs += nd.decls.size();
+            }
+        }
+        if (c.args.size() != inputs) {
+            diags_->error(expr.loc,
+                          "function '" + c.callee + "' expects " +
+                              std::to_string(inputs) + " arguments, got " +
+                              std::to_string(c.args.size()));
+            ok = false;
+        }
+        for (const auto& a : c.args) {
+            ok &= check_expr(*a, em, fn);
+        }
+        return ok;
+      }
+      case ExprKind::SystemCall: {
+        const auto& s = static_cast<const SystemCallExpr&>(expr);
+        if (s.callee == "$time") {
+            if (!s.args.empty()) {
+                diags_->error(expr.loc, "$time takes no arguments");
+                return false;
+            }
+            return true;
+        }
+        if (s.callee == "$signed" || s.callee == "$unsigned") {
+            if (s.args.size() != 1) {
+                diags_->error(expr.loc,
+                              s.callee + " takes exactly one argument");
+                return false;
+            }
+            return check_expr(*s.args[0], em, fn);
+        }
+        diags_->error(expr.loc,
+                      "unknown system function '" + s.callee + "'");
+        return false;
+      }
+    }
+    CASCADE_UNREACHABLE();
+}
+
+bool
+Elaborator::check_lvalue(const Expr& expr, const ElaboratedModule& em,
+                         bool procedural, const FunctionDecl* fn)
+{
+    switch (expr.kind) {
+      case ExprKind::Identifier: {
+        const auto& id = static_cast<const IdentifierExpr&>(expr);
+        if (!id.simple()) {
+            // Writing a child instance's input: legal only pre-transform.
+            if (library_ == nullptr) {
+                diags_->error(expr.loc,
+                              "hierarchical assignment target '" +
+                                  id.full_name() + "' is not allowed here");
+                return false;
+            }
+            return check_expr(expr, em, fn);
+        }
+        const std::string& name = id.path[0];
+        if (fn != nullptr) {
+            if (name == fn->name) {
+                return true;
+            }
+            for (const auto& d : fn->decls) {
+                const auto& nd = static_cast<const NetDecl&>(*d);
+                for (const auto& dd : nd.decls) {
+                    if (dd.name == name) {
+                        return true;
+                    }
+                }
+            }
+        }
+        const NetInfo* net = em.find_net(name);
+        if (net == nullptr) {
+            diags_->error(expr.loc,
+                          "assignment to undeclared name '" + name + "'");
+            return false;
+        }
+        if (net->is_port && net->dir == PortDir::Input) {
+            diags_->error(expr.loc,
+                          "assignment to input port '" + name + "'");
+            return false;
+        }
+        if (procedural && !net->is_reg) {
+            diags_->error(expr.loc, "procedural assignment to wire '" +
+                                        name + "' (declare it reg)");
+            return false;
+        }
+        if (!procedural && net->is_reg) {
+            diags_->error(expr.loc, "continuous assignment to reg '" +
+                                        name + "' (use always block)");
+            return false;
+        }
+        return true;
+      }
+      case ExprKind::Index: {
+        const auto& i = static_cast<const IndexExpr&>(expr);
+        return check_lvalue(*i.base, em, procedural, fn) &&
+               check_expr(*i.index, em, fn);
+      }
+      case ExprKind::RangeSelect: {
+        const auto& r = static_cast<const RangeSelectExpr&>(expr);
+        return check_lvalue(*r.base, em, procedural, fn) &&
+               eval_const_expr(*r.msb, em.params, diags_).has_value() &&
+               eval_const_expr(*r.lsb, em.params, diags_).has_value();
+      }
+      case ExprKind::IndexedSelect: {
+        const auto& s = static_cast<const IndexedSelectExpr&>(expr);
+        return check_lvalue(*s.base, em, procedural, fn) &&
+               check_expr(*s.offset, em, fn) &&
+               eval_const_expr(*s.width, em.params, diags_).has_value();
+      }
+      case ExprKind::Concat: {
+        const auto& c = static_cast<const ConcatExpr&>(expr);
+        bool ok = true;
+        for (const auto& e : c.elements) {
+            ok &= check_lvalue(*e, em, procedural, fn);
+        }
+        return ok;
+      }
+      default:
+        diags_->error(expr.loc, "expression is not a valid assignment "
+                                "target");
+        return false;
+    }
+}
+
+bool
+Elaborator::check_instantiation(const Instantiation& inst,
+                                const ElaboratedModule& em)
+{
+    if (library_ == nullptr) {
+        diags_->error(inst.loc,
+                      "module instantiation is not allowed in this context");
+        return false;
+    }
+    const ModuleDecl* child = library_->find(inst.module_name);
+    if (child == nullptr) {
+        diags_->error(inst.loc,
+                      "instantiation of unknown module '" +
+                          inst.module_name + "'");
+        return false;
+    }
+    bool ok = true;
+    bool positional = false;
+    for (size_t i = 0; i < inst.ports.size(); ++i) {
+        const Connection& c = inst.ports[i];
+        if (c.name.empty()) {
+            positional = true;
+            if (i >= child->ports.size()) {
+                diags_->error(inst.loc, "too many port connections for '" +
+                                            inst.module_name + "'");
+                return false;
+            }
+        } else {
+            if (positional) {
+                diags_->error(inst.loc,
+                              "cannot mix positional and named connections");
+                return false;
+            }
+            bool found = false;
+            for (const auto& p : child->ports) {
+                if (p.name == c.name) {
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                diags_->error(inst.loc, "module '" + inst.module_name +
+                                            "' has no port '" + c.name +
+                                            "'");
+                ok = false;
+            }
+        }
+        if (c.expr != nullptr) {
+            ok &= check_expr(*c.expr, em, nullptr);
+        }
+    }
+    return ok;
+}
+
+// ---------------------------------------------------------------------------
+// ExprTyper
+// ---------------------------------------------------------------------------
+
+uint32_t
+ExprTyper::self_width(const Expr& expr) const
+{
+    switch (expr.kind) {
+      case ExprKind::Number:
+        return static_cast<const NumberExpr&>(expr).value.width();
+      case ExprKind::String:
+        return 1;
+      case ExprKind::Identifier: {
+        const auto& id = static_cast<const IdentifierExpr&>(expr);
+        if (id.simple()) {
+            if (locals_ != nullptr) {
+                const uint32_t w = locals_->local_width(id.path[0]);
+                if (w != 0) {
+                    return w;
+                }
+            }
+            if (const NetInfo* net = em_.find_net(id.path[0])) {
+                return net->width;
+            }
+            const auto it = em_.params.find(id.path[0]);
+            if (it != em_.params.end()) {
+                return it->second.width();
+            }
+        }
+        return 1;
+      }
+      case ExprKind::Unary: {
+        const auto& u = static_cast<const UnaryExpr&>(expr);
+        switch (u.op) {
+          case UnaryOp::Plus:
+          case UnaryOp::Minus:
+          case UnaryOp::BitwiseNot:
+            return self_width(*u.operand);
+          default:
+            return 1; // reductions and !
+        }
+      }
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(expr);
+        switch (b.op) {
+          case BinaryOp::Add:
+          case BinaryOp::Sub:
+          case BinaryOp::Mul:
+          case BinaryOp::Div:
+          case BinaryOp::Mod:
+          case BinaryOp::BitAnd:
+          case BinaryOp::BitOr:
+          case BinaryOp::BitXor:
+          case BinaryOp::BitXnor:
+            return std::max(self_width(*b.lhs), self_width(*b.rhs));
+          case BinaryOp::Shl:
+          case BinaryOp::Shr:
+          case BinaryOp::AShr:
+          case BinaryOp::Pow:
+            return self_width(*b.lhs);
+          default:
+            return 1; // comparisons and logical connectives
+        }
+      }
+      case ExprKind::Ternary: {
+        const auto& t = static_cast<const TernaryExpr&>(expr);
+        return std::max(self_width(*t.then_expr),
+                        self_width(*t.else_expr));
+      }
+      case ExprKind::Concat: {
+        const auto& c = static_cast<const ConcatExpr&>(expr);
+        uint32_t sum = 0;
+        for (const auto& e : c.elements) {
+            sum += self_width(*e);
+        }
+        return std::max(sum, 1u);
+      }
+      case ExprKind::Replicate: {
+        const auto& r = static_cast<const ReplicateExpr&>(expr);
+        Diagnostics scratch;
+        auto n = eval_const_expr(*r.count, em_.params, &scratch);
+        const uint32_t count =
+            n.has_value() ? static_cast<uint32_t>(n->to_uint64()) : 1;
+        return std::max(count * self_width(*r.body), 1u);
+      }
+      case ExprKind::Index: {
+        // A bit select is 1 bit; an element select of a memory is the
+        // memory's element width.
+        const auto& i = static_cast<const IndexExpr&>(expr);
+        if (i.base->kind == ExprKind::Identifier) {
+            const auto& id = static_cast<const IdentifierExpr&>(*i.base);
+            if (id.simple()) {
+                const NetInfo* net = em_.find_net(id.path[0]);
+                if (net != nullptr && net->array_size > 0) {
+                    return net->width;
+                }
+            }
+        }
+        return 1;
+      }
+      case ExprKind::RangeSelect: {
+        const auto& r = static_cast<const RangeSelectExpr&>(expr);
+        Diagnostics scratch;
+        auto msb = eval_const_expr(*r.msb, em_.params, &scratch);
+        auto lsb = eval_const_expr(*r.lsb, em_.params, &scratch);
+        if (msb.has_value() && lsb.has_value() &&
+            msb->to_uint64() >= lsb->to_uint64()) {
+            return static_cast<uint32_t>(msb->to_uint64() -
+                                         lsb->to_uint64() + 1);
+        }
+        return 1;
+      }
+      case ExprKind::IndexedSelect: {
+        const auto& s = static_cast<const IndexedSelectExpr&>(expr);
+        Diagnostics scratch;
+        auto w = eval_const_expr(*s.width, em_.params, &scratch);
+        return w.has_value()
+                   ? std::max(1u, static_cast<uint32_t>(w->to_uint64()))
+                   : 1;
+      }
+      case ExprKind::Call: {
+        const auto& c = static_cast<const CallExpr&>(expr);
+        const auto it = em_.functions.find(c.callee);
+        if (it == em_.functions.end()) {
+            return 1;
+        }
+        if (!it->second->ret_range.valid()) {
+            return 1;
+        }
+        Diagnostics scratch;
+        auto msb =
+            eval_const_expr(*it->second->ret_range.msb, em_.params,
+                            &scratch);
+        auto lsb =
+            eval_const_expr(*it->second->ret_range.lsb, em_.params,
+                            &scratch);
+        if (msb.has_value() && lsb.has_value() &&
+            msb->to_uint64() >= lsb->to_uint64()) {
+            return static_cast<uint32_t>(msb->to_uint64() -
+                                         lsb->to_uint64() + 1);
+        }
+        return 1;
+      }
+      case ExprKind::SystemCall: {
+        const auto& s = static_cast<const SystemCallExpr&>(expr);
+        if (s.callee == "$time") {
+            return 64;
+        }
+        if (!s.args.empty()) {
+            return self_width(*s.args[0]);
+        }
+        return 1;
+      }
+    }
+    CASCADE_UNREACHABLE();
+}
+
+bool
+ExprTyper::is_signed(const Expr& expr) const
+{
+    switch (expr.kind) {
+      case ExprKind::Number:
+        return static_cast<const NumberExpr&>(expr).is_signed;
+      case ExprKind::Identifier: {
+        const auto& id = static_cast<const IdentifierExpr&>(expr);
+        if (id.simple()) {
+            if (locals_ != nullptr &&
+                locals_->local_width(id.path[0]) != 0) {
+                return locals_->local_signed(id.path[0]);
+            }
+            if (const NetInfo* net = em_.find_net(id.path[0])) {
+                return net->is_signed;
+            }
+            const auto it = em_.param_signed.find(id.path[0]);
+            if (it != em_.param_signed.end()) {
+                return it->second;
+            }
+        }
+        return false;
+      }
+      case ExprKind::Unary: {
+        const auto& u = static_cast<const UnaryExpr&>(expr);
+        switch (u.op) {
+          case UnaryOp::Plus:
+          case UnaryOp::Minus:
+          case UnaryOp::BitwiseNot:
+            return is_signed(*u.operand);
+          default:
+            return false;
+        }
+      }
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(expr);
+        switch (b.op) {
+          case BinaryOp::Add:
+          case BinaryOp::Sub:
+          case BinaryOp::Mul:
+          case BinaryOp::Div:
+          case BinaryOp::Mod:
+          case BinaryOp::BitAnd:
+          case BinaryOp::BitOr:
+          case BinaryOp::BitXor:
+          case BinaryOp::BitXnor:
+            return is_signed(*b.lhs) && is_signed(*b.rhs);
+          case BinaryOp::Shl:
+          case BinaryOp::Shr:
+          case BinaryOp::AShr:
+          case BinaryOp::Pow:
+            return is_signed(*b.lhs);
+          default:
+            return false;
+        }
+      }
+      case ExprKind::Ternary: {
+        const auto& t = static_cast<const TernaryExpr&>(expr);
+        return is_signed(*t.then_expr) && is_signed(*t.else_expr);
+      }
+      case ExprKind::Call: {
+        const auto& c = static_cast<const CallExpr&>(expr);
+        const auto it = em_.functions.find(c.callee);
+        return it != em_.functions.end() && it->second->ret_signed;
+      }
+      case ExprKind::SystemCall: {
+        const auto& s = static_cast<const SystemCallExpr&>(expr);
+        return s.callee == "$signed";
+      }
+      default:
+        return false;
+    }
+}
+
+uint32_t
+ExprTyper::lvalue_width(const Expr& lhs) const
+{
+    return self_width(lhs);
+}
+
+} // namespace cascade::verilog

@@ -1,0 +1,166 @@
+/// \file
+/// Elaboration: binds parameters, resolves net declarations to concrete
+/// widths, and performs the legality checks that must pass before a module
+/// can be simulated or synthesized.
+///
+/// Cascade elaborates at the granularity of a single module (a subprogram in
+/// the distributed-system IR). Hierarchical references (r.y) are legal only
+/// when a module library is supplied so the child's ports can be checked;
+/// engine-level elaboration runs after the IR transforms have rewritten all
+/// hierarchical references into ports, so subprograms elaborate standalone.
+
+#ifndef CASCADE_VERILOG_ELABORATE_H
+#define CASCADE_VERILOG_ELABORATE_H
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/diagnostics.h"
+#include "verilog/ast.h"
+
+namespace cascade::verilog {
+
+/// A named collection of module declarations (the "program text so far").
+class ModuleLibrary {
+  public:
+    /// Adds (or replaces) a declaration. Returns false if a module of this
+    /// name already existed (callers decide whether that is an error).
+    bool add(std::unique_ptr<ModuleDecl> decl);
+
+    const ModuleDecl* find(const std::string& name) const;
+
+    /// Removes a declaration (used by the REPL to roll back a failed
+    /// eval). Returns true if it existed.
+    bool remove(const std::string& name);
+
+    const std::map<std::string, std::unique_ptr<ModuleDecl>>&
+    all() const
+    {
+        return modules_;
+    }
+
+  private:
+    std::map<std::string, std::unique_ptr<ModuleDecl>> modules_;
+};
+
+/// A fully resolved net (wire/reg/port) within an elaborated module.
+struct NetInfo {
+    std::string name;
+    uint32_t width = 1;
+    uint32_t lsb = 0;           ///< declared [msb:lsb] low bound
+    bool is_signed = false;
+    bool is_reg = false;
+    bool is_port = false;
+    PortDir dir = PortDir::Input;
+    uint32_t array_size = 0;    ///< 0 for scalars
+    int64_t array_base = 0;     ///< lowest legal element index
+    const Expr* init = nullptr; ///< declarator initializer, if any
+};
+
+/// A module with all parameters bound and all nets resolved.
+struct ElaboratedModule {
+    std::string name;
+    /// The (cloned) declaration this was elaborated from.
+    std::unique_ptr<ModuleDecl> decl;
+    /// Final parameter values, including localparams.
+    std::unordered_map<std::string, BitVector> params;
+    std::unordered_map<std::string, bool> param_signed;
+    std::vector<NetInfo> nets;
+    std::unordered_map<std::string, uint32_t> net_index;
+    std::unordered_map<std::string, const FunctionDecl*> functions;
+
+    const NetInfo* find_net(const std::string& name) const;
+    uint32_t net_id(const std::string& name) const;
+};
+
+/// Evaluates a constant expression over a parameter environment. Returns
+/// std::nullopt (and reports to \p diags) when the expression references
+/// anything other than parameters and literals.
+std::optional<BitVector>
+eval_const_expr(const Expr& expr,
+                const std::unordered_map<std::string, BitVector>& env,
+                Diagnostics* diags);
+
+class Elaborator {
+  public:
+    /// \p library may be null; hierarchical references and instantiations
+    /// are then rejected (the subprogram/engine case).
+    Elaborator(Diagnostics* diags, const ModuleLibrary* library = nullptr);
+
+    /// Elaborates \p decl with the given parameter overrides (positional or
+    /// named, as written at an instantiation site). Returns null on error.
+    std::unique_ptr<ElaboratedModule>
+    elaborate(const ModuleDecl& decl,
+              const std::vector<Connection>& param_overrides = {});
+
+  private:
+    bool bind_parameters(const ModuleDecl& decl,
+                         const std::vector<Connection>& overrides,
+                         ElaboratedModule* em);
+    bool add_net(const Port& port, ElaboratedModule* em);
+    bool add_net(const NetDecl& decl, const NetDeclarator& d,
+                 ElaboratedModule* em);
+    /// Computes (width, lsb) from an optional range.
+    bool resolve_range(const Range& range, const ElaboratedModule& em,
+                       uint32_t* width, uint32_t* lsb);
+    bool check_items(ElaboratedModule* em);
+    bool check_stmt(const Stmt& stmt, const ElaboratedModule& em,
+                    bool in_seq_block,
+                    const FunctionDecl* enclosing_fn);
+    bool check_expr(const Expr& expr, const ElaboratedModule& em,
+                    const FunctionDecl* enclosing_fn);
+    bool check_lvalue(const Expr& expr, const ElaboratedModule& em,
+                      bool procedural, const FunctionDecl* enclosing_fn);
+    bool check_instantiation(const Instantiation& inst,
+                             const ElaboratedModule& em);
+
+    Diagnostics* diags_;
+    const ModuleLibrary* library_;
+};
+
+/// Resolves names that live outside the module's net table — function
+/// inputs, locals, and return variables during function evaluation or
+/// inlining. Width 0 means "not a local".
+class LocalScope {
+  public:
+    virtual ~LocalScope() = default;
+
+    virtual uint32_t local_width(const std::string& name) const = 0;
+    virtual bool local_signed(const std::string& name) const = 0;
+};
+
+/// Self-determined width and signedness analysis (IEEE 1364 §5.4), shared
+/// by the interpreter and the synthesizer. Function calls are typed by the
+/// callee's declared return range; identifiers consult \p locals first
+/// (function frames) and the module's nets/params second.
+class ExprTyper {
+  public:
+    explicit ExprTyper(const ElaboratedModule& em,
+                       const LocalScope* locals = nullptr)
+        : em_(em), locals_(locals)
+    {}
+
+    /// Self-determined bit width. Unresolvable references count as 1 bit
+    /// (elaboration has already reported them).
+    uint32_t self_width(const Expr& expr) const;
+
+    /// True if the expression is signed under Verilog's rules (all operands
+    /// signed; comparisons, concats, and reductions are unsigned).
+    bool is_signed(const Expr& expr) const;
+
+    /// Width of an assignment target.
+    uint32_t lvalue_width(const Expr& lhs) const;
+
+  private:
+    const ElaboratedModule& em_;
+    const LocalScope* locals_;
+};
+
+} // namespace cascade::verilog
+
+#endif // CASCADE_VERILOG_ELABORATE_H

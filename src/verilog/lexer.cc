@@ -1,0 +1,611 @@
+#include "verilog/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace cascade::verilog {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>&
+keyword_map()
+{
+    static const std::unordered_map<std::string_view, TokenKind> map = {
+        {"module", TokenKind::KwModule},
+        {"endmodule", TokenKind::KwEndmodule},
+        {"input", TokenKind::KwInput},
+        {"output", TokenKind::KwOutput},
+        {"inout", TokenKind::KwInout},
+        {"wire", TokenKind::KwWire},
+        {"reg", TokenKind::KwReg},
+        {"assign", TokenKind::KwAssign},
+        {"always", TokenKind::KwAlways},
+        {"initial", TokenKind::KwInitial},
+        {"begin", TokenKind::KwBegin},
+        {"end", TokenKind::KwEnd},
+        {"if", TokenKind::KwIf},
+        {"else", TokenKind::KwElse},
+        {"case", TokenKind::KwCase},
+        {"casez", TokenKind::KwCasez},
+        {"casex", TokenKind::KwCasex},
+        {"endcase", TokenKind::KwEndcase},
+        {"default", TokenKind::KwDefault},
+        {"for", TokenKind::KwFor},
+        {"while", TokenKind::KwWhile},
+        {"repeat", TokenKind::KwRepeat},
+        {"forever", TokenKind::KwForever},
+        {"posedge", TokenKind::KwPosedge},
+        {"negedge", TokenKind::KwNegedge},
+        {"or", TokenKind::KwOr},
+        {"parameter", TokenKind::KwParameter},
+        {"localparam", TokenKind::KwLocalparam},
+        {"integer", TokenKind::KwInteger},
+        {"function", TokenKind::KwFunction},
+        {"endfunction", TokenKind::KwEndfunction},
+        {"signed", TokenKind::KwSigned},
+    };
+    return map;
+}
+
+/// Bits per digit for a base character, or 0 for decimal.
+uint32_t
+bits_per_digit(char base)
+{
+    switch (base) {
+      case 'b': return 1;
+      case 'o': return 3;
+      case 'h': return 4;
+      case 'd': return 0;
+      default: CASCADE_UNREACHABLE();
+    }
+}
+
+int
+digit_value(char c)
+{
+    if (c >= '0' && c <= '9') {
+        return c - '0';
+    }
+    if (c >= 'a' && c <= 'f') {
+        return c - 'a' + 10;
+    }
+    if (c >= 'A' && c <= 'F') {
+        return c - 'A' + 10;
+    }
+    return -1;
+}
+
+} // namespace
+
+const char*
+token_kind_name(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::EndOfFile: return "end of input";
+      case TokenKind::Identifier: return "identifier";
+      case TokenKind::SystemId: return "system identifier";
+      case TokenKind::Number: return "number";
+      case TokenKind::String: return "string";
+      case TokenKind::KwModule: return "'module'";
+      case TokenKind::KwEndmodule: return "'endmodule'";
+      case TokenKind::KwInput: return "'input'";
+      case TokenKind::KwOutput: return "'output'";
+      case TokenKind::KwInout: return "'inout'";
+      case TokenKind::KwWire: return "'wire'";
+      case TokenKind::KwReg: return "'reg'";
+      case TokenKind::KwAssign: return "'assign'";
+      case TokenKind::KwAlways: return "'always'";
+      case TokenKind::KwInitial: return "'initial'";
+      case TokenKind::KwBegin: return "'begin'";
+      case TokenKind::KwEnd: return "'end'";
+      case TokenKind::KwIf: return "'if'";
+      case TokenKind::KwElse: return "'else'";
+      case TokenKind::KwCase: return "'case'";
+      case TokenKind::KwCasez: return "'casez'";
+      case TokenKind::KwCasex: return "'casex'";
+      case TokenKind::KwEndcase: return "'endcase'";
+      case TokenKind::KwDefault: return "'default'";
+      case TokenKind::KwFor: return "'for'";
+      case TokenKind::KwWhile: return "'while'";
+      case TokenKind::KwRepeat: return "'repeat'";
+      case TokenKind::KwForever: return "'forever'";
+      case TokenKind::KwPosedge: return "'posedge'";
+      case TokenKind::KwNegedge: return "'negedge'";
+      case TokenKind::KwOr: return "'or'";
+      case TokenKind::KwParameter: return "'parameter'";
+      case TokenKind::KwLocalparam: return "'localparam'";
+      case TokenKind::KwInteger: return "'integer'";
+      case TokenKind::KwFunction: return "'function'";
+      case TokenKind::KwEndfunction: return "'endfunction'";
+      case TokenKind::KwSigned: return "'signed'";
+      case TokenKind::LParen: return "'('";
+      case TokenKind::RParen: return "')'";
+      case TokenKind::LBracket: return "'['";
+      case TokenKind::RBracket: return "']'";
+      case TokenKind::LBrace: return "'{'";
+      case TokenKind::RBrace: return "'}'";
+      case TokenKind::Semi: return "';'";
+      case TokenKind::Colon: return "':'";
+      case TokenKind::Comma: return "','";
+      case TokenKind::Dot: return "'.'";
+      case TokenKind::Hash: return "'#'";
+      case TokenKind::At: return "'@'";
+      case TokenKind::Question: return "'?'";
+      case TokenKind::Assign: return "'='";
+      case TokenKind::Plus: return "'+'";
+      case TokenKind::Minus: return "'-'";
+      case TokenKind::Star: return "'*'";
+      case TokenKind::Slash: return "'/'";
+      case TokenKind::Percent: return "'%'";
+      case TokenKind::StarStar: return "'**'";
+      case TokenKind::EqEq: return "'=='";
+      case TokenKind::BangEq: return "'!='";
+      case TokenKind::EqEqEq: return "'==='";
+      case TokenKind::BangEqEq: return "'!=='";
+      case TokenKind::AmpAmp: return "'&&'";
+      case TokenKind::PipePipe: return "'||'";
+      case TokenKind::Bang: return "'!'";
+      case TokenKind::Lt: return "'<'";
+      case TokenKind::LtEq: return "'<='";
+      case TokenKind::Gt: return "'>'";
+      case TokenKind::GtEq: return "'>='";
+      case TokenKind::Shl: return "'<<'";
+      case TokenKind::Shr: return "'>>'";
+      case TokenKind::AShl: return "'<<<'";
+      case TokenKind::AShr: return "'>>>'";
+      case TokenKind::Amp: return "'&'";
+      case TokenKind::Pipe: return "'|'";
+      case TokenKind::Caret: return "'^'";
+      case TokenKind::Tilde: return "'~'";
+      case TokenKind::TildeAmp: return "'~&'";
+      case TokenKind::TildePipe: return "'~|'";
+      case TokenKind::TildeCaret: return "'~^'";
+      case TokenKind::PlusColon: return "'+:'";
+      case TokenKind::MinusColon: return "'-:'";
+      case TokenKind::Error: return "invalid token";
+    }
+    return "token";
+}
+
+Lexer::Lexer(std::string_view source, Diagnostics* diags)
+    : source_(source), diags_(diags)
+{
+    CASCADE_CHECK(diags != nullptr);
+}
+
+std::vector<Token>
+Lexer::lex_all()
+{
+    std::vector<Token> tokens;
+    while (true) {
+        Token t = next_token();
+        const bool done = t.kind == TokenKind::EndOfFile;
+        if (t.kind != TokenKind::Error) {
+            tokens.push_back(std::move(t));
+        }
+        if (done) {
+            break;
+        }
+    }
+    return tokens;
+}
+
+char
+Lexer::peek(size_t ahead) const
+{
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+}
+
+char
+Lexer::advance()
+{
+    const char c = source_[pos_++];
+    if (c == '\n') {
+        ++line_;
+        column_ = 1;
+    } else {
+        ++column_;
+    }
+    return c;
+}
+
+bool
+Lexer::match(char c)
+{
+    if (!at_end() && peek() == c) {
+        advance();
+        return true;
+    }
+    return false;
+}
+
+void
+Lexer::skip_whitespace_and_comments()
+{
+    while (!at_end()) {
+        const char c = peek();
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+        } else if (c == '/' && peek(1) == '/') {
+            while (!at_end() && peek() != '\n') {
+                advance();
+            }
+        } else if (c == '/' && peek(1) == '*') {
+            const SourceLoc start = here();
+            advance();
+            advance();
+            bool closed = false;
+            while (!at_end()) {
+                if (peek() == '*' && peek(1) == '/') {
+                    advance();
+                    advance();
+                    closed = true;
+                    break;
+                }
+                advance();
+            }
+            if (!closed) {
+                diags_->error(start, "unterminated block comment");
+            }
+        } else {
+            break;
+        }
+    }
+}
+
+Token
+Lexer::next_token()
+{
+    skip_whitespace_and_comments();
+    Token tok;
+    tok.loc = here();
+    if (at_end()) {
+        tok.kind = TokenKind::EndOfFile;
+        return tok;
+    }
+
+    const char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '\\') {
+        return lex_identifier();
+    }
+    if (c == '$') {
+        return lex_system_id();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '\'') {
+        return lex_number();
+    }
+    if (c == '"') {
+        return lex_string();
+    }
+
+    advance();
+    switch (c) {
+      case '(': tok.kind = TokenKind::LParen; return tok;
+      case ')': tok.kind = TokenKind::RParen; return tok;
+      case '[': tok.kind = TokenKind::LBracket; return tok;
+      case ']': tok.kind = TokenKind::RBracket; return tok;
+      case '{': tok.kind = TokenKind::LBrace; return tok;
+      case '}': tok.kind = TokenKind::RBrace; return tok;
+      case ';': tok.kind = TokenKind::Semi; return tok;
+      case ':': tok.kind = TokenKind::Colon; return tok;
+      case ',': tok.kind = TokenKind::Comma; return tok;
+      case '.': tok.kind = TokenKind::Dot; return tok;
+      case '#': tok.kind = TokenKind::Hash; return tok;
+      case '@': tok.kind = TokenKind::At; return tok;
+      case '?': tok.kind = TokenKind::Question; return tok;
+      case '+':
+        tok.kind = match(':') ? TokenKind::PlusColon : TokenKind::Plus;
+        return tok;
+      case '-':
+        tok.kind = match(':') ? TokenKind::MinusColon : TokenKind::Minus;
+        return tok;
+      case '*':
+        tok.kind = match('*') ? TokenKind::StarStar : TokenKind::Star;
+        return tok;
+      case '/': tok.kind = TokenKind::Slash; return tok;
+      case '%': tok.kind = TokenKind::Percent; return tok;
+      case '=':
+        if (match('=')) {
+            tok.kind = match('=') ? TokenKind::EqEqEq : TokenKind::EqEq;
+        } else {
+            tok.kind = TokenKind::Assign;
+        }
+        return tok;
+      case '!':
+        if (match('=')) {
+            tok.kind = match('=') ? TokenKind::BangEqEq : TokenKind::BangEq;
+        } else {
+            tok.kind = TokenKind::Bang;
+        }
+        return tok;
+      case '<':
+        if (match('<')) {
+            tok.kind = match('<') ? TokenKind::AShl : TokenKind::Shl;
+        } else if (match('=')) {
+            tok.kind = TokenKind::LtEq;
+        } else {
+            tok.kind = TokenKind::Lt;
+        }
+        return tok;
+      case '>':
+        if (match('>')) {
+            tok.kind = match('>') ? TokenKind::AShr : TokenKind::Shr;
+        } else if (match('=')) {
+            tok.kind = TokenKind::GtEq;
+        } else {
+            tok.kind = TokenKind::Gt;
+        }
+        return tok;
+      case '&':
+        tok.kind = match('&') ? TokenKind::AmpAmp : TokenKind::Amp;
+        return tok;
+      case '|':
+        tok.kind = match('|') ? TokenKind::PipePipe : TokenKind::Pipe;
+        return tok;
+      case '^':
+        tok.kind = match('~') ? TokenKind::TildeCaret : TokenKind::Caret;
+        return tok;
+      case '~':
+        if (match('&')) {
+            tok.kind = TokenKind::TildeAmp;
+        } else if (match('|')) {
+            tok.kind = TokenKind::TildePipe;
+        } else if (match('^')) {
+            tok.kind = TokenKind::TildeCaret;
+        } else {
+            tok.kind = TokenKind::Tilde;
+        }
+        return tok;
+      default:
+        diags_->error(tok.loc,
+                      std::string("unexpected character '") + c + "'");
+        tok.kind = TokenKind::Error;
+        return tok;
+    }
+}
+
+Token
+Lexer::lex_identifier()
+{
+    Token tok;
+    tok.loc = here();
+    std::string text;
+    if (peek() == '\\') {
+        // Escaped identifier: backslash up to whitespace.
+        advance();
+        while (!at_end() &&
+               !std::isspace(static_cast<unsigned char>(peek()))) {
+            text += advance();
+        }
+        tok.kind = TokenKind::Identifier;
+        tok.text = std::move(text);
+        return tok;
+    }
+    while (!at_end() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) ||
+            peek() == '_' || peek() == '$')) {
+        text += advance();
+    }
+    const auto it = keyword_map().find(text);
+    tok.kind = it != keyword_map().end() ? it->second : TokenKind::Identifier;
+    tok.text = std::move(text);
+    return tok;
+}
+
+Token
+Lexer::lex_system_id()
+{
+    Token tok;
+    tok.loc = here();
+    std::string text;
+    text += advance(); // '$'
+    while (!at_end() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) ||
+            peek() == '_')) {
+        text += advance();
+    }
+    tok.kind = TokenKind::SystemId;
+    tok.text = std::move(text);
+    return tok;
+}
+
+Token
+Lexer::lex_string()
+{
+    Token tok;
+    tok.loc = here();
+    tok.kind = TokenKind::String;
+    advance(); // opening quote
+    std::string text;
+    while (!at_end() && peek() != '"' && peek() != '\n') {
+        char c = advance();
+        if (c == '\\' && !at_end()) {
+            const char esc = advance();
+            switch (esc) {
+              case 'n': c = '\n'; break;
+              case 't': c = '\t'; break;
+              case '\\': c = '\\'; break;
+              case '"': c = '"'; break;
+              default:
+                diags_->warning(tok.loc,
+                                std::string("unknown escape '\\") + esc +
+                                    "'");
+                c = esc;
+                break;
+            }
+        }
+        text += c;
+    }
+    if (at_end() || peek() != '"') {
+        diags_->error(tok.loc, "unterminated string literal");
+        tok.kind = TokenKind::Error;
+        return tok;
+    }
+    advance(); // closing quote
+    tok.text = std::move(text);
+    return tok;
+}
+
+Token
+Lexer::lex_number()
+{
+    Token tok;
+    tok.loc = here();
+    tok.kind = TokenKind::Number;
+
+    // Optional leading size (decimal digits before a tick).
+    std::string size_digits;
+    while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                         peek() == '_')) {
+        const char c = advance();
+        if (c != '_') {
+            size_digits += c;
+        }
+    }
+
+    // Peek past whitespace for a tick; "8 'h80" is legal Verilog.
+    size_t save_pos = pos_;
+    uint32_t save_line = line_, save_col = column_;
+    skip_whitespace_and_comments();
+    if (at_end() || peek() != '\'') {
+        // Plain decimal literal: unsized, signed, 32 bits.
+        pos_ = save_pos;
+        line_ = save_line;
+        column_ = save_col;
+        if (size_digits.empty()) {
+            diags_->error(tok.loc, "malformed number");
+            tok.kind = TokenKind::Error;
+            return tok;
+        }
+        auto v = BitVector::from_decimal(32, size_digits);
+        CASCADE_CHECK(v.has_value());
+        tok.value = *std::move(v);
+        tok.sized = false;
+        tok.is_signed = true;
+        tok.text = size_digits;
+        return tok;
+    }
+    advance(); // tick
+
+    bool is_signed = false;
+    if (!at_end() && (peek() == 's' || peek() == 'S')) {
+        is_signed = true;
+        advance();
+    }
+    if (at_end()) {
+        diags_->error(tok.loc, "truncated based literal");
+        tok.kind = TokenKind::Error;
+        return tok;
+    }
+    char base = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(advance())));
+    if (base != 'b' && base != 'o' && base != 'd' && base != 'h') {
+        diags_->error(tok.loc, std::string("invalid number base '") + base +
+                                   "'");
+        tok.kind = TokenKind::Error;
+        return tok;
+    }
+
+    skip_whitespace_and_comments();
+    std::string digits;
+    while (!at_end() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) ||
+            peek() == '_' || peek() == '?')) {
+        digits += advance();
+    }
+    if (digits.empty()) {
+        diags_->error(tok.loc, "based literal has no digits");
+        tok.kind = TokenKind::Error;
+        return tok;
+    }
+
+    uint32_t width = 32;
+    bool sized = false;
+    if (!size_digits.empty()) {
+        const unsigned long parsed = std::stoul(size_digits);
+        if (parsed == 0 || parsed > (1u << 20)) {
+            diags_->error(tok.loc, "literal size out of range");
+            tok.kind = TokenKind::Error;
+            return tok;
+        }
+        width = static_cast<uint32_t>(parsed);
+        sized = true;
+    }
+
+    decode_based(&tok, width, sized, base, digits);
+    tok.is_signed = is_signed;
+    tok.text = size_digits + "'" + (is_signed ? "s" : "") + base + digits;
+    return tok;
+}
+
+void
+Lexer::decode_based(Token* tok, uint32_t width, bool sized, char base,
+                    const std::string& digits)
+{
+    tok->sized = sized;
+    if (base == 'd') {
+        std::string clean;
+        for (char c : digits) {
+            if (c == '_') {
+                continue;
+            }
+            if (!std::isdigit(static_cast<unsigned char>(c))) {
+                diags_->error(tok->loc, "invalid decimal digit");
+                tok->kind = TokenKind::Error;
+                return;
+            }
+            clean += c;
+        }
+        auto v = BitVector::from_decimal(width, clean);
+        if (!v.has_value()) {
+            diags_->error(tok->loc, "malformed decimal literal");
+            tok->kind = TokenKind::Error;
+            return;
+        }
+        tok->value = *std::move(v);
+        return;
+    }
+
+    const uint32_t bpd = bits_per_digit(base);
+    BitVector v(width, 0);
+    uint32_t pos = 0;
+    bool warned_xz = false;
+    // Digits are MSB-first; walk from the right.
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        char c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*it)));
+        if (c == '_') {
+            continue;
+        }
+        int dv;
+        if (c == 'x' || c == 'z' || c == '?') {
+            // Two-state build: x/z collapse to 0 (see DESIGN.md §5).
+            if (!warned_xz) {
+                diags_->warning(tok->loc,
+                                "x/z digits are treated as 0 in this "
+                                "two-state implementation");
+                warned_xz = true;
+            }
+            dv = 0;
+        } else {
+            dv = digit_value(c);
+            if (dv < 0 || dv >= (1 << bpd)) {
+                diags_->error(tok->loc,
+                              std::string("invalid digit '") + c +
+                                  "' for base");
+                tok->kind = TokenKind::Error;
+                return;
+            }
+        }
+        if (pos < width) {
+            v.set_slice(pos, BitVector(bpd, static_cast<uint64_t>(dv)));
+        }
+        pos += bpd;
+    }
+    tok->value = std::move(v);
+}
+
+} // namespace cascade::verilog

@@ -1,0 +1,55 @@
+/// \file
+/// The Verilog lexer. Converts a source buffer into a token stream, decoding
+/// numeric literals (sized/based/underscored) into BitVectors as it goes.
+
+#ifndef CASCADE_VERILOG_LEXER_H
+#define CASCADE_VERILOG_LEXER_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/diagnostics.h"
+#include "verilog/token.h"
+
+namespace cascade::verilog {
+
+class Lexer {
+  public:
+    /// Lexes \p source to completion. Errors (unterminated strings, stray
+    /// characters, x/z digits) are reported to \p diags; lexing continues so
+    /// that as many problems as possible surface in one pass.
+    Lexer(std::string_view source, Diagnostics* diags);
+
+    /// Runs the lexer and returns the token stream, terminated by an
+    /// EndOfFile token.
+    std::vector<Token> lex_all();
+
+  private:
+    Token next_token();
+    Token lex_identifier();
+    Token lex_system_id();
+    Token lex_number();
+    Token lex_string();
+
+    /// Decodes the value part of a based literal into \p tok.
+    void decode_based(Token* tok, uint32_t width, bool sized, char base,
+                      const std::string& digits);
+
+    char peek(size_t ahead = 0) const;
+    char advance();
+    bool match(char c);
+    void skip_whitespace_and_comments();
+    SourceLoc here() const { return {line_, column_}; }
+    bool at_end() const { return pos_ >= source_.size(); }
+
+    std::string_view source_;
+    Diagnostics* diags_;
+    size_t pos_ = 0;
+    uint32_t line_ = 1;
+    uint32_t column_ = 1;
+};
+
+} // namespace cascade::verilog
+
+#endif // CASCADE_VERILOG_LEXER_H

@@ -1,0 +1,1129 @@
+#include "verilog/parser.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "verilog/lexer.h"
+
+namespace cascade::verilog {
+
+namespace {
+
+/// Binary operator precedence, higher binds tighter. Mirrors IEEE 1364
+/// table 5-4 (ternary and unary handled separately).
+int
+binary_precedence(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::StarStar: return 11;
+      case TokenKind::Star:
+      case TokenKind::Slash:
+      case TokenKind::Percent: return 10;
+      case TokenKind::Plus:
+      case TokenKind::Minus: return 9;
+      case TokenKind::Shl:
+      case TokenKind::Shr:
+      case TokenKind::AShl:
+      case TokenKind::AShr: return 8;
+      case TokenKind::Lt:
+      case TokenKind::LtEq:
+      case TokenKind::Gt:
+      case TokenKind::GtEq: return 7;
+      case TokenKind::EqEq:
+      case TokenKind::BangEq:
+      case TokenKind::EqEqEq:
+      case TokenKind::BangEqEq: return 6;
+      case TokenKind::Amp: return 5;
+      case TokenKind::Caret:
+      case TokenKind::TildeCaret: return 4;
+      case TokenKind::Pipe: return 3;
+      case TokenKind::AmpAmp: return 2;
+      case TokenKind::PipePipe: return 1;
+      default: return -1;
+    }
+}
+
+BinaryOp
+binary_op_for(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::StarStar: return BinaryOp::Pow;
+      case TokenKind::Star: return BinaryOp::Mul;
+      case TokenKind::Slash: return BinaryOp::Div;
+      case TokenKind::Percent: return BinaryOp::Mod;
+      case TokenKind::Plus: return BinaryOp::Add;
+      case TokenKind::Minus: return BinaryOp::Sub;
+      case TokenKind::Shl: return BinaryOp::Shl;
+      case TokenKind::AShl: return BinaryOp::Shl;
+      case TokenKind::Shr: return BinaryOp::Shr;
+      case TokenKind::AShr: return BinaryOp::AShr;
+      case TokenKind::Lt: return BinaryOp::Lt;
+      case TokenKind::LtEq: return BinaryOp::Leq;
+      case TokenKind::Gt: return BinaryOp::Gt;
+      case TokenKind::GtEq: return BinaryOp::Geq;
+      case TokenKind::EqEq: return BinaryOp::Eq;
+      case TokenKind::BangEq: return BinaryOp::Neq;
+      case TokenKind::EqEqEq: return BinaryOp::CaseEq;
+      case TokenKind::BangEqEq: return BinaryOp::CaseNeq;
+      case TokenKind::Amp: return BinaryOp::BitAnd;
+      case TokenKind::Caret: return BinaryOp::BitXor;
+      case TokenKind::TildeCaret: return BinaryOp::BitXnor;
+      case TokenKind::Pipe: return BinaryOp::BitOr;
+      case TokenKind::AmpAmp: return BinaryOp::LogicalAnd;
+      case TokenKind::PipePipe: return BinaryOp::LogicalOr;
+      default: CASCADE_UNREACHABLE();
+    }
+}
+
+} // namespace
+
+Parser::Parser(std::vector<Token> tokens, Diagnostics* diags)
+    : tokens_(std::move(tokens)), diags_(diags)
+{
+    CASCADE_CHECK(!tokens_.empty());
+    CASCADE_CHECK(tokens_.back().kind == TokenKind::EndOfFile);
+}
+
+const Token&
+Parser::peek(size_t ahead) const
+{
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+}
+
+const Token&
+Parser::advance()
+{
+    const Token& t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) {
+        ++pos_;
+    }
+    return t;
+}
+
+bool
+Parser::match(TokenKind kind)
+{
+    if (check(kind)) {
+        advance();
+        return true;
+    }
+    return false;
+}
+
+bool
+Parser::expect(TokenKind kind, const char* context)
+{
+    if (check(kind)) {
+        advance();
+        return true;
+    }
+    diags_->error(peek().loc, std::string("expected ") +
+                                  token_kind_name(kind) + " " + context +
+                                  ", found " + token_kind_name(peek().kind));
+    return false;
+}
+
+void
+Parser::error_here(const std::string& msg)
+{
+    diags_->error(peek().loc, msg);
+}
+
+void
+Parser::synchronize()
+{
+    while (!at_end()) {
+        const TokenKind k = advance().kind;
+        if (k == TokenKind::Semi || k == TokenKind::KwEndmodule ||
+            k == TokenKind::KwEnd) {
+            return;
+        }
+        if (check(TokenKind::KwModule)) {
+            return;
+        }
+    }
+}
+
+SourceUnit
+Parser::parse_source_unit()
+{
+    SourceUnit unit;
+    while (!at_end()) {
+        if (check(TokenKind::KwModule)) {
+            auto m = parse_module_decl();
+            if (m != nullptr) {
+                unit.modules.push_back(std::move(m));
+            }
+        } else if (check(TokenKind::SystemId)) {
+            // A bare system task at top level becomes an initial block in
+            // the root module, so "$display(x);" works at the REPL.
+            StmtPtr stmt = parse_system_task();
+            if (stmt != nullptr) {
+                const SourceLoc loc = stmt->loc;
+                unit.root_items.push_back(
+                    std::make_unique<InitialBlock>(std::move(stmt), loc));
+            }
+        } else {
+            ItemPtr item = parse_module_item();
+            if (item != nullptr) {
+                unit.root_items.push_back(std::move(item));
+            } else if (!at_end() && diags_->has_errors()) {
+                // parse_module_item already synchronized.
+            }
+        }
+    }
+    return unit;
+}
+
+std::unique_ptr<ModuleDecl>
+Parser::parse_module_decl()
+{
+    auto mod = std::make_unique<ModuleDecl>();
+    mod->loc = peek().loc;
+    expect(TokenKind::KwModule, "to start module");
+    if (!check(TokenKind::Identifier)) {
+        error_here("expected module name");
+        synchronize();
+        return nullptr;
+    }
+    mod->name = advance().text;
+
+    if (match(TokenKind::Hash)) {
+        if (!expect(TokenKind::LParen, "after '#'")) {
+            synchronize();
+            return nullptr;
+        }
+        while (!check(TokenKind::RParen) && !at_end()) {
+            if (check(TokenKind::KwParameter)) {
+                ItemPtr p = parse_param_decl(/*in_header=*/true);
+                if (p != nullptr) {
+                    mod->header_params.push_back(std::move(p));
+                }
+            } else {
+                error_here("expected 'parameter' in module header");
+                break;
+            }
+            if (!match(TokenKind::Comma)) {
+                break;
+            }
+        }
+        expect(TokenKind::RParen, "to close parameter list");
+    }
+
+    if (match(TokenKind::LParen)) {
+        if (!check(TokenKind::RParen)) {
+            mod->ports = parse_port_list();
+        }
+        expect(TokenKind::RParen, "to close port list");
+    }
+    expect(TokenKind::Semi, "after module header");
+
+    while (!check(TokenKind::KwEndmodule) && !at_end()) {
+        ItemPtr item = parse_module_item();
+        if (item != nullptr) {
+            mod->items.push_back(std::move(item));
+        }
+    }
+    expect(TokenKind::KwEndmodule, "to close module");
+    return mod;
+}
+
+std::vector<Port>
+Parser::parse_port_list()
+{
+    std::vector<Port> ports;
+    PortDir dir = PortDir::Input;
+    bool have_dir = false;
+    bool is_reg = false;
+    bool is_signed = false;
+    Range range;
+
+    while (!at_end()) {
+        if (check(TokenKind::KwInput) || check(TokenKind::KwOutput) ||
+            check(TokenKind::KwInout)) {
+            const TokenKind k = advance().kind;
+            dir = k == TokenKind::KwInput
+                      ? PortDir::Input
+                      : (k == TokenKind::KwOutput ? PortDir::Output
+                                                  : PortDir::Inout);
+            have_dir = true;
+            is_reg = false;
+            is_signed = false;
+            range = Range{};
+            if (match(TokenKind::KwWire)) {
+                // nothing: wire is the default
+            } else if (match(TokenKind::KwReg)) {
+                is_reg = true;
+            }
+            if (match(TokenKind::KwSigned)) {
+                is_signed = true;
+            }
+            if (check(TokenKind::LBracket)) {
+                range = parse_range();
+            }
+        }
+        if (!have_dir) {
+            error_here("expected port direction (ANSI-style header)");
+            return ports;
+        }
+        if (!check(TokenKind::Identifier)) {
+            error_here("expected port name");
+            return ports;
+        }
+        Port p;
+        p.dir = dir;
+        p.is_reg = is_reg;
+        p.is_signed = is_signed;
+        p.range = range.clone();
+        p.loc = peek().loc;
+        p.name = advance().text;
+        ports.push_back(std::move(p));
+        if (!match(TokenKind::Comma)) {
+            break;
+        }
+    }
+    return ports;
+}
+
+Range
+Parser::parse_range()
+{
+    Range r;
+    expect(TokenKind::LBracket, "to open range");
+    r.msb = parse_expr();
+    expect(TokenKind::Colon, "in range");
+    r.lsb = parse_expr();
+    expect(TokenKind::RBracket, "to close range");
+    return r;
+}
+
+ItemPtr
+Parser::parse_module_item()
+{
+    switch (peek().kind) {
+      case TokenKind::KwWire:
+      case TokenKind::KwReg:
+      case TokenKind::KwInteger:
+        return parse_net_decl();
+      case TokenKind::KwParameter:
+      case TokenKind::KwLocalparam: {
+        ItemPtr p = parse_param_decl(/*in_header=*/false);
+        expect(TokenKind::Semi, "after parameter declaration");
+        return p;
+      }
+      case TokenKind::KwAssign:
+        return parse_continuous_assign();
+      case TokenKind::KwAlways:
+        return parse_always();
+      case TokenKind::KwInitial:
+        return parse_initial();
+      case TokenKind::KwFunction:
+        return parse_function_decl();
+      case TokenKind::Identifier:
+        return parse_instantiation();
+      default:
+        error_here(std::string("unexpected ") +
+                   token_kind_name(peek().kind) + " at module scope");
+        synchronize();
+        return nullptr;
+    }
+}
+
+ItemPtr
+Parser::parse_net_decl()
+{
+    auto decl = std::make_unique<NetDecl>();
+    decl->loc = peek().loc;
+    const TokenKind k = advance().kind;
+    if (k == TokenKind::KwInteger) {
+        // integer x; is sugar for reg signed [31:0] x;
+        decl->is_reg = true;
+        decl->is_signed = true;
+        decl->range.msb = std::make_unique<NumberExpr>(BitVector(32, 31),
+                                                       false, true);
+        decl->range.lsb = std::make_unique<NumberExpr>(BitVector(32, 0),
+                                                       false, true);
+    } else {
+        decl->is_reg = k == TokenKind::KwReg;
+        if (match(TokenKind::KwSigned)) {
+            decl->is_signed = true;
+        }
+        if (check(TokenKind::LBracket)) {
+            decl->range = parse_range();
+        }
+    }
+
+    while (true) {
+        if (!check(TokenKind::Identifier)) {
+            error_here("expected net name");
+            synchronize();
+            return nullptr;
+        }
+        NetDeclarator d;
+        d.name = advance().text;
+        if (check(TokenKind::LBracket)) {
+            d.array_dim = parse_range();
+        }
+        if (match(TokenKind::Assign)) {
+            d.init = parse_expr();
+        }
+        decl->decls.push_back(std::move(d));
+        if (!match(TokenKind::Comma)) {
+            break;
+        }
+    }
+    expect(TokenKind::Semi, "after net declaration");
+    return decl;
+}
+
+ItemPtr
+Parser::parse_param_decl(bool in_header)
+{
+    auto decl = std::make_unique<ParamDecl>();
+    decl->loc = peek().loc;
+    decl->local = peek().kind == TokenKind::KwLocalparam;
+    advance(); // parameter/localparam
+    if (match(TokenKind::KwSigned)) {
+        decl->is_signed = true;
+    }
+    if (check(TokenKind::LBracket)) {
+        decl->range = parse_range();
+    }
+    if (!check(TokenKind::Identifier)) {
+        error_here("expected parameter name");
+        if (!in_header) {
+            synchronize();
+        }
+        return nullptr;
+    }
+    decl->name = advance().text;
+    if (!expect(TokenKind::Assign, "after parameter name")) {
+        return nullptr;
+    }
+    decl->value = parse_expr();
+    return decl;
+}
+
+ItemPtr
+Parser::parse_continuous_assign()
+{
+    const SourceLoc loc = peek().loc;
+    expect(TokenKind::KwAssign, "to start continuous assign");
+    ExprPtr lhs = check(TokenKind::LBrace) ? parse_concat()
+                                           : parse_identifier_expr();
+    if (lhs == nullptr) {
+        synchronize();
+        return nullptr;
+    }
+    if (!expect(TokenKind::Assign, "in continuous assign")) {
+        synchronize();
+        return nullptr;
+    }
+    ExprPtr rhs = parse_expr();
+    expect(TokenKind::Semi, "after continuous assign");
+    if (rhs == nullptr) {
+        return nullptr;
+    }
+    return std::make_unique<ContinuousAssign>(std::move(lhs), std::move(rhs),
+                                              loc);
+}
+
+ItemPtr
+Parser::parse_always()
+{
+    auto block = std::make_unique<AlwaysBlock>();
+    block->loc = peek().loc;
+    expect(TokenKind::KwAlways, "to start always block");
+    if (!expect(TokenKind::At, "after 'always'")) {
+        synchronize();
+        return nullptr;
+    }
+    if (match(TokenKind::Star)) {
+        block->star = true;
+    } else {
+        if (!expect(TokenKind::LParen, "after '@'")) {
+            synchronize();
+            return nullptr;
+        }
+        if (match(TokenKind::Star)) {
+            block->star = true;
+        } else {
+            while (!at_end()) {
+                SensitivityItem item;
+                if (match(TokenKind::KwPosedge)) {
+                    item.edge = EdgeKind::Pos;
+                } else if (match(TokenKind::KwNegedge)) {
+                    item.edge = EdgeKind::Neg;
+                }
+                item.signal = parse_identifier_expr();
+                if (item.signal == nullptr) {
+                    synchronize();
+                    return nullptr;
+                }
+                block->sensitivity.push_back(std::move(item));
+                if (!match(TokenKind::KwOr) && !match(TokenKind::Comma)) {
+                    break;
+                }
+            }
+        }
+        expect(TokenKind::RParen, "to close sensitivity list");
+    }
+    block->body = parse_statement();
+    if (block->body == nullptr) {
+        return nullptr;
+    }
+    return block;
+}
+
+ItemPtr
+Parser::parse_initial()
+{
+    const SourceLoc loc = peek().loc;
+    expect(TokenKind::KwInitial, "to start initial block");
+    StmtPtr body = parse_statement();
+    if (body == nullptr) {
+        return nullptr;
+    }
+    return std::make_unique<InitialBlock>(std::move(body), loc);
+}
+
+ItemPtr
+Parser::parse_function_decl()
+{
+    auto fn = std::make_unique<FunctionDecl>();
+    fn->loc = peek().loc;
+    expect(TokenKind::KwFunction, "to start function");
+    if (match(TokenKind::KwSigned)) {
+        fn->ret_signed = true;
+    }
+    if (check(TokenKind::LBracket)) {
+        fn->ret_range = parse_range();
+    }
+    if (!check(TokenKind::Identifier)) {
+        error_here("expected function name");
+        synchronize();
+        return nullptr;
+    }
+    fn->name = advance().text;
+    expect(TokenKind::Semi, "after function name");
+
+    // Input and local variable declarations.
+    while (check(TokenKind::KwInput) || check(TokenKind::KwReg) ||
+           check(TokenKind::KwInteger)) {
+        const bool is_input = check(TokenKind::KwInput);
+        if (is_input) {
+            advance();
+            auto decl = std::make_unique<NetDecl>();
+            decl->loc = peek().loc;
+            decl->is_reg = true;
+            if (match(TokenKind::KwSigned)) {
+                decl->is_signed = true;
+            }
+            if (check(TokenKind::LBracket)) {
+                decl->range = parse_range();
+            }
+            while (true) {
+                if (!check(TokenKind::Identifier)) {
+                    error_here("expected input name");
+                    synchronize();
+                    return nullptr;
+                }
+                NetDeclarator d;
+                d.name = advance().text;
+                decl->decls.push_back(std::move(d));
+                if (!match(TokenKind::Comma)) {
+                    break;
+                }
+            }
+            expect(TokenKind::Semi, "after function input");
+            fn->decls.push_back(std::move(decl));
+            fn->decl_is_input.push_back(true);
+        } else {
+            ItemPtr decl = parse_net_decl();
+            if (decl == nullptr) {
+                return nullptr;
+            }
+            fn->decls.push_back(std::move(decl));
+            fn->decl_is_input.push_back(false);
+        }
+    }
+
+    fn->body = parse_statement();
+    expect(TokenKind::KwEndfunction, "to close function");
+    if (fn->body == nullptr) {
+        return nullptr;
+    }
+    return fn;
+}
+
+ItemPtr
+Parser::parse_instantiation()
+{
+    auto inst = std::make_unique<Instantiation>();
+    inst->loc = peek().loc;
+    inst->module_name = advance().text;
+    if (match(TokenKind::Hash)) {
+        expect(TokenKind::LParen, "after '#'");
+        inst->parameters = parse_connection_list();
+        expect(TokenKind::RParen, "to close parameter overrides");
+    }
+    if (!check(TokenKind::Identifier)) {
+        error_here("expected instance name (or unknown statement at module "
+                   "scope)");
+        synchronize();
+        return nullptr;
+    }
+    inst->instance_name = advance().text;
+    if (!expect(TokenKind::LParen, "after instance name")) {
+        synchronize();
+        return nullptr;
+    }
+    if (!check(TokenKind::RParen)) {
+        inst->ports = parse_connection_list();
+    }
+    expect(TokenKind::RParen, "to close port connections");
+    expect(TokenKind::Semi, "after instantiation");
+    return inst;
+}
+
+std::vector<Connection>
+Parser::parse_connection_list()
+{
+    std::vector<Connection> conns;
+    while (!at_end()) {
+        Connection c;
+        if (match(TokenKind::Dot)) {
+            if (!check(TokenKind::Identifier)) {
+                error_here("expected connection name after '.'");
+                return conns;
+            }
+            c.name = advance().text;
+            expect(TokenKind::LParen, "after connection name");
+            if (!check(TokenKind::RParen)) {
+                c.expr = parse_expr();
+            }
+            expect(TokenKind::RParen, "to close connection");
+        } else {
+            c.expr = parse_expr();
+        }
+        conns.push_back(std::move(c));
+        if (!match(TokenKind::Comma)) {
+            break;
+        }
+    }
+    return conns;
+}
+
+StmtPtr
+Parser::parse_statement()
+{
+    switch (peek().kind) {
+      case TokenKind::KwBegin:
+        return parse_block();
+      case TokenKind::KwIf:
+        return parse_if();
+      case TokenKind::KwCase:
+        advance();
+        return parse_case(CaseKind::Case);
+      case TokenKind::KwCasez:
+        advance();
+        return parse_case(CaseKind::Casez);
+      case TokenKind::KwCasex:
+        advance();
+        return parse_case(CaseKind::Casex);
+      case TokenKind::KwFor:
+        return parse_for();
+      case TokenKind::KwWhile: {
+        const SourceLoc loc = advance().loc;
+        expect(TokenKind::LParen, "after 'while'");
+        ExprPtr cond = parse_expr();
+        expect(TokenKind::RParen, "to close while condition");
+        StmtPtr body = parse_statement();
+        if (cond == nullptr || body == nullptr) {
+            return nullptr;
+        }
+        return std::make_unique<WhileStmt>(std::move(cond), std::move(body),
+                                           loc);
+      }
+      case TokenKind::KwRepeat: {
+        const SourceLoc loc = advance().loc;
+        expect(TokenKind::LParen, "after 'repeat'");
+        ExprPtr count = parse_expr();
+        expect(TokenKind::RParen, "to close repeat count");
+        StmtPtr body = parse_statement();
+        if (count == nullptr || body == nullptr) {
+            return nullptr;
+        }
+        return std::make_unique<RepeatStmt>(std::move(count),
+                                            std::move(body), loc);
+      }
+      case TokenKind::KwForever: {
+        const SourceLoc loc = advance().loc;
+        StmtPtr body = parse_statement();
+        if (body == nullptr) {
+            return nullptr;
+        }
+        return std::make_unique<ForeverStmt>(std::move(body), loc);
+      }
+      case TokenKind::SystemId:
+        return parse_system_task();
+      case TokenKind::Semi: {
+        const SourceLoc loc = advance().loc;
+        return std::make_unique<NullStmt>(loc);
+      }
+      case TokenKind::Identifier:
+      case TokenKind::LBrace:
+        return parse_assignment(/*want_semi=*/true);
+      default:
+        error_here(std::string("unexpected ") +
+                   token_kind_name(peek().kind) + " at statement position");
+        synchronize();
+        return nullptr;
+    }
+}
+
+StmtPtr
+Parser::parse_block()
+{
+    const SourceLoc loc = peek().loc;
+    expect(TokenKind::KwBegin, "to open block");
+    // Optional block label: begin : name
+    if (match(TokenKind::Colon)) {
+        if (check(TokenKind::Identifier)) {
+            advance();
+        }
+    }
+    std::vector<StmtPtr> stmts;
+    while (!check(TokenKind::KwEnd) && !at_end()) {
+        StmtPtr s = parse_statement();
+        if (s != nullptr) {
+            stmts.push_back(std::move(s));
+        }
+    }
+    expect(TokenKind::KwEnd, "to close block");
+    return std::make_unique<BlockStmt>(std::move(stmts), loc);
+}
+
+StmtPtr
+Parser::parse_if()
+{
+    const SourceLoc loc = peek().loc;
+    expect(TokenKind::KwIf, "to start if");
+    expect(TokenKind::LParen, "after 'if'");
+    ExprPtr cond = parse_expr();
+    expect(TokenKind::RParen, "to close if condition");
+    StmtPtr then_stmt = parse_statement();
+    StmtPtr else_stmt;
+    if (match(TokenKind::KwElse)) {
+        else_stmt = parse_statement();
+    }
+    if (cond == nullptr || then_stmt == nullptr) {
+        return nullptr;
+    }
+    return std::make_unique<IfStmt>(std::move(cond), std::move(then_stmt),
+                                    std::move(else_stmt), loc);
+}
+
+StmtPtr
+Parser::parse_case(CaseKind kind)
+{
+    const SourceLoc loc = peek().loc;
+    expect(TokenKind::LParen, "after 'case'");
+    ExprPtr subject = parse_expr();
+    expect(TokenKind::RParen, "to close case subject");
+    std::vector<CaseItem> items;
+    while (!check(TokenKind::KwEndcase) && !at_end()) {
+        CaseItem item;
+        if (match(TokenKind::KwDefault)) {
+            match(TokenKind::Colon);
+        } else {
+            while (true) {
+                ExprPtr label = parse_expr();
+                if (label == nullptr) {
+                    synchronize();
+                    return nullptr;
+                }
+                item.labels.push_back(std::move(label));
+                if (!match(TokenKind::Comma)) {
+                    break;
+                }
+            }
+            expect(TokenKind::Colon, "after case labels");
+        }
+        item.stmt = parse_statement();
+        if (item.stmt == nullptr) {
+            return nullptr;
+        }
+        items.push_back(std::move(item));
+    }
+    expect(TokenKind::KwEndcase, "to close case");
+    if (subject == nullptr) {
+        return nullptr;
+    }
+    return std::make_unique<CaseStmt>(kind, std::move(subject),
+                                      std::move(items), loc);
+}
+
+StmtPtr
+Parser::parse_for()
+{
+    const SourceLoc loc = peek().loc;
+    expect(TokenKind::KwFor, "to start for");
+    expect(TokenKind::LParen, "after 'for'");
+    StmtPtr init = parse_assignment(/*want_semi=*/true);
+    ExprPtr cond = parse_expr();
+    expect(TokenKind::Semi, "after for condition");
+    StmtPtr step = parse_assignment(/*want_semi=*/false);
+    expect(TokenKind::RParen, "to close for header");
+    StmtPtr body = parse_statement();
+    if (init == nullptr || cond == nullptr || step == nullptr ||
+        body == nullptr) {
+        return nullptr;
+    }
+    return std::make_unique<ForStmt>(std::move(init), std::move(cond),
+                                     std::move(step), std::move(body), loc);
+}
+
+StmtPtr
+Parser::parse_assignment(bool want_semi)
+{
+    const SourceLoc loc = peek().loc;
+    ExprPtr lhs = check(TokenKind::LBrace) ? parse_concat()
+                                           : parse_identifier_expr();
+    if (lhs == nullptr) {
+        synchronize();
+        return nullptr;
+    }
+    StmtPtr stmt;
+    if (match(TokenKind::Assign)) {
+        ExprPtr rhs = parse_expr();
+        if (rhs == nullptr) {
+            return nullptr;
+        }
+        stmt = std::make_unique<BlockingAssignStmt>(std::move(lhs),
+                                                    std::move(rhs), loc);
+    } else if (match(TokenKind::LtEq)) {
+        ExprPtr rhs = parse_expr();
+        if (rhs == nullptr) {
+            return nullptr;
+        }
+        stmt = std::make_unique<NonblockingAssignStmt>(std::move(lhs),
+                                                       std::move(rhs), loc);
+    } else {
+        error_here("expected '=' or '<=' in assignment");
+        synchronize();
+        return nullptr;
+    }
+    if (want_semi) {
+        expect(TokenKind::Semi, "after assignment");
+    }
+    return stmt;
+}
+
+StmtPtr
+Parser::parse_system_task()
+{
+    const SourceLoc loc = peek().loc;
+    std::string name = advance().text;
+    std::vector<ExprPtr> args;
+    if (match(TokenKind::LParen)) {
+        if (!check(TokenKind::RParen)) {
+            while (true) {
+                ExprPtr arg = parse_expr();
+                if (arg == nullptr) {
+                    synchronize();
+                    return nullptr;
+                }
+                args.push_back(std::move(arg));
+                if (!match(TokenKind::Comma)) {
+                    break;
+                }
+            }
+        }
+        expect(TokenKind::RParen, "to close system task arguments");
+    }
+    expect(TokenKind::Semi, "after system task");
+    return std::make_unique<SystemTaskStmt>(std::move(name), std::move(args),
+                                            loc);
+}
+
+ExprPtr
+Parser::parse_expr()
+{
+    return parse_ternary();
+}
+
+ExprPtr
+Parser::parse_ternary()
+{
+    ExprPtr cond = parse_binary(0);
+    if (cond == nullptr) {
+        return nullptr;
+    }
+    if (!match(TokenKind::Question)) {
+        return cond;
+    }
+    const SourceLoc loc = cond->loc;
+    ExprPtr then_expr = parse_ternary();
+    if (!expect(TokenKind::Colon, "in ternary expression")) {
+        return nullptr;
+    }
+    ExprPtr else_expr = parse_ternary();
+    if (then_expr == nullptr || else_expr == nullptr) {
+        return nullptr;
+    }
+    return std::make_unique<TernaryExpr>(std::move(cond),
+                                         std::move(then_expr),
+                                         std::move(else_expr), loc);
+}
+
+ExprPtr
+Parser::parse_binary(int min_prec)
+{
+    ExprPtr lhs = parse_unary();
+    if (lhs == nullptr) {
+        return nullptr;
+    }
+    while (true) {
+        const TokenKind k = peek().kind;
+        const int prec = binary_precedence(k);
+        if (prec < 0 || prec < min_prec) {
+            return lhs;
+        }
+        const SourceLoc loc = peek().loc;
+        advance();
+        // ** is right-associative; everything else is left-associative.
+        const int next_min = k == TokenKind::StarStar ? prec : prec + 1;
+        ExprPtr rhs = parse_binary(next_min);
+        if (rhs == nullptr) {
+            return nullptr;
+        }
+        lhs = std::make_unique<BinaryExpr>(binary_op_for(k), std::move(lhs),
+                                           std::move(rhs), loc);
+    }
+}
+
+ExprPtr
+Parser::parse_unary()
+{
+    const SourceLoc loc = peek().loc;
+    UnaryOp op;
+    switch (peek().kind) {
+      case TokenKind::Plus: op = UnaryOp::Plus; break;
+      case TokenKind::Minus: op = UnaryOp::Minus; break;
+      case TokenKind::Bang: op = UnaryOp::LogicalNot; break;
+      case TokenKind::Tilde: op = UnaryOp::BitwiseNot; break;
+      case TokenKind::Amp: op = UnaryOp::ReduceAnd; break;
+      case TokenKind::Pipe: op = UnaryOp::ReduceOr; break;
+      case TokenKind::Caret: op = UnaryOp::ReduceXor; break;
+      case TokenKind::TildeAmp: op = UnaryOp::ReduceNand; break;
+      case TokenKind::TildePipe: op = UnaryOp::ReduceNor; break;
+      case TokenKind::TildeCaret: op = UnaryOp::ReduceXnor; break;
+      default:
+        return parse_primary();
+    }
+    advance();
+    ExprPtr operand = parse_unary();
+    if (operand == nullptr) {
+        return nullptr;
+    }
+    return std::make_unique<UnaryExpr>(op, std::move(operand), loc);
+}
+
+ExprPtr
+Parser::parse_primary()
+{
+    const SourceLoc loc = peek().loc;
+    switch (peek().kind) {
+      case TokenKind::Number: {
+        const Token& t = advance();
+        return std::make_unique<NumberExpr>(t.value, t.sized, t.is_signed,
+                                            loc);
+      }
+      case TokenKind::String: {
+        const Token& t = advance();
+        return std::make_unique<StringExpr>(t.text, loc);
+      }
+      case TokenKind::LParen: {
+        advance();
+        ExprPtr inner = parse_expr();
+        expect(TokenKind::RParen, "to close parenthesized expression");
+        return inner;
+      }
+      case TokenKind::LBrace:
+        return parse_concat();
+      case TokenKind::SystemId: {
+        std::string name = advance().text;
+        std::vector<ExprPtr> args;
+        if (match(TokenKind::LParen)) {
+            if (!check(TokenKind::RParen)) {
+                while (true) {
+                    ExprPtr arg = parse_expr();
+                    if (arg == nullptr) {
+                        return nullptr;
+                    }
+                    args.push_back(std::move(arg));
+                    if (!match(TokenKind::Comma)) {
+                        break;
+                    }
+                }
+            }
+            expect(TokenKind::RParen, "to close system call");
+        }
+        return std::make_unique<SystemCallExpr>(std::move(name),
+                                                std::move(args), loc);
+      }
+      case TokenKind::Identifier: {
+        // Function call if the (simple) identifier is directly followed by
+        // an open paren; otherwise a (possibly selected) name.
+        if (peek(1).kind == TokenKind::LParen) {
+            std::string callee = advance().text;
+            advance(); // (
+            std::vector<ExprPtr> args;
+            if (!check(TokenKind::RParen)) {
+                while (true) {
+                    ExprPtr arg = parse_expr();
+                    if (arg == nullptr) {
+                        return nullptr;
+                    }
+                    args.push_back(std::move(arg));
+                    if (!match(TokenKind::Comma)) {
+                        break;
+                    }
+                }
+            }
+            expect(TokenKind::RParen, "to close function call");
+            return std::make_unique<CallExpr>(std::move(callee),
+                                              std::move(args), loc);
+        }
+        return parse_identifier_expr();
+      }
+      default:
+        error_here(std::string("unexpected ") +
+                   token_kind_name(peek().kind) + " in expression");
+        advance();
+        return nullptr;
+    }
+}
+
+ExprPtr
+Parser::parse_identifier_expr()
+{
+    if (!check(TokenKind::Identifier)) {
+        error_here("expected identifier");
+        return nullptr;
+    }
+    const SourceLoc loc = peek().loc;
+    std::vector<std::string> path;
+    path.push_back(advance().text);
+    while (check(TokenKind::Dot) && peek(1).kind == TokenKind::Identifier) {
+        advance();
+        path.push_back(advance().text);
+    }
+    ExprPtr base = std::make_unique<IdentifierExpr>(std::move(path), loc);
+    return parse_selects(std::move(base));
+}
+
+ExprPtr
+Parser::parse_selects(ExprPtr base)
+{
+    while (check(TokenKind::LBracket)) {
+        const SourceLoc loc = peek().loc;
+        advance();
+        ExprPtr first = parse_expr();
+        if (first == nullptr) {
+            return nullptr;
+        }
+        if (match(TokenKind::Colon)) {
+            ExprPtr lsb = parse_expr();
+            expect(TokenKind::RBracket, "to close range select");
+            if (lsb == nullptr) {
+                return nullptr;
+            }
+            base = std::make_unique<RangeSelectExpr>(std::move(base),
+                                                     std::move(first),
+                                                     std::move(lsb), loc);
+        } else if (match(TokenKind::PlusColon)) {
+            ExprPtr width = parse_expr();
+            expect(TokenKind::RBracket, "to close indexed select");
+            if (width == nullptr) {
+                return nullptr;
+            }
+            base = std::make_unique<IndexedSelectExpr>(std::move(base),
+                                                       std::move(first),
+                                                       std::move(width),
+                                                       /*up=*/true, loc);
+        } else if (match(TokenKind::MinusColon)) {
+            ExprPtr width = parse_expr();
+            expect(TokenKind::RBracket, "to close indexed select");
+            if (width == nullptr) {
+                return nullptr;
+            }
+            base = std::make_unique<IndexedSelectExpr>(std::move(base),
+                                                       std::move(first),
+                                                       std::move(width),
+                                                       /*up=*/false, loc);
+        } else {
+            expect(TokenKind::RBracket, "to close bit select");
+            base = std::make_unique<IndexExpr>(std::move(base),
+                                               std::move(first), loc);
+        }
+    }
+    return base;
+}
+
+ExprPtr
+Parser::parse_concat()
+{
+    const SourceLoc loc = peek().loc;
+    expect(TokenKind::LBrace, "to open concatenation");
+    ExprPtr first = parse_expr();
+    if (first == nullptr) {
+        return nullptr;
+    }
+    if (check(TokenKind::LBrace)) {
+        // Replication: {count{a, b, ...}}
+        advance();
+        std::vector<ExprPtr> elements;
+        while (true) {
+            ExprPtr e = parse_expr();
+            if (e == nullptr) {
+                return nullptr;
+            }
+            elements.push_back(std::move(e));
+            if (!match(TokenKind::Comma)) {
+                break;
+            }
+        }
+        expect(TokenKind::RBrace, "to close replication body");
+        expect(TokenKind::RBrace, "to close replication");
+        ExprPtr body =
+            elements.size() == 1
+                ? std::move(elements[0])
+                : std::make_unique<ConcatExpr>(std::move(elements), loc);
+        return std::make_unique<ReplicateExpr>(std::move(first),
+                                               std::move(body), loc);
+    }
+    std::vector<ExprPtr> elements;
+    elements.push_back(std::move(first));
+    while (match(TokenKind::Comma)) {
+        ExprPtr e = parse_expr();
+        if (e == nullptr) {
+            return nullptr;
+        }
+        elements.push_back(std::move(e));
+    }
+    expect(TokenKind::RBrace, "to close concatenation");
+    return std::make_unique<ConcatExpr>(std::move(elements), loc);
+}
+
+SourceUnit
+parse(std::string_view source, Diagnostics* diags)
+{
+    Lexer lexer(source, diags);
+    Parser parser(lexer.lex_all(), diags);
+    return parser.parse_source_unit();
+}
+
+} // namespace cascade::verilog

@@ -1,0 +1,86 @@
+/// \file
+/// Recursive-descent parser for the Cascade Verilog subset.
+///
+/// The parser consumes a token stream and produces a SourceUnit: module
+/// declarations plus loose items destined for the implicit root module
+/// (Cascade's REPL evals are parsed this way, one unit per eval). Errors are
+/// reported to Diagnostics and recovery skips to the next ';' / 'endmodule'
+/// so multiple problems surface per pass.
+
+#ifndef CASCADE_VERILOG_PARSER_H
+#define CASCADE_VERILOG_PARSER_H
+
+#include <string_view>
+#include <vector>
+
+#include "common/diagnostics.h"
+#include "verilog/ast.h"
+#include "verilog/token.h"
+
+namespace cascade::verilog {
+
+class Parser {
+  public:
+    Parser(std::vector<Token> tokens, Diagnostics* diags);
+
+    /// Parses the whole token stream. On errors the returned unit contains
+    /// whatever parsed cleanly; check diags->has_errors().
+    SourceUnit parse_source_unit();
+
+  private:
+    // Top level.
+    std::unique_ptr<ModuleDecl> parse_module_decl();
+    std::vector<Port> parse_port_list();
+    ItemPtr parse_module_item();
+    ItemPtr parse_net_decl();
+    ItemPtr parse_param_decl(bool in_header);
+    ItemPtr parse_continuous_assign();
+    ItemPtr parse_always();
+    ItemPtr parse_initial();
+    ItemPtr parse_function_decl();
+    ItemPtr parse_instantiation();
+    std::vector<Connection> parse_connection_list();
+
+    // Statements.
+    StmtPtr parse_statement();
+    StmtPtr parse_block();
+    StmtPtr parse_if();
+    StmtPtr parse_case(CaseKind kind);
+    StmtPtr parse_for();
+    StmtPtr parse_assignment(bool want_semi);
+    StmtPtr parse_system_task();
+
+    // Expressions.
+    ExprPtr parse_expr();
+    ExprPtr parse_ternary();
+    ExprPtr parse_binary(int min_prec);
+    ExprPtr parse_unary();
+    ExprPtr parse_primary();
+    ExprPtr parse_identifier_expr();
+    ExprPtr parse_selects(ExprPtr base);
+    ExprPtr parse_concat();
+    Range parse_range();
+
+    // Token utilities.
+    const Token& peek(size_t ahead = 0) const;
+    const Token& advance();
+    bool check(TokenKind kind) const { return peek().kind == kind; }
+    bool match(TokenKind kind);
+    /// Consumes a token of \p kind or reports an error. Returns success.
+    bool expect(TokenKind kind, const char* context);
+    bool at_end() const { return check(TokenKind::EndOfFile); }
+    void error_here(const std::string& msg);
+    /// Skips tokens until after the next ';' (or a safe sync point).
+    void synchronize();
+
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+    Diagnostics* diags_;
+};
+
+/// Convenience: lex + parse a source string in one call.
+SourceUnit parse(std::string_view source, Diagnostics* diags);
+
+} // namespace cascade::verilog
+
+#endif // CASCADE_VERILOG_PARSER_H

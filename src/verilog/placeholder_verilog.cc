@@ -1,0 +1,3 @@
+namespace cascade {
+// placeholder translation unit; replaced as the verilog subsystem lands.
+}

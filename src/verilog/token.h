@@ -1,0 +1,65 @@
+/// \file
+/// Token definitions for the Verilog lexer.
+
+#ifndef CASCADE_VERILOG_TOKEN_H
+#define CASCADE_VERILOG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/bitvector.h"
+#include "common/source_loc.h"
+
+namespace cascade::verilog {
+
+enum class TokenKind {
+    EndOfFile,
+    Identifier,   ///< foo, \escaped
+    SystemId,     ///< $display, $finish, ...
+    Number,       ///< 42, 8'h80, 4'sb1010
+    String,       ///< "text"
+
+    // Keywords.
+    KwModule, KwEndmodule, KwInput, KwOutput, KwInout, KwWire, KwReg,
+    KwAssign, KwAlways, KwInitial, KwBegin, KwEnd, KwIf, KwElse,
+    KwCase, KwCasez, KwCasex, KwEndcase, KwDefault, KwFor, KwWhile,
+    KwRepeat, KwForever, KwPosedge, KwNegedge, KwOr, KwParameter,
+    KwLocalparam, KwInteger, KwFunction, KwEndfunction, KwSigned,
+
+    // Punctuation.
+    LParen, RParen, LBracket, RBracket, LBrace, RBrace,
+    Semi, Colon, Comma, Dot, Hash, At, Question,
+
+    // Operators.
+    Assign,        ///< =
+    Plus, Minus, Star, Slash, Percent, StarStar,
+    EqEq, BangEq, EqEqEq, BangEqEq,
+    AmpAmp, PipePipe, Bang,
+    Lt, LtEq, Gt, GtEq,
+    Shl, Shr, AShl, AShr,          ///< << >> <<< >>>
+    Amp, Pipe, Caret, Tilde,
+    TildeAmp, TildePipe, TildeCaret,  ///< ~& ~| ~^ (and ^~)
+    PlusColon, MinusColon,            ///< +: -:
+
+    Error,
+};
+
+/// Returns a human-readable name for diagnostics ("'<='", "identifier", ...).
+const char* token_kind_name(TokenKind kind);
+
+/// A lexed token. Number tokens carry their decoded value and sizing
+/// metadata; identifiers and strings carry their text.
+struct Token {
+    TokenKind kind = TokenKind::EndOfFile;
+    SourceLoc loc;
+    std::string text;
+
+    // Number payload.
+    BitVector value;          ///< decoded bits (width = declared or 32)
+    bool sized = false;       ///< literal had an explicit size (8'h...)
+    bool is_signed = false;   ///< literal had the 's' flag or was plain
+};
+
+} // namespace cascade::verilog
+
+#endif // CASCADE_VERILOG_TOKEN_H

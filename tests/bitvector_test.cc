@@ -1,0 +1,453 @@
+/// \file
+/// Unit and property tests for cascade::BitVector.
+
+#include "common/bitvector.h"
+
+#include <cstdint>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace cascade {
+namespace {
+
+TEST(BitVector, DefaultIsOneBitZero)
+{
+    BitVector v;
+    EXPECT_EQ(v.width(), 1u);
+    EXPECT_TRUE(v.is_zero());
+}
+
+TEST(BitVector, ConstructTruncatesToWidth)
+{
+    BitVector v(4, 0xff);
+    EXPECT_EQ(v.to_uint64(), 0xfull);
+    BitVector w(8, 0x180);
+    EXPECT_EQ(w.to_uint64(), 0x80ull);
+}
+
+TEST(BitVector, WideConstructZeroesHighWords)
+{
+    BitVector v(200, 42);
+    EXPECT_EQ(v.to_uint64(), 42ull);
+    for (uint32_t i = 64; i < 200; ++i) {
+        EXPECT_FALSE(v.bit(i));
+    }
+}
+
+TEST(BitVector, CopyAndMoveSemantics)
+{
+    BitVector a(128, 7);
+    a.set_bit(100, true);
+    BitVector b = a;
+    EXPECT_EQ(a, b);
+    BitVector c = std::move(a);
+    EXPECT_EQ(b, c);
+    // Moved-from object is a valid 1-bit zero.
+    EXPECT_EQ(a.width(), 1u);
+
+    BitVector d(16, 3);
+    d = b;
+    EXPECT_EQ(d, b);
+    d = BitVector(8, 9);
+    EXPECT_EQ(d.to_uint64(), 9u);
+
+    // Self-assignment is a no-op.
+    d = *static_cast<BitVector*>(&d);
+    EXPECT_EQ(d.to_uint64(), 9u);
+}
+
+TEST(BitVector, AssignReusesEqualSizedHeap)
+{
+    BitVector a(128, 1);
+    BitVector b(100, 2);
+    a = b;
+    EXPECT_EQ(a.width(), 100u);
+    EXPECT_EQ(a.to_uint64(), 2u);
+}
+
+TEST(BitVector, BitGetSet)
+{
+    BitVector v(70);
+    v.set_bit(0, true);
+    v.set_bit(69, true);
+    EXPECT_TRUE(v.bit(0));
+    EXPECT_TRUE(v.bit(69));
+    EXPECT_FALSE(v.bit(35));
+    EXPECT_FALSE(v.bit(1000)); // out of range reads as zero
+    v.set_bit(69, false);
+    EXPECT_FALSE(v.bit(69));
+}
+
+TEST(BitVector, AllOnes)
+{
+    BitVector v = BitVector::all_ones(67);
+    EXPECT_TRUE(v.reduce_and());
+    EXPECT_EQ(v.slice(64, 3).to_uint64(), 7u);
+}
+
+TEST(BitVector, ResizeZeroExtend)
+{
+    BitVector v(4, 0xA);
+    BitVector w = v.resized(8);
+    EXPECT_EQ(w.width(), 8u);
+    EXPECT_EQ(w.to_uint64(), 0xAull);
+}
+
+TEST(BitVector, ResizeSignExtend)
+{
+    BitVector v(4, 0xA); // MSB set
+    BitVector w = v.resized(8, /*sign_extend=*/true);
+    EXPECT_EQ(w.to_uint64(), 0xFAull);
+    BitVector x(4, 0x5);
+    EXPECT_EQ(x.resized(8, true).to_uint64(), 0x5ull);
+}
+
+TEST(BitVector, ResizeTruncate)
+{
+    BitVector v(16, 0xBEEF);
+    EXPECT_EQ(v.resized(8).to_uint64(), 0xEFull);
+}
+
+TEST(BitVector, ResizeAcrossWordBoundary)
+{
+    BitVector v(64, ~uint64_t{0});
+    BitVector w = v.resized(128, true);
+    EXPECT_TRUE(w.reduce_and());
+    BitVector u = v.resized(128, false);
+    EXPECT_EQ(u.slice(64, 64).to_uint64(), 0ull);
+}
+
+TEST(BitVector, SliceBasic)
+{
+    BitVector v(16, 0xABCD);
+    EXPECT_EQ(v.slice(0, 4).to_uint64(), 0xDull);
+    EXPECT_EQ(v.slice(4, 4).to_uint64(), 0xCull);
+    EXPECT_EQ(v.slice(8, 8).to_uint64(), 0xABull);
+    EXPECT_EQ(v.slice(12, 8).to_uint64(), 0x0Aull); // beyond width reads 0
+}
+
+TEST(BitVector, SliceAcrossWords)
+{
+    BitVector v(128);
+    v.set_slice(60, BitVector(8, 0xFF));
+    EXPECT_EQ(v.slice(60, 8).to_uint64(), 0xFFull);
+    EXPECT_EQ(v.slice(58, 12).to_uint64(), 0xFF  << 2);
+}
+
+TEST(BitVector, SetSliceDropsOutOfRange)
+{
+    BitVector v(8);
+    v.set_slice(6, BitVector(8, 0xFF));
+    EXPECT_EQ(v.to_uint64(), 0xC0ull);
+    v.set_slice(100, BitVector(4, 0xF)); // entirely out of range
+    EXPECT_EQ(v.to_uint64(), 0xC0ull);
+}
+
+TEST(BitVector, AddWithCarryChain)
+{
+    BitVector a(128);
+    a.set_word(0, ~uint64_t{0});
+    BitVector b(128, 1);
+    BitVector s = BitVector::add(a, b);
+    EXPECT_EQ(s.word(0), 0ull);
+    EXPECT_EQ(s.word(1), 1ull);
+}
+
+TEST(BitVector, AddWrapsAtWidth)
+{
+    BitVector a(8, 0xFF);
+    BitVector b(8, 1);
+    EXPECT_EQ(BitVector::add(a, b).to_uint64(), 0ull);
+}
+
+TEST(BitVector, SubAndNegate)
+{
+    BitVector a(8, 5);
+    BitVector b(8, 7);
+    EXPECT_EQ(BitVector::sub(a, b).to_uint64(), 0xFEull); // -2
+    EXPECT_EQ(BitVector(8, 1).negated().to_uint64(), 0xFFull);
+}
+
+TEST(BitVector, MulBasicAndWrap)
+{
+    BitVector a(8, 20);
+    BitVector b(8, 13);
+    EXPECT_EQ(BitVector::mul(a, b).to_uint64(), (20 * 13) & 0xFFull);
+}
+
+TEST(BitVector, MulWide)
+{
+    BitVector a(128);
+    a.set_word(0, ~uint64_t{0}); // 2^64 - 1
+    BitVector s = BitVector::mul(a, a);
+    // (2^64-1)^2 = 2^128 - 2^65 + 1
+    EXPECT_EQ(s.word(0), 1ull);
+    EXPECT_EQ(s.word(1), ~uint64_t{0} - 1);
+}
+
+TEST(BitVector, DivRemUnsigned)
+{
+    BitVector a(16, 1000);
+    BitVector b(16, 33);
+    EXPECT_EQ(BitVector::divu(a, b).to_uint64(), 30ull);
+    EXPECT_EQ(BitVector::remu(a, b).to_uint64(), 10ull);
+}
+
+TEST(BitVector, DivByZeroIsZero)
+{
+    BitVector a(16, 1000);
+    BitVector z(16, 0);
+    EXPECT_TRUE(BitVector::divu(a, z).is_zero());
+    EXPECT_TRUE(BitVector::remu(a, z).is_zero());
+    EXPECT_TRUE(BitVector::divs(a, z).is_zero());
+}
+
+TEST(BitVector, DivRemWide)
+{
+    // (2^100 + 12345) / 7 computed against a known result.
+    BitVector a(128, 12345);
+    a.set_bit(100, true);
+    BitVector b(128, 7);
+    BitVector q = BitVector::divu(a, b);
+    BitVector r = BitVector::remu(a, b);
+    BitVector back = BitVector::add(BitVector::mul(q, b), r);
+    EXPECT_EQ(back, a);
+    EXPECT_TRUE(BitVector::ult(r, b));
+}
+
+TEST(BitVector, SignedDivTakesSignOfQuotient)
+{
+    BitVector a(8, 0xF6); // -10
+    BitVector b(8, 3);
+    EXPECT_EQ(BitVector::divs(a, b).to_signed_dec_string(), "-3");
+    EXPECT_EQ(BitVector::rems(a, b).to_signed_dec_string(), "-1");
+    BitVector c(8, 10);
+    BitVector d(8, 0xFD); // -3
+    EXPECT_EQ(BitVector::divs(c, d).to_signed_dec_string(), "-3");
+    EXPECT_EQ(BitVector::rems(c, d).to_signed_dec_string(), "1");
+}
+
+TEST(BitVector, Pow)
+{
+    BitVector a(16, 3);
+    BitVector b(16, 7);
+    EXPECT_EQ(BitVector::pow(a, b).to_uint64(), 2187ull);
+    EXPECT_EQ(BitVector::pow(a, BitVector(16, 0)).to_uint64(), 1ull);
+}
+
+TEST(BitVector, BitwiseOps)
+{
+    BitVector a(8, 0b11001100);
+    BitVector b(8, 0b10101010);
+    EXPECT_EQ(BitVector::bit_and(a, b).to_uint64(), 0b10001000ull);
+    EXPECT_EQ(BitVector::bit_or(a, b).to_uint64(), 0b11101110ull);
+    EXPECT_EQ(BitVector::bit_xor(a, b).to_uint64(), 0b01100110ull);
+    EXPECT_EQ(a.bit_not().to_uint64(), 0b00110011ull);
+}
+
+TEST(BitVector, ShiftLeft)
+{
+    BitVector v(8, 0x81);
+    EXPECT_EQ(v.shl(1).to_uint64(), 0x02ull);
+    EXPECT_EQ(v.shl(8).to_uint64(), 0ull);
+    EXPECT_EQ(v.shl(100).to_uint64(), 0ull);
+}
+
+TEST(BitVector, ShiftLeftWide)
+{
+    BitVector v(128, 1);
+    EXPECT_TRUE(v.shl(100).bit(100));
+    EXPECT_EQ(v.shl(100).slice(0, 64).to_uint64(), 0ull);
+}
+
+TEST(BitVector, LogicalShiftRight)
+{
+    BitVector v(8, 0x81);
+    EXPECT_EQ(v.lshr(1).to_uint64(), 0x40ull);
+    EXPECT_EQ(v.lshr(9).to_uint64(), 0ull);
+}
+
+TEST(BitVector, ArithmeticShiftRight)
+{
+    BitVector v(8, 0x81);
+    EXPECT_EQ(v.ashr(1).to_uint64(), 0xC0ull);
+    EXPECT_EQ(v.ashr(100).to_uint64(), 0xFFull);
+    BitVector p(8, 0x41);
+    EXPECT_EQ(p.ashr(1).to_uint64(), 0x20ull);
+    EXPECT_EQ(p.ashr(100).to_uint64(), 0ull);
+}
+
+TEST(BitVector, Comparisons)
+{
+    BitVector a(8, 5);
+    BitVector b(8, 250); // -6 signed
+    EXPECT_TRUE(BitVector::ult(a, b));
+    EXPECT_TRUE(BitVector::slt(b, a));
+    EXPECT_TRUE(BitVector::ule(a, a));
+    EXPECT_TRUE(BitVector::sle(a, a));
+    EXPECT_TRUE(BitVector::eq(a, a));
+    EXPECT_FALSE(BitVector::eq(a, b));
+}
+
+TEST(BitVector, Reductions)
+{
+    EXPECT_TRUE(BitVector::all_ones(65).reduce_and());
+    EXPECT_FALSE(BitVector(65, 1).reduce_and());
+    EXPECT_TRUE(BitVector(65, 1).reduce_or());
+    EXPECT_FALSE(BitVector(65, 0).reduce_or());
+    EXPECT_TRUE(BitVector(8, 0b0111).reduce_xor());
+    EXPECT_FALSE(BitVector(8, 0b0110).reduce_xor());
+}
+
+TEST(BitVector, Concat)
+{
+    BitVector hi(4, 0xA);
+    BitVector lo(8, 0xBC);
+    BitVector c = BitVector::concat(hi, lo);
+    EXPECT_EQ(c.width(), 12u);
+    EXPECT_EQ(c.to_uint64(), 0xABCull);
+}
+
+TEST(BitVector, Strings)
+{
+    BitVector v(12, 0xABC);
+    EXPECT_EQ(v.to_hex_string(), "abc");
+    EXPECT_EQ(v.to_bin_string(), "101010111100");
+    EXPECT_EQ(v.to_dec_string(), "2748");
+    BitVector n(8, 0xFE);
+    EXPECT_EQ(n.to_signed_dec_string(), "-2");
+}
+
+TEST(BitVector, WideDecimalRoundTrip)
+{
+    auto v = BitVector::from_decimal(256, "123456789012345678901234567890");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->to_dec_string(), "123456789012345678901234567890");
+}
+
+TEST(BitVector, FromDecimalRejectsGarbage)
+{
+    EXPECT_FALSE(BitVector::from_decimal(32, "12a4").has_value());
+    EXPECT_FALSE(BitVector::from_decimal(32, "").has_value());
+    EXPECT_TRUE(BitVector::from_decimal(32, "1_000").has_value());
+}
+
+TEST(BitVector, HashDistinguishes)
+{
+    EXPECT_NE(BitVector(8, 1).hash(), BitVector(8, 2).hash());
+    EXPECT_EQ(BitVector(8, 1).hash(), BitVector(8, 1).hash());
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: compare against native 64-bit arithmetic across widths.
+// ---------------------------------------------------------------------------
+
+class BitVectorProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BitVectorProperty, ArithmeticMatchesNative)
+{
+    const uint32_t w = GetParam();
+    const uint64_t mask = w >= 64 ? ~uint64_t{0} : (uint64_t{1} << w) - 1;
+    std::mt19937_64 rng(w * 7919 + 13);
+    for (int iter = 0; iter < 200; ++iter) {
+        const uint64_t x = rng() & mask;
+        const uint64_t y = rng() & mask;
+        BitVector a(w, x);
+        BitVector b(w, y);
+        EXPECT_EQ(BitVector::add(a, b).to_uint64(), (x + y) & mask);
+        EXPECT_EQ(BitVector::sub(a, b).to_uint64(), (x - y) & mask);
+        EXPECT_EQ(BitVector::mul(a, b).to_uint64(), (x * y) & mask);
+        if (y != 0) {
+            EXPECT_EQ(BitVector::divu(a, b).to_uint64(), (x / y) & mask);
+            EXPECT_EQ(BitVector::remu(a, b).to_uint64(), (x % y) & mask);
+        }
+        EXPECT_EQ(BitVector::bit_and(a, b).to_uint64(), x & y);
+        EXPECT_EQ(BitVector::bit_or(a, b).to_uint64(), x | y);
+        EXPECT_EQ(BitVector::bit_xor(a, b).to_uint64(), x ^ y);
+        EXPECT_EQ(BitVector::ult(a, b), x < y);
+        EXPECT_EQ(BitVector::eq(a, b), x == y);
+        const uint32_t sh = static_cast<uint32_t>(rng() % (w + 4));
+        EXPECT_EQ(a.shl(sh).to_uint64(),
+                  sh >= w ? 0 : (x << sh) & mask);
+        EXPECT_EQ(a.lshr(sh).to_uint64(), sh >= 64 ? 0 : (x >> sh));
+    }
+}
+
+TEST_P(BitVectorProperty, SliceConcatRoundTrip)
+{
+    const uint32_t w = GetParam();
+    std::mt19937_64 rng(w * 104729 + 7);
+    for (int iter = 0; iter < 50; ++iter) {
+        BitVector v(w, rng());
+        if (w < 2) {
+            continue;
+        }
+        const uint32_t cut = 1 + static_cast<uint32_t>(rng() % (w - 1));
+        BitVector lo = v.slice(0, cut);
+        BitVector hi = v.slice(cut, w - cut);
+        EXPECT_EQ(BitVector::concat(hi, lo), v);
+    }
+}
+
+TEST_P(BitVectorProperty, NegatedIsAdditiveInverse)
+{
+    const uint32_t w = GetParam();
+    std::mt19937_64 rng(w);
+    for (int iter = 0; iter < 50; ++iter) {
+        BitVector v(w, rng());
+        EXPECT_TRUE(BitVector::add(v, v.negated()).is_zero());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitVectorProperty,
+                         ::testing::Values(1u, 3u, 8u, 16u, 31u, 32u, 33u,
+                                           63u, 64u));
+
+// Wide-width properties exercised separately (no native mirror).
+class BitVectorWideProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BitVectorWideProperty, DivRemIdentity)
+{
+    const uint32_t w = GetParam();
+    std::mt19937_64 rng(w * 31 + 5);
+    for (int iter = 0; iter < 25; ++iter) {
+        BitVector a(w);
+        BitVector b(w);
+        for (uint32_t i = 0; i < a.num_words(); ++i) {
+            a.set_word(i, rng());
+        }
+        for (uint32_t i = 0; i < b.num_words() / 2 + 1; ++i) {
+            b.set_word(i, rng());
+        }
+        if (b.is_zero()) {
+            continue;
+        }
+        BitVector q = BitVector::divu(a, b);
+        BitVector r = BitVector::remu(a, b);
+        EXPECT_EQ(BitVector::add(BitVector::mul(q, b), r), a);
+        EXPECT_TRUE(BitVector::ult(r, b));
+    }
+}
+
+TEST_P(BitVectorWideProperty, ShiftInverse)
+{
+    const uint32_t w = GetParam();
+    std::mt19937_64 rng(w * 17);
+    for (int iter = 0; iter < 25; ++iter) {
+        BitVector v(w);
+        for (uint32_t i = 0; i < v.num_words(); ++i) {
+            v.set_word(i, rng());
+        }
+        const uint32_t sh = static_cast<uint32_t>(rng() % w);
+        // (v << sh) >> sh recovers the low bits.
+        BitVector round = v.shl(sh).lshr(sh);
+        EXPECT_EQ(round, v.slice(0, w - sh).resized(w));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(WideWidths, BitVectorWideProperty,
+                         ::testing::Values(65u, 100u, 128u, 256u, 257u));
+
+} // namespace
+} // namespace cascade

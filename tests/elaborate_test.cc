@@ -1,0 +1,430 @@
+/// \file
+/// Unit tests for elaboration, constant evaluation, and expression typing.
+
+#include "verilog/elaborate.h"
+
+#include <gtest/gtest.h>
+
+#include "verilog/parser.h"
+
+namespace cascade::verilog {
+namespace {
+
+std::unique_ptr<ModuleDecl>
+parse_module(std::string_view src)
+{
+    Diagnostics diags;
+    SourceUnit unit = parse(src, &diags);
+    EXPECT_FALSE(diags.has_errors()) << diags.str();
+    EXPECT_EQ(unit.modules.size(), 1u);
+    return std::move(unit.modules.front());
+}
+
+std::unique_ptr<ElaboratedModule>
+elaborate_ok(std::string_view src,
+             const std::vector<Connection>& overrides = {})
+{
+    auto decl = parse_module(src);
+    Diagnostics diags;
+    Elaborator elab(&diags);
+    auto em = elab.elaborate(*decl, overrides);
+    EXPECT_NE(em, nullptr) << diags.str();
+    return em;
+}
+
+void
+expect_elab_error(std::string_view src, const std::string& needle)
+{
+    auto decl = parse_module(src);
+    Diagnostics diags;
+    Elaborator elab(&diags);
+    auto em = elab.elaborate(*decl);
+    EXPECT_EQ(em, nullptr) << "expected error containing: " << needle;
+    EXPECT_NE(diags.str().find(needle), std::string::npos)
+        << "diagnostics were:\n" << diags.str();
+}
+
+TEST(ConstEval, Arithmetic)
+{
+    Diagnostics diags;
+    SourceUnit unit =
+        parse("module M(); wire [2*8-1:0] w; endmodule", &diags);
+    const auto& nd = static_cast<const NetDecl&>(*unit.modules[0]->items[0]);
+    auto v = eval_const_expr(*nd.range.msb, {}, &diags);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->to_uint64(), 15u);
+}
+
+TEST(ConstEval, UsesEnvironment)
+{
+    Diagnostics diags;
+    SourceUnit unit = parse("module M(); wire [N-1:0] w; endmodule", &diags);
+    const auto& nd = static_cast<const NetDecl&>(*unit.modules[0]->items[0]);
+    std::unordered_map<std::string, BitVector> env;
+    env.emplace("N", BitVector(32, 8));
+    auto v = eval_const_expr(*nd.range.msb, env, &diags);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->to_uint64(), 7u);
+}
+
+TEST(ConstEval, RejectsNonConstant)
+{
+    Diagnostics diags;
+    SourceUnit unit = parse("module M(); wire [x:0] w; endmodule", &diags);
+    const auto& nd = static_cast<const NetDecl&>(*unit.modules[0]->items[0]);
+    EXPECT_FALSE(eval_const_expr(*nd.range.msb, {}, &diags).has_value());
+    EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Elaborate, PortsAndNets)
+{
+    auto em = elaborate_ok(R"(
+        module M(input wire clk, input wire [3:0] pad,
+                 output wire [7:0] led);
+          reg [7:0] cnt = 1;
+          wire signed [15:0] s;
+        endmodule
+    )");
+    EXPECT_EQ(em->nets.size(), 5u);
+    const NetInfo* clk = em->find_net("clk");
+    ASSERT_NE(clk, nullptr);
+    EXPECT_EQ(clk->width, 1u);
+    EXPECT_TRUE(clk->is_port);
+    EXPECT_EQ(clk->dir, PortDir::Input);
+    const NetInfo* pad = em->find_net("pad");
+    EXPECT_EQ(pad->width, 4u);
+    const NetInfo* cnt = em->find_net("cnt");
+    EXPECT_TRUE(cnt->is_reg);
+    EXPECT_NE(cnt->init, nullptr);
+    const NetInfo* s = em->find_net("s");
+    EXPECT_TRUE(s->is_signed);
+    EXPECT_EQ(s->width, 16u);
+}
+
+TEST(Elaborate, ParameterDefaultsAndLocalparam)
+{
+    auto em = elaborate_ok(R"(
+        module M#(parameter N = 8)();
+          localparam W = N * 2;
+          wire [W-1:0] bus;
+        endmodule
+    )");
+    EXPECT_EQ(em->params.at("N").to_uint64(), 8u);
+    EXPECT_EQ(em->params.at("W").to_uint64(), 16u);
+    EXPECT_EQ(em->find_net("bus")->width, 16u);
+}
+
+TEST(Elaborate, PositionalParameterOverride)
+{
+    std::vector<Connection> overrides;
+    Connection c;
+    c.expr = std::make_unique<NumberExpr>(BitVector(32, 4), false, true);
+    overrides.push_back(std::move(c));
+    auto em = elaborate_ok(
+        "module Pad#(parameter WIDTH = 1)(output wire [WIDTH-1:0] val); "
+        "endmodule",
+        overrides);
+    EXPECT_EQ(em->params.at("WIDTH").to_uint64(), 4u);
+    EXPECT_EQ(em->find_net("val")->width, 4u);
+}
+
+TEST(Elaborate, NamedParameterOverride)
+{
+    std::vector<Connection> overrides;
+    Connection c;
+    c.name = "DEPTH";
+    c.expr = std::make_unique<NumberExpr>(BitVector(32, 64), false, true);
+    overrides.push_back(std::move(c));
+    auto em = elaborate_ok(R"(
+        module F#(parameter WIDTH = 8, parameter DEPTH = 16)();
+          wire [WIDTH-1:0] data;
+          wire [DEPTH-1:0] slots;
+        endmodule
+    )", overrides);
+    EXPECT_EQ(em->find_net("data")->width, 8u);
+    EXPECT_EQ(em->find_net("slots")->width, 64u);
+}
+
+TEST(Elaborate, UnknownOverrideFails)
+{
+    auto decl = parse_module("module M#(parameter N = 1)(); endmodule");
+    std::vector<Connection> overrides;
+    Connection c;
+    c.name = "BOGUS";
+    c.expr = std::make_unique<NumberExpr>(BitVector(32, 1), false, true);
+    overrides.push_back(std::move(c));
+    Diagnostics diags;
+    Elaborator elab(&diags);
+    EXPECT_EQ(elab.elaborate(*decl, overrides), nullptr);
+}
+
+TEST(Elaborate, LocalparamNotOverridable)
+{
+    auto decl = parse_module(
+        "module M(); localparam W = 4; endmodule");
+    std::vector<Connection> overrides;
+    Connection c;
+    c.name = "W";
+    c.expr = std::make_unique<NumberExpr>(BitVector(32, 9), false, true);
+    overrides.push_back(std::move(c));
+    Diagnostics diags;
+    Elaborator elab(&diags);
+    EXPECT_EQ(elab.elaborate(*decl, overrides), nullptr);
+}
+
+TEST(Elaborate, Memories)
+{
+    auto em = elaborate_ok(R"(
+        module M();
+          reg [7:0] mem [0:255];
+        endmodule
+    )");
+    const NetInfo* mem = em->find_net("mem");
+    ASSERT_NE(mem, nullptr);
+    EXPECT_EQ(mem->width, 8u);
+    EXPECT_EQ(mem->array_size, 256u);
+    EXPECT_EQ(mem->array_base, 0);
+}
+
+TEST(Elaborate, NonZeroLsbRange)
+{
+    auto em = elaborate_ok("module M(); wire [11:4] w; endmodule");
+    const NetInfo* w = em->find_net("w");
+    EXPECT_EQ(w->width, 8u);
+    EXPECT_EQ(w->lsb, 4u);
+}
+
+TEST(Elaborate, Errors)
+{
+    expect_elab_error("module M(); wire w; wire w; endmodule", "duplicate");
+    expect_elab_error("module M(input wire x, input wire x); endmodule",
+                      "duplicate");
+    expect_elab_error("module M(); assign y = 1; endmodule", "undeclared");
+    expect_elab_error("module M(); wire w; assign w = q; endmodule",
+                      "undeclared");
+    expect_elab_error("module M(inout wire io); endmodule", "inout");
+    expect_elab_error("module M(input reg r); endmodule", "input ports");
+    expect_elab_error("module M(); wire [0:7] w; endmodule", "ascending");
+    expect_elab_error("module M(); wire w = 1; endmodule", "regs");
+    expect_elab_error("module M(); wire [7:0] a [0:3]; endmodule",
+                      "declared reg");
+    expect_elab_error(
+        "module M(); reg r; always @(*) r = q.v; endmodule",
+        "hierarchical");
+    expect_elab_error("module M(); Sub s(); endmodule", "not allowed");
+    expect_elab_error("module M(); reg r; initial r = f(1); endmodule",
+                      "undeclared function");
+    expect_elab_error("module M(input wire i); assign i = 1; endmodule",
+                      "input port");
+    expect_elab_error(
+        "module M(); wire w; always @(*) w = 1; endmodule",
+        "wire");
+    expect_elab_error("module M(); reg r; assign r = 1; endmodule", "reg");
+    expect_elab_error(
+        "module M(); reg r; always @(posedge c or a) r = 1; endmodule",
+        "undeclared");
+    expect_elab_error("module M(); initial $bogus(1); endmodule",
+                      "unknown system task");
+    expect_elab_error("module M(); reg r; initial r = $time(3); endmodule",
+                      "no arguments");
+    expect_elab_error(
+        "module M(); function f; input a; f <= a; endfunction endmodule",
+        "function");
+}
+
+TEST(Elaborate, MixedEdgeAndLevelRejected)
+{
+    expect_elab_error(R"(
+        module M();
+          reg r; wire c; wire d;
+          always @(posedge c or d) r = 1;
+        endmodule
+    )", "mixed edge and level");
+}
+
+TEST(Elaborate, FunctionArity)
+{
+    expect_elab_error(R"(
+        module M();
+          function [3:0] f;
+            input [3:0] a, b;
+            f = a + b;
+          endfunction
+          wire [3:0] q;
+          assign q = f(1);
+        endmodule
+    )", "expects 2 arguments");
+}
+
+TEST(Elaborate, HierarchicalRefsWithLibrary)
+{
+    Diagnostics diags;
+    SourceUnit unit = parse(R"(
+        module Rol(input wire [7:0] x, output wire [7:0] y);
+          assign y = x << 1;
+        endmodule
+        module Main(input wire clk);
+          reg [7:0] cnt = 0;
+          Rol r(.x(cnt));
+          always @(posedge clk) cnt <= r.y;
+        endmodule
+    )", &diags);
+    ASSERT_FALSE(diags.has_errors());
+    ModuleLibrary lib;
+    lib.add(std::move(unit.modules[0]));
+    const auto main_decl = std::move(unit.modules[1]);
+    Elaborator elab(&diags, &lib);
+    auto em = elab.elaborate(*main_decl);
+    EXPECT_NE(em, nullptr) << diags.str();
+}
+
+TEST(Elaborate, HierarchicalRefToMissingPortFails)
+{
+    Diagnostics diags;
+    SourceUnit unit = parse(R"(
+        module Sub(input wire a);
+        endmodule
+        module Main();
+          reg r;
+          Sub s(.a(r));
+          always @(*) r = s.nothere;
+        endmodule
+    )", &diags);
+    ModuleLibrary lib;
+    lib.add(std::move(unit.modules[0]));
+    Elaborator elab(&diags, &lib);
+    EXPECT_EQ(elab.elaborate(*unit.modules[1]), nullptr);
+    EXPECT_NE(diags.str().find("no port"), std::string::npos);
+}
+
+TEST(Elaborate, InstantiationPortChecks)
+{
+    Diagnostics diags;
+    SourceUnit unit = parse(R"(
+        module Sub(input wire a, input wire b);
+        endmodule
+        module M();
+          wire x;
+          Sub s(.a(x), .c(x));
+        endmodule
+    )", &diags);
+    ModuleLibrary lib;
+    lib.add(std::move(unit.modules[0]));
+    Elaborator elab(&diags, &lib);
+    EXPECT_EQ(elab.elaborate(*unit.modules[1]), nullptr);
+    EXPECT_NE(diags.str().find("no port 'c'"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ExprTyper
+// ---------------------------------------------------------------------------
+
+struct TypedExpr {
+    std::unique_ptr<ElaboratedModule> em;
+    const Expr* expr;
+};
+
+/// Elaborates a module whose single assign statement's RHS we inspect.
+TypedExpr
+typed_rhs(const std::string& decls, const std::string& rhs)
+{
+    TypedExpr out;
+    out.em = elaborate_ok("module M(); " + decls +
+                          " assign _t = " + rhs + "; wire _t; endmodule");
+    for (const auto& item : out.em->decl->items) {
+        if (item->kind == ItemKind::ContinuousAssign) {
+            out.expr =
+                static_cast<const ContinuousAssign&>(*item).rhs.get();
+        }
+    }
+    EXPECT_NE(out.expr, nullptr);
+    return out;
+}
+
+TEST(ExprTyper, Widths)
+{
+    {
+        auto t = typed_rhs("wire [7:0] a; wire [15:0] b;", "a + b");
+        EXPECT_EQ(ExprTyper(*t.em).self_width(*t.expr), 16u);
+    }
+    {
+        auto t = typed_rhs("wire [7:0] a; wire [15:0] b;", "a == b");
+        EXPECT_EQ(ExprTyper(*t.em).self_width(*t.expr), 1u);
+    }
+    {
+        auto t = typed_rhs("wire [7:0] a;", "a << 4");
+        EXPECT_EQ(ExprTyper(*t.em).self_width(*t.expr), 8u);
+    }
+    {
+        auto t = typed_rhs("wire [7:0] a; wire [3:0] b;", "{a, b}");
+        EXPECT_EQ(ExprTyper(*t.em).self_width(*t.expr), 12u);
+    }
+    {
+        auto t = typed_rhs("wire [7:0] a;", "{3{a}}");
+        EXPECT_EQ(ExprTyper(*t.em).self_width(*t.expr), 24u);
+    }
+    {
+        auto t = typed_rhs("wire [7:0] a;", "a[3]");
+        EXPECT_EQ(ExprTyper(*t.em).self_width(*t.expr), 1u);
+    }
+    {
+        auto t = typed_rhs("wire [7:0] a;", "a[6:2]");
+        EXPECT_EQ(ExprTyper(*t.em).self_width(*t.expr), 5u);
+    }
+    {
+        auto t = typed_rhs("wire [31:0] a; wire [4:0] i;", "a[i +: 8]");
+        EXPECT_EQ(ExprTyper(*t.em).self_width(*t.expr), 8u);
+    }
+    {
+        auto t = typed_rhs("wire [7:0] a;", "&a");
+        EXPECT_EQ(ExprTyper(*t.em).self_width(*t.expr), 1u);
+    }
+    {
+        auto t = typed_rhs("wire [7:0] a; wire [3:0] s;", "s ? a : 16'd0");
+        EXPECT_EQ(ExprTyper(*t.em).self_width(*t.expr), 16u);
+    }
+    {
+        auto t = typed_rhs("reg [7:0] m [0:15]; wire [3:0] i;", "m[i]");
+        EXPECT_EQ(ExprTyper(*t.em).self_width(*t.expr), 8u);
+    }
+    {
+        auto t = typed_rhs("", "$time");
+        EXPECT_EQ(ExprTyper(*t.em).self_width(*t.expr), 64u);
+    }
+}
+
+TEST(ExprTyper, Signedness)
+{
+    {
+        auto t = typed_rhs("wire signed [7:0] a; wire signed [7:0] b;",
+                           "a + b");
+        EXPECT_TRUE(ExprTyper(*t.em).is_signed(*t.expr));
+    }
+    {
+        auto t = typed_rhs("wire signed [7:0] a; wire [7:0] b;", "a + b");
+        EXPECT_FALSE(ExprTyper(*t.em).is_signed(*t.expr));
+    }
+    {
+        auto t = typed_rhs("wire signed [7:0] a;", "a >>> 1");
+        EXPECT_TRUE(ExprTyper(*t.em).is_signed(*t.expr));
+    }
+    {
+        auto t = typed_rhs("wire signed [7:0] a;", "{a}");
+        EXPECT_FALSE(ExprTyper(*t.em).is_signed(*t.expr));
+    }
+    {
+        auto t = typed_rhs("wire [7:0] a;", "$signed(a)");
+        EXPECT_TRUE(ExprTyper(*t.em).is_signed(*t.expr));
+    }
+    {
+        auto t = typed_rhs("wire signed [7:0] a;", "$unsigned(a)");
+        EXPECT_FALSE(ExprTyper(*t.em).is_signed(*t.expr));
+    }
+    {
+        auto t = typed_rhs("wire signed [7:0] a;", "a < 0");
+        EXPECT_FALSE(ExprTyper(*t.em).is_signed(*t.expr));
+    }
+}
+
+} // namespace
+} // namespace cascade::verilog

@@ -1,0 +1,104 @@
+/// \file
+/// Tests for $display format rendering (shared between the software engine
+/// and the hardware engine's stub).
+
+#include "sim/format.h"
+
+#include <gtest/gtest.h>
+
+namespace cascade::sim {
+namespace {
+
+DisplayValue
+dv(uint32_t width, uint64_t value, bool is_signed = false)
+{
+    DisplayValue out;
+    out.value = BitVector(width, value);
+    out.is_signed = is_signed;
+    return out;
+}
+
+TEST(Format, PlainText)
+{
+    EXPECT_EQ(format_display("hello", {}), "hello");
+}
+
+TEST(Format, Decimal)
+{
+    EXPECT_EQ(format_display("%0d", {dv(8, 42)}), "42");
+    EXPECT_EQ(format_display("v=%0d.", {dv(8, 0)}), "v=0.");
+}
+
+TEST(Format, PaddedDecimalUsesWidthOfType)
+{
+    // %d pads to the widest decimal an 8-bit value can be (255 -> 3).
+    EXPECT_EQ(format_display("%d", {dv(8, 7)}), "  7");
+    EXPECT_EQ(format_display("%d", {dv(8, 255)}), "255");
+}
+
+TEST(Format, SignedDecimal)
+{
+    EXPECT_EQ(format_display("%0d", {dv(8, 0xFE, true)}), "-2");
+    EXPECT_EQ(format_display("%d", {dv(8, 0xFE, true)}), "-2");
+}
+
+TEST(Format, HexBinaryOctal)
+{
+    EXPECT_EQ(format_display("%h", {dv(12, 0xABC)}), "abc");
+    EXPECT_EQ(format_display("%x", {dv(8, 0x5A)}), "5a");
+    EXPECT_EQ(format_display("%b", {dv(4, 0b1010)}), "1010");
+    EXPECT_EQ(format_display("%o", {dv(6, 055)}), "55");
+}
+
+TEST(Format, Char)
+{
+    EXPECT_EQ(format_display("%c%c", {dv(8, 'h'), dv(8, 'i')}), "hi");
+}
+
+TEST(Format, PercentEscape)
+{
+    EXPECT_EQ(format_display("100%%", {}), "100%");
+}
+
+TEST(Format, MultipleSpecifiers)
+{
+    EXPECT_EQ(format_display("%0d|%h|%b", {dv(8, 10), dv(8, 10), dv(4, 10)}),
+              "10|0a|1010");
+}
+
+TEST(Format, MissingValuesRenderZero)
+{
+    EXPECT_EQ(format_display("%0d %0d", {dv(8, 1)}), "1 0");
+}
+
+TEST(Format, ExtraValuesIgnored)
+{
+    EXPECT_EQ(format_display("%0d", {dv(8, 1), dv(8, 2)}), "1");
+}
+
+TEST(Format, TrailingPercent)
+{
+    EXPECT_EQ(format_display("50%", {}), "50%");
+}
+
+TEST(Format, UnknownSpecifierFallsBackToDecimal)
+{
+    EXPECT_EQ(format_display("%q", {dv(8, 9)}), "9");
+}
+
+TEST(Format, NoFormatString)
+{
+    EXPECT_EQ(format_values({dv(8, 5), dv(8, 0xFE, true)}), "5 -2");
+    EXPECT_EQ(format_values({}), "");
+}
+
+TEST(Format, WideValues)
+{
+    BitVector wide = BitVector::all_ones(128);
+    DisplayValue v;
+    v.value = wide;
+    EXPECT_EQ(format_display("%h", {v}), std::string(32, 'f'));
+}
+
+} // namespace
+} // namespace cascade::sim

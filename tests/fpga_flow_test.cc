@@ -1,0 +1,272 @@
+/// \file
+/// Tests for the toolchain back half: technology mapping, placement,
+/// timing analysis, and the compile driver — including the properties the
+/// paper's evaluation leans on (compile time grows with design size; the
+/// Fig. 10 wrapper costs area; timing can fail).
+
+#include "fpga/compile.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/hw_wrapper.h"
+#include "verilog/parser.h"
+
+namespace cascade::fpga {
+namespace {
+
+using namespace verilog;
+
+std::shared_ptr<const ElaboratedModule>
+elaborate_src(std::string_view src)
+{
+    Diagnostics diags;
+    SourceUnit unit = parse(src, &diags);
+    EXPECT_FALSE(diags.has_errors()) << diags.str();
+    Elaborator elab(&diags);
+    auto em = elab.elaborate(*unit.modules[0]);
+    EXPECT_NE(em, nullptr) << diags.str();
+    return std::shared_ptr<const ElaboratedModule>(std::move(em));
+}
+
+/// An N-stage 32-bit pipeline: area and compile time scale with N.
+std::string
+pipeline_src(int stages)
+{
+    std::string body;
+    body += "module P(input wire clk, input wire [31:0] din, "
+            "output wire [31:0] dout);\n";
+    for (int i = 0; i < stages; ++i) {
+        body += "  reg [31:0] s" + std::to_string(i) + " = 0;\n";
+    }
+    body += "  always @(posedge clk) begin\n";
+    body += "    s0 <= din * 3 + 1;\n";
+    for (int i = 1; i < stages; ++i) {
+        body += "    s" + std::to_string(i) + " <= s" +
+                std::to_string(i - 1) + " ^ (s" + std::to_string(i - 1) +
+                " >> 3);\n";
+    }
+    body += "  end\n";
+    body += "  assign dout = s" + std::to_string(stages - 1) + ";\n";
+    body += "endmodule\n";
+    return body;
+}
+
+TEST(TechMap, CostsAreMonotoneInWidth)
+{
+    Node add8{Op::Add, 8, 0, {}, BitVector()};
+    Node add32{Op::Add, 32, 0, {}, BitVector()};
+    EXPECT_LT(le_cost(add8), le_cost(add32));
+    Node mul16{Op::Mul, 16, 0, {}, BitVector()};
+    EXPECT_GT(le_cost(mul16), le_cost(add32));
+    Node wire{Op::Slice, 32, 0, {}, BitVector()};
+    EXPECT_EQ(le_cost(wire), 0u);
+    EXPECT_GT(node_delay_ns(mul16), node_delay_ns(add8));
+}
+
+TEST(TechMap, AreaAccountsRegistersAndMemories)
+{
+    auto em = elaborate_src(R"(
+        module M(input wire clk, input wire [7:0] d,
+                 output wire [7:0] q);
+          reg [7:0] r = 0;
+          reg [7:0] mem [0:63];
+          always @(posedge clk) begin
+            r <= d + 1;
+            mem[d[5:0]] <= d;
+          end
+          assign q = mem[r[5:0]] ^ r;
+        endmodule
+    )");
+    Diagnostics diags;
+    auto nl = synthesize(*em, &diags);
+    ASSERT_NE(nl, nullptr) << diags.str();
+    MappedDesign mapped = technology_map(*nl);
+    EXPECT_GE(mapped.area.ffs, 8u);
+    EXPECT_EQ(mapped.area.bram_bits, 64u * 8u);
+    EXPECT_GT(mapped.cells.size(), 0u);
+    EXPECT_FALSE(mapped.edges.empty());
+}
+
+TEST(Place, ImprovesWirelength)
+{
+    auto em = elaborate_src(pipeline_src(24));
+    Diagnostics diags;
+    auto nl = synthesize(*em, &diags);
+    ASSERT_NE(nl, nullptr) << diags.str();
+    MappedDesign mapped = technology_map(*nl);
+    PlaceOptions opts;
+    opts.effort = 0.3;
+    PlacementResult r = place(mapped, opts);
+    EXPECT_LE(r.final_wirelength, r.initial_wirelength);
+    EXPECT_GT(r.moves_evaluated, 0u);
+    // All locations within the grid, no two cells on one slot.
+    std::set<std::pair<uint32_t, uint32_t>> seen;
+    for (const auto& loc : r.locations) {
+        EXPECT_LT(loc.first, r.grid);
+        EXPECT_LT(loc.second, r.grid);
+        EXPECT_TRUE(seen.insert(loc).second);
+    }
+}
+
+TEST(Place, DeterministicForSeed)
+{
+    auto em = elaborate_src(pipeline_src(8));
+    Diagnostics diags;
+    auto nl = synthesize(*em, &diags);
+    ASSERT_NE(nl, nullptr);
+    MappedDesign mapped = technology_map(*nl);
+    PlaceOptions opts;
+    opts.effort = 0.2;
+    opts.seed = 7;
+    PlacementResult a = place(mapped, opts);
+    PlacementResult b = place(mapped, opts);
+    EXPECT_EQ(a.locations, b.locations);
+    EXPECT_EQ(a.final_wirelength, b.final_wirelength);
+}
+
+TEST(Timing, CombDepthRaisesCriticalPath)
+{
+    auto shallow = elaborate_src(R"(
+        module M(input wire clk, input wire [31:0] a,
+                 output wire [31:0] o);
+          reg [31:0] r = 0;
+          always @(posedge clk) r <= a + 1;
+          assign o = r;
+        endmodule
+    )");
+    auto deep = elaborate_src(R"(
+        module M(input wire clk, input wire [31:0] a,
+                 output wire [31:0] o);
+          reg [31:0] r = 0;
+          always @(posedge clk)
+            r <= ((a * 3) / 5) * ((a * 7) % 11) + (a * a);
+          assign o = r;
+        endmodule
+    )");
+    CompileOptions opts;
+    opts.effort = 0.2;
+    auto r1 = compile(*shallow, opts);
+    auto r2 = compile(*deep, opts);
+    ASSERT_TRUE(r1.ok);
+    ASSERT_TRUE(r2.ok);
+    EXPECT_LT(r1.report.timing.critical_path_ns,
+              r2.report.timing.critical_path_ns);
+}
+
+TEST(Compile, TimeGrowsWithDesignSize)
+{
+    CompileOptions opts;
+    opts.effort = 0.3;
+    auto small = elaborate_src(pipeline_src(4));
+    auto large = elaborate_src(pipeline_src(40));
+    auto rs = compile(*small, opts);
+    auto rl = compile(*large, opts);
+    ASSERT_TRUE(rs.ok);
+    ASSERT_TRUE(rl.ok);
+    EXPECT_GT(rl.report.cells, rs.report.cells);
+    EXPECT_GT(rl.report.anneal_moves, rs.report.anneal_moves);
+    // Wall-clock compile time also grows (the property the JIT hides).
+    EXPECT_GT(rl.report.place_seconds, rs.report.place_seconds);
+}
+
+TEST(Compile, WrapperCostsArea)
+{
+    // The Fig. 10 instrumentation (shadow registers, masks, MMIO mux)
+    // costs real area: the paper reports 2.9x on proof-of-work.
+    const char* src = R"(
+        module Cnt(input wire clk, input wire [31:0] d,
+                   output wire [31:0] led);
+          reg [31:0] cnt = 0;
+          always @(posedge clk) cnt <= cnt + d;
+          assign led = cnt;
+        endmodule
+    )";
+    auto em = elaborate_src(src);
+    CompileOptions opts;
+    opts.effort = 0.1;
+    auto direct = compile(*em, opts);
+    ASSERT_TRUE(direct.ok) << direct.error;
+
+    ir::WrapperMap map;
+    Diagnostics diags;
+    auto wrapper = ir::generate_hw_wrapper(*em, "clk", &map, &diags);
+    ASSERT_NE(wrapper, nullptr) << diags.str();
+    Diagnostics d2;
+    Elaborator elab(&d2);
+    auto wem = elab.elaborate(*wrapper);
+    ASSERT_NE(wem, nullptr) << d2.str();
+    auto wrapped = compile(*wem, opts);
+    ASSERT_TRUE(wrapped.ok) << wrapped.error;
+
+    EXPECT_GT(wrapped.report.area.les, direct.report.area.les);
+    const double overhead =
+        static_cast<double>(wrapped.report.area.les) /
+        static_cast<double>(direct.report.area.les);
+    // Same order as the paper's 2.9x-6.5x range.
+    EXPECT_GT(overhead, 1.2);
+    EXPECT_LT(overhead, 40.0);
+}
+
+TEST(Device, RejectsOversizedDesign)
+{
+    auto em = elaborate_src(pipeline_src(8));
+    CompileOptions opts;
+    opts.effort = 0.1;
+    auto result = compile(*em, opts);
+    ASSERT_TRUE(result.ok);
+    FpgaDevice tiny(/*les=*/10, /*bram_bits=*/16, /*clock_mhz=*/50.0);
+    std::string error;
+    EXPECT_EQ(tiny.program(result, &error), nullptr);
+    EXPECT_NE(error.find("does not fit"), std::string::npos);
+}
+
+TEST(Device, RejectsTimingFailure)
+{
+    auto em = elaborate_src(R"(
+        module M(input wire clk, input wire [63:0] a,
+                 output wire [63:0] o);
+          reg [63:0] r = 0;
+          always @(posedge clk) r <= (a * a) / (a + 1);
+          assign o = r;
+        endmodule
+    )");
+    CompileOptions opts;
+    opts.effort = 0.1;
+    opts.target_clock_mhz = 2000.0; // absurd target
+    auto result = compile(*em, opts);
+    ASSERT_TRUE(result.ok);
+    EXPECT_FALSE(result.report.timing.met);
+    FpgaDevice dev;
+    std::string error;
+    EXPECT_EQ(dev.program(result, &error), nullptr);
+    EXPECT_NE(error.find("timing"), std::string::npos);
+}
+
+TEST(Device, ProgramsAndRuns)
+{
+    auto em = elaborate_src(R"(
+        module M(input wire clk, output wire [7:0] o);
+          reg [7:0] cnt = 0;
+          always @(posedge clk) cnt <= cnt + 1;
+          assign o = cnt;
+        endmodule
+    )");
+    CompileOptions opts;
+    opts.effort = 0.1;
+    auto result = compile(*em, opts);
+    ASSERT_TRUE(result.ok) << result.error;
+    FpgaDevice dev;
+    std::string error;
+    auto fabric = dev.program(result, &error);
+    ASSERT_NE(fabric, nullptr) << error;
+    for (int i = 0; i < 5; ++i) {
+        fabric->set_input("clk", BitVector(1, 1));
+        fabric->step();
+        fabric->set_input("clk", BitVector(1, 0));
+        fabric->step();
+    }
+    EXPECT_EQ(fabric->output("o").to_uint64(), 5u);
+}
+
+} // namespace
+} // namespace cascade::fpga

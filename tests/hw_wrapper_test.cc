@@ -1,0 +1,392 @@
+/// \file
+/// Tests for the Fig. 10 hardware wrapper. The generated module is driven
+/// through its AXI-style MMIO interface using the reference interpreter as
+/// the "device", which validates exactly the protocol the hardware engine's
+/// software stub speaks: SET writes, LATCH commits, task-mask polling,
+/// argument readback, and open-loop execution.
+
+#include "ir/hw_wrapper.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/interpreter.h"
+#include "verilog/parser.h"
+#include "verilog/printer.h"
+
+namespace cascade::ir {
+namespace {
+
+using namespace verilog;
+
+/// Drives a wrapper module over MMIO through the interpreter.
+class MmioDriver {
+  public:
+    MmioDriver(std::string_view src, const std::string& clock_input)
+    {
+        init(src, clock_input);
+    }
+
+    void
+    init(std::string_view src, const std::string& clock_input)
+    {
+        Diagnostics diags;
+        SourceUnit unit = parse(src, &diags);
+        EXPECT_FALSE(diags.has_errors()) << diags.str();
+        Elaborator elab(&diags);
+        auto em = elab.elaborate(*unit.modules[0]);
+        ASSERT_NE(em, nullptr) << diags.str();
+        wrapper_ = generate_hw_wrapper(*em, clock_input, &map_, &diags);
+        ASSERT_NE(wrapper_, nullptr) << diags.str();
+
+        Diagnostics d2;
+        Elaborator elab2(&d2);
+        auto wem = elab2.elaborate(*wrapper_);
+        ASSERT_NE(wem, nullptr)
+            << d2.str() << "\n" << print(*wrapper_);
+        interp_ = std::make_unique<sim::ModuleInterpreter>(
+            std::shared_ptr<const ElaboratedModule>(std::move(wem)),
+            nullptr);
+        interp_->run_initials();
+        settle();
+    }
+
+    void
+    settle()
+    {
+        for (int i = 0; i < 256; ++i) {
+            interp_->evaluate();
+            if (!interp_->there_are_updates()) {
+                return;
+            }
+            interp_->update();
+        }
+        FAIL() << "wrapper did not settle";
+    }
+
+    /// One CLK pulse.
+    void
+    pulse()
+    {
+        interp_->set_input("CLK", BitVector(1, 1));
+        settle();
+        interp_->set_input("CLK", BitVector(1, 0));
+        settle();
+    }
+
+    void
+    mmio_write(uint32_t addr, uint32_t value)
+    {
+        interp_->set_input("RW", BitVector(1, 1));
+        interp_->set_input("ADDR", BitVector(32, addr));
+        interp_->set_input("IN", BitVector(32, value));
+        settle();
+        pulse();
+        interp_->set_input("RW", BitVector(1, 0));
+        settle();
+    }
+
+    uint32_t
+    mmio_read(uint32_t addr)
+    {
+        interp_->set_input("RW", BitVector(1, 0));
+        interp_->set_input("ADDR", BitVector(32, addr));
+        settle();
+        return static_cast<uint32_t>(interp_->get("OUT").to_uint64());
+    }
+
+    /// Writes all words of a variable slot.
+    void
+    write_var(const std::string& name, uint64_t value)
+    {
+        const VarSlot* slot = map_.find(name);
+        ASSERT_NE(slot, nullptr) << name;
+        for (uint32_t j = 0; j < slot->words; ++j) {
+            mmio_write(slot->base + j,
+                       static_cast<uint32_t>(value >> (32 * j)));
+        }
+    }
+
+    uint64_t
+    read_var(const std::string& name)
+    {
+        const VarSlot* slot = map_.find(name);
+        EXPECT_NE(slot, nullptr) << name;
+        uint64_t v = 0;
+        for (uint32_t j = 0; j < slot->words && j < 2; ++j) {
+            v |= static_cast<uint64_t>(mmio_read(slot->base + j))
+                 << (32 * j);
+        }
+        if (slot->width < 64) {
+            v &= (uint64_t{1} << slot->width) - 1;
+        }
+        return v;
+    }
+
+    /// One virtual clock tick under runtime control: clock up, latch,
+    /// clock down, latch.
+    void
+    virtual_tick(const std::string& clk = "clk")
+    {
+        write_var(clk, 1);
+        if (mmio_read(map_.ctrl.updates) != 0) {
+            mmio_write(map_.ctrl.latch, 1);
+        }
+        write_var(clk, 0);
+        if (mmio_read(map_.ctrl.updates) != 0) {
+            mmio_write(map_.ctrl.latch, 1);
+        }
+    }
+
+    WrapperMap& map() { return map_; }
+    const ModuleDecl& wrapper() const { return *wrapper_; }
+    sim::ModuleInterpreter& interp() { return *interp_; }
+
+  private:
+    WrapperMap map_;
+    std::unique_ptr<ModuleDecl> wrapper_;
+    std::unique_ptr<sim::ModuleInterpreter> interp_;
+};
+
+const char* kCounter = R"(
+    module Cnt(input wire clk, input wire rst, output wire [7:0] led);
+      reg [7:0] cnt = 0;
+      always @(posedge clk)
+        if (rst)
+          cnt <= 0;
+        else
+          cnt <= cnt + 1;
+      assign led = cnt;
+    endmodule
+)";
+
+TEST(HwWrapper, MapLayout)
+{
+    MmioDriver d(kCounter, "clk");
+    const WrapperMap& m = d.map();
+    ASSERT_EQ(m.vars.size(), 4u);
+    EXPECT_EQ(m.vars[0].name, "clk");
+    EXPECT_TRUE(m.vars[0].writable);
+    EXPECT_EQ(m.vars[1].name, "rst");
+    EXPECT_EQ(m.vars[2].name, "cnt");
+    EXPECT_TRUE(m.vars[2].writable);
+    EXPECT_EQ(m.vars[3].name, "led");
+    EXPECT_FALSE(m.vars[3].writable);
+    EXPECT_EQ(m.clock_input, "clk");
+}
+
+TEST(HwWrapper, RuntimeDrivenTicks)
+{
+    MmioDriver d(kCounter, "clk");
+    EXPECT_EQ(d.read_var("led"), 0u);
+    d.virtual_tick();
+    EXPECT_EQ(d.read_var("led"), 1u);
+    d.virtual_tick();
+    d.virtual_tick();
+    EXPECT_EQ(d.read_var("led"), 3u);
+    // Reset behaves.
+    d.write_var("rst", 1);
+    d.virtual_tick();
+    EXPECT_EQ(d.read_var("led"), 0u);
+}
+
+TEST(HwWrapper, UpdatesFlagTracksShadows)
+{
+    MmioDriver d(kCounter, "clk");
+    EXPECT_EQ(d.mmio_read(d.map().ctrl.updates), 0u);
+    d.write_var("clk", 1); // fires the user block; shadows pending
+    EXPECT_EQ(d.mmio_read(d.map().ctrl.updates), 1u);
+    d.mmio_write(d.map().ctrl.latch, 1);
+    EXPECT_EQ(d.mmio_read(d.map().ctrl.updates), 0u);
+    EXPECT_EQ(d.read_var("cnt"), 1u);
+}
+
+TEST(HwWrapper, SetStateThroughMmio)
+{
+    MmioDriver d(kCounter, "clk");
+    d.write_var("cnt", 42); // state handoff: set_state writes registers
+    EXPECT_EQ(d.read_var("led"), 42u);
+    d.virtual_tick();
+    EXPECT_EQ(d.read_var("led"), 43u);
+}
+
+TEST(HwWrapper, OpenLoopRunsToBudget)
+{
+    MmioDriver d(kCounter, "clk");
+    d.mmio_write(d.map().ctrl.oloop, 20);
+    // The device's own clock now drives everything; just pulse CLK.
+    int cycles = 0;
+    while (d.interp().get("WAIT").to_uint64() != 0 && cycles < 200) {
+        d.pulse();
+        ++cycles;
+    }
+    EXPECT_LT(cycles, 200);
+    EXPECT_EQ(d.mmio_read(d.map().ctrl.itrs), 20u);
+    // 20 toggles = 10 rising edges.
+    EXPECT_EQ(d.read_var("cnt"), 10u);
+    // Virtual time advanced by 10 completed cycles.
+    EXPECT_EQ(d.mmio_read(d.map().ctrl.vtime), 10u);
+}
+
+TEST(HwWrapper, DisplayTaskFromHardware)
+{
+    MmioDriver d(R"(
+        module Dsp(input wire clk, input wire [3:0] pad);
+          reg [7:0] cnt = 0;
+          always @(posedge clk)
+            if (pad == 0)
+              cnt <= cnt + 1;
+            else begin
+              $display("cnt = %d", cnt);
+              $finish;
+            end
+        endmodule
+    )", "clk");
+    ASSERT_EQ(d.map().tasks.size(), 2u);
+    EXPECT_EQ(d.map().tasks[0].kind, TaskKind::Display);
+    EXPECT_TRUE(d.map().tasks[0].has_format);
+    EXPECT_EQ(d.map().tasks[0].format, "cnt = %d");
+    ASSERT_EQ(d.map().tasks[0].arg_slots.size(), 1u);
+    EXPECT_EQ(d.map().tasks[1].kind, TaskKind::Finish);
+
+    // Run two quiet ticks, then press the button.
+    d.virtual_tick();
+    d.virtual_tick();
+    EXPECT_EQ(d.mmio_read(d.map().ctrl.tasks), 0u);
+    d.write_var("pad", 1);
+    d.write_var("clk", 1);
+    // Both the display and the finish sites fire.
+    const uint32_t pending = d.mmio_read(d.map().ctrl.tasks);
+    EXPECT_EQ(pending, 0b11u);
+    // Read back the saved argument: cnt was 2 when the task fired.
+    const VarSlot& arg = d.map().vars[d.map().tasks[0].arg_slots[0]];
+    EXPECT_EQ(d.mmio_read(arg.base), 2u);
+    // Acknowledge; the mask clears.
+    d.mmio_write(d.map().ctrl.clear, 1);
+    EXPECT_EQ(d.mmio_read(d.map().ctrl.tasks), 0u);
+}
+
+TEST(HwWrapper, OpenLoopStopsOnTask)
+{
+    MmioDriver d(R"(
+        module T(input wire clk);
+          reg [7:0] cnt = 0;
+          always @(posedge clk) begin
+            cnt <= cnt + 1;
+            if (cnt == 3)
+              $display(cnt);
+          end
+        endmodule
+    )", "clk");
+    d.mmio_write(d.map().ctrl.oloop, 100);
+    int cycles = 0;
+    while (d.interp().get("WAIT").to_uint64() != 0 && cycles < 300) {
+        d.pulse();
+        ++cycles;
+    }
+    ASSERT_LT(cycles, 300);
+    // The loop bailed out early with the task pending.
+    EXPECT_EQ(d.mmio_read(d.map().ctrl.tasks), 1u);
+    EXPECT_LT(d.mmio_read(d.map().ctrl.itrs), 100u);
+    // cnt stopped right after the display fired.
+    EXPECT_GE(d.read_var("cnt"), 4u);
+    EXPECT_LE(d.read_var("cnt"), 5u);
+}
+
+TEST(HwWrapper, MemoriesAccessibleOverMmio)
+{
+    MmioDriver d(R"(
+        module Mem(input wire clk, input wire [1:0] addr,
+                   input wire [7:0] wdata, input wire we,
+                   output wire [7:0] rdata);
+          reg [7:0] mem [0:3];
+          always @(posedge clk)
+            if (we)
+              mem[addr] <= wdata;
+          assign rdata = mem[addr];
+        endmodule
+    )", "clk");
+    const VarSlot* mem = d.map().find("mem");
+    ASSERT_NE(mem, nullptr);
+    EXPECT_EQ(mem->elems, 4u);
+    EXPECT_TRUE(mem->writable);
+
+    // Functional path: write via the design.
+    d.write_var("we", 1);
+    d.write_var("addr", 2);
+    d.write_var("wdata", 0x5A);
+    d.virtual_tick();
+    EXPECT_EQ(d.read_var("rdata"), 0x5Au);
+    // State path: read and write elements directly over MMIO.
+    EXPECT_EQ(d.mmio_read(mem->base + 2), 0x5Au);
+    d.mmio_write(mem->base + 3, 0x77);
+    d.write_var("addr", 3);
+    EXPECT_EQ(d.read_var("rdata"), 0x77u);
+}
+
+TEST(HwWrapper, WideValuesSpanWords)
+{
+    MmioDriver d(R"(
+        module Wide(input wire clk, input wire [63:0] a,
+                    output wire [63:0] o);
+          reg [63:0] r = 0;
+          always @(posedge clk) r <= a + 1;
+          assign o = r;
+        endmodule
+    )", "clk");
+    const VarSlot* a = d.map().find("a");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->words, 2u);
+    d.write_var("a", 0xFFFFFFFFull);
+    d.virtual_tick();
+    EXPECT_EQ(d.read_var("o"), 0x100000000ull);
+}
+
+TEST(HwWrapper, DynamicIndexTargetCapturesIndex)
+{
+    MmioDriver d(R"(
+        module Dyn(input wire clk, input wire [1:0] i,
+                   output wire [15:0] o);
+          reg [15:0] r = 0;
+          always @(posedge clk)
+            r[i*4 +: 4] <= 4'hF;
+          assign o = r;
+        endmodule
+    )", "clk");
+    d.write_var("i", 2);
+    d.virtual_tick();
+    EXPECT_EQ(d.read_var("o"), 0x0F00u);
+    d.write_var("i", 0);
+    d.virtual_tick();
+    EXPECT_EQ(d.read_var("o"), 0x0F0Fu);
+}
+
+TEST(HwWrapper, RejectsTasksInCombinationalBlocks)
+{
+    Diagnostics diags;
+    SourceUnit unit = parse(R"(
+        module Bad(input wire [3:0] a);
+          always @(*) $display(a);
+        endmodule
+    )", &diags);
+    Elaborator elab(&diags);
+    auto em = elab.elaborate(*unit.modules[0]);
+    ASSERT_NE(em, nullptr);
+    WrapperMap map;
+    EXPECT_EQ(generate_hw_wrapper(*em, "", &map, &diags), nullptr);
+    EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(HwWrapper, RejectsBadClockName)
+{
+    Diagnostics diags;
+    SourceUnit unit =
+        parse("module M(input wire clk); endmodule", &diags);
+    Elaborator elab(&diags);
+    auto em = elab.elaborate(*unit.modules[0]);
+    ASSERT_NE(em, nullptr);
+    WrapperMap map;
+    EXPECT_EQ(generate_hw_wrapper(*em, "nope", &map, &diags), nullptr);
+}
+
+} // namespace
+} // namespace cascade::ir

@@ -1,0 +1,223 @@
+/// \file
+/// Unit tests for the Verilog lexer.
+
+#include "verilog/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace cascade::verilog {
+namespace {
+
+std::vector<Token>
+lex_ok(std::string_view src)
+{
+    Diagnostics diags;
+    Lexer lexer(src, &diags);
+    auto tokens = lexer.lex_all();
+    EXPECT_FALSE(diags.has_errors()) << diags.str();
+    return tokens;
+}
+
+TEST(Lexer, EmptyInput)
+{
+    auto t = lex_ok("");
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, KeywordsAndIdentifiers)
+{
+    auto t = lex_ok("module foo endmodule _bar baz$2");
+    EXPECT_EQ(t[0].kind, TokenKind::KwModule);
+    EXPECT_EQ(t[1].kind, TokenKind::Identifier);
+    EXPECT_EQ(t[1].text, "foo");
+    EXPECT_EQ(t[2].kind, TokenKind::KwEndmodule);
+    EXPECT_EQ(t[3].text, "_bar");
+    EXPECT_EQ(t[4].text, "baz$2");
+}
+
+TEST(Lexer, SystemIdentifiers)
+{
+    auto t = lex_ok("$display $finish $time");
+    EXPECT_EQ(t[0].kind, TokenKind::SystemId);
+    EXPECT_EQ(t[0].text, "$display");
+    EXPECT_EQ(t[1].text, "$finish");
+    EXPECT_EQ(t[2].text, "$time");
+}
+
+TEST(Lexer, PlainDecimalNumber)
+{
+    auto t = lex_ok("42");
+    EXPECT_EQ(t[0].kind, TokenKind::Number);
+    EXPECT_EQ(t[0].value.width(), 32u);
+    EXPECT_EQ(t[0].value.to_uint64(), 42u);
+    EXPECT_FALSE(t[0].sized);
+    EXPECT_TRUE(t[0].is_signed);
+}
+
+TEST(Lexer, SizedHexNumber)
+{
+    auto t = lex_ok("8'h80");
+    EXPECT_EQ(t[0].value.width(), 8u);
+    EXPECT_EQ(t[0].value.to_uint64(), 0x80u);
+    EXPECT_TRUE(t[0].sized);
+    EXPECT_FALSE(t[0].is_signed);
+}
+
+TEST(Lexer, SizedBinaryAndOctal)
+{
+    auto t = lex_ok("4'b1010 6'o77");
+    EXPECT_EQ(t[0].value.to_uint64(), 0b1010u);
+    EXPECT_EQ(t[1].value.to_uint64(), 077u);
+}
+
+TEST(Lexer, SignedBasedLiteral)
+{
+    auto t = lex_ok("4'sb1010");
+    EXPECT_TRUE(t[0].is_signed);
+    EXPECT_EQ(t[0].value.to_uint64(), 0b1010u);
+}
+
+TEST(Lexer, UnsizedBasedLiteral)
+{
+    auto t = lex_ok("'h1f");
+    EXPECT_EQ(t[0].value.width(), 32u);
+    EXPECT_EQ(t[0].value.to_uint64(), 0x1fu);
+    EXPECT_FALSE(t[0].sized);
+}
+
+TEST(Lexer, UnderscoresInNumbers)
+{
+    auto t = lex_ok("32'h dead_beef 1_000");
+    EXPECT_EQ(t[0].value.to_uint64(), 0xdeadbeefu);
+    EXPECT_EQ(t[1].value.to_uint64(), 1000u);
+}
+
+TEST(Lexer, SizeWithSpaceBeforeTick)
+{
+    auto t = lex_ok("8 'hFF");
+    EXPECT_EQ(t[0].value.width(), 8u);
+    EXPECT_EQ(t[0].value.to_uint64(), 0xFFu);
+}
+
+TEST(Lexer, DecimalBasedLiteral)
+{
+    auto t = lex_ok("16'd1234");
+    EXPECT_EQ(t[0].value.width(), 16u);
+    EXPECT_EQ(t[0].value.to_uint64(), 1234u);
+}
+
+TEST(Lexer, TruncatesOverlongLiteral)
+{
+    auto t = lex_ok("4'hFF");
+    EXPECT_EQ(t[0].value.to_uint64(), 0xFu);
+}
+
+TEST(Lexer, XZDigitsWarnAndReadAsZero)
+{
+    Diagnostics diags;
+    Lexer lexer("4'b1x0z", &diags);
+    auto t = lexer.lex_all();
+    EXPECT_FALSE(diags.has_errors());
+    EXPECT_EQ(diags.all().size(), 1u); // one warning
+    EXPECT_EQ(t[0].value.to_uint64(), 0b1000u);
+}
+
+TEST(Lexer, WideLiteral)
+{
+    auto t = lex_ok("128'hffffffffffffffffffffffffffffffff");
+    EXPECT_TRUE(t[0].value.reduce_and());
+    EXPECT_EQ(t[0].value.width(), 128u);
+}
+
+TEST(Lexer, OperatorsMaximalMunch)
+{
+    auto t = lex_ok("<= < << <<< = == === ! != !== > >> >>> >= ** * ~& ~| ~^ ^~ +: -:");
+    size_t i = 0;
+    EXPECT_EQ(t[i++].kind, TokenKind::LtEq);
+    EXPECT_EQ(t[i++].kind, TokenKind::Lt);
+    EXPECT_EQ(t[i++].kind, TokenKind::Shl);
+    EXPECT_EQ(t[i++].kind, TokenKind::AShl);
+    EXPECT_EQ(t[i++].kind, TokenKind::Assign);
+    EXPECT_EQ(t[i++].kind, TokenKind::EqEq);
+    EXPECT_EQ(t[i++].kind, TokenKind::EqEqEq);
+    EXPECT_EQ(t[i++].kind, TokenKind::Bang);
+    EXPECT_EQ(t[i++].kind, TokenKind::BangEq);
+    EXPECT_EQ(t[i++].kind, TokenKind::BangEqEq);
+    EXPECT_EQ(t[i++].kind, TokenKind::Gt);
+    EXPECT_EQ(t[i++].kind, TokenKind::Shr);
+    EXPECT_EQ(t[i++].kind, TokenKind::AShr);
+    EXPECT_EQ(t[i++].kind, TokenKind::GtEq);
+    EXPECT_EQ(t[i++].kind, TokenKind::StarStar);
+    EXPECT_EQ(t[i++].kind, TokenKind::Star);
+    EXPECT_EQ(t[i++].kind, TokenKind::TildeAmp);
+    EXPECT_EQ(t[i++].kind, TokenKind::TildePipe);
+    EXPECT_EQ(t[i++].kind, TokenKind::TildeCaret);
+    EXPECT_EQ(t[i++].kind, TokenKind::TildeCaret);
+    EXPECT_EQ(t[i++].kind, TokenKind::PlusColon);
+    EXPECT_EQ(t[i++].kind, TokenKind::MinusColon);
+}
+
+TEST(Lexer, Comments)
+{
+    auto t = lex_ok("a // line comment\n b /* block\n comment */ c");
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_EQ(t[0].text, "a");
+    EXPECT_EQ(t[1].text, "b");
+    EXPECT_EQ(t[2].text, "c");
+}
+
+TEST(Lexer, UnterminatedBlockCommentErrors)
+{
+    Diagnostics diags;
+    Lexer lexer("a /* never closed", &diags);
+    lexer.lex_all();
+    EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, StringLiterals)
+{
+    auto t = lex_ok(R"("hello %d\n" "tab\t")");
+    EXPECT_EQ(t[0].kind, TokenKind::String);
+    EXPECT_EQ(t[0].text, "hello %d\n");
+    EXPECT_EQ(t[1].text, "tab\t");
+}
+
+TEST(Lexer, UnterminatedStringErrors)
+{
+    Diagnostics diags;
+    Lexer lexer("\"oops\n", &diags);
+    lexer.lex_all();
+    EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, SourceLocations)
+{
+    auto t = lex_ok("a\n  b");
+    EXPECT_EQ(t[0].loc.line, 1u);
+    EXPECT_EQ(t[0].loc.column, 1u);
+    EXPECT_EQ(t[1].loc.line, 2u);
+    EXPECT_EQ(t[1].loc.column, 3u);
+}
+
+TEST(Lexer, EscapedIdentifier)
+{
+    auto t = lex_ok("\\weird+name rest");
+    EXPECT_EQ(t[0].kind, TokenKind::Identifier);
+    EXPECT_EQ(t[0].text, "weird+name");
+    EXPECT_EQ(t[1].text, "rest");
+}
+
+TEST(Lexer, StrayCharacterErrors)
+{
+    Diagnostics diags;
+    Lexer lexer("a ` b", &diags);
+    auto t = lexer.lex_all();
+    EXPECT_TRUE(diags.has_errors());
+    // Lexing continues past the error.
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_EQ(t[1].text, "b");
+}
+
+} // namespace
+} // namespace cascade::verilog

@@ -1,0 +1,487 @@
+/// \file
+/// Unit tests for the Verilog parser, including print→parse round trips.
+
+#include "verilog/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "verilog/printer.h"
+
+namespace cascade::verilog {
+namespace {
+
+SourceUnit
+parse_ok(std::string_view src)
+{
+    Diagnostics diags;
+    SourceUnit unit = parse(src, &diags);
+    EXPECT_FALSE(diags.has_errors()) << diags.str();
+    return unit;
+}
+
+void
+expect_parse_error(std::string_view src)
+{
+    Diagnostics diags;
+    parse(src, &diags);
+    EXPECT_TRUE(diags.has_errors()) << "input unexpectedly parsed: " << src;
+}
+
+const ModuleDecl&
+single_module(const SourceUnit& unit)
+{
+    EXPECT_EQ(unit.modules.size(), 1u);
+    return *unit.modules.front();
+}
+
+TEST(Parser, EmptyModule)
+{
+    auto unit = parse_ok("module M(); endmodule");
+    const auto& m = single_module(unit);
+    EXPECT_EQ(m.name, "M");
+    EXPECT_TRUE(m.ports.empty());
+    EXPECT_TRUE(m.items.empty());
+}
+
+TEST(Parser, ModuleWithoutPortList)
+{
+    auto unit = parse_ok("module M; endmodule");
+    EXPECT_EQ(single_module(unit).name, "M");
+}
+
+TEST(Parser, AnsiPorts)
+{
+    auto unit = parse_ok(R"(
+        module M(
+            input wire clk,
+            input wire [3:0] pad,
+            output reg [7:0] led,
+            inout wire io
+        );
+        endmodule
+    )");
+    const auto& m = single_module(unit);
+    ASSERT_EQ(m.ports.size(), 4u);
+    EXPECT_EQ(m.ports[0].dir, PortDir::Input);
+    EXPECT_EQ(m.ports[0].name, "clk");
+    EXPECT_FALSE(m.ports[0].range.valid());
+    EXPECT_EQ(m.ports[1].name, "pad");
+    EXPECT_TRUE(m.ports[1].range.valid());
+    EXPECT_EQ(m.ports[2].dir, PortDir::Output);
+    EXPECT_TRUE(m.ports[2].is_reg);
+    EXPECT_EQ(m.ports[3].dir, PortDir::Inout);
+}
+
+TEST(Parser, PortDirectionPersistsAcrossCommas)
+{
+    auto unit = parse_ok("module M(input wire a, b, output wire c); endmodule");
+    const auto& m = single_module(unit);
+    ASSERT_EQ(m.ports.size(), 3u);
+    EXPECT_EQ(m.ports[1].dir, PortDir::Input);
+    EXPECT_EQ(m.ports[2].dir, PortDir::Output);
+}
+
+TEST(Parser, HeaderParameters)
+{
+    auto unit = parse_ok(
+        "module M#(parameter N = 8, parameter [3:0] W = 4)(); endmodule");
+    const auto& m = single_module(unit);
+    ASSERT_EQ(m.header_params.size(), 2u);
+    const auto& p0 = static_cast<const ParamDecl&>(*m.header_params[0]);
+    EXPECT_EQ(p0.name, "N");
+    EXPECT_FALSE(p0.local);
+}
+
+TEST(Parser, NetDeclarations)
+{
+    auto unit = parse_ok(R"(
+        module M();
+          wire w;
+          reg [7:0] r = 1, s;
+          reg [7:0] mem [0:255];
+          integer i;
+          wire signed [15:0] sw;
+        endmodule
+    )");
+    const auto& m = single_module(unit);
+    ASSERT_EQ(m.items.size(), 5u);
+    const auto& r = static_cast<const NetDecl&>(*m.items[1]);
+    EXPECT_TRUE(r.is_reg);
+    ASSERT_EQ(r.decls.size(), 2u);
+    EXPECT_NE(r.decls[0].init, nullptr);
+    EXPECT_EQ(r.decls[1].init, nullptr);
+    const auto& mem = static_cast<const NetDecl&>(*m.items[2]);
+    EXPECT_TRUE(mem.decls[0].array_dim.valid());
+    const auto& i = static_cast<const NetDecl&>(*m.items[3]);
+    EXPECT_TRUE(i.is_reg);
+    EXPECT_TRUE(i.is_signed);
+    EXPECT_TRUE(i.range.valid());
+    const auto& sw = static_cast<const NetDecl&>(*m.items[4]);
+    EXPECT_TRUE(sw.is_signed);
+    EXPECT_FALSE(sw.is_reg);
+}
+
+TEST(Parser, RunningExample)
+{
+    // Figure 1 from the paper, nearly verbatim.
+    auto unit = parse_ok(R"(
+        module Rol(
+          input wire [7:0] x,
+          output wire [7:0] y
+        );
+          assign y = (x == 8'h80) ? 1 : (x<<1);
+        endmodule
+
+        module Main(
+          input wire clk,
+          input wire [3:0] pad,
+          output wire [7:0] led
+        );
+          reg [7:0] cnt = 1;
+          Rol r(.x(cnt));
+          always @(posedge clk)
+            if (pad == 0)
+              cnt <= r.y;
+            else begin
+              $display(cnt);
+              $finish;
+            end
+          assign led = cnt;
+        endmodule
+    )");
+    EXPECT_EQ(unit.modules.size(), 2u);
+    const auto& main = *unit.modules[1];
+    ASSERT_EQ(main.items.size(), 4u);
+    EXPECT_EQ(main.items[0]->kind, ItemKind::NetDecl);
+    EXPECT_EQ(main.items[1]->kind, ItemKind::Instantiation);
+    EXPECT_EQ(main.items[2]->kind, ItemKind::Always);
+    EXPECT_EQ(main.items[3]->kind, ItemKind::ContinuousAssign);
+
+    const auto& always = static_cast<const AlwaysBlock&>(*main.items[2]);
+    ASSERT_EQ(always.sensitivity.size(), 1u);
+    EXPECT_EQ(always.sensitivity[0].edge, EdgeKind::Pos);
+    const auto& ifs = static_cast<const IfStmt&>(*always.body);
+    EXPECT_EQ(ifs.then_stmt->kind, StmtKind::NonblockingAssign);
+    const auto& nb =
+        static_cast<const NonblockingAssignStmt&>(*ifs.then_stmt);
+    const auto& rhs = static_cast<const IdentifierExpr&>(*nb.rhs);
+    EXPECT_EQ(rhs.full_name(), "r.y");
+}
+
+TEST(Parser, InstantiationForms)
+{
+    auto unit = parse_ok(R"(
+        module M();
+          Pad#(4) pad();
+          Rol r(.x(cnt), .y());
+          Adder a(x, y, z);
+          Fifo#(.DEPTH(16), .WIDTH(8)) f(.clk(clk));
+        endmodule
+    )");
+    const auto& m = single_module(unit);
+    const auto& pad = static_cast<const Instantiation&>(*m.items[0]);
+    EXPECT_EQ(pad.module_name, "Pad");
+    ASSERT_EQ(pad.parameters.size(), 1u);
+    EXPECT_TRUE(pad.parameters[0].name.empty());
+    const auto& r = static_cast<const Instantiation&>(*m.items[1]);
+    ASSERT_EQ(r.ports.size(), 2u);
+    EXPECT_EQ(r.ports[0].name, "x");
+    EXPECT_EQ(r.ports[1].expr, nullptr); // unconnected .y()
+    const auto& a = static_cast<const Instantiation&>(*m.items[2]);
+    EXPECT_EQ(a.ports.size(), 3u);
+    EXPECT_TRUE(a.ports[0].name.empty());
+    const auto& f = static_cast<const Instantiation&>(*m.items[3]);
+    ASSERT_EQ(f.parameters.size(), 2u);
+    EXPECT_EQ(f.parameters[0].name, "DEPTH");
+}
+
+TEST(Parser, OperatorPrecedence)
+{
+    auto unit = parse_ok("module M(); assign x = a + b * c; endmodule");
+    const auto& m = single_module(unit);
+    const auto& a = static_cast<const ContinuousAssign&>(*m.items[0]);
+    const auto& add = static_cast<const BinaryExpr&>(*a.rhs);
+    EXPECT_EQ(add.op, BinaryOp::Add);
+    const auto& mul = static_cast<const BinaryExpr&>(*add.rhs);
+    EXPECT_EQ(mul.op, BinaryOp::Mul);
+}
+
+TEST(Parser, PowerIsRightAssociative)
+{
+    auto unit = parse_ok("module M(); assign x = a ** b ** c; endmodule");
+    const auto& m = single_module(unit);
+    const auto& a = static_cast<const ContinuousAssign&>(*m.items[0]);
+    const auto& outer = static_cast<const BinaryExpr&>(*a.rhs);
+    EXPECT_EQ(outer.op, BinaryOp::Pow);
+    EXPECT_EQ(outer.rhs->kind, ExprKind::Binary);
+    EXPECT_EQ(outer.lhs->kind, ExprKind::Identifier);
+}
+
+TEST(Parser, TernaryNests)
+{
+    auto unit =
+        parse_ok("module M(); assign x = a ? b : c ? d : e; endmodule");
+    const auto& m = single_module(unit);
+    const auto& a = static_cast<const ContinuousAssign&>(*m.items[0]);
+    const auto& t = static_cast<const TernaryExpr&>(*a.rhs);
+    EXPECT_EQ(t.else_expr->kind, ExprKind::Ternary);
+}
+
+TEST(Parser, ConcatAndReplicate)
+{
+    auto unit = parse_ok(
+        "module M(); assign x = {a, 2'b01, {4{b}}, {2{c, d}}}; endmodule");
+    const auto& m = single_module(unit);
+    const auto& a = static_cast<const ContinuousAssign&>(*m.items[0]);
+    const auto& cat = static_cast<const ConcatExpr&>(*a.rhs);
+    ASSERT_EQ(cat.elements.size(), 4u);
+    EXPECT_EQ(cat.elements[2]->kind, ExprKind::Replicate);
+    const auto& rep2 = static_cast<const ReplicateExpr&>(*cat.elements[3]);
+    EXPECT_EQ(rep2.body->kind, ExprKind::Concat);
+}
+
+TEST(Parser, Selects)
+{
+    auto unit = parse_ok(R"(
+        module M();
+          assign a = v[3];
+          assign b = v[7:4];
+          assign c = v[i +: 8];
+          assign d = v[i -: 8];
+          assign e = mem[addr][3];
+        endmodule
+    )");
+    const auto& m = single_module(unit);
+    EXPECT_EQ(static_cast<const ContinuousAssign&>(*m.items[0]).rhs->kind,
+              ExprKind::Index);
+    EXPECT_EQ(static_cast<const ContinuousAssign&>(*m.items[1]).rhs->kind,
+              ExprKind::RangeSelect);
+    const auto& c = static_cast<const ContinuousAssign&>(*m.items[2]);
+    EXPECT_TRUE(static_cast<const IndexedSelectExpr&>(*c.rhs).up);
+    const auto& d = static_cast<const ContinuousAssign&>(*m.items[3]);
+    EXPECT_FALSE(static_cast<const IndexedSelectExpr&>(*d.rhs).up);
+    const auto& e = static_cast<const ContinuousAssign&>(*m.items[4]);
+    EXPECT_EQ(e.rhs->kind, ExprKind::Index);
+    EXPECT_EQ(static_cast<const IndexExpr&>(*e.rhs).base->kind,
+              ExprKind::Index);
+}
+
+TEST(Parser, CaseStatement)
+{
+    auto unit = parse_ok(R"(
+        module M();
+          always @(*)
+            case (sel)
+              2'b00: y = a;
+              2'b01, 2'b10: y = b;
+              default: y = c;
+            endcase
+        endmodule
+    )");
+    const auto& m = single_module(unit);
+    const auto& always = static_cast<const AlwaysBlock&>(*m.items[0]);
+    const auto& cs = static_cast<const CaseStmt&>(*always.body);
+    ASSERT_EQ(cs.items.size(), 3u);
+    EXPECT_EQ(cs.items[1].labels.size(), 2u);
+    EXPECT_TRUE(cs.items[2].labels.empty());
+}
+
+TEST(Parser, LoopStatements)
+{
+    auto unit = parse_ok(R"(
+        module M();
+          initial begin
+            for (i = 0; i < 8; i = i + 1)
+              v = v + i;
+            while (v > 0)
+              v = v - 1;
+            repeat (4)
+              v = v + 2;
+          end
+        endmodule
+    )");
+    const auto& m = single_module(unit);
+    const auto& init = static_cast<const InitialBlock&>(*m.items[0]);
+    const auto& blk = static_cast<const BlockStmt&>(*init.body);
+    ASSERT_EQ(blk.stmts.size(), 3u);
+    EXPECT_EQ(blk.stmts[0]->kind, StmtKind::For);
+    EXPECT_EQ(blk.stmts[1]->kind, StmtKind::While);
+    EXPECT_EQ(blk.stmts[2]->kind, StmtKind::Repeat);
+}
+
+TEST(Parser, SensitivityListForms)
+{
+    auto unit = parse_ok(R"(
+        module M();
+          always @* x = a;
+          always @(*) x = a;
+          always @(a or b) x = a;
+          always @(a, b) x = a;
+          always @(posedge clk or negedge rst) x <= a;
+        endmodule
+    )");
+    const auto& m = single_module(unit);
+    EXPECT_TRUE(static_cast<const AlwaysBlock&>(*m.items[0]).star);
+    EXPECT_TRUE(static_cast<const AlwaysBlock&>(*m.items[1]).star);
+    EXPECT_EQ(static_cast<const AlwaysBlock&>(*m.items[2]).sensitivity.size(),
+              2u);
+    EXPECT_EQ(static_cast<const AlwaysBlock&>(*m.items[3]).sensitivity.size(),
+              2u);
+    const auto& a4 = static_cast<const AlwaysBlock&>(*m.items[4]);
+    EXPECT_EQ(a4.sensitivity[0].edge, EdgeKind::Pos);
+    EXPECT_EQ(a4.sensitivity[1].edge, EdgeKind::Neg);
+}
+
+TEST(Parser, SystemTasksAndCalls)
+{
+    auto unit = parse_ok(R"(
+        module M();
+          initial begin
+            $display("cnt = %d", cnt);
+            $write("x");
+            $finish;
+          end
+          assign t = $time;
+          assign s = $signed(x) >>> 2;
+        endmodule
+    )");
+    const auto& m = single_module(unit);
+    const auto& init = static_cast<const InitialBlock&>(*m.items[0]);
+    const auto& blk = static_cast<const BlockStmt&>(*init.body);
+    const auto& disp = static_cast<const SystemTaskStmt&>(*blk.stmts[0]);
+    EXPECT_EQ(disp.name, "$display");
+    ASSERT_EQ(disp.args.size(), 2u);
+    EXPECT_EQ(disp.args[0]->kind, ExprKind::String);
+    const auto& fin = static_cast<const SystemTaskStmt&>(*blk.stmts[2]);
+    EXPECT_TRUE(fin.args.empty());
+    const auto& t = static_cast<const ContinuousAssign&>(*m.items[1]);
+    EXPECT_EQ(t.rhs->kind, ExprKind::SystemCall);
+}
+
+TEST(Parser, FunctionDecl)
+{
+    auto unit = parse_ok(R"(
+        module M();
+          function [7:0] rol;
+            input [7:0] x;
+            rol = (x == 8'h80) ? 8'h01 : (x << 1);
+          endfunction
+          assign y = rol(v);
+        endmodule
+    )");
+    const auto& m = single_module(unit);
+    const auto& f = static_cast<const FunctionDecl&>(*m.items[0]);
+    EXPECT_EQ(f.name, "rol");
+    ASSERT_EQ(f.decls.size(), 1u);
+    EXPECT_TRUE(f.decl_is_input[0]);
+    const auto& a = static_cast<const ContinuousAssign&>(*m.items[1]);
+    EXPECT_EQ(a.rhs->kind, ExprKind::Call);
+}
+
+TEST(Parser, RootItemsForRepl)
+{
+    auto unit = parse_ok(R"(
+        reg [7:0] cnt = 1;
+        Rol r(.x(cnt));
+        always @(posedge clk.val) cnt <= r.y;
+        assign led.val = cnt;
+        $display(cnt);
+    )");
+    EXPECT_TRUE(unit.modules.empty());
+    ASSERT_EQ(unit.root_items.size(), 5u);
+    EXPECT_EQ(unit.root_items[0]->kind, ItemKind::NetDecl);
+    EXPECT_EQ(unit.root_items[1]->kind, ItemKind::Instantiation);
+    EXPECT_EQ(unit.root_items[2]->kind, ItemKind::Always);
+    EXPECT_EQ(unit.root_items[3]->kind, ItemKind::ContinuousAssign);
+    // Bare system task becomes an initial block.
+    EXPECT_EQ(unit.root_items[4]->kind, ItemKind::Initial);
+}
+
+TEST(Parser, ConcatLvalue)
+{
+    auto unit = parse_ok(
+        "module M(); always @(*) {c, s} = a + b; endmodule");
+    const auto& m = single_module(unit);
+    const auto& always = static_cast<const AlwaysBlock&>(*m.items[0]);
+    const auto& assign =
+        static_cast<const BlockingAssignStmt&>(*always.body);
+    EXPECT_EQ(assign.lhs->kind, ExprKind::Concat);
+}
+
+TEST(Parser, LocalparamAndParameterItems)
+{
+    auto unit = parse_ok(R"(
+        module M();
+          parameter N = 4;
+          localparam W = N * 2;
+        endmodule
+    )");
+    const auto& m = single_module(unit);
+    EXPECT_FALSE(static_cast<const ParamDecl&>(*m.items[0]).local);
+    EXPECT_TRUE(static_cast<const ParamDecl&>(*m.items[1]).local);
+}
+
+TEST(Parser, Errors)
+{
+    expect_parse_error("module; endmodule");
+    expect_parse_error("module M( endmodule");
+    expect_parse_error("module M(); assign = 4; endmodule");
+    expect_parse_error("module M(); always @(posedge) x <= 1; endmodule");
+    expect_parse_error("module M(); case endcase endmodule");
+    expect_parse_error("module M(); wire w = ; endmodule");
+    expect_parse_error("module M(); x <= ; endmodule");
+}
+
+TEST(Parser, RecoversAfterError)
+{
+    Diagnostics diags;
+    SourceUnit unit = parse(R"(
+        module Bad(); assign = 1; endmodule
+        module Good(); wire w; endmodule
+    )", &diags);
+    EXPECT_TRUE(diags.has_errors());
+    // The second module still parses.
+    bool found_good = false;
+    for (const auto& m : unit.modules) {
+        if (m->name == "Good") {
+            found_good = true;
+        }
+    }
+    EXPECT_TRUE(found_good);
+}
+
+// Round-trip: print(parse(x)) must itself parse to an equal-printing AST.
+class ParserRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserRoundTrip, PrintParsePrintIsStable)
+{
+    Diagnostics diags;
+    SourceUnit unit = parse(GetParam(), &diags);
+    ASSERT_FALSE(diags.has_errors()) << diags.str();
+    const std::string printed = print(unit);
+    Diagnostics diags2;
+    SourceUnit unit2 = parse(printed, &diags2);
+    ASSERT_FALSE(diags2.has_errors())
+        << diags2.str() << "\nprinted source:\n" << printed;
+    EXPECT_EQ(printed, print(unit2)) << "printed source:\n" << printed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sources, ParserRoundTrip,
+    ::testing::Values(
+        "module M(); endmodule",
+        "module M(input wire [7:0] a, output reg b); endmodule",
+        "module M#(parameter N = 8)(); wire [N-1:0] w; endmodule",
+        "module M(); assign y = (x == 8'h80) ? 1 : (x<<1); endmodule",
+        "module M(); reg [7:0] m [0:255]; always @(posedge c) m[a] <= d; endmodule",
+        "module M(); always @(*) case (s) 0: y = a; default: y = b; endcase endmodule",
+        "module M(); initial begin for (i = 0; i < 4; i = i + 1) x = x + i; end endmodule",
+        "module M(); assign x = {2{a, b}}; assign y = v[3 +: 4]; endmodule",
+        "module M(); function [3:0] f; input [3:0] a; f = a + 1; endfunction assign q = f(2); endmodule",
+        "module M(); initial $display(\"v=%d\", v); endmodule",
+        "module M(); Sub#(.N(4)) s(.a(x), .b()); endmodule",
+        "module M(); wire signed [15:0] sw; assign sw = $signed(a) >>> 3; endmodule",
+        "reg [7:0] cnt = 1; always @(posedge clk.val) cnt <= cnt + 1;"));
+
+} // namespace
+} // namespace cascade::verilog

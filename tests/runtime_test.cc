@@ -1,0 +1,399 @@
+/// \file
+/// Integration tests for the Cascade runtime: REPL eval, scheduling, IO
+/// peripherals, unsynthesizable Verilog, software-to-hardware transitions
+/// with state preservation, open-loop scheduling, and native mode.
+
+#include "runtime/runtime.h"
+
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+namespace cascade::runtime {
+namespace {
+
+Runtime::Options
+sw_only()
+{
+    Runtime::Options opts;
+    opts.enable_hardware = false;
+    return opts;
+}
+
+Runtime::Options
+hw_fast()
+{
+    Runtime::Options opts;
+    opts.enable_hardware = true;
+    opts.compile_effort = 0.05;          // keep tests fast
+    opts.open_loop_target_wall_s = 0.02; // small adaptive batches too
+    return opts;
+}
+
+/// Steps until the JIT adopts a hardware engine (bounded by wall time).
+bool
+wait_for_hardware(Runtime& rt, double timeout_s = 30.0)
+{
+    const auto start = std::chrono::steady_clock::now();
+    while (!rt.hardware_ready()) {
+        rt.step();
+        if (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count() > timeout_s) {
+            return false;
+        }
+    }
+    return true;
+}
+
+const char* kRunningExample = R"(
+    Pad#(4) pad();
+    Led#(8) led();
+    reg [7:0] cnt = 1;
+    wire [7:0] next;
+    assign next = (cnt == 8'h80) ? 1 : (cnt << 1);
+    always @(posedge clk.val)
+      if (pad.val == 0)
+        cnt <= next;
+    assign led.val = cnt;
+)";
+
+TEST(Runtime, RunningExampleInSoftware)
+{
+    Runtime rt(sw_only());
+    std::string errors;
+    ASSERT_TRUE(rt.eval(kRunningExample, &errors)) << errors;
+    EXPECT_EQ(rt.led_state().to_uint64(), 1u);
+    rt.run_for_ticks(1);
+    EXPECT_EQ(rt.led_state().to_uint64(), 2u);
+    rt.run_for_ticks(2);
+    EXPECT_EQ(rt.led_state().to_uint64(), 8u);
+    // Wraps after reaching 0x80.
+    rt.run_for_ticks(5);
+    EXPECT_EQ(rt.led_state().to_uint64(), 1u);
+}
+
+TEST(Runtime, ButtonPausesAnimation)
+{
+    Runtime rt(sw_only());
+    std::string errors;
+    ASSERT_TRUE(rt.eval(kRunningExample, &errors)) << errors;
+    rt.run_for_ticks(1);
+    EXPECT_EQ(rt.led_state().to_uint64(), 2u);
+    rt.set_pad(1);
+    rt.run_for_ticks(3);
+    EXPECT_EQ(rt.led_state().to_uint64(), 2u); // paused
+    rt.set_pad(0);
+    rt.run_for_ticks(1);
+    EXPECT_EQ(rt.led_state().to_uint64(), 4u);
+}
+
+TEST(Runtime, DisplayAndFinish)
+{
+    Runtime rt(sw_only());
+    std::vector<std::string> output;
+    rt.on_output = [&output](const std::string& s) {
+        output.push_back(s);
+    };
+    std::string errors;
+    ASSERT_TRUE(rt.eval(R"(
+        reg [7:0] cnt = 0;
+        always @(posedge clk.val) begin
+          cnt <= cnt + 1;
+          $display("cnt = %0d", cnt);
+          if (cnt == 2)
+            $finish;
+        end
+    )", &errors)) << errors;
+    rt.run(10000);
+    EXPECT_TRUE(rt.finished());
+    ASSERT_GE(output.size(), 3u);
+    EXPECT_EQ(output[0], "cnt = 0\n");
+    EXPECT_EQ(output[2], "cnt = 2\n");
+}
+
+TEST(Runtime, BadEvalIsRejectedAndProgramSurvives)
+{
+    Runtime rt(sw_only());
+    std::string errors;
+    ASSERT_TRUE(rt.eval("Led#(8) led(); reg [7:0] cnt = 5; "
+                        "assign led.val = cnt;", &errors)) << errors;
+    // Syntax error.
+    EXPECT_FALSE(rt.eval("assign q = ;", &errors));
+    EXPECT_FALSE(errors.empty());
+    // Semantic error (undeclared name).
+    EXPECT_FALSE(rt.eval("assign led.val = nothere;", &errors));
+    // The original program is untouched.
+    EXPECT_EQ(rt.led_state().to_uint64(), 5u);
+    // Duplicate module declaration.
+    ASSERT_TRUE(rt.eval("module M(); endmodule", &errors)) << errors;
+    EXPECT_FALSE(rt.eval("module M(); endmodule", &errors));
+    EXPECT_NE(errors.find("append-only"), std::string::npos);
+}
+
+TEST(Runtime, ModifyRunningProgram)
+{
+    Runtime rt(sw_only());
+    std::string errors;
+    ASSERT_TRUE(rt.eval("Led#(8) led(); reg [7:0] cnt = 1;", &errors))
+        << errors;
+    ASSERT_TRUE(rt.eval("always @(posedge clk.val) cnt <= cnt + 1;",
+                        &errors)) << errors;
+    rt.run_for_ticks(3);
+    // Connect the LED while the counter is running: state is preserved.
+    ASSERT_TRUE(rt.eval("assign led.val = cnt;", &errors)) << errors;
+    const uint64_t at_connect = rt.led_state().to_uint64();
+    EXPECT_GE(at_connect, 4u);
+    rt.run_for_ticks(2);
+    EXPECT_EQ(rt.led_state().to_uint64(), at_connect + 2);
+}
+
+TEST(Runtime, InitialBlocksRunExactlyOnce)
+{
+    Runtime rt(sw_only());
+    std::vector<std::string> output;
+    rt.on_output = [&output](const std::string& s) {
+        output.push_back(s);
+    };
+    std::string errors;
+    ASSERT_TRUE(rt.eval("initial $display(\"hello\");", &errors)) << errors;
+    rt.run(16);
+    // A later eval rebuilds engines; the old initial must not re-fire.
+    ASSERT_TRUE(rt.eval("reg [3:0] x = 0; initial $display(\"world\");",
+                        &errors)) << errors;
+    rt.run(16);
+    ASSERT_EQ(output.size(), 2u);
+    EXPECT_EQ(output[0], "hello\n");
+    EXPECT_EQ(output[1], "world\n");
+}
+
+TEST(Runtime, HierarchicalUserModules)
+{
+    Runtime rt(sw_only());
+    std::string errors;
+    ASSERT_TRUE(rt.eval(R"(
+        module Rol(input wire [7:0] x, output wire [7:0] y);
+          assign y = (x == 8'h80) ? 1 : (x << 1);
+        endmodule
+        Led#(8) led();
+        reg [7:0] cnt = 1;
+        Rol r(.x(cnt));
+        always @(posedge clk.val) cnt <= r.y;
+        assign led.val = cnt;
+    )", &errors)) << errors;
+    rt.run_for_ticks(3);
+    EXPECT_EQ(rt.led_state().to_uint64(), 8u);
+}
+
+TEST(Runtime, InliningOffStillWorks)
+{
+    Runtime::Options opts = sw_only();
+    opts.enable_inlining = false;
+    Runtime rt(opts);
+    std::string errors;
+    ASSERT_TRUE(rt.eval(R"(
+        module Inv(input wire [3:0] i, output wire [3:0] o);
+          assign o = ~i;
+        endmodule
+        Led#(4) led();
+        reg [3:0] cnt = 0;
+        Inv inv(.i(cnt));
+        always @(posedge clk.val) cnt <= cnt + 1;
+        assign led.val = inv.o;
+    )", &errors)) << errors;
+    rt.run_for_ticks(2);
+    EXPECT_EQ(rt.led_state().to_uint64(), 0xDu); // ~2
+}
+
+TEST(Runtime, FifoStreamsBytes)
+{
+    Runtime rt(sw_only());
+    std::string errors;
+    ASSERT_TRUE(rt.eval(R"(
+        Led#(8) led();
+        FIFO#(4, 8) f(.clk(clk.val), .rreq(ren), .rdata(data),
+                      .empty(isempty));
+        wire [7:0] data;
+        wire isempty;
+        reg ren = 0;
+        reg [7:0] sum = 0;
+        always @(posedge clk.val)
+          if (!isempty) begin
+            ren <= 1;
+            if (ren)
+              sum <= sum + data;
+          end else
+            ren <= 0;
+        assign led.val = sum;
+    )", &errors)) << errors;
+    rt.fifo_push({1, 2, 3, 4});
+    rt.run_for_ticks(64);
+    EXPECT_EQ(rt.fifo_bytes_consumed(), 4u);
+    EXPECT_EQ(rt.led_state().to_uint64(), 10u);
+}
+
+TEST(Runtime, TransitionsToHardwarePreservingState)
+{
+    Runtime::Options opts = hw_fast();
+    // Exact tick accounting for this test; open loop is covered below.
+    opts.enable_open_loop = false;
+    Runtime rt(opts);
+    std::string errors;
+    ASSERT_TRUE(rt.eval(kRunningExample, &errors)) << errors;
+    // Run a few ticks, then hold the button so the animation freezes
+    // while the background compile finishes.
+    rt.run_for_ticks(2);
+    EXPECT_EQ(rt.led_state().to_uint64(), 4u);
+    rt.set_pad(1);
+    rt.run_for_ticks(2);
+    ASSERT_TRUE(wait_for_hardware(rt));
+    EXPECT_NE(rt.user_location(), Location::Software);
+    // State survived the handoff (get_state/set_state, paper §3.5): the
+    // frozen LED pattern is exactly where software left it.
+    rt.run_for_ticks(2);
+    EXPECT_EQ(rt.led_state().to_uint64(), 4u);
+    // Releasing the button resumes the rotation -- from hardware.
+    rt.set_pad(0);
+    rt.run_for_ticks(1);
+    const uint64_t resumed = rt.led_state().to_uint64();
+    EXPECT_NE(resumed, 4u);
+    // Still a one-hot rotation state.
+    EXPECT_EQ(resumed & (resumed - 1), 0u);
+    // Buttons still pause from hardware.
+    rt.set_pad(1);
+    rt.run_for_ticks(2);
+    const uint64_t paused = rt.led_state().to_uint64();
+    rt.run_for_ticks(4);
+    EXPECT_EQ(rt.led_state().to_uint64(), paused);
+}
+
+TEST(Runtime, DisplayStillWorksFromHardware)
+{
+    Runtime::Options opts = hw_fast();
+    opts.enable_open_loop = false; // deterministic tick counting
+    Runtime rt(opts);
+    std::vector<std::string> output;
+    rt.on_output = [&output](const std::string& s) {
+        output.push_back(s);
+    };
+    std::string errors;
+    ASSERT_TRUE(rt.eval(R"(
+        Pad#(4) pad();
+        reg [7:0] cnt = 0;
+        always @(posedge clk.val)
+          if (pad.val == 0)
+            cnt <= cnt + 1;
+          else
+            $display("paused at %0d", cnt);
+    )", &errors)) << errors;
+    ASSERT_TRUE(wait_for_hardware(rt));
+    output.clear();
+    rt.set_pad(1);
+    rt.run_for_ticks(2);
+    ASSERT_FALSE(output.empty());
+    EXPECT_NE(output[0].find("paused at"), std::string::npos);
+}
+
+TEST(Runtime, OpenLoopAcceleratesTicks)
+{
+    Runtime::Options opts = hw_fast();
+    opts.open_loop_iterations = 4096;
+    Runtime rt(opts);
+    std::string errors;
+    ASSERT_TRUE(rt.eval(R"(
+        Led#(8) led();
+        reg [7:0] cnt = 0;
+        always @(posedge clk.val) cnt <= cnt + 1;
+        assign led.val = cnt;
+    )", &errors)) << errors;
+    ASSERT_TRUE(wait_for_hardware(rt));
+    EXPECT_EQ(rt.user_location(), Location::HardwareForwarded);
+    const uint64_t t0 = rt.virtual_ticks();
+    rt.run(64); // a few scheduler iterations
+    const uint64_t dt = rt.virtual_ticks() - t0;
+    // Open loop executes hundreds-to-thousands of ticks per scheduler
+    // iteration (vs. one tick per ~3 iterations without it); the exact
+    // count depends on the adaptive batch size.
+    EXPECT_GT(dt, 2000u);
+    // And the LED still reflects the (mod 256) count. The counter counts
+    // rising edges = ceil(toggles/2); ticks = floor(toggles/2).
+    const uint64_t led = rt.led_state().to_uint64();
+    const uint64_t ticks_mod = rt.virtual_ticks() & 0xFF;
+    EXPECT_TRUE(led == ticks_mod || led == ((ticks_mod + 1) & 0xFF))
+        << "led=" << led << " ticks=" << ticks_mod;
+}
+
+TEST(Runtime, EvalWhileInHardwareFallsBackToSoftware)
+{
+    Runtime::Options fallback_opts = hw_fast();
+    fallback_opts.enable_open_loop = false;
+    Runtime rt(fallback_opts);
+    std::string errors;
+    ASSERT_TRUE(rt.eval(R"(
+        Led#(8) led();
+        reg [7:0] cnt = 0;
+        always @(posedge clk.val) cnt <= cnt + 1;
+        assign led.val = cnt;
+    )", &errors)) << errors;
+    ASSERT_TRUE(wait_for_hardware(rt));
+    rt.run_for_ticks(5);
+    const uint64_t count_in_hw = rt.led_state().to_uint64();
+    // Modifying the program moves it back to software with state intact.
+    ASSERT_TRUE(rt.eval("reg [7:0] other = 0;", &errors)) << errors;
+    EXPECT_EQ(rt.user_location(), Location::Software);
+    const uint64_t after = rt.led_state().to_uint64();
+    EXPECT_GE(after + 2, count_in_hw); // tolerate in-flight ticks
+    rt.run_for_ticks(2);
+    EXPECT_EQ(rt.led_state().to_uint64(),
+              (after + 2) & 0xFF);
+}
+
+TEST(Runtime, NativeModeRunsAtFullSpeed)
+{
+    Runtime::Options opts = hw_fast();
+    opts.native_mode = true;
+    Runtime rt(opts);
+    std::string errors;
+    ASSERT_TRUE(rt.eval(R"(
+        Led#(8) led();
+        reg [7:0] cnt = 0;
+        always @(posedge clk.val) cnt <= cnt + 1;
+        assign led.val = cnt;
+    )", &errors)) << errors;
+    ASSERT_TRUE(wait_for_hardware(rt));
+    EXPECT_EQ(rt.user_location(), Location::Native);
+    const uint64_t t0 = rt.virtual_ticks();
+    const double s0 = rt.timeline_seconds();
+    rt.run(32);
+    const uint64_t dt = rt.virtual_ticks() - t0;
+    const double ds = rt.timeline_seconds() - s0;
+    EXPECT_GT(dt, 1000u);
+    // Native throughput approaches the device clock (50 MHz / 2 toggles).
+    const double hz = static_cast<double>(dt) / ds;
+    EXPECT_GT(hz, 1e6);
+}
+
+TEST(Runtime, TimeSystemTaskTracksVirtualClock)
+{
+    Runtime rt(sw_only());
+    std::vector<std::string> output;
+    rt.on_output = [&output](const std::string& s) {
+        output.push_back(s);
+    };
+    std::string errors;
+    ASSERT_TRUE(rt.eval(R"(
+        reg [7:0] cnt = 0;
+        always @(posedge clk.val) begin
+          cnt <= cnt + 1;
+          if (cnt == 4)
+            $display("t=%0d", $time);
+        end
+    )", &errors)) << errors;
+    rt.run_for_ticks(8);
+    ASSERT_FALSE(output.empty());
+    // $time read when cnt==4, i.e. around the fifth tick.
+    EXPECT_EQ(output[0].substr(0, 2), "t=");
+}
+
+} // namespace
+} // namespace cascade::runtime

@@ -1,0 +1,465 @@
+/// \file
+/// Synthesis + bitstream tests. The load-bearing check is differential:
+/// for a suite of modules, drive the reference interpreter and the
+/// synthesized levelized netlist with identical random stimulus and
+/// require bit-identical outputs every cycle.
+
+#include "fpga/synth.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "fpga/bitstream.h"
+#include "sim/interpreter.h"
+#include "verilog/parser.h"
+
+namespace cascade::fpga {
+namespace {
+
+using namespace verilog;
+
+std::shared_ptr<const ElaboratedModule>
+elaborate_src(std::string_view src)
+{
+    Diagnostics diags;
+    SourceUnit unit = parse(src, &diags);
+    EXPECT_FALSE(diags.has_errors()) << diags.str();
+    Elaborator elab(&diags);
+    auto em = elab.elaborate(*unit.modules[0]);
+    EXPECT_NE(em, nullptr) << diags.str();
+    return std::shared_ptr<const ElaboratedModule>(std::move(em));
+}
+
+std::unique_ptr<Netlist>
+synth_ok(std::shared_ptr<const ElaboratedModule> em)
+{
+    Diagnostics diags;
+    auto nl = synthesize(*em, &diags);
+    EXPECT_NE(nl, nullptr) << diags.str();
+    return nl;
+}
+
+/// Runs interpreter and bitstream side by side under random inputs.
+/// Inputs named "clk" are toggled; all others are randomized each cycle.
+void
+differential_test(std::string_view src, int cycles, uint64_t seed)
+{
+    auto em = elaborate_src(src);
+    auto nl = synth_ok(em);
+    ASSERT_NE(nl, nullptr);
+    Bitstream hw(std::shared_ptr<const Netlist>(std::move(nl)));
+
+    sim::ModuleInterpreter sw(em, nullptr);
+    sw.run_initials();
+    auto settle = [&sw] {
+        for (int i = 0; i < 64; ++i) {
+            sw.evaluate();
+            if (!sw.there_are_updates()) {
+                return;
+            }
+            sw.update();
+        }
+        FAIL() << "interpreter did not settle";
+    };
+    settle();
+    hw.eval_comb();
+
+    std::mt19937_64 rng(seed);
+    const bool has_clk = em->find_net("clk") != nullptr;
+
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+        // New random values for all non-clock inputs.
+        for (const NetInfo& net : em->nets) {
+            if (!net.is_port || net.dir != PortDir::Input ||
+                net.name == "clk") {
+                continue;
+            }
+            BitVector v(net.width);
+            for (uint32_t w = 0; w < v.num_words(); ++w) {
+                v.set_word(w, rng());
+            }
+            sw.set_input(net.name, v);
+            hw.set_input(net.name, v);
+        }
+        settle();
+        hw.eval_comb();
+        if (has_clk) {
+            sw.set_input("clk", BitVector(1, 1));
+            settle();
+            hw.set_input("clk", BitVector(1, 1));
+            hw.step();
+            sw.set_input("clk", BitVector(1, 0));
+            settle();
+            hw.set_input("clk", BitVector(1, 0));
+            hw.step();
+        }
+        for (const NetInfo& net : em->nets) {
+            if (!net.is_port || net.dir != PortDir::Output) {
+                continue;
+            }
+            ASSERT_EQ(sw.get(net.name), hw.output(net.name))
+                << "cycle " << cycle << " output " << net.name
+                << "\n  sw=" << sw.get(net.name).to_hex_string()
+                << "\n  hw=" << hw.output(net.name).to_hex_string();
+        }
+    }
+}
+
+TEST(Synth, CombinationalOperators)
+{
+    differential_test(R"(
+        module M(input wire [7:0] a, input wire [7:0] b,
+                 input wire [3:0] sh,
+                 output wire [15:0] o1, output wire [7:0] o2,
+                 output wire [7:0] o3, output wire o4, output wire o5);
+          assign o1 = a * b;
+          assign o2 = (a + b) ^ (a & b) | ~(a - b);
+          assign o3 = (a << sh) | (b >> sh);
+          assign o4 = (a < b) && (a != b) || (&a) ^ (^b);
+          assign o5 = (a == b) | (|b);
+        endmodule
+    )", 200, 1);
+}
+
+TEST(Synth, DivisionAndModulo)
+{
+    differential_test(R"(
+        module M(input wire [7:0] a, input wire [7:0] b,
+                 output wire [7:0] q, output wire [7:0] r,
+                 output wire signed [7:0] sq, output wire signed [7:0] sr);
+          wire signed [7:0] sa;
+          wire signed [7:0] sb;
+          assign sa = a;
+          assign sb = b;
+          assign q = a / b;
+          assign r = a % b;
+          assign sq = sa / sb;
+          assign sr = sa % sb;
+        endmodule
+    )", 200, 2);
+}
+
+TEST(Synth, SignedComparisonsAndShifts)
+{
+    differential_test(R"(
+        module M(input wire [7:0] a, input wire [7:0] b,
+                 input wire [2:0] sh,
+                 output wire lt, output wire ge,
+                 output wire signed [7:0] sar);
+          wire signed [7:0] sa;
+          wire signed [7:0] sb;
+          assign sa = a;
+          assign sb = b;
+          assign lt = sa < sb;
+          assign ge = sa >= sb;
+          assign sar = sa >>> sh;
+        endmodule
+    )", 200, 3);
+}
+
+TEST(Synth, TernaryConcatReplicateSelects)
+{
+    differential_test(R"(
+        module M(input wire [7:0] a, input wire [3:0] i,
+                 output wire [15:0] o1, output wire o2,
+                 output wire [3:0] o3, output wire [7:0] o4);
+          assign o1 = {a, {2{i}}};
+          assign o2 = a[i];
+          assign o3 = a[6:3];
+          assign o4 = (i > 7) ? {a[3:0], a[7:4]} : a;
+        endmodule
+    )", 200, 4);
+}
+
+TEST(Synth, IndexedSelects)
+{
+    differential_test(R"(
+        module M(input wire [31:0] a, input wire [2:0] i,
+                 output wire [7:0] up, output wire [7:0] down);
+          assign up = a[i*4 +: 8];
+          assign down = a[i*4+7 -: 8];
+        endmodule
+    )", 200, 5);
+}
+
+TEST(Synth, CombAlwaysWithCase)
+{
+    differential_test(R"(
+        module M(input wire [1:0] sel, input wire [7:0] a,
+                 input wire [7:0] b, output wire [7:0] o);
+          reg [7:0] r;
+          always @(*)
+            case (sel)
+              2'd0: r = a;
+              2'd1: r = b;
+              2'd2: r = a + b;
+              default: r = 8'hFF;
+            endcase
+          assign o = r;
+        endmodule
+    )", 200, 6);
+}
+
+TEST(Synth, SequentialCounter)
+{
+    differential_test(R"(
+        module M(input wire clk, input wire rst, input wire en,
+                 output wire [7:0] o);
+          reg [7:0] cnt = 5;
+          always @(posedge clk)
+            if (rst)
+              cnt <= 0;
+            else if (en)
+              cnt <= cnt + 1;
+          assign o = cnt;
+        endmodule
+    )", 100, 7);
+}
+
+TEST(Synth, NonblockingSwap)
+{
+    differential_test(R"(
+        module M(input wire clk, output wire [3:0] ao,
+                 output wire [3:0] bo);
+          reg [3:0] a = 1, b = 2;
+          always @(posedge clk) begin
+            a <= b;
+            b <= a;
+          end
+          assign ao = a;
+          assign bo = b;
+        endmodule
+    )", 20, 8);
+}
+
+TEST(Synth, BlockingThenNonblockingInSeq)
+{
+    differential_test(R"(
+        module M(input wire clk, input wire [3:0] x,
+                 output wire [3:0] o);
+          reg [3:0] t = 0;
+          reg [3:0] r = 0;
+          always @(posedge clk) begin
+            t = x + 1;
+            r <= t ^ x;
+          end
+          assign o = r;
+        endmodule
+    )", 100, 9);
+}
+
+TEST(Synth, MemoryReadWrite)
+{
+    differential_test(R"(
+        module M(input wire clk, input wire we, input wire [3:0] waddr,
+                 input wire [3:0] raddr, input wire [7:0] wdata,
+                 output wire [7:0] rdata);
+          reg [7:0] mem [0:15];
+          always @(posedge clk)
+            if (we)
+              mem[waddr] <= wdata;
+          assign rdata = mem[raddr];
+        endmodule
+    )", 200, 10);
+}
+
+TEST(Synth, SliceTargets)
+{
+    differential_test(R"(
+        module M(input wire clk, input wire [1:0] i, input wire [3:0] v,
+                 output wire [15:0] o);
+          reg [15:0] r = 0;
+          always @(posedge clk) begin
+            r[3:0] <= v;
+            r[i*4+4 +: 4] <= ~v;
+          end
+          assign o = r;
+        endmodule
+    )", 100, 11);
+}
+
+TEST(Synth, FunctionInlining)
+{
+    differential_test(R"(
+        module M(input wire [7:0] x, output wire [7:0] y,
+                 output wire [15:0] z);
+          function [7:0] rol;
+            input [7:0] v;
+            rol = (v == 8'h80) ? 8'h01 : (v << 1);
+          endfunction
+          function [15:0] sq;
+            input [7:0] v;
+            integer i;
+            begin
+              sq = 0;
+              for (i = 0; i < 4; i = i + 1)
+                sq = sq + v;
+            end
+          endfunction
+          assign y = rol(x);
+          assign z = sq(x);
+        endmodule
+    )", 200, 12);
+}
+
+TEST(Synth, ForLoopUnrolling)
+{
+    differential_test(R"(
+        module M(input wire [31:0] a, output wire [5:0] ones);
+          reg [5:0] acc;
+          integer i;
+          always @(*) begin
+            acc = 0;
+            for (i = 0; i < 32; i = i + 1)
+              acc = acc + a[i];
+          end
+          assign ones = acc;
+        endmodule
+    )", 100, 13);
+}
+
+TEST(Synth, InitialBlockConstants)
+{
+    differential_test(R"(
+        module M(input wire clk, output wire [7:0] o,
+                 output wire [7:0] m0);
+          reg [7:0] r = 0;
+          reg [7:0] mem [0:3];
+          integer i;
+          initial begin
+            r = 42;
+            for (i = 0; i < 4; i = i + 1)
+              mem[i] <= i * 3;
+          end
+          always @(posedge clk) r <= r + 1;
+          assign o = r;
+          assign m0 = mem[1];
+        endmodule
+    )", 20, 14);
+}
+
+TEST(Synth, WideDatapath)
+{
+    differential_test(R"(
+        module M(input wire [127:0] a, input wire [127:0] b,
+                 output wire [127:0] s, output wire [63:0] hi);
+          assign s = a + b;
+          assign hi = s[127:64] ^ {64{a[0]}};
+        endmodule
+    )", 100, 15);
+}
+
+TEST(Synth, ChainedCombProcesses)
+{
+    differential_test(R"(
+        module M(input wire [7:0] a, output wire [7:0] o);
+          wire [7:0] w1;
+          wire [7:0] w2;
+          // Declared out of dependency order on purpose.
+          assign o = w2 + 1;
+          assign w2 = w1 ^ 8'h55;
+          assign w1 = a << 1;
+        endmodule
+    )", 100, 16);
+}
+
+TEST(Synth, GatedClockDomain)
+{
+    differential_test(R"(
+        module M(input wire clk, input wire en, output wire [3:0] o);
+          wire gclk;
+          assign gclk = clk & en;
+          reg [3:0] cnt = 0;
+          always @(posedge gclk) cnt <= cnt + 1;
+          assign o = cnt;
+        endmodule
+    )", 100, 17);
+}
+
+TEST(Synth, NegedgeDomain)
+{
+    differential_test(R"(
+        module M(input wire clk, output wire [3:0] o);
+          reg [3:0] cnt = 0;
+          always @(negedge clk) cnt <= cnt + 1;
+          assign o = cnt;
+        endmodule
+    )", 50, 18);
+}
+
+TEST(Synth, RejectsCombinationalCycle)
+{
+    auto em = elaborate_src(R"(
+        module M(output wire o);
+          wire a, b;
+          assign a = ~b;
+          assign b = a;
+          assign o = a;
+        endmodule
+    )");
+    Diagnostics diags;
+    EXPECT_EQ(synthesize(*em, &diags), nullptr);
+    EXPECT_NE(diags.str().find("combinational cycle"), std::string::npos);
+}
+
+TEST(Synth, RejectsMultipleDrivers)
+{
+    auto em = elaborate_src(R"(
+        module M(input wire a, output wire o);
+          assign o = a;
+          assign o = ~a;
+        endmodule
+    )");
+    Diagnostics diags;
+    EXPECT_EQ(synthesize(*em, &diags), nullptr);
+    EXPECT_NE(diags.str().find("multiple drivers"), std::string::npos);
+}
+
+TEST(Synth, RejectsUnwrappedSystemTask)
+{
+    auto em = elaborate_src(R"(
+        module M(input wire clk);
+          always @(posedge clk) $display("hi");
+        endmodule
+    )");
+    Diagnostics diags;
+    EXPECT_EQ(synthesize(*em, &diags), nullptr);
+}
+
+TEST(Synth, HashConsingSharesNodes)
+{
+    auto em = elaborate_src(R"(
+        module M(input wire [7:0] a, input wire [7:0] b,
+                 output wire [7:0] x, output wire [7:0] y);
+          assign x = (a + b) ^ 8'h01;
+          assign y = (a + b) ^ 8'h02;
+        endmodule
+    )");
+    auto nl = synth_ok(em);
+    // Count Add nodes: the shared a+b must appear exactly once.
+    int adds = 0;
+    for (const Node& n : nl->nodes) {
+        if (n.op == Op::Add) {
+            ++adds;
+        }
+    }
+    EXPECT_EQ(adds, 1);
+}
+
+TEST(Synth, ConstantFolding)
+{
+    auto em = elaborate_src(R"(
+        module M(output wire [7:0] o);
+          localparam A = 3;
+          assign o = (A * 5) + (2 ** 3) - 1;
+        endmodule
+    )");
+    auto nl = synth_ok(em);
+    Bitstream hw(std::shared_ptr<const Netlist>(std::move(nl)));
+    hw.eval_comb();
+    EXPECT_EQ(hw.output("o").to_uint64(), 22u);
+}
+
+} // namespace
+} // namespace cascade::fpga

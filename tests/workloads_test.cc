@@ -1,0 +1,186 @@
+/// \file
+/// Functional tests for the evaluation workloads: the SHA-256 proof-of-work
+/// core must reproduce a reference software SHA round sequence, the regex
+/// matcher must count exactly the right matches, and Needleman-Wunsch must
+/// produce the known alignment score.
+
+#include "workloads/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/runtime.h"
+
+namespace cascade::workloads {
+namespace {
+
+using runtime::Runtime;
+
+Runtime::Options
+sw_only()
+{
+    Runtime::Options opts;
+    opts.enable_hardware = false;
+    return opts;
+}
+
+/// Reference model of the workload's (single-block, nonce-in-word-0)
+/// SHA-256 compression, returning a + t1 + t2 + H0 at round 63.
+uint32_t
+reference_pow_hash(uint32_t nonce)
+{
+    static const uint32_t K[64] = {
+        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b,
+        0x59f111f1, 0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01,
+        0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7,
+        0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+        0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152,
+        0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+        0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+        0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+        0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819,
+        0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116, 0x1e376c08,
+        0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f,
+        0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+        0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+    auto rotr = [](uint32_t x, int n) {
+        return (x >> n) | (x << (32 - n));
+    };
+    uint32_t w[64];
+    w[0] = nonce;
+    w[1] = 0x80000000;
+    for (int i = 2; i < 15; ++i) {
+        w[i] = 0;
+    }
+    w[15] = 32;
+    for (int i = 16; i < 64; ++i) {
+        const uint32_t s0 =
+            rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+        const uint32_t s1 =
+            rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    uint32_t a = 0x6a09e667, b = 0xbb67ae85, c = 0x3c6ef372,
+             d = 0xa54ff53a, e = 0x510e527f, f = 0x9b05688c,
+             g = 0x1f83d9ab, h = 0x5be0cd19;
+    uint32_t final_a = 0;
+    for (int i = 0; i < 64; ++i) {
+        const uint32_t S1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+        const uint32_t ch = (e & f) ^ (~e & g);
+        const uint32_t t1 = h + S1 + ch + K[i] + w[i];
+        const uint32_t S0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+        const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+        const uint32_t t2 = S0 + maj;
+        if (i == 63) {
+            final_a = a + t1 + t2 + 0x6a09e667;
+        }
+        h = g;
+        g = f;
+        f = e;
+        e = d + t1;
+        d = c;
+        c = b;
+        b = a;
+        a = t1 + t2;
+    }
+    return final_a;
+}
+
+TEST(Workloads, PowMatchesReferenceSha)
+{
+    // Pick the difficulty so we can predict exactly which of the first
+    // nonces hit.
+    const uint32_t bits = 4;
+    int expected_hits = 0;
+    for (uint32_t nonce = 0; nonce < 8; ++nonce) {
+        if ((reference_pow_hash(nonce) >> (32 - bits)) == 0) {
+            ++expected_hits;
+        }
+    }
+    Runtime rt(sw_only());
+    std::vector<std::string> output;
+    rt.on_output = [&output](const std::string& s) {
+        output.push_back(s);
+    };
+    std::string errors;
+    ASSERT_TRUE(rt.eval(proof_of_work_source(bits), &errors)) << errors;
+    // 8 nonces x 64 rounds.
+    rt.run_for_ticks(8 * 64);
+    EXPECT_EQ(static_cast<int>(rt.led_state().to_uint64()),
+              expected_hits);
+    EXPECT_EQ(output.size(), static_cast<size_t>(expected_hits));
+}
+
+TEST(Workloads, PowModuleVariantElaborates)
+{
+    Runtime rt(sw_only());
+    std::string errors;
+    ASSERT_TRUE(rt.eval(proof_of_work_module(4) + "\n Pow p(.clk(clk.val));",
+                        &errors)) << errors;
+    rt.run_for_ticks(8);
+}
+
+TEST(Workloads, RegexCountsMatches)
+{
+    Runtime rt(sw_only());
+    std::string errors;
+    ASSERT_TRUE(rt.eval(regex_stream_source(false), &errors)) << errors;
+    const std::string text =
+        "GET /index x GET/nope GGET /ab  POST / GET /z ";
+    std::vector<uint8_t> bytes(text.begin(), text.end());
+    rt.fifo_push(bytes);
+    rt.run_for_ticks(4 * bytes.size() + 64);
+    // Matches: "GET /index ", "GET /ab ", "GET /z ".
+    EXPECT_EQ(rt.led_state().to_uint64(), 3u);
+    EXPECT_EQ(rt.fifo_bytes_consumed(), bytes.size());
+}
+
+/// Reference Needleman-Wunsch with the workload's sequences and scoring.
+int
+reference_nw(uint32_t n)
+{
+    std::vector<int> a(n), b(n);
+    for (uint32_t t = 0; t < n; ++t) {
+        a[t] = static_cast<int>((t * 7 + 3) % 4);
+        b[t] = static_cast<int>((t * 5 + 1) % 4);
+    }
+    std::vector<std::vector<int>> m(n + 1, std::vector<int>(n + 1));
+    for (uint32_t i = 0; i <= n; ++i) {
+        m[i][0] = -static_cast<int>(i);
+        m[0][i] = -static_cast<int>(i);
+    }
+    for (uint32_t i = 1; i <= n; ++i) {
+        for (uint32_t j = 1; j <= n; ++j) {
+            const int diag =
+                m[i - 1][j - 1] + (a[i - 1] == b[j - 1] ? 2 : -1);
+            m[i][j] = std::max(diag, std::max(m[i - 1][j] - 1,
+                                              m[i][j - 1] - 1));
+        }
+    }
+    return m[n][n];
+}
+
+class NwStyle : public ::testing::TestWithParam<int> {};
+
+TEST_P(NwStyle, ScoreMatchesReference)
+{
+    const uint32_t n = 8;
+    Runtime rt(sw_only());
+    std::vector<std::string> output;
+    rt.on_output = [&output](const std::string& s) {
+        output.push_back(s);
+    };
+    std::string errors;
+    ASSERT_TRUE(rt.eval(needleman_wunsch_source(n, GetParam()), &errors))
+        << errors;
+    rt.run_for_ticks((n + 1) * (n + 1) * 2 + n * n * 2 + 64);
+    ASSERT_TRUE(rt.finished());
+    ASSERT_FALSE(output.empty());
+    const std::string expected =
+        "score = " + std::to_string(reference_nw(n)) + "\n";
+    EXPECT_EQ(output.back(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Styles, NwStyle, ::testing::Values(0, 1, 2));
+
+} // namespace
+} // namespace cascade::workloads
