@@ -9,14 +9,21 @@
 /// (the simulated toolchain compiles this miner in seconds, not minutes);
 /// the shape — who wins, where the crossover lands — is the claim.
 ///
-/// Output: CSV rows "series,time_s,virtual_hz".
+/// Output: CSV rows "series,time_s,virtual_hz". The cascade run also
+/// writes a machine-readable telemetry sidecar
+/// (fig11_proof_of_work.stats.json: per-phase compile timings, scheduler
+/// and engine counters, the sw->hw transition log) and a Chrome
+/// trace_event dump (fig11_proof_of_work.trace.json) next to wherever the
+/// bench is invoked from.
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "fpga/compile.h"
 #include "runtime/runtime.h"
+#include "telemetry/trace.h"
 #include "verilog/parser.h"
 #include "workloads/workloads.h"
 
@@ -36,9 +43,11 @@ now_s()
 }
 
 /// Samples virtual-clock rate over wall time for a runtime configuration.
+/// When \p stats_sidecar is non-null, the runtime's final stats_json()
+/// snapshot is written there.
 void
 run_series(const char* name, Runtime::Options options, double duration_s,
-           bool stop_after_hw)
+           bool stop_after_hw, const char* stats_sidecar = nullptr)
 {
     Runtime rt(options);
     rt.on_output = [](const std::string&) {};
@@ -81,6 +90,12 @@ run_series(const char* name, Runtime::Options options, double duration_s,
             last_ticks = ticks;
             last_sample = t;
         }
+    }
+    if (stats_sidecar != nullptr) {
+        std::ofstream sidecar(stats_sidecar);
+        sidecar << rt.stats_json() << '\n';
+        std::fprintf(stderr, "# %s: stats sidecar -> %s\n", name,
+                     stats_sidecar);
     }
 }
 
@@ -131,7 +146,12 @@ main()
     {
         Runtime::Options opts;
         opts.compile_effort = kComplexityBoost;
-        run_series("cascade", opts, 150.0, true);
+        run_series("cascade", opts, 150.0, true,
+                   "fig11_proof_of_work.stats.json");
+        cascade::telemetry::Tracer::global().write_chrome_json(
+            "fig11_proof_of_work.trace.json");
+        std::fprintf(stderr,
+                     "# trace -> fig11_proof_of_work.trace.json\n");
     }
     return 0;
 }

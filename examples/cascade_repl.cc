@@ -32,8 +32,9 @@ main(int argc, char** argv)
     }
 
     std::cout << "Cascade: a JIT compiler for Verilog (type Verilog, "
-                 "ctrl-d to exit)\n";
+                 ":help for meta-commands, ctrl-d to exit)\n";
     std::string line;
+    bool announced_finish = false;
     while (true) {
         std::cout << repl.prompt() << std::flush;
         if (!std::getline(std::cin, line)) {
@@ -42,9 +43,11 @@ main(int argc, char** argv)
         repl.feed(line + "\n");
         // Let the program run between inputs; side effects surface now.
         rt.run(512);
-        if (rt.finished()) {
-            std::cout << "($finish executed)\n";
-            break;
+        if (rt.finished() && !announced_finish) {
+            // Stay alive so :stats / :trace can inspect the finished run.
+            std::cout << "($finish executed; :stats and :trace remain "
+                         "available, ctrl-d to exit)\n";
+            announced_finish = true;
         }
     }
     return 0;

@@ -1,6 +1,10 @@
 #include "fpga/compile.h"
 
 #include <chrono>
+#include <cmath>
+
+#include "common/check.h"
+#include "telemetry/trace.h"
 
 namespace cascade::fpga {
 
@@ -14,39 +18,81 @@ seconds_since(std::chrono::steady_clock::time_point start)
         .count();
 }
 
+/// Flow-phase duration histograms in the process registry (the compile
+/// runs on the compile-server thread, which has no Runtime handle).
+telemetry::Histogram*
+phase_hist(const char* phase)
+{
+    return telemetry::Registry::global().histogram(
+        std::string("fpga.compile.") + phase + "_ns");
+}
+
 } // namespace
 
 CompileResult
 compile(const verilog::ElaboratedModule& em, const CompileOptions& options)
 {
     CompileResult result;
-    const auto t0 = std::chrono::steady_clock::now();
+    TELEM_SPAN("fpga.compile");
 
-    Diagnostics diags;
-    auto nl = synthesize(em, &diags);
-    if (nl == nullptr) {
-        result.error = "synthesis failed:\n" + diags.str();
-        return result;
+    static telemetry::Histogram* const synth_ns = phase_hist("synth");
+    static telemetry::Histogram* const techmap_ns = phase_hist("techmap");
+    static telemetry::Histogram* const place_ns = phase_hist("place");
+    static telemetry::Histogram* const timing_ns = phase_hist("timing");
+
+    std::unique_ptr<Netlist> nl;
+    {
+        TELEM_SPAN_HIST("synth", synth_ns);
+        const auto t = std::chrono::steady_clock::now();
+        Diagnostics diags;
+        nl = synthesize(em, &diags);
+        result.report.synth_seconds = seconds_since(t);
+        if (nl == nullptr) {
+            result.error = "synthesis failed:\n" + diags.str();
+            result.report.total_seconds =
+                result.report.phase_sum_seconds();
+            return result;
+        }
     }
     result.report.netlist_nodes = nl->size();
-    result.report.synth_seconds = seconds_since(t0);
 
-    const auto t1 = std::chrono::steady_clock::now();
-    MappedDesign mapped = technology_map(*nl);
+    MappedDesign mapped;
+    {
+        TELEM_SPAN_HIST("techmap", techmap_ns);
+        const auto t = std::chrono::steady_clock::now();
+        mapped = technology_map(*nl);
+        result.report.techmap_seconds = seconds_since(t);
+    }
     result.report.area = mapped.area;
     result.report.cells = mapped.cells.size();
 
-    PlaceOptions popts;
-    popts.effort = options.effort;
-    popts.seed = options.seed;
-    PlacementResult placement = place(mapped, popts);
+    PlacementResult placement;
+    {
+        TELEM_SPAN_HIST("place", place_ns);
+        const auto t = std::chrono::steady_clock::now();
+        PlaceOptions popts;
+        popts.effort = options.effort;
+        popts.seed = options.seed;
+        placement = place(mapped, popts);
+        result.report.place_seconds = seconds_since(t);
+    }
     result.report.anneal_moves = placement.moves_evaluated;
     result.report.wirelength = placement.final_wirelength;
-    result.report.place_seconds = seconds_since(t1);
 
-    result.report.timing =
-        analyze_timing(*nl, mapped, placement, options.target_clock_mhz);
-    result.report.total_seconds = seconds_since(t0);
+    {
+        TELEM_SPAN_HIST("timing", timing_ns);
+        const auto t = std::chrono::steady_clock::now();
+        result.report.timing = analyze_timing(*nl, mapped, placement,
+                                              options.target_clock_mhz);
+        result.report.timing_seconds = seconds_since(t);
+    }
+
+    result.report.total_seconds = result.report.phase_sum_seconds();
+    CASCADE_CHECK(std::abs(result.report.total_seconds -
+                           (result.report.synth_seconds +
+                            result.report.techmap_seconds +
+                            result.report.place_seconds +
+                            result.report.timing_seconds)) <= 1e-12);
 
     result.netlist = std::shared_ptr<const Netlist>(std::move(nl));
     result.ok = true;
@@ -71,6 +117,9 @@ FpgaDevice::program(const CompileResult& result, std::string* error,
                      std::to_string(result.report.area.bram_bits) +
                      " BRAM bits";
         }
+        telemetry::Registry::global()
+            .counter("fpga.program.rejected_fit")
+            ->inc();
         return nullptr;
     }
     double clock = clock_mhz_;
@@ -81,6 +130,9 @@ FpgaDevice::program(const CompileResult& result, std::string* error,
                          std::to_string(result.report.timing.fmax_mhz) +
                          " MHz below target";
             }
+            telemetry::Registry::global()
+                .counter("fpga.program.rejected_timing")
+                ->inc();
             return nullptr;
         }
         clock = result.report.timing.fmax_mhz * 0.9;
@@ -88,6 +140,7 @@ FpgaDevice::program(const CompileResult& result, std::string* error,
     if (actual_clock_mhz != nullptr) {
         *actual_clock_mhz = clock;
     }
+    telemetry::Registry::global().counter("fpga.program.loaded")->inc();
     return std::make_unique<Bitstream>(result.netlist);
 }
 

@@ -31,9 +31,22 @@ struct CompileReport {
     size_t cells = 0;
     uint64_t anneal_moves = 0;
     double wirelength = 0;
+    /// Per-phase flow timing. Invariant (checked in compile()):
+    /// total_seconds == synth + techmap + place + timing, so downstream
+    /// consumers (telemetry sidecars, Table 3) can attribute every second
+    /// of the flow to a phase.
     double synth_seconds = 0;
+    double techmap_seconds = 0;
     double place_seconds = 0;
+    double timing_seconds = 0;
     double total_seconds = 0;
+
+    double
+    phase_sum_seconds() const
+    {
+        return synth_seconds + techmap_seconds + place_seconds +
+               timing_seconds;
+    }
 };
 
 struct CompileResult {

@@ -2,8 +2,23 @@
 
 #include "common/check.h"
 #include "sim/format.h"
+#include "telemetry/telemetry.h"
 
 namespace cascade::runtime {
+
+namespace {
+
+/// Hardware task readbacks ($display/$finish fired from the fabric) are
+/// rare enough to record process-wide.
+telemetry::Counter*
+tasks_serviced_counter()
+{
+    static telemetry::Counter* const c =
+        telemetry::Registry::global().counter("hw.tasks_serviced");
+    return c;
+}
+
+} // namespace
 
 HwEngine::HwEngine(std::unique_ptr<fpga::Bitstream> fabric,
                    ir::WrapperMap map, std::vector<std::string> port_names,
@@ -220,7 +235,17 @@ HwEngine::service_tasks()
     }
     mmio_write(map_.ctrl.clear, 1);
     task_pending_ = false;
+    tasks_serviced_counter()->inc();
     return true;
+}
+
+void
+HwEngine::discard_pending_tasks()
+{
+    if (!map_.tasks.empty() && mmio_read(map_.ctrl.tasks) != 0) {
+        mmio_write(map_.ctrl.clear, 1);
+    }
+    task_pending_ = false;
 }
 
 bool

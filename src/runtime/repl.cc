@@ -3,8 +3,10 @@
 #include <istream>
 #include <ostream>
 #include <regex>
+#include <sstream>
 
 #include "common/check.h"
+#include "telemetry/trace.h"
 
 namespace cascade::runtime {
 
@@ -63,8 +65,63 @@ Repl::buffer_complete() const
 }
 
 bool
+Repl::run_meta_command(const std::string& line)
+{
+    std::istringstream words(line);
+    std::string cmd;
+    std::string arg;
+    words >> cmd >> arg;
+    if (cmd == ":stats" && arg == "json") {
+        if (out_ != nullptr) {
+            *out_ << runtime_->stats_json() << "\n";
+        }
+    } else if (cmd == ":stats") {
+        if (out_ != nullptr) {
+            *out_ << runtime_->stats_table();
+        }
+    } else if (cmd == ":trace") {
+        if (arg.empty()) {
+            if (out_ != nullptr) {
+                *out_ << "usage: :trace <file>\n";
+            }
+        } else if (telemetry::Tracer::global().write_chrome_json(arg)) {
+            if (out_ != nullptr) {
+                *out_ << "trace written to " << arg
+                      << " (load in chrome://tracing or Perfetto)\n";
+            }
+        } else if (out_ != nullptr) {
+            *out_ << "cannot write " << arg << "\n";
+        }
+    } else if (cmd == ":help") {
+        if (out_ != nullptr) {
+            *out_ << ":stats        telemetry table (counters, gauges, "
+                     "histograms, transitions)\n"
+                     ":stats json   the same snapshot as JSON\n"
+                     ":trace <file> dump phase spans as Chrome "
+                     "trace_event JSON\n"
+                     ":help         this text\n";
+        }
+    } else {
+        if (out_ != nullptr) {
+            *out_ << "unknown command '" << cmd
+                  << "' (try :help)\n";
+        }
+    }
+    return true;
+}
+
+bool
 Repl::feed(const std::string& text)
 {
+    // Meta-commands are line-oriented and only recognized when no Verilog
+    // is being accumulated (':' cannot start a Verilog item).
+    if (buffer_.find_first_not_of(" \t\r\n") == std::string::npos) {
+        const size_t first = text.find_first_not_of(" \t\r\n");
+        if (first != std::string::npos && text[first] == ':') {
+            buffer_.clear();
+            return run_meta_command(text.substr(first));
+        }
+    }
     buffer_ += text;
     if (buffer_.find_first_not_of(" \t\r\n") == std::string::npos) {
         buffer_.clear();

@@ -3,6 +3,11 @@
 /// parsed, and type-checked one input at a time; code that passes is
 /// integrated into the running program, and IO side effects are visible
 /// immediately. Also supports batch mode with input provided from a file.
+///
+/// Lines starting with ':' (when no Verilog is being accumulated) are
+/// meta-commands: `:stats` prints the runtime's telemetry table, `:stats
+/// json` the machine-readable snapshot, `:trace <file>` dumps the global
+/// span buffer as Chrome trace_event JSON, `:help` lists the commands.
 
 #ifndef CASCADE_RUNTIME_REPL_H
 #define CASCADE_RUNTIME_REPL_H
@@ -32,6 +37,9 @@ class Repl {
 
   private:
     bool buffer_complete() const;
+    /// Executes one ':' meta-command line. Returns true (commands never
+    /// reject the input stream).
+    bool run_meta_command(const std::string& line);
 
     Runtime* runtime_;
     std::ostream* out_;

@@ -13,6 +13,7 @@
 #include "runtime/hw_engine.h"
 #include "runtime/sw_engine.h"
 #include "stdlib/stdlib.h"
+#include "telemetry/trace.h"
 #include "verilog/parser.h"
 #include "verilog/printer.h"
 
@@ -402,6 +403,7 @@ Runtime::Runtime(Options options)
               options_.device_clock_mhz),
       compile_server_(std::make_unique<CompileServer>())
 {
+    init_metrics();
     // Load the standard library and implicitly instantiate the Clock
     // (paper §3.2: Clock/Pad/Led are implicitly provided; we instantiate
     // peripherals lazily when the user references them — see eval()).
@@ -411,21 +413,54 @@ Runtime::Runtime(Options options)
         lib_.add(std::move(m));
     }
     std::string errors;
+    bootstrapping_ = true;
     const bool ok = eval("Clock clk();", &errors);
+    bootstrapping_ = false;
     CASCADE_CHECK(ok);
 }
 
 Runtime::~Runtime() = default;
 
+void
+Runtime::init_metrics()
+{
+    m_.iterations = telemetry_.counter("scheduler.iterations");
+    m_.evals_accepted = telemetry_.counter("repl.evals_accepted");
+    m_.evals_rejected = telemetry_.counter("repl.evals_rejected");
+    m_.engine_evals_sw = telemetry_.counter("engine.sw.evaluate");
+    m_.engine_evals_hw = telemetry_.counter("engine.hw.evaluate");
+    m_.engine_updates_sw = telemetry_.counter("engine.sw.update");
+    m_.engine_updates_hw = telemetry_.counter("engine.hw.update");
+    m_.net_events = telemetry_.counter("net.events_routed");
+    m_.interrupts = telemetry_.counter("interrupt.enqueued");
+    m_.clock_toggles = telemetry_.counter("clock.toggles");
+    m_.compiles_launched = telemetry_.counter("compile.launched");
+    m_.compiles_adopted = telemetry_.counter("compile.adopted");
+    m_.compiles_rejected = telemetry_.counter("compile.rejected");
+    m_.transitions = telemetry_.counter("transition.count");
+    m_.open_loop_iterations = telemetry_.counter("openloop.iterations");
+    m_.interrupt_depth = telemetry_.gauge("interrupt.queue_depth");
+    m_.fifo_backlog = telemetry_.gauge("fifo.backlog");
+    m_.step_ns = telemetry_.histogram("scheduler.step_ns");
+    m_.eval_ns = telemetry_.histogram("repl.eval_ns");
+    m_.open_loop_batch = telemetry_.histogram("openloop.batch");
+    m_.open_loop_wall_ns = telemetry_.histogram("openloop.wall_ns");
+}
+
 bool
 Runtime::eval(std::string_view source, std::string* errors)
 {
+    // The ctor's implicit "Clock clk();" eval is machinery, not a user
+    // interaction: keep it out of the repl.* metrics.
+    TELEM_SPAN_HIST("runtime.eval",
+                    bootstrapping_ ? nullptr : m_.eval_ns);
     Diagnostics diags;
     SourceUnit unit = parse(source, &diags);
     if (diags.has_errors()) {
         if (errors != nullptr) {
             *errors = diags.str();
         }
+        m_.evals_rejected->inc();
         return false;
     }
 
@@ -439,6 +474,7 @@ Runtime::eval(std::string_view source, std::string* errors)
                           "' is already declared (Cascade evals are "
                           "append-only, see paper §7.2)";
             }
+            m_.evals_rejected->inc();
             return false;
         }
         added_modules.push_back(m->name);
@@ -464,7 +500,11 @@ Runtime::eval(std::string_view source, std::string* errors)
         if (errors != nullptr) {
             *errors = rebuild_errors;
         }
+        m_.evals_rejected->inc();
         return false;
+    }
+    if (!bootstrapping_) {
+        m_.evals_accepted->inc();
     }
     return true;
 }
@@ -664,6 +704,7 @@ Runtime::flush_interrupts()
         }
         interrupt_queue_.pop_front();
     }
+    m_.interrupt_depth->set(0);
 }
 
 void
@@ -738,8 +779,10 @@ Runtime::route_outputs()
             }
             net.value = e.value;
             net.has_value = true;
+            m_.net_events->inc();
             if (slot.is_clock) {
                 ++clock_toggles_;
+                m_.clock_toggles->inc();
             }
             for (const auto& [rs, rp] : net.readers) {
                 slots_[rs].engine->read({rp, net.value});
@@ -756,6 +799,7 @@ Runtime::step()
     }
     const double t0 = wall_seconds();
     ++iterations_;
+    m_.iterations->inc();
 
     // Evaluation phase: run engines with active evaluation events to a
     // cross-engine fixed point (Fig. 6 lines 3-4, batched).
@@ -764,6 +808,9 @@ Runtime::step()
         for (Slot& slot : slots_) {
             if (slot.engine->there_are_evals()) {
                 slot.engine->evaluate();
+                (slot.engine->is_hardware() ? m_.engine_evals_hw
+                                            : m_.engine_evals_sw)
+                    ->inc();
                 any = true;
             }
         }
@@ -784,6 +831,9 @@ Runtime::step()
         for (Slot& slot : slots_) {
             if (slot.engine->there_are_updates()) {
                 slot.engine->update();
+                (slot.engine->is_hardware() ? m_.engine_updates_hw
+                                            : m_.engine_updates_sw)
+                    ->inc();
             }
         }
         route_outputs();
@@ -802,6 +852,8 @@ Runtime::step()
     } else {
         timeline_s_ += modeled;
     }
+    m_.step_ns->record(
+        static_cast<uint64_t>((wall_seconds() - t0) * 1e9));
     if (finished_) {
         // Shutdown: drain the interrupt queue so the final $display lines
         // reach the view, and notify engines (Fig. 6 line 14).
@@ -809,6 +861,8 @@ Runtime::step()
         for (Slot& slot : slots_) {
             slot.engine->end();
         }
+        telemetry::Tracer::global().instant("runtime.finish",
+                                            virtual_ticks());
     }
     return !finished_;
 }
@@ -866,12 +920,18 @@ void
 Runtime::on_display(const std::string& text)
 {
     interrupt_queue_.push_back(text + "\n");
+    m_.interrupts->inc();
+    m_.interrupt_depth->set(
+        static_cast<int64_t>(interrupt_queue_.size()));
 }
 
 void
 Runtime::on_write(const std::string& text)
 {
     interrupt_queue_.push_back(text);
+    m_.interrupts->inc();
+    m_.interrupt_depth->set(
+        static_cast<int64_t>(interrupt_queue_.size()));
 }
 
 void
@@ -984,6 +1044,7 @@ void
 Runtime::fifo_push(const std::vector<uint8_t>& bytes)
 {
     fifo_queue_.insert(fifo_queue_.end(), bytes.begin(), bytes.end());
+    m_.fifo_backlog->set(static_cast<int64_t>(fifo_queue_.size()));
 }
 
 void
@@ -1012,6 +1073,7 @@ Runtime::service_peripherals()
         inject_net(f.push_net, BitVector(1, 1));
         fifo_queue_.pop_front();
         ++fifo_consumed_;
+        m_.fifo_backlog->set(static_cast<int64_t>(fifo_queue_.size()));
         fifo_push_high_ = true;
     } else if (fifo_push_high_) {
         inject_net(f.push_net, BitVector(1, 0));
@@ -1162,6 +1224,8 @@ Runtime::launch_compile()
     job.options.target_clock_mhz = options_.device_clock_mhz;
     job.options.seed = version_;
     compile_server_->submit(std::move(job));
+    m_.compiles_launched->inc();
+    telemetry::Tracer::global().instant("compile.launch", version_);
 }
 
 void
@@ -1192,6 +1256,9 @@ Runtime::adopt_hardware(CompileOutcome outcome)
         // study's "ran in simulation but did not pass timing closure").
         interrupt_queue_.push_back("cascade: hardware compilation "
                                    "rejected: " + error + "\n");
+        m_.compiles_rejected->inc();
+        telemetry::Tracer::global().instant("compile.rejected",
+                                            outcome.version);
         return;
     }
 
@@ -1341,9 +1408,30 @@ Runtime::adopt_hardware(CompileOutcome outcome)
         adopted->update();
     }
     adopted->set_state(combined);
+    if (hw != nullptr) {
+        // Adoption-time MMIO traffic (net re-delivery, the update flush,
+        // set_state itself) can latch task bits against pre-restore
+        // register values; those side effects either already happened in
+        // software or never happened at all.
+        hw->discard_pending_tasks();
+    }
     if (clock_engine_ != nullptr && native_engine_ != nullptr) {
         native_engine_->sync_clock_level(clock_engine_->value());
     }
+
+    // The software-to-hardware transition, tagged with the adopted
+    // version (the event SYNERGY-style schedulers key off).
+    m_.compiles_adopted->inc();
+    m_.transitions->inc();
+    TransitionRecord rec;
+    rec.version = outcome.version;
+    rec.to = user_location_;
+    rec.timeline_seconds = timeline_s_;
+    rec.trace_ts_us = telemetry::Tracer::global().now_us();
+    rec.clock_mhz = actual_clock_mhz;
+    transitions_.push_back(rec);
+    telemetry::Tracer::global().instant("transition.sw_to_hw",
+                                        outcome.version);
 }
 
 void
@@ -1375,8 +1463,14 @@ Runtime::run_open_loop()
                                               options_.open_loop_iterations);
     }
     const double wall0 = wall_seconds();
-    const uint64_t itrs = user->engine->open_loop(open_loop_batch_);
+    uint64_t itrs = 0;
+    {
+        TELEM_SPAN_HIST("openloop.batch", m_.open_loop_wall_ns);
+        itrs = user->engine->open_loop(open_loop_batch_);
+    }
     const double wall = wall_seconds() - wall0;
+    m_.open_loop_batch->record(open_loop_batch_);
+    m_.open_loop_iterations->inc(itrs);
     if (std::getenv("CASCADE_DEBUG_OLOOP") != nullptr) {
         std::fprintf(stderr, "[oloop] itrs=%llu batch=%llu wall=%.3f\n",
                      static_cast<unsigned long long>(itrs),
@@ -1517,6 +1611,153 @@ Runtime::user_slot()
         }
     }
     return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry snapshots
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const char*
+location_name(Location loc)
+{
+    switch (loc) {
+    case Location::Software: return "Software";
+    case Location::Hardware: return "Hardware";
+    case Location::HardwareForwarded: return "HardwareForwarded";
+    case Location::Native: return "Native";
+    }
+    return "Unknown";
+}
+
+std::string
+json_double(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+Runtime::stats_json() const
+{
+    // Interpreter-level aggregates across the live software engines.
+    uint64_t interp_evals = 0;
+    uint64_t interp_updates = 0;
+    uint64_t interp_processes = 0;
+    for (const Slot& slot : slots_) {
+        if (const auto* sw =
+                dynamic_cast<const SwEngine*>(slot.engine.get())) {
+            interp_evals += sw->evaluate_calls();
+            interp_updates += sw->update_calls();
+            interp_processes += sw->process_executions();
+        }
+    }
+
+    std::string out = "{\"schema\":\"cascade.stats.v1\"";
+    out += ",\"location\":\"";
+    out += location_name(user_location_);
+    out += "\",\"virtual_ticks\":" + std::to_string(virtual_ticks());
+    out += ",\"timeline_seconds\":" + json_double(timeline_s_);
+    out += ",\"scheduler_iterations\":" + std::to_string(iterations_);
+    out += ",\"finished\":" + std::string(finished_ ? "true" : "false");
+    out += ",\"fifo\":{\"consumed\":" + std::to_string(fifo_consumed_) +
+           ",\"backlog\":" + std::to_string(fifo_queue_.size()) + '}';
+    out += ",\"interpreter\":{\"evaluate_calls\":" +
+           std::to_string(interp_evals) +
+           ",\"update_calls\":" + std::to_string(interp_updates) +
+           ",\"process_executions\":" + std::to_string(interp_processes) +
+           '}';
+    if (hw_engine_ != nullptr) {
+        out += ",\"hw_engine\":{\"mmio_transactions\":" +
+               std::to_string(hw_engine_->mmio_transactions()) +
+               ",\"fabric_cycles\":" +
+               std::to_string(hw_engine_->fabric_cycles()) + '}';
+    }
+    out += ",\"metrics\":" + telemetry_.json();
+    out += ",\"process_metrics\":" + telemetry::Registry::global().json();
+    if (last_report_.has_value()) {
+        const fpga::CompileReport& r = *last_report_;
+        out += ",\"compile\":{\"synth_seconds\":" +
+               json_double(r.synth_seconds) +
+               ",\"techmap_seconds\":" + json_double(r.techmap_seconds) +
+               ",\"place_seconds\":" + json_double(r.place_seconds) +
+               ",\"timing_seconds\":" + json_double(r.timing_seconds) +
+               ",\"total_seconds\":" + json_double(r.total_seconds) +
+               ",\"area_les\":" + std::to_string(r.area.les) +
+               ",\"area_bram_bits\":" + std::to_string(r.area.bram_bits) +
+               ",\"fmax_mhz\":" + json_double(r.timing.fmax_mhz) +
+               ",\"timing_met\":" +
+               (r.timing.met ? "true" : "false") + '}';
+    }
+    out += ",\"transitions\":[";
+    for (size_t i = 0; i < transitions_.size(); ++i) {
+        const TransitionRecord& t = transitions_[i];
+        if (i != 0) {
+            out += ',';
+        }
+        out += "{\"version\":" + std::to_string(t.version) +
+               ",\"to\":\"" + location_name(t.to) +
+               "\",\"timeline_seconds\":" +
+               json_double(t.timeline_seconds) +
+               ",\"trace_ts_us\":" + json_double(t.trace_ts_us) +
+               ",\"clock_mhz\":" + json_double(t.clock_mhz) + '}';
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+Runtime::stats_table() const
+{
+    char line[160];
+    std::string out = "cascade stats\n";
+    std::snprintf(line, sizeof line, "  %-26s %s\n", "location",
+                  location_name(user_location_));
+    out += line;
+    std::snprintf(line, sizeof line, "  %-26s %llu\n", "virtual ticks",
+                  static_cast<unsigned long long>(virtual_ticks()));
+    out += line;
+    std::snprintf(line, sizeof line, "  %-26s %.6f\n", "timeline seconds",
+                  timeline_s_);
+    out += line;
+    out += "runtime metrics\n";
+    out += telemetry_.table();
+    out += "process metrics\n";
+    out += telemetry::Registry::global().table();
+    if (last_report_.has_value()) {
+        const fpga::CompileReport& r = *last_report_;
+        out += "last compile\n";
+        std::snprintf(line, sizeof line,
+                      "  synth %.4fs  techmap %.4fs  place %.4fs  "
+                      "timing %.4fs  total %.4fs\n",
+                      r.synth_seconds, r.techmap_seconds, r.place_seconds,
+                      r.timing_seconds, r.total_seconds);
+        out += line;
+        std::snprintf(line, sizeof line,
+                      "  %llu LEs  %llu BRAM bits  Fmax %.1f MHz  "
+                      "timing %s\n",
+                      static_cast<unsigned long long>(r.area.les),
+                      static_cast<unsigned long long>(r.area.bram_bits),
+                      r.timing.fmax_mhz, r.timing.met ? "met" : "missed");
+        out += line;
+    }
+    if (!transitions_.empty()) {
+        out += "transitions\n";
+        for (const TransitionRecord& t : transitions_) {
+            std::snprintf(line, sizeof line,
+                          "  v%llu -> %s at timeline %.6fs "
+                          "(%.1f MHz fabric clock)\n",
+                          static_cast<unsigned long long>(t.version),
+                          location_name(t.to), t.timeline_seconds,
+                          t.clock_mhz);
+            out += line;
+        }
+    }
+    return out;
 }
 
 } // namespace cascade::runtime

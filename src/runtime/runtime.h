@@ -21,6 +21,7 @@
 #include "ir/hw_wrapper.h"
 #include "ir/subprogram.h"
 #include "runtime/engine.h"
+#include "telemetry/telemetry.h"
 #include "verilog/elaborate.h"
 
 namespace cascade::runtime {
@@ -111,6 +112,33 @@ class Runtime : public EngineCallbacks {
     uint64_t scheduler_iterations() const { return iterations_; }
     /// @}
 
+    /// @{ Telemetry (see README.md §Observability).
+    /// One engine-location transition this runtime performed (recorded on
+    /// hardware adoption; also traced as an instant event).
+    struct TransitionRecord {
+        uint64_t version = 0;    ///< adopted program version
+        Location to = Location::Software;
+        double timeline_seconds = 0; ///< virtual time at adoption
+        double trace_ts_us = 0;      ///< tracer timestamp at adoption
+        double clock_mhz = 0;        ///< adopted fabric clock
+    };
+
+    /// This runtime's scoped metrics view (scheduler/engine counters).
+    /// Process-wide metrics (compile flow, device programming) live in
+    /// telemetry::Registry::global().
+    telemetry::Registry& telemetry() { return telemetry_; }
+    const std::vector<TransitionRecord>& transitions() const
+    {
+        return transitions_;
+    }
+    /// Machine-readable snapshot: scheduler/engine metrics, per-phase
+    /// compile timings from the last report, and the transition log, as
+    /// one JSON object (benches write this next to their output).
+    std::string stats_json() const;
+    /// Human-readable snapshot (the REPL's :stats view).
+    std::string stats_table() const;
+    /// @}
+
     /// EngineCallbacks:
     void on_display(const std::string& text) override;
     void on_write(const std::string& text) override;
@@ -182,7 +210,41 @@ class Runtime : public EngineCallbacks {
     const Slot* find_stdlib(const std::string& type) const;
     Slot* user_slot();
 
+    /// Cached handles into telemetry_ so hot-path recording is a single
+    /// relaxed atomic op (no name lookup). Initialized in the ctor.
+    struct Metrics {
+        telemetry::Counter* iterations = nullptr;
+        telemetry::Counter* evals_accepted = nullptr;
+        telemetry::Counter* evals_rejected = nullptr;
+        telemetry::Counter* engine_evals_sw = nullptr;
+        telemetry::Counter* engine_evals_hw = nullptr;
+        telemetry::Counter* engine_updates_sw = nullptr;
+        telemetry::Counter* engine_updates_hw = nullptr;
+        telemetry::Counter* net_events = nullptr;
+        telemetry::Counter* interrupts = nullptr;
+        telemetry::Counter* clock_toggles = nullptr;
+        telemetry::Counter* compiles_launched = nullptr;
+        telemetry::Counter* compiles_adopted = nullptr;
+        telemetry::Counter* compiles_rejected = nullptr;
+        telemetry::Counter* transitions = nullptr;
+        telemetry::Counter* open_loop_iterations = nullptr;
+        telemetry::Gauge* interrupt_depth = nullptr;
+        telemetry::Gauge* fifo_backlog = nullptr;
+        telemetry::Histogram* step_ns = nullptr;
+        telemetry::Histogram* eval_ns = nullptr;
+        telemetry::Histogram* open_loop_batch = nullptr;
+        telemetry::Histogram* open_loop_wall_ns = nullptr;
+    };
+
+    void init_metrics();
+
     Options options_;
+    telemetry::Registry telemetry_;
+    Metrics m_;
+    /// True only during the ctor's implicit "Clock clk();" eval, which
+    /// stays out of the user-facing repl.* metrics.
+    bool bootstrapping_ = false;
+    std::vector<TransitionRecord> transitions_;
     Diagnostics startup_diags_;
     verilog::ModuleLibrary lib_;
     std::vector<verilog::ItemPtr> root_items_;

@@ -45,6 +45,15 @@ class SwEngine : public Engine, private sim::SystemTaskHandler {
     /// bookkeeping).
     size_t initial_count() const { return initial_count_; }
 
+    /// @{ Interpreter telemetry, surfaced for Runtime::stats_json().
+    uint64_t evaluate_calls() const { return interp_.evaluate_calls(); }
+    uint64_t update_calls() const { return interp_.update_calls(); }
+    uint64_t process_executions() const
+    {
+        return interp_.process_executions();
+    }
+    /// @}
+
   private:
     void on_display(const std::string& text) override;
     void on_write(const std::string& text) override;

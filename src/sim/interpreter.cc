@@ -1374,6 +1374,7 @@ ModuleInterpreter::commit_element(uint32_t id, uint64_t index,
 void
 ModuleInterpreter::evaluate()
 {
+    ++evaluate_calls_;
     uint64_t guard = 0;
     while (!finished_ && (!comb_queue_.empty() || !seq_queue_.empty())) {
         if (++guard > kFixedPointGuard) {
@@ -1398,6 +1399,7 @@ ModuleInterpreter::evaluate()
 void
 ModuleInterpreter::update()
 {
+    ++update_calls_;
     std::vector<NbUpdate> queue = std::move(nb_queue_);
     nb_queue_.clear();
     Evaluator ev(this);

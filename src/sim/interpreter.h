@@ -107,8 +107,16 @@ class ModuleInterpreter {
     void set_state(const StateSnapshot& snapshot);
     /// @}
 
+    /// @{ Telemetry. Plain members, not atomics: bumping them costs one
+    /// add on the interpreter hot path; aggregation into a
+    /// telemetry::Registry happens at stats-snapshot time (Runtime owns
+    /// that), keeping the <5% micro-bench overhead budget.
     /// Number of processes that executed since construction (profiling).
     uint64_t process_executions() const { return process_executions_; }
+    /// Number of evaluate() / update() scheduler calls.
+    uint64_t evaluate_calls() const { return evaluate_calls_; }
+    uint64_t update_calls() const { return update_calls_; }
+    /// @}
 
   private:
     struct Trigger {
@@ -177,6 +185,8 @@ class ModuleInterpreter {
     std::unordered_set<uint32_t> changed_outputs_;
     bool finished_ = false;
     uint64_t process_executions_ = 0;
+    uint64_t evaluate_calls_ = 0;
+    uint64_t update_calls_ = 0;
     Diagnostics runtime_diags_;
 };
 

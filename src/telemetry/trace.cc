@@ -1,0 +1,192 @@
+#include "telemetry/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+namespace cascade::telemetry {
+
+namespace {
+
+thread_local uint32_t tls_depth = 0;
+
+uint32_t
+next_thread_id()
+{
+    static std::atomic<uint32_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+} // namespace
+
+Tracer::Tracer(size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now())
+{}
+
+Tracer&
+Tracer::global()
+{
+    static Tracer instance;
+    return instance;
+}
+
+double
+Tracer::now_us() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+uint32_t
+Tracer::thread_id()
+{
+    thread_local const uint32_t id = next_thread_id();
+    return id;
+}
+
+void
+Tracer::push(TraceEvent event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == ring_.size()) {
+        ++dropped_;
+    } else {
+        ++count_;
+    }
+    ring_[next_] = event;
+    next_ = (next_ + 1) % ring_.size();
+}
+
+void
+Tracer::record_complete(const char* name, double ts_us, double dur_us,
+                        uint32_t depth)
+{
+    TraceEvent e;
+    e.name = name;
+    e.ts_us = ts_us;
+    e.dur_us = dur_us;
+    e.tid = thread_id();
+    e.depth = depth;
+    push(e);
+}
+
+void
+Tracer::instant(const char* name)
+{
+    TraceEvent e;
+    e.name = name;
+    e.ts_us = now_us();
+    e.tid = thread_id();
+    e.instant = true;
+    push(e);
+}
+
+void
+Tracer::instant(const char* name, uint64_t arg)
+{
+    TraceEvent e;
+    e.name = name;
+    e.ts_us = now_us();
+    e.tid = thread_id();
+    e.instant = true;
+    e.has_arg = true;
+    e.arg = arg;
+    push(e);
+}
+
+std::vector<TraceEvent>
+Tracer::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TraceEvent> out;
+    out.reserve(count_);
+    const size_t start =
+        count_ == ring_.size() ? next_ : (next_ + ring_.size() - count_) %
+                                             ring_.size();
+    for (size_t i = 0; i < count_; ++i) {
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    }
+    return out;
+}
+
+size_t
+Tracer::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    next_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+}
+
+std::string
+Tracer::chrome_json() const
+{
+    const std::vector<TraceEvent> evs = events();
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    char buf[256];
+    bool first = true;
+    for (const TraceEvent& e : evs) {
+        if (!first) {
+            out += ',';
+        }
+        first = false;
+        out += "{\"name\":\"" + json_escape(e.name) +
+               "\",\"cat\":\"cascade\",\"pid\":1,\"tid\":" +
+               std::to_string(e.tid);
+        std::snprintf(buf, sizeof buf, ",\"ts\":%.3f", e.ts_us);
+        out += buf;
+        if (e.instant) {
+            out += ",\"ph\":\"i\",\"s\":\"t\"";
+        } else {
+            std::snprintf(buf, sizeof buf, ",\"ph\":\"X\",\"dur\":%.3f",
+                          e.dur_us);
+            out += buf;
+        }
+        if (e.has_arg) {
+            out += ",\"args\":{\"value\":" + std::to_string(e.arg) + '}';
+        }
+        out += '}';
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+Tracer::write_chrome_json(const std::string& path) const
+{
+    std::ofstream file(path);
+    if (!file) {
+        return false;
+    }
+    file << chrome_json() << '\n';
+    return static_cast<bool>(file);
+}
+
+SpanGuard::SpanGuard(Tracer& tracer, const char* name,
+                     Histogram* duration_ns)
+    : tracer_(tracer), name_(name), duration_ns_(duration_ns),
+      start_us_(tracer.now_us()), depth_(tls_depth)
+{
+    ++tls_depth;
+}
+
+SpanGuard::~SpanGuard()
+{
+    --tls_depth;
+    const double dur_us = tracer_.now_us() - start_us_;
+    tracer_.record_complete(name_, start_us_, dur_us, depth_);
+    if (duration_ns_ != nullptr) {
+        duration_ns_->record(static_cast<uint64_t>(dur_us * 1000.0));
+    }
+}
+
+} // namespace cascade::telemetry

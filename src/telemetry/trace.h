@@ -1,0 +1,118 @@
+/// \file
+/// The tracing half of the observability subsystem: phase-scoped RAII
+/// spans (TELEM_SPAN("synth")) recorded into a bounded ring buffer, plus
+/// instant events for point-in-time markers (engine transitions). The
+/// buffer exports Chrome trace_event-format JSON, loadable in
+/// chrome://tracing and Perfetto.
+///
+/// Span names must have static storage duration (string literals); the
+/// ring stores the pointer, not a copy. Nesting depth is tracked per
+/// thread, so spans opened on the compile-server thread interleave
+/// correctly with runtime-thread spans (distinguished by tid).
+
+#ifndef CASCADE_TELEMETRY_TRACE_H
+#define CASCADE_TELEMETRY_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace cascade::telemetry {
+
+struct TraceEvent {
+    const char* name = "";
+    double ts_us = 0;  ///< start, microseconds since the tracer's epoch
+    double dur_us = 0; ///< 0 and instant=true for point events
+    uint32_t tid = 0;
+    uint32_t depth = 0;
+    bool instant = false;
+    bool has_arg = false;
+    uint64_t arg = 0; ///< emitted as args.value
+};
+
+class Tracer {
+  public:
+    explicit Tracer(size_t capacity = 1u << 14);
+
+    /// The process-wide tracer every TELEM_SPAN records into.
+    static Tracer& global();
+
+    /// Microseconds since this tracer was constructed.
+    double now_us() const;
+
+    /// Records a completed span with caller-supplied timestamps (the
+    /// SpanGuard path; also used directly by tests for determinism).
+    void record_complete(const char* name, double ts_us, double dur_us,
+                         uint32_t depth);
+    /// Records a point event, optionally tagged with a numeric argument
+    /// (e.g. the adopted program version).
+    void instant(const char* name);
+    void instant(const char* name, uint64_t arg);
+
+    /// Oldest-first copy of the buffered events.
+    std::vector<TraceEvent> events() const;
+    size_t dropped() const; ///< events overwritten by ring wraparound
+
+    /// The buffer as Chrome trace_event JSON:
+    /// {"displayTimeUnit":"ms","traceEvents":[...]}.
+    std::string chrome_json() const;
+    /// Writes chrome_json() to \p path; returns false on IO failure.
+    bool write_chrome_json(const std::string& path) const;
+
+    void clear();
+
+    /// Stable small id for the calling thread (1-based).
+    static uint32_t thread_id();
+
+  private:
+    void push(TraceEvent event);
+
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> ring_;
+    size_t next_ = 0;
+    size_t count_ = 0;
+    size_t dropped_ = 0;
+    const std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span: records begin on construction, a complete ("ph":"X") event
+/// on destruction. Optionally mirrors the duration (nanoseconds) into a
+/// histogram so phase timings show up in :stats too.
+class SpanGuard {
+  public:
+    SpanGuard(Tracer& tracer, const char* name,
+              Histogram* duration_ns = nullptr);
+    ~SpanGuard();
+
+    SpanGuard(const SpanGuard&) = delete;
+    SpanGuard& operator=(const SpanGuard&) = delete;
+
+  private:
+    Tracer& tracer_;
+    const char* name_;
+    Histogram* duration_ns_;
+    double start_us_;
+    uint32_t depth_;
+};
+
+} // namespace cascade::telemetry
+
+#define CASCADE_TELEM_CONCAT2(a, b) a##b
+#define CASCADE_TELEM_CONCAT(a, b) CASCADE_TELEM_CONCAT2(a, b)
+
+/// Phase span on the global tracer: TELEM_SPAN("synth");
+#define TELEM_SPAN(name)                                                     \
+    ::cascade::telemetry::SpanGuard CASCADE_TELEM_CONCAT(                    \
+        telem_span_, __LINE__)(::cascade::telemetry::Tracer::global(), name)
+
+/// Phase span that also records its duration into a histogram.
+#define TELEM_SPAN_HIST(name, hist)                                          \
+    ::cascade::telemetry::SpanGuard CASCADE_TELEM_CONCAT(                    \
+        telem_span_, __LINE__)(::cascade::telemetry::Tracer::global(),       \
+                               name, hist)
+
+#endif // CASCADE_TELEMETRY_TRACE_H

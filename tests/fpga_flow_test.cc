@@ -169,6 +169,27 @@ TEST(Compile, TimeGrowsWithDesignSize)
     EXPECT_GT(rl.report.place_seconds, rs.report.place_seconds);
 }
 
+TEST(Compile, ReportTotalIsSumOfPhases)
+{
+    // The invariant the telemetry sidecar relies on: total_seconds is
+    // exactly the sum of the four per-phase timings, each nonnegative.
+    CompileOptions opts;
+    opts.effort = 0.2;
+    auto em = elaborate_src(pipeline_src(12));
+    auto r = compile(*em, opts);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_GE(r.report.synth_seconds, 0.0);
+    EXPECT_GE(r.report.techmap_seconds, 0.0);
+    EXPECT_GE(r.report.place_seconds, 0.0);
+    EXPECT_GE(r.report.timing_seconds, 0.0);
+    EXPECT_GT(r.report.total_seconds, 0.0);
+    EXPECT_NEAR(r.report.total_seconds,
+                r.report.synth_seconds + r.report.techmap_seconds +
+                    r.report.place_seconds + r.report.timing_seconds,
+                1e-12);
+    EXPECT_DOUBLE_EQ(r.report.total_seconds, r.report.phase_sum_seconds());
+}
+
 TEST(Compile, WrapperCostsArea)
 {
     // The Fig. 10 instrumentation (shadow registers, masks, MMIO mux)

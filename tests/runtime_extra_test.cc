@@ -5,7 +5,9 @@
 
 #include "runtime/runtime.h"
 
+#include <algorithm>
 #include <chrono>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -175,6 +177,103 @@ TEST(RuntimeExtra, MemoryComponentSurvivesEval)
         << errors;
     rt.run(8);
     EXPECT_EQ(rt.led_state().to_uint64(), 102u);
+}
+
+TEST(RuntimeExtra, DeviceOptionsGateHardwareAdoption)
+{
+    // Options::device_les must actually reach FpgaDevice::program's
+    // capacity check: on a 10-LE device nothing fits, so the JIT reports
+    // the rejection and the program stays in software.
+    Runtime::Options opts;
+    opts.enable_hardware = true;
+    opts.compile_effort = 0.05;
+    opts.device_les = 10;
+    Runtime rt(opts);
+    std::string output;
+    rt.on_output = [&output](const std::string& s) { output += s; };
+    std::string errors;
+    ASSERT_TRUE(rt.eval("Led#(8) led(); reg [7:0] cnt = 0; "
+                        "always @(posedge clk.val) cnt <= cnt + 1; "
+                        "assign led.val = cnt;", &errors)) << errors;
+    const auto start = std::chrono::steady_clock::now();
+    while (rt.telemetry().counter("compile.rejected")->value() == 0) {
+        rt.run(256);
+        ASSERT_LT(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count(),
+                  60.0)
+            << "compile never rejected; output so far: " << output;
+    }
+    rt.run(64); // drain the rejection interrupt
+    EXPECT_EQ(rt.user_location(), Location::Software);
+    EXPECT_FALSE(rt.hardware_ready());
+    EXPECT_NE(output.find("does not fit"), std::string::npos) << output;
+    EXPECT_TRUE(rt.transitions().empty());
+}
+
+TEST(RuntimeExtra, DisplayOrderingAcrossTransitionAndOpenLoop)
+{
+    // $display side effects must surface in program order even as the
+    // scheduler hands the program from the software engine to hardware
+    // and batches cycles through the open-loop fast path: the sequence
+    // numbers printed every cycle stay gapless and duplicate-free.
+    Runtime::Options opts;
+    opts.enable_hardware = true;
+    opts.compile_effort = 0.05;
+    opts.open_loop_target_wall_s = 0.02;
+    Runtime rt(opts);
+    std::string output;
+    rt.on_output = [&output](const std::string& s) { output += s; };
+    std::string errors;
+    ASSERT_TRUE(rt.eval(R"(
+        Pad#(1) pad();
+        reg [15:0] cnt = 0;
+        always @(posedge clk.val) begin
+          cnt <= cnt + 1;
+          $display("%0d", cnt);
+          if (pad.val)
+            $finish;
+        end
+    )", &errors)) << errors;
+
+    const auto start = std::chrono::steady_clock::now();
+    while (!rt.hardware_ready()) {
+        rt.run(256);
+        ASSERT_LT(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count(),
+                  60.0)
+            << "hardware never adopted";
+    }
+    ASSERT_FALSE(rt.transitions().empty());
+    const uint64_t displays_at_transition =
+        std::count(output.begin(), output.end(), '\n');
+    // Let the open-loop path run some batches in hardware before finishing.
+    rt.run_for_ticks(64);
+    rt.set_pad(1);
+    while (!rt.finished()) {
+        rt.run(1u << 14);
+        ASSERT_LT(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count(),
+                  120.0)
+            << "program never finished";
+    }
+
+    // Every line is the next integer in sequence: no drops, duplicates,
+    // or reordering across the engine swap.
+    std::istringstream lines(output);
+    std::string line;
+    uint64_t expect = 0;
+    while (std::getline(lines, line)) {
+        ASSERT_EQ(line, std::to_string(expect))
+            << "at line " << expect << "; transition happened after "
+            << displays_at_transition << " displays";
+        ++expect;
+    }
+    EXPECT_GT(expect, displays_at_transition + 64)
+        << "expected hardware-phase displays after the transition";
+    EXPECT_GT(rt.telemetry().counter("openloop.iterations")->value(), 0u);
 }
 
 } // namespace
