@@ -7,13 +7,19 @@
 /// size; the direct toolchain grows with size.
 ///
 /// Output: one row per (workload, toolchain): seconds to first execution.
+/// Like fig11/fig12, the bench also writes telemetry sidecars next to
+/// wherever it is invoked from: table3_startup_latency.stats.json (one
+/// stats_json() snapshot per cascade run, keyed by workload) and
+/// table3_startup_latency.trace.json (Chrome trace_event spans).
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "fpga/compile.h"
 #include "runtime/runtime.h"
+#include "telemetry/trace.h"
 #include "verilog/parser.h"
 #include "workloads/workloads.h"
 
@@ -22,7 +28,8 @@ using cascade::runtime::Runtime;
 namespace {
 
 double
-time_eval_to_running(Runtime::Options options, const std::string& src)
+time_eval_to_running(Runtime::Options options, const std::string& src,
+                     std::string* stats_json = nullptr)
 {
     Runtime rt(options);
     rt.on_output = [](const std::string&) {};
@@ -33,9 +40,13 @@ time_eval_to_running(Runtime::Options options, const std::string& src)
         return -1;
     }
     rt.run_for_ticks(2); // code demonstrably executing
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - t0)
-        .count();
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    if (stats_json != nullptr) {
+        *stats_json = rt.stats_json();
+    }
+    return elapsed;
 }
 
 double
@@ -85,17 +96,38 @@ main()
          // direct column's third size point.
          cascade::workloads::regex_stream_module()},
     };
+    std::string sidecar_body;
     for (const Case& c : cases) {
         Runtime::Options sw;
         sw.enable_hardware = false;
         const double t_sw = time_eval_to_running(sw, c.repl_src);
         Runtime::Options jit;
         jit.compile_effort = 1.0;
-        const double t_cascade = time_eval_to_running(jit, c.repl_src);
+        std::string stats;
+        const double t_cascade =
+            time_eval_to_running(jit, c.repl_src, &stats);
         const double t_direct = time_direct_compile(c.module_src);
         std::printf("%-16s %11.3fs %11.3fs %11.2fs\n", c.name, t_sw,
                     t_cascade, t_direct);
+        if (!stats.empty()) {
+            if (!sidecar_body.empty()) {
+                sidecar_body += ',';
+            }
+            sidecar_body += '"';
+            sidecar_body += c.name;
+            sidecar_body += "\":";
+            sidecar_body += stats;
+        }
     }
+    {
+        std::ofstream sidecar("table3_startup_latency.stats.json");
+        sidecar << '{' << sidecar_body << "}\n";
+        std::fprintf(stderr, "# stats sidecar -> "
+                             "table3_startup_latency.stats.json\n");
+    }
+    cascade::telemetry::Tracer::global().write_chrome_json(
+        "table3_startup_latency.trace.json");
+    std::fprintf(stderr, "# trace -> table3_startup_latency.trace.json\n");
     std::printf("\npaper: Cascade <1 s on every design; Quartus ~600 s "
                 "for proof-of-work\n");
     return 0;

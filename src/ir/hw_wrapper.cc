@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "ir/rewrite.h"
+#include "verilog/printer.h"
 
 namespace cascade::ir {
 
@@ -222,8 +223,13 @@ class WrapperBuilder {
                 }
                 auto clone_item = item->clone();
                 auto* seq = static_cast<AlwaysBlock*>(clone_item.get());
-                rewrite_time_refs(clone_item.get());
+                // Task rewriting must see the original $time references:
+                // monitor-site keys are prints of the pre-rewrite statement
+                // (they must match the software interpreter's keys). The
+                // time rewrite afterwards covers the generated argument
+                // saves too.
                 seq->body = rewrite_seq(std::move(seq->body));
+                rewrite_time_refs(clone_item.get());
                 out->items.push_back(std::move(clone_item));
                 break;
               }
@@ -600,9 +606,24 @@ class WrapperBuilder {
     }
 
     /// One system-task site: save argument values, toggle the task mask.
+    /// Monitor sites additionally gate the whole save/toggle on "any
+    /// argument differs from its saved copy, or never fired" so a monitor
+    /// raises at most one task readback per value change instead of one
+    /// per clock edge (which would also abort every open-loop batch).
     StmtPtr
     rewrite_task_site(const SystemTaskStmt& task)
     {
+        if (task.name == "$dumpfile" || task.name == "$dumpvars" ||
+            task.name == "$dumpoff" || task.name == "$dumpon") {
+            // Waveform dump control is runtime-owned and unsynthesizable
+            // in a way the wrapper cannot absorb: the subprogram stays in
+            // software.
+            diags_->error(task.loc,
+                          "waveform dump tasks cannot be compiled to "
+                          "hardware; subprogram stays software-resident");
+            ok_ = false;
+            return task.clone();
+        }
         const uint32_t k = static_cast<uint32_t>(map_->tasks.size());
         TaskSite site;
         if (task.name == "$finish") {
@@ -611,11 +632,19 @@ class WrapperBuilder {
             site.kind = TaskKind::Write;
         } else if (task.name == "$monitor") {
             site.kind = TaskKind::Monitor;
+            site.key = print(task);
+            // Strip the trailing newline/indentation the statement printer
+            // appends, if any, so keys match the interpreter's.
+            while (!site.key.empty() &&
+                   (site.key.back() == '\n' || site.key.back() == ' ')) {
+                site.key.pop_back();
+            }
         } else {
             site.kind = TaskKind::Display;
         }
 
         std::vector<StmtPtr> stmts;
+        std::vector<ExprPtr> change_terms;
         ExprTyper typer(em_);
         size_t value_index = 0;
         for (size_t i = 0; i < task.args.size(); ++i) {
@@ -643,13 +672,32 @@ class WrapperBuilder {
                 static_cast<uint32_t>(map_->vars.size()));
             map_->vars.push_back(slot);
             arg_regs_.emplace_back(reg, width);
+            if (site.kind == TaskKind::Monitor) {
+                change_terms.push_back(
+                    binop(BinaryOp::Neq, id(reg), arg.clone()));
+            }
             stmts.push_back(nb_assign(id(reg), arg.clone()));
         }
         stmts.push_back(nb_assign(
             id("_ntm" + std::to_string(k)),
             unop(UnaryOp::BitwiseNot, id("_tm" + std::to_string(k)))));
+        const bool is_monitor = site.kind == TaskKind::Monitor;
         map_->tasks.push_back(std::move(site));
-        return block(std::move(stmts));
+        if (!is_monitor) {
+            return block(std::move(stmts));
+        }
+        const std::string fired = "_mf" + std::to_string(k);
+        monitor_fired_regs_.push_back(fired);
+        stmts.push_back(nb_assign(id(fired), num(1, 1)));
+        // Fire when never fired before (covers the first trigger after an
+        // engine handoff too: the runtime's text compare suppresses a
+        // duplicate) or when any saved argument would change.
+        ExprPtr fire = binop(BinaryOp::Eq, id(fired), num(1, 0));
+        for (auto& term : change_terms) {
+            fire = binop(BinaryOp::LogicalOr, std::move(fire),
+                         std::move(term));
+        }
+        return if_stmt(std::move(fire), block(std::move(stmts)));
     }
 
     void
@@ -675,6 +723,9 @@ class WrapperBuilder {
         }
         for (const auto& [name, width] : arg_regs_) {
             out->items.push_back(reg_decl(name, width, 0));
+        }
+        for (const auto& name : monitor_fired_regs_) {
+            out->items.push_back(reg_decl(name, 1, 0));
         }
         out->items.push_back(reg_decl("_oloop", 32, 0));
         out->items.push_back(reg_decl("_itrs", 32, 0));
@@ -982,6 +1033,8 @@ class WrapperBuilder {
     std::vector<UpdateSite> update_sites_;
     std::vector<std::string> index_regs_;
     std::vector<std::pair<std::string, uint32_t>> arg_regs_;
+    /// Per-monitor-site "has fired at least once" flags.
+    std::vector<std::string> monitor_fired_regs_;
 };
 
 } // namespace

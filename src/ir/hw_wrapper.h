@@ -47,6 +47,11 @@ struct TaskSite {
     bool has_format = false;
     /// Indices into WrapperMap::vars of the saved-argument slots.
     std::vector<uint32_t> arg_slots;
+    /// Monitor sites only: canonical print of the original statement,
+    /// matching the key the software interpreter registers, so the
+    /// runtime's once-per-change suppression splices across a sw -> hw
+    /// engine handoff.
+    std::string key;
 };
 
 /// Control-register addresses (all in the high control window).

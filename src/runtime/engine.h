@@ -35,6 +35,27 @@ class EngineCallbacks {
     virtual void on_write(const std::string& text) = 0;
     virtual void on_finish() = 0;
     virtual uint64_t virtual_time() const = 0;
+
+    /// $monitor line from the monitor registered under \p key; emitted at
+    /// most once per timestep per monitor by the owning engine. The
+    /// runtime suppresses lines whose text matches the previous emission
+    /// for the same key (so handing a subprogram from software to hardware
+    /// does not re-print). Default: behave like $display.
+    virtual void
+    on_monitor(const std::string& key, const std::string& text)
+    {
+        (void)key;
+        on_display(text);
+    }
+
+    /// @{ Waveform dump control ($dumpfile/$dumpvars/$dumpoff/$dumpon).
+    /// The dump lives in the runtime, above any single engine, so it
+    /// splices across engine transitions. Defaults ignore.
+    virtual void on_dumpfile(const std::string& path) { (void)path; }
+    virtual void on_dumpvars() {}
+    virtual void on_dumpoff() {}
+    virtual void on_dumpon() {}
+    /// @}
 };
 
 class Engine {

@@ -225,6 +225,12 @@ HwEngine::service_tasks()
             if (callbacks_ != nullptr) {
                 if (site.kind == ir::TaskKind::Write) {
                     callbacks_->on_write(text);
+                } else if (site.kind == ir::TaskKind::Monitor) {
+                    // The fabric already gated this readback on an
+                    // argument change (or first fire after handoff); the
+                    // runtime's text compare does the final suppression so
+                    // sw and hw engines print identical monitor lines.
+                    callbacks_->on_monitor(site.key, text);
                 } else {
                     callbacks_->on_display(text);
                 }

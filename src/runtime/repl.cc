@@ -92,14 +92,62 @@ Repl::run_meta_command(const std::string& line)
         } else if (out_ != nullptr) {
             *out_ << "cannot write " << arg << "\n";
         }
+    } else if (cmd == ":probe") {
+        if (arg.empty()) {
+            if (out_ != nullptr) {
+                *out_ << "usage: :probe <signal>\n";
+            }
+        } else {
+            std::string err;
+            if (runtime_->add_probe(arg, &err)) {
+                if (out_ != nullptr) {
+                    *out_ << "probing " << arg << "\n";
+                }
+            } else if (out_ != nullptr) {
+                *out_ << "cannot probe " << arg << ": " << err << "\n";
+            }
+        }
+    } else if (cmd == ":unprobe") {
+        if (arg.empty()) {
+            if (out_ != nullptr) {
+                *out_ << "usage: :unprobe <signal>\n";
+            }
+        } else if (runtime_->remove_probe(arg)) {
+            if (out_ != nullptr) {
+                *out_ << "unprobed " << arg << "\n";
+            }
+        } else if (out_ != nullptr) {
+            *out_ << "no probe on " << arg << "\n";
+        }
+    } else if (cmd == ":vcd") {
+        if (arg.empty()) {
+            if (out_ != nullptr) {
+                *out_ << "usage: :vcd <file>\n";
+            }
+        } else {
+            std::string err;
+            if (runtime_->vcd_open(arg, &err)) {
+                if (out_ != nullptr) {
+                    *out_ << "vcd capture to " << arg
+                          << " (probed signals; all if none probed)\n";
+                }
+            } else if (out_ != nullptr) {
+                *out_ << "cannot open vcd: " << err << "\n";
+            }
+        }
     } else if (cmd == ":help") {
         if (out_ != nullptr) {
-            *out_ << ":stats        telemetry table (counters, gauges, "
+            *out_ << ":stats          telemetry table (counters, gauges, "
                      "histograms, transitions)\n"
-                     ":stats json   the same snapshot as JSON\n"
-                     ":trace <file> dump phase spans as Chrome "
+                     ":stats json     the same snapshot as JSON\n"
+                     ":trace <file>   dump phase spans as Chrome "
                      "trace_event JSON\n"
-                     ":help         this text\n";
+                     ":probe <signal> add a waveform probe (net or "
+                     "register)\n"
+                     ":unprobe <sig>  remove a probe\n"
+                     ":vcd <file>     start VCD waveform capture "
+                     "(GTKWave-compatible)\n"
+                     ":help           this text\n";
         }
     } else {
         if (out_ != nullptr) {

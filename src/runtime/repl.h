@@ -7,7 +7,9 @@
 /// Lines starting with ':' (when no Verilog is being accumulated) are
 /// meta-commands: `:stats` prints the runtime's telemetry table, `:stats
 /// json` the machine-readable snapshot, `:trace <file>` dumps the global
-/// span buffer as Chrome trace_event JSON, `:help` lists the commands.
+/// span buffer as Chrome trace_event JSON, `:probe <signal>` /
+/// `:unprobe <signal>` manage waveform probes, `:vcd <file>` starts VCD
+/// capture of the probed (or all) signals, `:help` lists the commands.
 
 #ifndef CASCADE_RUNTIME_REPL_H
 #define CASCADE_RUNTIME_REPL_H

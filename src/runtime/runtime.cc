@@ -1,6 +1,7 @@
 #include "runtime/runtime.h"
 
 #include <algorithm>
+#include <set>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -439,6 +440,10 @@ Runtime::init_metrics()
     m_.compiles_rejected = telemetry_.counter("compile.rejected");
     m_.transitions = telemetry_.counter("transition.count");
     m_.open_loop_iterations = telemetry_.counter("openloop.iterations");
+    m_.vcd_samples = telemetry_.counter("vcd.samples");
+    m_.vcd_bytes = telemetry_.counter("vcd.bytes_written");
+    m_.monitor_lines = telemetry_.counter("monitor.lines");
+    m_.monitor_suppressed = telemetry_.counter("monitor.suppressed");
     m_.interrupt_depth = telemetry_.gauge("interrupt.queue_depth");
     m_.fifo_backlog = telemetry_.gauge("fifo.backlog");
     m_.step_ns = telemetry_.histogram("scheduler.step_ns");
@@ -878,9 +883,20 @@ Runtime::window()
             finished_ = true;
         }
     }
+    // end_step is where software engines flush $monitor candidates; drain
+    // again so a monitor line reaches the view in the same window as its
+    // timestep (the hardware engine's lines, serviced mid-step, already
+    // made the first drain).
+    flush_interrupts();
+    // End-of-timestep waveform sample, before any engine adoption below:
+    // the last pre-handoff sample and the first post-handoff sample then
+    // bracket the transition with continuous values.
+    sample_vcd();
     poll_compiles();
     service_peripherals();
-    if (!finished_ && options_.enable_open_loop) {
+    // Open-loop free-running skips the per-timestep windows a waveform
+    // dump samples in, so it is suspended while a dump is active.
+    if (!finished_ && options_.enable_open_loop && !vcd_capture_) {
         run_open_loop();
     }
 }
@@ -916,6 +932,24 @@ Runtime::hardware_ready() const
     return user_location_ != Location::Software;
 }
 
+bool
+Runtime::wait_for_hardware(double timeout_s)
+{
+    // Poll the compile server without stepping the scheduler: virtual time
+    // does not advance, so an adopted program starts on the fabric at the
+    // same tick a software run would start at (tick-0 adoption).
+    const double t0 = wall_seconds();
+    while (user_location_ == Location::Software &&
+           wall_seconds() - t0 < timeout_s) {
+        poll_compiles();
+        if (user_location_ != Location::Software) {
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return user_location_ != Location::Software;
+}
+
 void
 Runtime::on_display(const std::string& text)
 {
@@ -938,6 +972,293 @@ void
 Runtime::on_finish()
 {
     finished_ = true;
+}
+
+void
+Runtime::on_monitor(const std::string& key, const std::string& text)
+{
+    // Once-per-change: engines emit candidate lines (the software engine
+    // every timestep, the hardware engine on argument change or first fire
+    // after a handoff); only a changed text reaches the interrupt queue.
+    const auto it = monitor_last_.find(key);
+    if (it != monitor_last_.end() && it->second == text) {
+        m_.monitor_suppressed->inc();
+        return;
+    }
+    monitor_last_[key] = text;
+    m_.monitor_lines->inc();
+    on_display(text);
+}
+
+void
+Runtime::on_dumpfile(const std::string& path)
+{
+    if (vcd_declared_) {
+        interrupt_queue_.push_back(
+            "vcd: $dumpfile ignored, dump already started\n");
+        return;
+    }
+    vcd_requested_path_ = path;
+}
+
+void
+Runtime::on_dumpvars()
+{
+    vcd_probe_all_ = true;
+    vcd_capture_ = true;
+}
+
+void
+Runtime::on_dumpoff()
+{
+    // Applied at the next end-of-timestep sample point, matching the
+    // once-per-timestep granularity of the dump itself.
+    vcd_pending_off_ = true;
+    vcd_pending_on_ = false;
+}
+
+void
+Runtime::on_dumpon()
+{
+    vcd_pending_on_ = true;
+    vcd_pending_off_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Waveform capture
+// ---------------------------------------------------------------------------
+
+bool
+Runtime::vcd_open(const std::string& path, std::string* err)
+{
+    if (vcd_declared_) {
+        if (err != nullptr) {
+            *err = "a dump is already in progress (signal set is frozen)";
+        }
+        return false;
+    }
+    if (!vcd_.open(path, err)) {
+        return false;
+    }
+    vcd_requested_path_ = path;
+    vcd_bytes_seen_ = 0; // the writer's byte counter restarted at zero
+    vcd_capture_ = true;
+    return true;
+}
+
+void
+Runtime::close_vcd()
+{
+    if (vcd_.is_open()) {
+        const uint64_t before = vcd_.bytes_written();
+        vcd_.close();
+        m_.vcd_bytes->inc(
+            static_cast<int64_t>(vcd_.bytes_written() - before));
+        vcd_bytes_seen_ = vcd_.bytes_written();
+    }
+    vcd_capture_ = false;
+    vcd_declared_ = false;
+    vcd_probe_all_ = false;
+    vcd_pending_off_ = false;
+    vcd_pending_on_ = false;
+    vcd_probes_.clear();
+    vcd_requested_path_.clear();
+}
+
+bool
+Runtime::signal_exists(const std::string& name) const
+{
+    if (net_index_.count(name) != 0) {
+        return true;
+    }
+    for (const Slot& slot : slots_) {
+        if (slot.sub.path == "root" && slot.engine != nullptr) {
+            const sim::StateSnapshot snap = slot.engine->get_state();
+            return snap.regs.count(name) != 0;
+        }
+    }
+    return false;
+}
+
+bool
+Runtime::add_probe(const std::string& name, std::string* err)
+{
+    if (vcd_declared_) {
+        if (err != nullptr) {
+            *err = "dump already started; probes are frozen (open a new "
+                   "file with :vcd first)";
+        }
+        return false;
+    }
+    if (!signal_exists(name)) {
+        if (err != nullptr) {
+            *err = "unknown signal '" + name + "'";
+        }
+        return false;
+    }
+    if (std::find(probe_names_.begin(), probe_names_.end(), name) ==
+        probe_names_.end()) {
+        probe_names_.push_back(name);
+    }
+    return true;
+}
+
+bool
+Runtime::remove_probe(const std::string& name)
+{
+    const auto it =
+        std::find(probe_names_.begin(), probe_names_.end(), name);
+    if (it == probe_names_.end()) {
+        return false;
+    }
+    probe_names_.erase(it);
+    return true;
+}
+
+void
+Runtime::declare_vcd_signals()
+{
+    // Freeze point: expand the probe set and declare it, sorted, so the
+    // header is deterministic for a given program regardless of engine.
+    std::vector<std::string> names = probe_names_;
+    if (vcd_probe_all_ || names.empty()) {
+        for (const Net& net : nets_) {
+            if (net.has_value) {
+                names.push_back(net.name);
+            }
+        }
+        // A subprogram's snapshot also lists port images of global nets
+        // (cross-module refs promoted to ports, `clk.val` -> `clk_val`).
+        // The hardware wrapper exposes those as readable slots while the
+        // interpreter does not; skip them so the expanded set — and with
+        // it the VCD header — is identical in both engines. The net
+        // itself is already in the list above.
+        std::set<std::string> port_images;
+        for (const Net& net : nets_) {
+            std::string flat = net.name;
+            if (flat.rfind("root.", 0) == 0) {
+                flat.erase(0, 5);
+            }
+            std::replace(flat.begin(), flat.end(), '.', '_');
+            port_images.insert(std::move(flat));
+        }
+        if (Slot* user = user_slot(); user != nullptr) {
+            for (const auto& [reg, value] : user->engine->get_state().regs) {
+                if (port_images.count(reg) == 0) {
+                    names.push_back(reg);
+                }
+            }
+        }
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+
+    sim::StateSnapshot snap;
+    if (Slot* user = user_slot(); user != nullptr) {
+        snap = user->engine->get_state();
+    }
+    for (const std::string& name : names) {
+        Probe probe;
+        probe.name = name;
+        probe.net_index = find_net(name);
+        probe.is_net = probe.net_index >= 0;
+        uint32_t width = 1;
+        if (probe.is_net) {
+            const Net& net = nets_[static_cast<size_t>(probe.net_index)];
+            width = net.has_value ? net.value.width() : 1;
+        } else {
+            const auto it = snap.regs.find(name);
+            if (it == snap.regs.end()) {
+                continue; // vanished since add_probe (program re-eval)
+            }
+            width = it->second.width();
+        }
+        if (vcd_.declare(name, width) >= 0) {
+            vcd_probes_.push_back(std::move(probe));
+        }
+    }
+    vcd_declared_ = true;
+}
+
+std::vector<const BitVector*>
+Runtime::gather_vcd_values(std::vector<BitVector>* storage)
+{
+    // Snapshot register values first so pointers stay stable.
+    storage->clear();
+    storage->reserve(vcd_probes_.size());
+    sim::StateSnapshot snap;
+    bool have_snap = false;
+    std::vector<const BitVector*> values(vcd_probes_.size(), nullptr);
+    // Two passes: copy every sampled value into storage, then take
+    // addresses (reserve above prevents reallocation in between).
+    for (const Probe& probe : vcd_probes_) {
+        if (probe.is_net) {
+            const Net& net = nets_[static_cast<size_t>(probe.net_index)];
+            storage->push_back(net.has_value ? net.value : BitVector());
+        } else {
+            if (!have_snap) {
+                if (Slot* user = user_slot(); user != nullptr) {
+                    snap = user->engine->get_state();
+                }
+                have_snap = true;
+            }
+            const auto it = snap.regs.find(probe.name);
+            storage->push_back(it != snap.regs.end() ? it->second
+                                                     : BitVector());
+        }
+    }
+    for (size_t i = 0; i < vcd_probes_.size(); ++i) {
+        const Probe& probe = vcd_probes_[i];
+        const bool missing =
+            probe.is_net
+                ? !nets_[static_cast<size_t>(probe.net_index)].has_value
+                : (*storage)[i].width() == 0;
+        values[i] = missing ? nullptr : &(*storage)[i];
+    }
+    return values;
+}
+
+void
+Runtime::sample_vcd()
+{
+    if (!vcd_capture_) {
+        return;
+    }
+    if (!vcd_.is_open()) {
+        // $dumpvars without an explicit $dumpfile falls back to a default.
+        const std::string path = vcd_requested_path_.empty()
+                                     ? "cascade.vcd"
+                                     : vcd_requested_path_;
+        std::string err;
+        if (!vcd_.open(path, &err)) {
+            interrupt_queue_.push_back("vcd: " + err + "\n");
+            vcd_capture_ = false;
+            return;
+        }
+        vcd_requested_path_ = path;
+    }
+    if (!vcd_declared_) {
+        declare_vcd_signals();
+    }
+    std::vector<BitVector> storage;
+    if (vcd_pending_off_) {
+        vcd_pending_off_ = false;
+        vcd_.dump_off(clock_toggles_);
+    }
+    if (vcd_pending_on_) {
+        vcd_pending_on_ = false;
+        vcd_.dump_on(clock_toggles_, gather_vcd_values(&storage));
+    }
+    if (vcd_.dumping()) {
+        vcd_.sample(clock_toggles_, gather_vcd_values(&storage));
+        m_.vcd_samples->inc();
+    }
+    vcd_.flush();
+    const uint64_t bytes = vcd_.bytes_written();
+    if (bytes > vcd_bytes_seen_) {
+        m_.vcd_bytes->inc(bytes - vcd_bytes_seen_);
+        vcd_bytes_seen_ = bytes;
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -21,6 +21,7 @@
 #include "ir/hw_wrapper.h"
 #include "ir/subprogram.h"
 #include "runtime/engine.h"
+#include "sim/vcd.h"
 #include "telemetry/telemetry.h"
 #include "verilog/elaborate.h"
 
@@ -112,6 +113,39 @@ class Runtime : public EngineCallbacks {
     uint64_t scheduler_iterations() const { return iterations_; }
     /// @}
 
+    /// @{ Waveform capture (IEEE-1364 VCD). The dump is runtime-owned and
+    /// engine-agnostic: probe values are sampled at end of timestep from
+    /// global nets and the user subprogram's state snapshot, so the same
+    /// .vcd is produced whether the subprogram runs in software or on the
+    /// fabric — and a mid-run engine adoption splices into the open dump.
+    /// While a dump is active, open-loop scheduling is suspended (free
+    /// running would skip samples).
+
+    /// Opens (truncates) the dump file and starts capture at the next end
+    /// of timestep. Fails (false + *err) on IO error.
+    bool vcd_open(const std::string& path, std::string* err = nullptr);
+    /// Flushes and closes the current dump (no-op without one); capture
+    /// stops and a new vcd_open() may start a fresh file.
+    void close_vcd();
+    /// Capture requested and the file is (or will be) open.
+    bool vcd_active() const { return vcd_capture_; }
+    const std::string& vcd_path() const { return vcd_requested_path_; }
+    /// Adds a probe on a global net or a user-subprogram register. Errors
+    /// on unknown signal, or once the first sample froze the signal set.
+    /// With no explicit probes (or after $dumpvars) every net and register
+    /// is dumped.
+    bool add_probe(const std::string& name, std::string* err = nullptr);
+    /// Removes an explicit probe by name (before the set freezes).
+    bool remove_probe(const std::string& name);
+    std::vector<std::string> probes() const { return probe_names_; }
+
+    /// Blocks (bounded by \p timeout_s wall seconds) until the in-flight
+    /// background compile is adopted, polling without advancing virtual
+    /// time — so a program can start on the simulated fabric at tick 0.
+    /// Returns true once the user subprogram left software.
+    bool wait_for_hardware(double timeout_s = 10.0);
+    /// @}
+
     /// @{ Telemetry (see README.md §Observability).
     /// One engine-location transition this runtime performed (recorded on
     /// hardware adoption; also traced as an instant event).
@@ -144,6 +178,15 @@ class Runtime : public EngineCallbacks {
     void on_write(const std::string& text) override;
     void on_finish() override;
     uint64_t virtual_time() const override { return virtual_ticks(); }
+    /// $monitor suppression: a line prints only when its text differs from
+    /// the previous line for the same monitor key. The map lives here, not
+    /// in an engine, so the once-per-change guarantee survives a sw -> hw
+    /// engine handoff.
+    void on_monitor(const std::string& key, const std::string& text) override;
+    void on_dumpfile(const std::string& path) override;
+    void on_dumpvars() override;
+    void on_dumpoff() override;
+    void on_dumpon() override;
 
   private:
     struct Net {
@@ -210,6 +253,25 @@ class Runtime : public EngineCallbacks {
     const Slot* find_stdlib(const std::string& type) const;
     Slot* user_slot();
 
+    /// One declared VCD probe, resolved at declare time.
+    struct Probe {
+        std::string name;
+        bool is_net = false;
+        int net_index = -1; ///< nets_ index when is_net
+    };
+
+    /// End-of-timestep sampling hook (called from window()).
+    void sample_vcd();
+    /// Freezes the probe set: expands probe-all / explicit names into
+    /// resolved probes and declares them with the writer, sorted by name.
+    void declare_vcd_signals();
+    /// Gathers current probe values (index-aligned with declared probes);
+    /// \p storage owns snapshot copies the pointers refer into.
+    std::vector<const BitVector*> gather_vcd_values(
+        std::vector<BitVector>* storage);
+    /// True if \p name resolves to a net or user register right now.
+    bool signal_exists(const std::string& name) const;
+
     /// Cached handles into telemetry_ so hot-path recording is a single
     /// relaxed atomic op (no name lookup). Initialized in the ctor.
     struct Metrics {
@@ -228,6 +290,10 @@ class Runtime : public EngineCallbacks {
         telemetry::Counter* compiles_rejected = nullptr;
         telemetry::Counter* transitions = nullptr;
         telemetry::Counter* open_loop_iterations = nullptr;
+        telemetry::Counter* vcd_samples = nullptr;
+        telemetry::Counter* vcd_bytes = nullptr;
+        telemetry::Counter* monitor_lines = nullptr;
+        telemetry::Counter* monitor_suppressed = nullptr;
         telemetry::Gauge* interrupt_depth = nullptr;
         telemetry::Gauge* fifo_backlog = nullptr;
         telemetry::Histogram* step_ns = nullptr;
@@ -265,6 +331,21 @@ class Runtime : public EngineCallbacks {
 
     /// Executed-initial bookkeeping: path -> printed-initial -> count.
     std::map<std::string, std::map<std::string, int>> executed_initials_;
+
+    /// $monitor on-change suppression: key -> last printed text.
+    std::map<std::string, std::string> monitor_last_;
+
+    // Waveform capture state.
+    sim::VcdWriter vcd_;
+    std::string vcd_requested_path_; ///< from $dumpfile or :vcd
+    bool vcd_capture_ = false;       ///< $dumpvars executed or :vcd issued
+    bool vcd_declared_ = false;      ///< signal set frozen (header written)
+    bool vcd_probe_all_ = false;     ///< $dumpvars: dump everything
+    bool vcd_pending_off_ = false;   ///< $dumpoff seen mid-step
+    bool vcd_pending_on_ = false;    ///< $dumpon seen mid-step
+    std::vector<std::string> probe_names_; ///< explicit :probe names
+    std::vector<Probe> vcd_probes_;        ///< resolved at declare time
+    uint64_t vcd_bytes_seen_ = 0; ///< last writer byte count mirrored
 
     // Peripheral state.
     uint64_t pad_value_ = 0;

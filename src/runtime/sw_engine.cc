@@ -85,6 +85,14 @@ SwEngine::finished() const
 }
 
 void
+SwEngine::end_step()
+{
+    // End of timestep: registered $monitor statements fire (at most once
+    // each); the runtime's on-change suppression decides what prints.
+    interp_.flush_monitors();
+}
+
+void
 SwEngine::on_display(const std::string& text)
 {
     if (callbacks_ != nullptr) {
@@ -112,6 +120,46 @@ uint64_t
 SwEngine::current_time() const
 {
     return callbacks_ != nullptr ? callbacks_->virtual_time() : 0;
+}
+
+void
+SwEngine::on_monitor(const std::string& key, const std::string& text)
+{
+    if (callbacks_ != nullptr) {
+        callbacks_->on_monitor(key, text);
+    }
+}
+
+void
+SwEngine::on_dumpfile(const std::string& path)
+{
+    if (callbacks_ != nullptr) {
+        callbacks_->on_dumpfile(path);
+    }
+}
+
+void
+SwEngine::on_dumpvars()
+{
+    if (callbacks_ != nullptr) {
+        callbacks_->on_dumpvars();
+    }
+}
+
+void
+SwEngine::on_dumpoff()
+{
+    if (callbacks_ != nullptr) {
+        callbacks_->on_dumpoff();
+    }
+}
+
+void
+SwEngine::on_dumpon()
+{
+    if (callbacks_ != nullptr) {
+        callbacks_->on_dumpon();
+    }
 }
 
 } // namespace cascade::runtime

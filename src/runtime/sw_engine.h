@@ -33,6 +33,7 @@ class SwEngine : public Engine, private sim::SystemTaskHandler {
     void evaluate() override;
     bool there_are_updates() override;
     void update() override;
+    void end_step() override;
     bool finished() const override;
     bool is_hardware() const override { return hardware_resident_; }
 
@@ -59,6 +60,11 @@ class SwEngine : public Engine, private sim::SystemTaskHandler {
     void on_write(const std::string& text) override;
     void on_finish() override;
     uint64_t current_time() const override;
+    void on_monitor(const std::string& key, const std::string& text) override;
+    void on_dumpfile(const std::string& path) override;
+    void on_dumpvars() override;
+    void on_dumpoff() override;
+    void on_dumpon() override;
 
     EngineCallbacks* callbacks_;
     sim::ModuleInterpreter interp_;

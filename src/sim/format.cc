@@ -23,7 +23,10 @@ render(const DisplayValue& dv, char spec, bool pad)
 {
     switch (spec) {
       case 'd':
-        if (dv.is_signed) {
+      case 't':
+        // %t renders simulation time; with no $timeformat support the time
+        // unit is the virtual clock tick, so it reduces to unsigned %d.
+        if (spec == 'd' && dv.is_signed) {
             return dv.value.to_signed_dec_string();
         }
         if (pad) {

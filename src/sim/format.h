@@ -21,7 +21,8 @@ struct DisplayValue {
 };
 
 /// Renders a Verilog format string against a value list. Supports %d, %0d,
-/// %h/%x, %b, %o, %c, %%; unknown specifiers pass through. Values beyond
+/// %h/%x, %b, %o, %c, %t/%0t, %%; unknown specifiers pass through. Values
+/// beyond
 /// the format specifiers are ignored; missing values render as 0.
 std::string format_display(const std::string& fmt,
                            const std::vector<DisplayValue>& values);

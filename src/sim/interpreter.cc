@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "verilog/printer.h"
 
 namespace cascade::sim {
 
@@ -1532,31 +1533,35 @@ ModuleInterpreter::execute_stmt(const Stmt& stmt, bool nonblocking_allowed)
                 if (in->handler_ == nullptr) {
                     return;
                 }
-                if (s.name == "$display" || s.name == "$write" ||
-                    s.name == "$monitor") {
-                    std::string text;
+                if (s.name == "$monitor") {
+                    // IEEE-1364: executing $monitor registers it; output
+                    // happens at end of timestep via flush_monitors(), and
+                    // only when an argument changed.
+                    in->register_monitor(s);
+                    return;
+                }
+                if (s.name == "$dumpfile") {
                     if (!s.args.empty() &&
                         s.args[0]->kind == ExprKind::String) {
-                        std::vector<DisplayValue> values;
-                        for (size_t i = 1; i < s.args.size(); ++i) {
-                            DisplayValue dv;
-                            dv.value = ev.eval(*s.args[i]);
-                            dv.is_signed = ev.is_signed(*s.args[i]);
-                            values.push_back(std::move(dv));
-                        }
-                        text = format_display(
-                            static_cast<const StringExpr&>(*s.args[0]).text,
-                            values);
-                    } else {
-                        std::vector<DisplayValue> values;
-                        for (const auto& a : s.args) {
-                            DisplayValue dv;
-                            dv.value = ev.eval(*a);
-                            dv.is_signed = ev.is_signed(*a);
-                            values.push_back(std::move(dv));
-                        }
-                        text = format_values(values);
+                        in->handler_->on_dumpfile(
+                            static_cast<const StringExpr&>(*s.args[0]).text);
                     }
+                    return;
+                }
+                if (s.name == "$dumpvars") {
+                    in->handler_->on_dumpvars();
+                    return;
+                }
+                if (s.name == "$dumpoff") {
+                    in->handler_->on_dumpoff();
+                    return;
+                }
+                if (s.name == "$dumpon") {
+                    in->handler_->on_dumpon();
+                    return;
+                }
+                if (s.name == "$display" || s.name == "$write") {
+                    const std::string text = in->format_task_text(s);
                     if (s.name == "$write") {
                         in->handler_->on_write(text);
                     } else {
@@ -1574,6 +1579,71 @@ ModuleInterpreter::execute_stmt(const Stmt& stmt, bool nonblocking_allowed)
 
     Walker w{this, Evaluator(this), nonblocking_allowed};
     w.walk(stmt);
+}
+
+void
+ModuleInterpreter::register_monitor(const verilog::SystemTaskStmt& stmt)
+{
+    if (monitor_registered_.insert(&stmt).second) {
+        MonitorReg reg;
+        reg.stmt = &stmt;
+        reg.key = verilog::print(stmt);
+        // Strip trailing statement formatting so the key matches the one
+        // the hardware wrapper records for the same site.
+        while (!reg.key.empty() &&
+               (reg.key.back() == '\n' || reg.key.back() == ' ')) {
+            reg.key.pop_back();
+        }
+        monitors_.push_back(std::move(reg));
+    }
+    // Sample the arguments at the trigger site, exactly where the hardware
+    // wrapper's argument-save registers sample them; flush_monitors emits
+    // this candidate at end of timestep.
+    for (MonitorReg& reg : monitors_) {
+        if (reg.stmt == &stmt) {
+            reg.pending = format_task_text(stmt);
+            reg.has_pending = true;
+            break;
+        }
+    }
+}
+
+std::string
+ModuleInterpreter::format_task_text(const verilog::SystemTaskStmt& stmt)
+{
+    Evaluator ev(this);
+    if (!stmt.args.empty() && stmt.args[0]->kind == ExprKind::String) {
+        std::vector<DisplayValue> values;
+        for (size_t i = 1; i < stmt.args.size(); ++i) {
+            DisplayValue dv;
+            dv.value = ev.eval(*stmt.args[i]);
+            dv.is_signed = ev.is_signed(*stmt.args[i]);
+            values.push_back(std::move(dv));
+        }
+        return format_display(
+            static_cast<const StringExpr&>(*stmt.args[0]).text, values);
+    }
+    std::vector<DisplayValue> values;
+    for (const auto& a : stmt.args) {
+        DisplayValue dv;
+        dv.value = ev.eval(*a);
+        dv.is_signed = ev.is_signed(*a);
+        values.push_back(std::move(dv));
+    }
+    return format_values(values);
+}
+
+void
+ModuleInterpreter::flush_monitors()
+{
+    if (handler_ == nullptr) {
+        return;
+    }
+    for (const auto& m : monitors_) {
+        if (m.has_pending) {
+            handler_->on_monitor(m.key, m.pending);
+        }
+    }
 }
 
 std::vector<uint32_t>

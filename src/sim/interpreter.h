@@ -43,6 +43,27 @@ class SystemTaskHandler {
     virtual void on_finish() = 0;
     /// Logical time for $time.
     virtual uint64_t current_time() const = 0;
+
+    /// $monitor output, emitted once per timestep by flush_monitors().
+    /// \p key identifies the registered monitor statement (stable across
+    /// engine incarnations) so the receiver can suppress lines whose text
+    /// did not change. The default forwards to on_display, which keeps
+    /// simple capture handlers working but prints every timestep.
+    virtual void
+    on_monitor(const std::string& key, const std::string& text)
+    {
+        (void)key;
+        on_display(text);
+    }
+
+    /// @{ $dumpfile/$dumpvars/$dumpoff/$dumpon. Waveform capture is a
+    /// runtime concern (the dump spans engines); handlers that do not
+    /// support it ignore these.
+    virtual void on_dumpfile(const std::string& path) { (void)path; }
+    virtual void on_dumpvars() {}
+    virtual void on_dumpoff() {}
+    virtual void on_dumpon() {}
+    /// @}
 };
 
 /// A saved register/memory snapshot, used for engine state handoff when a
@@ -98,6 +119,16 @@ class ModuleInterpreter {
 
     /// True once $finish has executed.
     bool finished() const { return finished_; }
+
+    /// Evaluates every registered $monitor statement against current net
+    /// values and emits SystemTaskHandler::on_monitor for each. IEEE-1364
+    /// semantics: executing $monitor registers it; output happens at end
+    /// of timestep, so the engine calls this from its end_step hook. The
+    /// handler owns on-change suppression (it survives engine handoff).
+    void flush_monitors();
+
+    /// Number of $monitor statements registered so far.
+    size_t monitor_count() const { return monitors_.size(); }
 
     /// Net ids of output ports whose value changed since the last call.
     std::vector<uint32_t> take_changed_outputs();
@@ -164,6 +195,12 @@ class ModuleInterpreter {
     void run_process(size_t index);
     void execute_stmt(const verilog::Stmt& stmt, bool nonblocking_allowed);
 
+    /// Registers \p stmt as an active monitor (idempotent per statement).
+    void register_monitor(const verilog::SystemTaskStmt& stmt);
+    /// Renders a $display-family task's argument list against current net
+    /// values (string-format or space-separated-decimal form).
+    std::string format_task_text(const verilog::SystemTaskStmt& stmt);
+
     std::shared_ptr<const verilog::ElaboratedModule> em_;
     SystemTaskHandler* handler_;
 
@@ -181,6 +218,21 @@ class ModuleInterpreter {
     std::vector<bool> seq_pending_;
     std::vector<uint32_t> seq_queue_;
     std::vector<NbUpdate> nb_queue_;
+
+    struct MonitorReg {
+        const verilog::SystemTaskStmt* stmt = nullptr;
+        /// Canonical source print of the statement: stable across engine
+        /// incarnations of the same subprogram, so the runtime's on-change
+        /// suppression splices over a sw -> hw handoff.
+        std::string key;
+        /// Candidate text rendered at the trigger site (the hardware
+        /// wrapper's argument-save registers sample at the same point),
+        /// emitted by flush_monitors at end of timestep.
+        std::string pending;
+        bool has_pending = false;
+    };
+    std::vector<MonitorReg> monitors_;
+    std::unordered_set<const verilog::Stmt*> monitor_registered_;
 
     std::unordered_set<uint32_t> changed_outputs_;
     bool finished_ = false;

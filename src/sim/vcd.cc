@@ -1,0 +1,233 @@
+#include "sim/vcd.h"
+
+#include <ctime>
+
+#include "telemetry/trace.h"
+
+namespace cascade::sim {
+
+namespace {
+
+/// Buffered bytes before an automatic flush to disk.
+constexpr size_t kFlushThreshold = 64 * 1024;
+
+std::string
+date_line()
+{
+    // Single line so golden tests can strip it with a line filter.
+    const std::time_t now = std::time(nullptr);
+    char buf[64];
+    std::tm tm_utc{};
+#if defined(_WIN32)
+    gmtime_s(&tm_utc, &now);
+#else
+    gmtime_r(&now, &tm_utc);
+#endif
+    std::strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S UTC", &tm_utc);
+    return std::string("$date ") + buf + " $end\n";
+}
+
+} // namespace
+
+VcdWriter::~VcdWriter()
+{
+    close();
+}
+
+bool
+VcdWriter::open(const std::string& path, std::string* err)
+{
+    close();
+    out_.open(path, std::ios::out | std::ios::trunc);
+    if (!out_) {
+        if (err != nullptr) {
+            *err = "cannot open '" + path + "' for writing";
+        }
+        return false;
+    }
+    path_ = path;
+    buf_.clear();
+    signals_.clear();
+    last_records_.clear();
+    header_written_ = false;
+    dumping_ = true;
+    samples_ = 0;
+    bytes_written_ = 0;
+    return true;
+}
+
+int
+VcdWriter::declare(const std::string& name, uint32_t width)
+{
+    if (header_written_) {
+        return -1;
+    }
+    for (size_t i = 0; i < signals_.size(); ++i) {
+        if (signals_[i].name == name) {
+            return static_cast<int>(i);
+        }
+    }
+    Signal sig;
+    sig.name = name;
+    sig.width = width == 0 ? 1 : width;
+    sig.id = id_code(signals_.size());
+    signals_.push_back(std::move(sig));
+    return static_cast<int>(signals_.size() - 1);
+}
+
+std::string
+VcdWriter::id_code(size_t index)
+{
+    // Printable identifier codes, base 94 over '!'..'~' (IEEE-1364 §18.2.1).
+    std::string id;
+    do {
+        id += static_cast<char>('!' + index % 94);
+        index /= 94;
+    } while (index > 0);
+    return id;
+}
+
+std::string
+VcdWriter::record(const Signal& sig, const BitVector* value)
+{
+    if (sig.width == 1) {
+        const char bit =
+            value == nullptr ? 'x' : (value->to_uint64() & 1 ? '1' : '0');
+        return std::string(1, bit) + sig.id + "\n";
+    }
+    return "b" + (value == nullptr ? "x" : value->to_bin_string()) + " " +
+           sig.id + "\n";
+}
+
+void
+VcdWriter::write_header(uint64_t time,
+                        const std::vector<const BitVector*>& values)
+{
+    append(date_line());
+    append("$version Cascade VCD dumper $end\n");
+    append("$timescale 1 ns $end\n");
+    append("$scope module cascade $end\n");
+    for (const auto& sig : signals_) {
+        std::string decl = "$var wire " + std::to_string(sig.width) + " " +
+                           sig.id + " " + sig.name;
+        if (sig.width > 1) {
+            decl += " [" + std::to_string(sig.width - 1) + ":0]";
+        }
+        append(decl + " $end\n");
+    }
+    append("$upscope $end\n");
+    append("$enddefinitions $end\n");
+    append("#" + std::to_string(time) + "\n");
+    append("$dumpvars\n");
+    last_records_.resize(signals_.size());
+    for (size_t i = 0; i < signals_.size(); ++i) {
+        const BitVector* v = i < values.size() ? values[i] : nullptr;
+        last_records_[i] = record(signals_[i], v);
+        append(last_records_[i]);
+    }
+    append("$end\n");
+    header_written_ = true;
+}
+
+void
+VcdWriter::sample(uint64_t time, const std::vector<const BitVector*>& values)
+{
+    if (!is_open() || !dumping_) {
+        return;
+    }
+    if (!header_written_) {
+        write_header(time, values);
+        ++samples_;
+        return;
+    }
+    std::string changes;
+    for (size_t i = 0; i < signals_.size(); ++i) {
+        const BitVector* v = i < values.size() ? values[i] : nullptr;
+        std::string rec = record(signals_[i], v);
+        if (rec != last_records_[i]) {
+            changes += rec;
+            last_records_[i] = std::move(rec);
+        }
+    }
+    if (!changes.empty()) {
+        append("#" + std::to_string(time) + "\n");
+        append(changes);
+    }
+    ++samples_;
+}
+
+void
+VcdWriter::dump_off(uint64_t time)
+{
+    if (!is_open() || !dumping_) {
+        return;
+    }
+    dumping_ = false;
+    if (!header_written_) {
+        // Nothing dumped yet; the header (and first checkpoint) will be
+        // written when dumping resumes.
+        return;
+    }
+    append("#" + std::to_string(time) + "\n");
+    append("$dumpoff\n");
+    for (size_t i = 0; i < signals_.size(); ++i) {
+        last_records_[i] = record(signals_[i], nullptr);
+        append(last_records_[i]);
+    }
+    append("$end\n");
+}
+
+void
+VcdWriter::dump_on(uint64_t time, const std::vector<const BitVector*>& values)
+{
+    if (!is_open() || dumping_) {
+        return;
+    }
+    dumping_ = true;
+    if (!header_written_) {
+        return;
+    }
+    append("#" + std::to_string(time) + "\n");
+    append("$dumpon\n");
+    for (size_t i = 0; i < signals_.size(); ++i) {
+        const BitVector* v = i < values.size() ? values[i] : nullptr;
+        last_records_[i] = record(signals_[i], v);
+        append(last_records_[i]);
+    }
+    append("$end\n");
+}
+
+void
+VcdWriter::append(const std::string& text)
+{
+    buf_ += text;
+    if (buf_.size() >= kFlushThreshold) {
+        flush();
+    }
+}
+
+void
+VcdWriter::flush()
+{
+    if (!is_open() || buf_.empty()) {
+        return;
+    }
+    TELEM_SPAN("vcd.flush");
+    out_ << buf_;
+    out_.flush();
+    bytes_written_ += buf_.size();
+    buf_.clear();
+}
+
+void
+VcdWriter::close()
+{
+    if (!is_open()) {
+        return;
+    }
+    flush();
+    out_.close();
+    path_.clear();
+}
+
+} // namespace cascade::sim

@@ -1,0 +1,107 @@
+/// \file
+/// IEEE-1364 VCD (value change dump) waveform writer, the artifact side of
+/// signal-level observability. The runtime drives it engine-agnostically:
+/// probe signals are declared once, then sampled at end-of-timestep with
+/// whatever values the owning engine reports (interpreter nets or fabric
+/// MMIO readbacks), so the same .vcd comes out of the software and hardware
+/// engines — including across a mid-run engine adoption, which splices into
+/// the open dump rather than restarting it.
+///
+/// The writer buffers change records in memory and flushes to disk in
+/// large chunks (a "vcd.flush" phase span covers each flush). Output is
+/// deterministic for a given sample sequence: the $date header is the only
+/// non-reproducible line, so golden tests strip it.
+
+#ifndef CASCADE_SIM_VCD_H
+#define CASCADE_SIM_VCD_H
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+
+namespace cascade::sim {
+
+/// Streams an IEEE-1364 §18.2 four-state VCD file. Usage: open(), declare()
+/// every probe, then sample() once per timestep with an index-aligned value
+/// list (null pointer = unknown, dumped as x). The header and the initial
+/// $dumpvars section are emitted lazily on the first sample, at which point
+/// the signal set freezes. Only signals whose rendered value changed since
+/// the previous sample produce records; a sample with no changes produces
+/// no output at all (not even a timestamp).
+class VcdWriter {
+  public:
+    VcdWriter() = default;
+    ~VcdWriter();
+
+    VcdWriter(const VcdWriter&) = delete;
+    VcdWriter& operator=(const VcdWriter&) = delete;
+
+    /// Opens (truncates) \p path. Returns false on IO failure, with a
+    /// message in *err.
+    bool open(const std::string& path, std::string* err = nullptr);
+    bool is_open() const { return out_.is_open(); }
+    const std::string& path() const { return path_; }
+
+    /// Declares a signal before the first sample; returns its index, or -1
+    /// if the header has already been written (the signal set is frozen).
+    /// Duplicate names return the existing index.
+    int declare(const std::string& name, uint32_t width);
+    size_t signal_count() const { return signals_.size(); }
+
+    /// Records one end-of-timestep sample. \p values must be index-aligned
+    /// with the declared signals; a null entry dumps as x. Ignored while
+    /// dumping is suspended ($dumpoff) or before open().
+    void sample(uint64_t time, const std::vector<const BitVector*>& values);
+
+    /// $dumpoff: emits an x-valued checkpoint section and suspends
+    /// sampling until dump_on.
+    void dump_off(uint64_t time);
+    /// $dumpon: resumes sampling with a full-value checkpoint section.
+    void dump_on(uint64_t time, const std::vector<const BitVector*>& values);
+    bool dumping() const { return dumping_; }
+
+    /// Flushes the in-memory buffer to disk (a "vcd.flush" span).
+    void flush();
+    /// Flushes and closes the stream; further samples are ignored.
+    void close();
+
+    /// @{ Telemetry: samples recorded and bytes flushed to disk so far.
+    uint64_t samples() const { return samples_; }
+    uint64_t bytes_written() const { return bytes_written_; }
+    /// @}
+
+  private:
+    struct Signal {
+        std::string name;
+        uint32_t width = 1;
+        std::string id; ///< printable VCD identifier code
+    };
+
+    /// Base-94 printable identifier code for signal index \p index.
+    static std::string id_code(size_t index);
+    /// The change record for \p sig holding \p value (null = x),
+    /// newline-terminated.
+    static std::string record(const Signal& sig, const BitVector* value);
+
+    void write_header(uint64_t time,
+                      const std::vector<const BitVector*>& values);
+    void append(const std::string& text);
+
+    std::ofstream out_;
+    std::string path_;
+    std::string buf_;
+    std::vector<Signal> signals_;
+    /// Last emitted record per signal, for change suppression.
+    std::vector<std::string> last_records_;
+    bool header_written_ = false;
+    bool dumping_ = true;
+    uint64_t samples_ = 0;
+    uint64_t bytes_written_ = 0;
+};
+
+} // namespace cascade::sim
+
+#endif // CASCADE_SIM_VCD_H

@@ -637,6 +637,26 @@ Elaborator::check_stmt(const Stmt& stmt, const ElaboratedModule& em,
       }
       case StmtKind::SystemTask: {
         const auto& s = static_cast<const SystemTaskStmt&>(stmt);
+        if (s.name == "$dumpfile") {
+            if (s.args.size() != 1 ||
+                s.args[0]->kind != ExprKind::String) {
+                diags_->error(stmt.loc,
+                              "$dumpfile takes exactly one string "
+                              "argument");
+                return false;
+            }
+            return true;
+        }
+        if (s.name == "$dumpvars" || s.name == "$dumpoff" ||
+            s.name == "$dumpon") {
+            if (!s.args.empty()) {
+                diags_->error(stmt.loc,
+                              s.name + " takes no arguments (only "
+                              "whole-design dumps are supported)");
+                return false;
+            }
+            return true;
+        }
         if (s.name != "$display" && s.name != "$write" &&
             s.name != "$finish" && s.name != "$monitor") {
             diags_->error(stmt.loc,

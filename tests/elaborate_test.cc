@@ -341,6 +341,42 @@ typed_rhs(const std::string& decls, const std::string& rhs)
     return out;
 }
 
+TEST(Elaborate, DumpTasksAccepted)
+{
+    elaborate_ok(R"(
+        module M(input wire clk);
+          reg r = 0;
+          initial begin
+            $dumpfile("waves.vcd");
+            $dumpvars;
+          end
+          always @(posedge clk) begin
+            r <= ~r;
+            $dumpoff;
+            $dumpon;
+          end
+        endmodule
+    )");
+}
+
+TEST(Elaborate, DumpTaskArgumentValidation)
+{
+    expect_elab_error(
+        "module M(); initial $dumpfile(1); endmodule",
+        "$dumpfile takes exactly one string argument");
+    expect_elab_error(
+        "module M(); initial $dumpfile(\"a\", \"b\"); endmodule",
+        "$dumpfile takes exactly one string argument");
+    // Only whole-design dumps: $dumpvars with a depth/scope is rejected.
+    expect_elab_error("module M(); initial $dumpvars(0); endmodule",
+                      "$dumpvars takes no arguments");
+    expect_elab_error("module M(); reg r = 0; initial $dumpoff(r); "
+                      "endmodule",
+                      "$dumpoff takes no arguments");
+    expect_elab_error("module M(); initial $dumpon(1); endmodule",
+                      "$dumpon takes no arguments");
+}
+
 TEST(ExprTyper, Widths)
 {
     {

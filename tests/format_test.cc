@@ -92,6 +92,21 @@ TEST(Format, NoFormatString)
     EXPECT_EQ(format_values({}), "");
 }
 
+TEST(Format, TimeSpecifier)
+{
+    // Without a $timeformat, %t renders as unsigned decimal: %0t is
+    // minimal-width, %t pads to the widest value of the type.
+    EXPECT_EQ(format_display("%0t", {dv(64, 42)}), "42");
+    EXPECT_EQ(format_display("t=%0t.", {dv(64, 0)}), "t=0.");
+    EXPECT_EQ(format_display("%t", {dv(8, 7)}), "  7");
+    // A 64-bit time pads to 20 digits (the width of 2^64-1).
+    EXPECT_EQ(format_display("%t", {dv(64, 5)}),
+              std::string(19, ' ') + "5");
+    // %t is always unsigned, even for signed arguments ($time is a
+    // 64-bit unsigned quantity).
+    EXPECT_EQ(format_display("%0t", {dv(8, 0xFE, true)}), "254");
+}
+
 TEST(Format, WideValues)
 {
     BitVector wide = BitVector::all_ones(128);

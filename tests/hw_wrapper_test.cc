@@ -388,5 +388,63 @@ TEST(HwWrapper, RejectsBadClockName)
     EXPECT_EQ(generate_hw_wrapper(*em, "nope", &map, &diags), nullptr);
 }
 
+TEST(HwWrapper, RejectsDumpTasks)
+{
+    // $dump* is software-side observability; a subprogram using it must
+    // fail hardware compilation (and so stay in the software engine).
+    Diagnostics diags;
+    SourceUnit unit = parse(R"(
+        module M(input wire clk);
+          reg r = 0;
+          always @(posedge clk) begin
+            r <= ~r;
+            $dumpvars;
+          end
+        endmodule
+    )", &diags);
+    ASSERT_FALSE(diags.has_errors()) << diags.str();
+    Elaborator elab(&diags);
+    auto em = elab.elaborate(*unit.modules[0]);
+    ASSERT_NE(em, nullptr) << diags.str();
+    WrapperMap map;
+    EXPECT_EQ(generate_hw_wrapper(*em, "clk", &map, &diags), nullptr);
+    EXPECT_NE(diags.str().find("waveform dump tasks cannot be compiled"),
+              std::string::npos)
+        << diags.str();
+}
+
+TEST(HwWrapper, MonitorSiteRecordsKeyAndChangeGate)
+{
+    Diagnostics diags;
+    SourceUnit unit = parse(R"(
+        module M(input wire clk);
+          reg [7:0] cnt = 0;
+          always @(posedge clk) begin
+            cnt <= cnt + 1;
+            $monitor("cnt=%0d", cnt);
+          end
+        endmodule
+    )", &diags);
+    ASSERT_FALSE(diags.has_errors()) << diags.str();
+    Elaborator elab(&diags);
+    auto em = elab.elaborate(*unit.modules[0]);
+    ASSERT_NE(em, nullptr) << diags.str();
+    WrapperMap map;
+    auto wrapper = generate_hw_wrapper(*em, "clk", &map, &diags);
+    ASSERT_NE(wrapper, nullptr) << diags.str();
+    ASSERT_EQ(map.tasks.size(), 1u);
+    EXPECT_EQ(map.tasks[0].kind, TaskKind::Monitor);
+    // The key is the canonical print of the pre-rewrite statement; the
+    // software interpreter registers the identical key, which is what
+    // splices monitor suppression across an engine handoff.
+    EXPECT_EQ(map.tasks[0].key, "$monitor(\"cnt=%0d\", cnt);");
+    ASSERT_EQ(map.tasks[0].arg_slots.size(), 1u);
+    // The generated logic gates the toggle on first-fire/argument change:
+    // a _mf0 fired flag must exist and the site must compare the saved
+    // argument against the live value.
+    const std::string text = print(*wrapper);
+    EXPECT_NE(text.find("_mf0"), std::string::npos) << text;
+}
+
 } // namespace
 } // namespace cascade::ir

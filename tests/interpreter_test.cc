@@ -25,10 +25,18 @@ class Capture : public SystemTaskHandler {
         writes.push_back(text);
     }
     void on_finish() override { finished = true; }
+    void
+    on_monitor(const std::string& key, const std::string& text) override
+    {
+        monitor_keys.push_back(key);
+        monitors.push_back(text);
+    }
     uint64_t current_time() const override { return time; }
 
     std::vector<std::string> displays;
     std::vector<std::string> writes;
+    std::vector<std::string> monitor_keys;
+    std::vector<std::string> monitors;
     bool finished = false;
     uint64_t time = 0;
 };
@@ -492,6 +500,74 @@ TEST(Interpreter, TimeSystemCall)
     h.capture().time = 42;
     h.tick();
     EXPECT_EQ(h.get("t"), 42u);
+}
+
+TEST(Interpreter, MonitorRegistersOnceAndFlushesOnDemand)
+{
+    Harness h(R"(
+        module M(input wire clk);
+          reg [7:0] cnt = 0;
+          always @(posedge clk) begin
+            cnt <= cnt + 1;
+            $monitor("cnt=%0d", cnt);
+          end
+        endmodule
+    )");
+    // Executing the statement registers the monitor; it does not print.
+    h.tick();
+    h.tick();
+    EXPECT_EQ(h.interp().monitor_count(), 1u)
+        << "re-executing a $monitor must not register it again";
+    EXPECT_TRUE(h.capture().monitors.empty());
+    EXPECT_TRUE(h.capture().displays.empty());
+
+    // flush_monitors emits one candidate per registered monitor, with
+    // arguments sampled at the trigger site (the second posedge saw
+    // cnt==1); suppression is the runtime's job.
+    h.interp().flush_monitors();
+    ASSERT_EQ(h.capture().monitors.size(), 1u);
+    EXPECT_EQ(h.capture().monitors[0], "cnt=1");
+    h.tick();
+    h.interp().flush_monitors();
+    ASSERT_EQ(h.capture().monitors.size(), 2u);
+    EXPECT_EQ(h.capture().monitors[1], "cnt=2");
+}
+
+TEST(Interpreter, MonitorKeyIsCanonicalSourceText)
+{
+    Harness h(R"(
+        module M(input wire clk);
+          reg [7:0] v = 0;
+          always @(posedge clk) $monitor("v=%0d", v);
+        endmodule
+    )");
+    h.tick();
+    h.interp().flush_monitors();
+    ASSERT_EQ(h.capture().monitor_keys.size(), 1u);
+    // The key is the printed statement, stripped of trailing whitespace —
+    // the hardware wrapper computes the same key for the same site, which
+    // is what lets the runtime splice suppression across a handoff.
+    EXPECT_EQ(h.capture().monitor_keys[0], "$monitor(\"v=%0d\", v);");
+}
+
+TEST(Interpreter, TwoMonitorsFlushIndependently)
+{
+    Harness h(R"(
+        module M(input wire clk);
+          reg [7:0] a = 1;
+          reg [7:0] b = 2;
+          always @(posedge clk) begin
+            $monitor("a=%0d", a);
+            $monitor("b=%0d", b);
+          end
+        endmodule
+    )");
+    h.tick();
+    EXPECT_EQ(h.interp().monitor_count(), 2u);
+    h.interp().flush_monitors();
+    ASSERT_EQ(h.capture().monitors.size(), 2u);
+    EXPECT_EQ(h.capture().monitors[0], "a=1");
+    EXPECT_EQ(h.capture().monitors[1], "b=2");
 }
 
 TEST(Interpreter, ChangedOutputsTracked)
