@@ -11,9 +11,11 @@
 ///
 /// Output: CSV rows "series,time_s,kio_per_s". The cascade run also
 /// writes a machine-readable telemetry sidecar
-/// (fig12_regex_stream.stats.json) and a Chrome trace_event dump
-/// (fig12_regex_stream.trace.json) next to wherever the bench is invoked
-/// from, matching fig11's artifacts.
+/// (fig12_regex_stream.stats.json), a Chrome trace_event dump
+/// (fig12_regex_stream.trace.json), and a headline result file
+/// (BENCH_fig12_regex_stream.json) next to wherever the bench is invoked
+/// from, matching fig11's artifacts. CI's smoke-bench job uploads all
+/// three.
 
 #include <chrono>
 #include <cstdio>
@@ -59,7 +61,10 @@ log_bytes(size_t n)
 int
 main()
 {
+    const double bench_t0 = now_s();
     std::printf("series,time_s,kio_per_s\n");
+    double quartus_compile_s = 0;
+    double quartus_kio_result = 0;
 
     // "Quartus": the native design consumes one byte per MMIO write after
     // compilation completes; throughput is transport-bound.
@@ -84,6 +89,8 @@ main()
                      compile_s,
                      static_cast<unsigned long long>(
                          result.report.area.les));
+        quartus_compile_s = compile_s;
+        quartus_kio_result = quartus_kio;
     }
 
     // Cascade: software engine first, open-loop hardware after the JIT.
@@ -107,6 +114,8 @@ main()
         double last_sample = t0;
         uint64_t last_bytes = 0;
         int hw_samples = 0;
+        double sw_kio = 0;
+        double hw_kio = 0;
         while (now_s() - t0 < 150.0) {
             if (rt.fifo_backlog() < 4096) {
                 rt.fifo_push(log_bytes(8192));
@@ -116,9 +125,9 @@ main()
                 const double t = now_s();
                 if (t - last_sample >= 0.25 && !rt.hardware_ready()) {
                     const uint64_t bytes = rt.fifo_bytes_consumed();
-                    std::printf("cascade,%.2f,%.1f\n", t - t0,
-                                static_cast<double>(bytes - last_bytes) /
-                                    (t - last_sample) / 1e3);
+                    sw_kio = static_cast<double>(bytes - last_bytes) /
+                             (t - last_sample) / 1e3;
+                    std::printf("cascade,%.2f,%.1f\n", t - t0, sw_kio);
                     last_bytes = bytes;
                     last_sample = t;
                 }
@@ -131,12 +140,30 @@ main()
             const double dtl = rt.timeline_seconds() - tl0;
             const uint64_t dbytes = rt.fifo_bytes_consumed() - bytes0;
             if (dtl > 0 && dbytes > 0) {
-                std::printf("cascade,%.2f,%.1f\n", now_s() - t0,
-                            static_cast<double>(dbytes) / dtl / 1e3);
+                hw_kio = static_cast<double>(dbytes) / dtl / 1e3;
+                std::printf("cascade,%.2f,%.1f\n", now_s() - t0, hw_kio);
                 if (++hw_samples >= 5) {
                     break;
                 }
             }
+        }
+        {
+            char buf[512];
+            std::ofstream out("BENCH_fig12_regex_stream.json");
+            std::snprintf(
+                buf, sizeof buf,
+                "{\"schema\":\"cascade.bench.v1\","
+                "\"bench\":\"fig12_regex_stream\",\"wall_seconds\":%.3f,"
+                "\"quartus\":{\"compile_seconds\":%.3f,"
+                "\"kio_per_s\":%.1f},"
+                "\"cascade\":{\"adopted\":%s,\"sw_kio_per_s\":%.1f,"
+                "\"hw_kio_per_s\":%.1f,\"bytes_consumed\":%llu},",
+                now_s() - bench_t0, quartus_compile_s, quartus_kio_result,
+                rt.hardware_ready() ? "true" : "false", sw_kio, hw_kio,
+                static_cast<unsigned long long>(rt.fifo_bytes_consumed()));
+            out << buf << "\"profile\":" << rt.profile_json() << "}\n";
+            std::fprintf(stderr,
+                         "# results -> BENCH_fig12_regex_stream.json\n");
         }
         {
             std::ofstream sidecar("fig12_regex_stream.stats.json");

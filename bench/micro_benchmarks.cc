@@ -78,6 +78,29 @@ BM_InterpreterTick(benchmark::State& state)
 }
 BENCHMARK(BM_InterpreterTick);
 
+/// Same loop with the source-level profiler toggled by the benchmark arg.
+/// Arg(0) vs Arg(1) vs BM_InterpreterTick is the acceptance check that
+/// disabled profiling costs nothing on the interpreter hot path (counts
+/// are always kept; only the per-process clock reads are gated).
+void
+BM_InterpreterTickProfiling(benchmark::State& state)
+{
+    sim::ModuleInterpreter interp(counter_module(), nullptr);
+    interp.set_profiling(state.range(0) != 0);
+    interp.run_initials();
+    bool level = false;
+    for (auto _ : state) {
+        level = !level;
+        interp.set_input("clk", BitVector(1, level ? 1 : 0));
+        interp.evaluate();
+        if (interp.there_are_updates()) {
+            interp.update();
+        }
+        interp.evaluate();
+    }
+}
+BENCHMARK(BM_InterpreterTickProfiling)->Arg(0)->Arg(1);
+
 void
 BM_BitstreamCycle(benchmark::State& state)
 {
@@ -92,6 +115,25 @@ BM_BitstreamCycle(benchmark::State& state)
     }
 }
 BENCHMARK(BM_BitstreamCycle);
+
+/// Fabric-activity counters toggled by the benchmark arg; Arg(0) must
+/// match BM_BitstreamCycle (the instrumented eval is a separate twin, so
+/// the disabled path carries no per-cell bookkeeping).
+void
+BM_BitstreamCycleProfiling(benchmark::State& state)
+{
+    Diagnostics diags;
+    auto nl = fpga::synthesize(*counter_module(), &diags);
+    fpga::Bitstream bs(std::shared_ptr<const fpga::Netlist>(std::move(nl)));
+    bs.set_profiling(state.range(0) != 0);
+    bool level = false;
+    for (auto _ : state) {
+        level = !level;
+        bs.set_input("clk", BitVector(1, level ? 1 : 0));
+        bs.step();
+    }
+}
+BENCHMARK(BM_BitstreamCycleProfiling)->Arg(0)->Arg(1);
 
 void
 BM_ShaBitstreamCycle(benchmark::State& state)

@@ -9,8 +9,10 @@
 /// Output: one row per (workload, toolchain): seconds to first execution.
 /// Like fig11/fig12, the bench also writes telemetry sidecars next to
 /// wherever it is invoked from: table3_startup_latency.stats.json (one
-/// stats_json() snapshot per cascade run, keyed by workload) and
-/// table3_startup_latency.trace.json (Chrome trace_event spans).
+/// stats_json() snapshot per cascade run, keyed by workload),
+/// table3_startup_latency.trace.json (Chrome trace_event spans), and a
+/// headline result file (BENCH_table3_startup_latency.json: the latency
+/// matrix CI's smoke-bench job uploads and diffs).
 
 #include <chrono>
 #include <cstdio>
@@ -97,6 +99,7 @@ main()
          cascade::workloads::regex_stream_module()},
     };
     std::string sidecar_body;
+    std::string results_body;
     for (const Case& c : cases) {
         Runtime::Options sw;
         sw.enable_hardware = false;
@@ -109,6 +112,18 @@ main()
         const double t_direct = time_direct_compile(c.module_src);
         std::printf("%-16s %11.3fs %11.3fs %11.2fs\n", c.name, t_sw,
                     t_cascade, t_direct);
+        {
+            char row[192];
+            std::snprintf(row, sizeof row,
+                          "\"%s\":{\"sw_seconds\":%.4f,"
+                          "\"cascade_seconds\":%.4f,"
+                          "\"direct_seconds\":%.4f}",
+                          c.name, t_sw, t_cascade, t_direct);
+            if (!results_body.empty()) {
+                results_body += ',';
+            }
+            results_body += row;
+        }
         if (!stats.empty()) {
             if (!sidecar_body.empty()) {
                 sidecar_body += ',';
@@ -118,6 +133,14 @@ main()
             sidecar_body += "\":";
             sidecar_body += stats;
         }
+    }
+    {
+        std::ofstream out("BENCH_table3_startup_latency.json");
+        out << "{\"schema\":\"cascade.bench.v1\","
+            << "\"bench\":\"table3_startup_latency\",\"workloads\":{"
+            << results_body << "}}\n";
+        std::fprintf(stderr,
+                     "# results -> BENCH_table3_startup_latency.json\n");
     }
     {
         std::ofstream sidecar("table3_startup_latency.stats.json");

@@ -39,6 +39,7 @@ Bitstream::Bitstream(std::shared_ptr<const Netlist> netlist)
     for (size_t i = 0; i < nl_->mems.size(); ++i) {
         mem_index_[nl_->mems[i].name] = static_cast<uint32_t>(i);
     }
+    reg_latch_count_.assign(nl_->regs.size(), 0);
     eval_comb();
     prev_reg_clock_.resize(nl_->regs.size());
     for (size_t i = 0; i < nl_->regs.size(); ++i) {
@@ -97,6 +98,10 @@ Bitstream::output(int index) const
 void
 Bitstream::eval_comb()
 {
+    if (profile_) {
+        eval_comb_profiled();
+        return;
+    }
     // Nodes are in topological order by construction: a single pass
     // settles everything.
     const size_t n = nl_->nodes.size();
@@ -131,6 +136,80 @@ Bitstream::eval_comb()
 }
 
 void
+Bitstream::eval_comb_profiled()
+{
+    // Instrumented twin of eval_comb: same evaluation order and
+    // semantics, plus per-node eval/toggle counting. Kept separate so
+    // the unprofiled path stays branch-free per node.
+    const size_t n = nl_->nodes.size();
+    std::vector<BitVector> argv;
+    for (size_t i = 0; i < n; ++i) {
+        const Node& node = nl_->nodes[i];
+        BitVector next;
+        switch (node.op) {
+          case Op::Const:
+          case Op::Input:
+            continue;
+          case Op::RegQ:
+            next = reg_state_[node.aux];
+            break;
+          case Op::MemRead: {
+            const uint64_t addr = values_[node.args[0]].to_uint64();
+            const auto& mem = mem_state_[node.aux];
+            next = addr < mem.size() ? mem[addr]
+                                     : BitVector(node.width, 0);
+            break;
+          }
+          default: {
+            argv.clear();
+            for (uint32_t a : node.args) {
+                argv.push_back(values_[a]);
+            }
+            next = eval_node(node, argv);
+            break;
+          }
+        }
+        ++eval_count_[i];
+        if (!(values_[i] == next)) {
+            ++toggle_count_[i];
+        }
+        values_[i] = std::move(next);
+    }
+}
+
+void
+Bitstream::set_profiling(bool on)
+{
+    profile_ = on;
+    if (on && eval_count_.size() != nl_->nodes.size()) {
+        eval_count_.assign(nl_->nodes.size(), 0);
+        toggle_count_.assign(nl_->nodes.size(), 0);
+    }
+}
+
+std::map<std::string, Bitstream::SourceActivity>
+Bitstream::activity_by_source() const
+{
+    std::map<std::string, SourceActivity> out;
+    for (size_t i = 0; i < eval_count_.size(); ++i) {
+        if (eval_count_[i] == 0) {
+            continue;
+        }
+        SourceActivity& a = out[nl_->source_of(static_cast<uint32_t>(i))];
+        a.evals += eval_count_[i];
+        a.toggles += toggle_count_[i];
+    }
+    return out;
+}
+
+uint64_t
+Bitstream::latch_count(const std::string& name) const
+{
+    const auto it = reg_index_.find(name);
+    return it == reg_index_.end() ? 0 : reg_latch_count_[it->second];
+}
+
+void
 Bitstream::step()
 {
     ++cycles_;
@@ -148,6 +227,7 @@ Bitstream::step()
             if (now && !prev_reg_clock_[r]) {
                 latches.emplace_back(static_cast<uint32_t>(r),
                                      values_[reg.next]);
+                ++reg_latch_count_[r];
             }
             prev_reg_clock_[r] = now;
         }

@@ -8,6 +8,7 @@
 #ifndef CASCADE_FPGA_BITSTREAM_H
 #define CASCADE_FPGA_BITSTREAM_H
 
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -51,8 +52,28 @@ class Bitstream {
 
     uint64_t cycles() const { return cycles_; }
 
+    /// @{ Source-level activity profiling. When enabled, eval_comb counts
+    /// per-node evaluations and value toggles; when off, the evaluator
+    /// runs the original uninstrumented loop (no per-node overhead).
+    /// Register latch events are always counted (one add per actual
+    /// latch, far off the hot path).
+    void set_profiling(bool on);
+    bool profiling() const { return profile_; }
+    /// Per-source-construct activity, aggregated over nodes through the
+    /// netlist's provenance labels (synth -> techmap -> fabric).
+    struct SourceActivity {
+        uint64_t evals = 0;   ///< node evaluations attributed to the label
+        uint64_t toggles = 0; ///< evaluations that changed the value
+    };
+    std::map<std::string, SourceActivity> activity_by_source() const;
+    /// Latch events for register \p name (0 if unknown). Every commit of
+    /// a new value into the register counts.
+    uint64_t latch_count(const std::string& name) const;
+    /// @}
+
   private:
     void eval_range(size_t first);
+    void eval_comb_profiled();
 
     std::shared_ptr<const Netlist> nl_;
     std::vector<BitVector> values_;       ///< per node
@@ -65,6 +86,10 @@ class Bitstream {
     std::unordered_map<std::string, uint32_t> reg_index_;
     std::unordered_map<std::string, uint32_t> mem_index_;
     uint64_t cycles_ = 0;
+    bool profile_ = false;
+    std::vector<uint64_t> eval_count_;   ///< per node (profiling only)
+    std::vector<uint64_t> toggle_count_; ///< per node (profiling only)
+    std::vector<uint64_t> reg_latch_count_; ///< per register (always)
 };
 
 } // namespace cascade::fpga

@@ -87,6 +87,24 @@ compile(const verilog::ElaboratedModule& em, const CompileOptions& options)
         result.report.timing_seconds = seconds_since(t);
     }
 
+    // Render the critical path as named user signals (provenance threads
+    // from synthesis through mapping and placement). Consecutive hops
+    // inside one named signal's cone collapse to a single entry.
+    for (size_t i = 0; i < result.report.timing.critical_path.size();
+         ++i) {
+        const uint32_t node = result.report.timing.critical_path[i];
+        std::string name = nl->name_of(node);
+        if (!result.report.critical_path_names.empty() &&
+            result.report.critical_path_names.back() == name) {
+            result.report.critical_path_arrival_ns.back() =
+                result.report.timing.critical_arrival_ns[i];
+            continue;
+        }
+        result.report.critical_path_names.push_back(std::move(name));
+        result.report.critical_path_arrival_ns.push_back(
+            result.report.timing.critical_arrival_ns[i]);
+    }
+
     result.report.total_seconds = result.report.phase_sum_seconds();
     CASCADE_CHECK(std::abs(result.report.total_seconds -
                            (result.report.synth_seconds +

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "fpga/bitstream.h"
 #include "fpga/place.h"
@@ -31,6 +32,12 @@ struct CompileReport {
     size_t cells = 0;
     uint64_t anneal_moves = 0;
     double wirelength = 0;
+    /// The critical path rendered as source-level signal names (netlist
+    /// provenance, consecutive duplicates collapsed), source first.
+    /// Parallel to critical_path_arrival_ns. Lets report consumers show
+    /// "clk -> cnt -> out" without holding the netlist.
+    std::vector<std::string> critical_path_names;
+    std::vector<double> critical_path_arrival_ns;
     /// Per-phase flow timing. Invariant (checked in compile()):
     /// total_seconds == synth + techmap + place + timing, so downstream
     /// consumers (telemetry sidecars, Table 3) can attribute every second

@@ -107,8 +107,10 @@ NetlistBuilder::input(const std::string& name, uint32_t width)
     n.width = width;
     n.aux = static_cast<uint32_t>(nl_->inputs.size());
     nl_->nodes.push_back(std::move(n));
+    tag_new_nodes();
     const uint32_t id = static_cast<uint32_t>(nl_->nodes.size() - 1);
     nl_->inputs.push_back({name, id, width});
+    name_node(id, name);
     return id;
 }
 
@@ -121,7 +123,9 @@ NetlistBuilder::reg(const std::string& name, uint32_t width,
     n.width = width;
     n.aux = static_cast<uint32_t>(nl_->regs.size());
     nl_->nodes.push_back(std::move(n));
+    tag_new_nodes();
     const uint32_t id = static_cast<uint32_t>(nl_->nodes.size() - 1);
+    name_node(id, name);
     RegDef r;
     r.name = name;
     r.width = width;
@@ -150,6 +154,7 @@ NetlistBuilder::mem_read(uint32_t mem_index, uint32_t addr, uint32_t width)
     n.args = {addr};
     // Memory reads are not consed: contents change over time.
     nl_->nodes.push_back(std::move(n));
+    tag_new_nodes();
     return static_cast<uint32_t>(nl_->nodes.size() - 1);
 }
 
@@ -308,9 +313,36 @@ NetlistBuilder::intern(Node node)
         }
     }
     nl_->nodes.push_back(std::move(node));
+    tag_new_nodes();
     const uint32_t id = static_cast<uint32_t>(nl_->nodes.size() - 1);
     cse_[h].push_back(id);
     return id;
+}
+
+void
+NetlistBuilder::set_source(const std::string& label)
+{
+    auto it = src_index_.find(label);
+    if (it == src_index_.end()) {
+        const uint32_t id = static_cast<uint32_t>(nl_->src_labels.size());
+        it = src_index_.emplace(label, id).first;
+        nl_->src_labels.push_back(label);
+    }
+    current_src_ = it->second;
+}
+
+void
+NetlistBuilder::name_node(uint32_t node, const std::string& name)
+{
+    nl_->node_names.emplace(node, name); // first writer wins
+}
+
+void
+NetlistBuilder::tag_new_nodes()
+{
+    while (nl_->node_src.size() < nl_->nodes.size()) {
+        nl_->node_src.push_back(current_src_);
+    }
 }
 
 uint32_t
@@ -412,6 +444,43 @@ NetlistBuilder::set_slice_dyn(uint32_t base, uint32_t offset, uint32_t v)
     const uint32_t shifted_v =
         make(Op::Shl, bw, {zext(v, bw), off});
     return make(Op::Or, bw, {cleared, shifted_v});
+}
+
+const std::string&
+Netlist::source_of(uint32_t node) const
+{
+    static const std::string kEmpty;
+    if (node >= node_src.size() || node_src[node] >= src_labels.size()) {
+        return kEmpty;
+    }
+    return src_labels[node_src[node]];
+}
+
+std::string
+Netlist::name_of(uint32_t node) const
+{
+    const auto it = node_names.find(node);
+    if (it != node_names.end()) {
+        return it->second;
+    }
+    const Node& n = nodes[node];
+    if (n.op == Op::RegQ && n.aux < regs.size()) {
+        return regs[n.aux].name;
+    }
+    if (n.op == Op::Input && n.aux < inputs.size()) {
+        return inputs[n.aux].name;
+    }
+    if (n.op == Op::MemRead && n.aux < mems.size()) {
+        return mems[n.aux].name + "[]";
+    }
+    if (n.op == Op::Const) {
+        return "const";
+    }
+    const std::string& src = source_of(node);
+    if (!src.empty()) {
+        return src;
+    }
+    return "n" + std::to_string(node);
 }
 
 } // namespace cascade::fpga

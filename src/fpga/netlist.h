@@ -85,13 +85,40 @@ struct Netlist {
     std::vector<PortDef> inputs;
     std::vector<PortDef> outputs;
 
+    /// @{ Source provenance. Every node carries the label of the source
+    /// construct (net, process, or port) that synthesis was elaborating
+    /// when the node was created; labels are interned in src_labels and
+    /// node_src holds one index per node (parallel to nodes). Hash-consed
+    /// nodes keep the label of their first creator. node_names records
+    /// exact net-name aliases for nodes that hold a named signal's value,
+    /// so timing reports can name path hops after user signals.
+    std::vector<std::string> src_labels;
+    std::vector<uint32_t> node_src;
+    std::map<uint32_t, std::string> node_names;
+    /// @}
+
     size_t size() const { return nodes.size(); }
+
+    /// Provenance label of \p node ("" when unlabeled).
+    const std::string& source_of(uint32_t node) const;
+    /// Best human name for \p node: exact net alias, else reg/port name,
+    /// else the provenance label. Never empty for labeled netlists; falls
+    /// back to "n<id>" otherwise.
+    std::string name_of(uint32_t node) const;
 };
 
 /// Builds nodes with hash-consing and constant folding.
 class NetlistBuilder {
   public:
-    explicit NetlistBuilder(Netlist* nl) : nl_(nl) {}
+    explicit NetlistBuilder(Netlist* nl) : nl_(nl)
+    {
+        // Label 0 is the fallback for nodes created before any
+        // set_source call.
+        if (nl_->src_labels.empty()) {
+            nl_->src_labels.emplace_back("(unattributed)");
+        }
+        src_index_[nl_->src_labels[0]] = 0;
+    }
 
     uint32_t constant(const BitVector& v);
     uint32_t constant(uint32_t width, uint64_t v);
@@ -124,6 +151,14 @@ class NetlistBuilder {
     uint32_t set_slice_dyn(uint32_t base, uint32_t offset, uint32_t v);
     /// @}
 
+    /// @{ Provenance. set_source establishes the label attached to every
+    /// node created until the next call (synthesis sets it per source
+    /// process/net); name_node records an exact net-name alias for a node
+    /// (first writer wins, so a CSE-shared node keeps its original name).
+    void set_source(const std::string& label);
+    void name_node(uint32_t node, const std::string& name);
+    /// @}
+
     uint32_t width_of(uint32_t n) const { return nl_->nodes[n].width; }
     bool is_const(uint32_t n) const
     {
@@ -139,8 +174,14 @@ class NetlistBuilder {
     uint32_t try_fold(const Node& node);
     uint32_t intern(Node node);
 
+    /// Tags nodes appended since the last bookkeeping pass with the
+    /// current source label (cheap: called from every append site).
+    void tag_new_nodes();
+
     Netlist* nl_;
     std::unordered_map<uint64_t, std::vector<uint32_t>> cse_;
+    std::unordered_map<std::string, uint32_t> src_index_;
+    uint32_t current_src_ = 0;
 };
 
 /// Evaluates a single node given already-evaluated argument values; shared

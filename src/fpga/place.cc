@@ -166,7 +166,12 @@ analyze_timing(const Netlist& nl, const MappedDesign& design,
         return {static_cast<double>(x), static_cast<double>(y)};
     };
 
+    // pred[i]: the argument whose (wire-delayed) arrival dominates node
+    // i, so the critical path can be walked back from its endpoint and
+    // reported as a chain of named signals.
+    std::vector<int32_t> pred(nl.nodes.size(), -1);
     double critical = kRegOverheadNs;
+    int32_t endpoint = -1;
     for (size_t i = 0; i < nl.nodes.size(); ++i) {
         const Node& node = nl.nodes[i];
         double in_arrival = 0.0;
@@ -178,19 +183,36 @@ analyze_timing(const Netlist& nl, const MappedDesign& design,
                 t += kWireDelayPerUnit *
                      (std::abs(sx - ax) + std::abs(sy - ay));
             }
-            in_arrival = std::max(in_arrival, t);
+            if (t > in_arrival || pred[i] < 0) {
+                in_arrival = std::max(in_arrival, t);
+                pred[i] = static_cast<int32_t>(a);
+            }
         }
         const bool source = node.op == Op::RegQ || node.op == Op::Input ||
                             node.op == Op::Const;
         arrival[i] =
             source ? 0.0 : in_arrival + design.node_delay_ns[i];
-        critical = std::max(critical, arrival[i] + kRegOverheadNs);
+        if (source) {
+            pred[i] = -1;
+        }
+        if (arrival[i] + kRegOverheadNs > critical) {
+            critical = arrival[i] + kRegOverheadNs;
+            endpoint = static_cast<int32_t>(i);
+        }
     }
 
     TimingReport report;
     report.critical_path_ns = critical;
     report.fmax_mhz = 1000.0 / critical;
     report.met = report.fmax_mhz >= target_clock_mhz;
+    for (int32_t n = endpoint; n >= 0; n = pred[n]) {
+        report.critical_path.push_back(static_cast<uint32_t>(n));
+        report.critical_arrival_ns.push_back(arrival[n]);
+    }
+    std::reverse(report.critical_path.begin(),
+                 report.critical_path.end());
+    std::reverse(report.critical_arrival_ns.begin(),
+                 report.critical_arrival_ns.end());
     return report;
 }
 

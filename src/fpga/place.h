@@ -39,6 +39,13 @@ struct TimingReport {
     double critical_path_ns = 1.0;
     double fmax_mhz = 1000.0;
     bool met = true; ///< meets the target clock
+    /// The longest path as netlist node ids, source first. Rendered into
+    /// user-signal names by the compile driver (Netlist::name_of), so
+    /// timing reports read as a chain of source-level signals instead of
+    /// anonymous cell ids.
+    std::vector<uint32_t> critical_path;
+    /// Per-hop arrival times (ns), parallel to critical_path.
+    std::vector<double> critical_arrival_ns;
 };
 
 /// Static timing: longest register-to-register (or port-to-port)

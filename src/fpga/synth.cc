@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "verilog/printer.h"
 
 namespace cascade::fpga {
 
@@ -17,6 +18,37 @@ namespace {
 
 constexpr uint32_t kUndef = ~0u;
 constexpr uint64_t kMaxUnroll = 1u << 17;
+
+/// Provenance label for a source process: its print collapsed to one
+/// line and truncated, so netlist nodes can be attributed back to the
+/// always/assign/initial construct that synthesized them.
+std::string
+proc_label(const ModuleItem& item)
+{
+    const std::string full = print(item, 0);
+    std::string out;
+    bool in_space = false;
+    for (char c : full) {
+        if (c == ' ' || c == '\t' || c == '\n') {
+            in_space = !out.empty();
+            continue;
+        }
+        if (in_space) {
+            out += ' ';
+            in_space = false;
+        }
+        out += c;
+    }
+    while (!out.empty() && (out.back() == ';' || out.back() == ' ')) {
+        out.pop_back();
+    }
+    constexpr size_t kMaxLabel = 56;
+    if (out.size() > kMaxLabel) {
+        out.resize(kMaxLabel - 1);
+        out += "…";
+    }
+    return out;
+}
 
 class Synthesizer : public LocalScope {
   public:
@@ -72,10 +104,12 @@ class Synthesizer : public LocalScope {
         for (const NetInfo& net : em_.nets) {
             if (net.is_port && net.dir == PortDir::Output) {
                 const uint32_t id = em_.net_id(net.name);
+                b_->set_source(net.name);
                 if (env_[id] == kUndef) {
                     env_[id] = b_->constant(net.width, 0);
                 }
                 b_->output(net.name, env_[id]);
+                b_->name_node(env_[id], net.name);
             }
         }
         return std::move(nl_);
@@ -455,6 +489,7 @@ class Synthesizer : public LocalScope {
     {
         for (size_t i = 0; i < em_.nets.size(); ++i) {
             const NetInfo& net = em_.nets[i];
+            b_->set_source(net.name);
             if (net.array_size > 0) {
                 mem_index_[i] = static_cast<int32_t>(
                     b_->memory(net.name, net.width, net.array_size));
@@ -1459,6 +1494,7 @@ class Synthesizer : public LocalScope {
         // Initial blocks must reduce to constants; their results become
         // register initial values and memory initial contents.
         for (const InitialBlock* ib : initial_) {
+            b_->set_source(proc_label(*ib));
             SeqCtx ctx;
             ctx.active = true;
             ctx.clock = b_->constant(1, 0); // unused
@@ -1575,6 +1611,7 @@ class Synthesizer : public LocalScope {
     void
     run_comb_process(const Proc& p)
     {
+        b_->set_source(proc_label(*p.item));
         if (p.item->kind == ItemKind::ContinuousAssign) {
             const auto& a = static_cast<const ContinuousAssign&>(*p.item);
             const uint32_t lw = lvalue_width(*a.lhs);
@@ -1582,6 +1619,7 @@ class Synthesizer : public LocalScope {
             const uint32_t v =
                 slice_or_zero(build_ctx(*a.rhs, W), 0, lw);
             assign_blocking(*a.lhs, v, kTrueGuard_);
+            name_defs(p);
             return;
         }
         // Combinational always: default every target to 0 first so partial
@@ -1593,6 +1631,19 @@ class Synthesizer : public LocalScope {
             }
         }
         exec(*ab.body, kTrueGuard_, nullptr);
+        name_defs(p);
+    }
+
+    /// Records net-name aliases for the nodes now holding each of
+    /// \p p's defined nets (timing reports name hops after user nets).
+    void
+    name_defs(const Proc& p)
+    {
+        for (uint32_t d : p.defs) {
+            if (env_[d] != kUndef) {
+                b_->name_node(env_[d], em_.nets[d].name);
+            }
+        }
     }
 
     void
@@ -1600,6 +1651,7 @@ class Synthesizer : public LocalScope {
     {
         for (const Proc& p : seq_) {
             const auto& ab = static_cast<const AlwaysBlock&>(*p.item);
+            b_->set_source(proc_label(*p.item));
             const auto& sens = ab.sensitivity[0];
             const auto& sig =
                 static_cast<const IdentifierExpr&>(*sens.signal);
@@ -1627,10 +1679,12 @@ class Synthesizer : public LocalScope {
                     b_->set_reg_next(
                         static_cast<uint32_t>(reg_index_[d]), it->second,
                         clock);
+                    b_->name_node(it->second, em_.nets[d].name);
                 } else if (env_[d] != q) {
                     b_->set_reg_next(
                         static_cast<uint32_t>(reg_index_[d]), env_[d],
                         clock);
+                    b_->name_node(env_[d], em_.nets[d].name);
                 }
                 // Other processes must keep seeing the register output.
                 env_[d] = q;

@@ -155,8 +155,10 @@ technology_map(const Netlist& nl)
         }
         if (les > 0) {
             out.cell_of_node[i] = static_cast<int32_t>(out.cells.size());
+            const uint32_t src =
+                i < nl.node_src.size() ? nl.node_src[i] : 0;
             out.cells.push_back(
-                {static_cast<uint32_t>(i), std::max(1u, les)});
+                {static_cast<uint32_t>(i), std::max(1u, les), src});
         }
     }
     for (const MemDef& m : nl.mems) {

@@ -30,6 +30,11 @@ struct AreaEstimate {
 struct Cell {
     uint32_t node = 0; ///< originating netlist node
     uint32_t les = 1;  ///< logic elements occupied
+    /// Provenance: index into the netlist's src_labels (the source
+    /// construct this cell's node was synthesized from). Carried through
+    /// mapping so placement/timing/activity reports can attribute cells
+    /// to user code without a netlist in hand.
+    uint32_t src = 0;
 };
 
 /// Connectivity for placement: cell indices joined by a signal.

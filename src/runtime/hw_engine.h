@@ -67,6 +67,17 @@ class HwEngine : public Engine {
     uint64_t mmio_transactions() const { return transactions_; }
     uint64_t fabric_cycles() const { return fabric_->cycles(); }
 
+    /// @{ Source-level activity profiling: forwards to the programmed
+    /// fabric's per-node eval/toggle counters (provenance-labeled).
+    void set_profiling(bool on) { fabric_->set_profiling(on); }
+    bool profiling() const { return fabric_->profiling(); }
+    std::map<std::string, fpga::Bitstream::SourceActivity>
+    fabric_activity() const
+    {
+        return fabric_->activity_by_source();
+    }
+    /// @}
+
   private:
     uint32_t mmio_read(uint32_t addr);
     void mmio_write(uint32_t addr, uint32_t value);

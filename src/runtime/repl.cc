@@ -70,14 +70,57 @@ Repl::run_meta_command(const std::string& line)
     std::istringstream words(line);
     std::string cmd;
     std::string arg;
-    words >> cmd >> arg;
+    std::string arg2;
+    words >> cmd >> arg >> arg2;
     if (cmd == ":stats" && arg == "json") {
         if (out_ != nullptr) {
             *out_ << runtime_->stats_json() << "\n";
         }
+    } else if (cmd == ":stats" && arg == "reset") {
+        runtime_->telemetry().reset();
+        telemetry::Registry::global().reset();
+        if (out_ != nullptr) {
+            *out_ << "stats reset (runtime and process registries)\n";
+        }
     } else if (cmd == ":stats") {
         if (out_ != nullptr) {
             *out_ << runtime_->stats_table();
+        }
+    } else if (cmd == ":profile" && arg == "json") {
+        if (out_ != nullptr) {
+            *out_ << runtime_->profile_json() << "\n";
+        }
+    } else if (cmd == ":profile" && (arg == "on" || arg == "off")) {
+        runtime_->set_profiling(arg == "on");
+        if (out_ != nullptr) {
+            *out_ << "profiling " << arg
+                  << (arg == "on"
+                          ? " (interpreter timing + fabric activity)\n"
+                          : " (trigger counts remain collected)\n");
+        }
+    } else if (cmd == ":profile" && arg == "flame") {
+        if (arg2.empty()) {
+            if (out_ != nullptr) {
+                *out_ << "usage: :profile flame <file>\n";
+            }
+        } else {
+            std::string err;
+            if (runtime_->write_flamegraph(arg2, &err)) {
+                if (out_ != nullptr) {
+                    *out_ << "collapsed stacks written to " << arg2
+                          << " (feed to flamegraph.pl or speedscope)\n";
+                }
+            } else if (out_ != nullptr) {
+                *out_ << "cannot write flamegraph: " << err << "\n";
+            }
+        }
+    } else if (cmd == ":profile") {
+        if (out_ != nullptr) {
+            *out_ << runtime_->profile_table();
+        }
+    } else if (cmd == ":fabric") {
+        if (out_ != nullptr) {
+            *out_ << runtime_->fabric_table();
         }
     } else if (cmd == ":trace") {
         if (arg.empty()) {
@@ -140,6 +183,16 @@ Repl::run_meta_command(const std::string& line)
             *out_ << ":stats          telemetry table (counters, gauges, "
                      "histograms, transitions)\n"
                      ":stats json     the same snapshot as JSON\n"
+                     ":stats reset    zero every metric (runtime and "
+                     "process registries)\n"
+                     ":profile        per-process profile (trigger counts, "
+                     "eval time, sw+hw)\n"
+                     ":profile json   the same profile as JSON\n"
+                     ":profile on|off toggle timing/fabric instrumentation\n"
+                     ":profile flame <file>  write collapsed stacks for "
+                     "flamegraph.pl\n"
+                     ":fabric         fabric residency: LE utilization, "
+                     "Fmax, named critical path\n"
                      ":trace <file>   dump phase spans as Chrome "
                      "trace_event JSON\n"
                      ":probe <signal> add a waveform probe (net or "

@@ -649,8 +649,10 @@ Runtime::rebuild_program(std::string* errors)
             std::shared_ptr<const ElaboratedModule> shared(std::move(em));
             const auto mask =
                 initial_skip_mask(*shared, slot.sub.path, true);
-            slot.engine = std::make_unique<SwEngine>(
+            auto sw = std::make_unique<SwEngine>(
                 shared, this, mask, /*hardware_resident=*/slot.is_stdlib);
+            sw->set_profiling(options_.profiling);
+            slot.engine = std::move(sw);
         }
         for (const Port& p : slot.sub.source->ports) {
             slot.port_is_input.push_back(p.dir == PortDir::Input);
@@ -662,6 +664,13 @@ Runtime::rebuild_program(std::string* errors)
         new_slots.push_back(std::move(slot));
     }
 
+    // The old engines die with this swap: bank their profile counters
+    // first (every failure path above returns with slots_ untouched, so
+    // each engine is absorbed exactly once).
+    fold_hw_window();
+    for (const Slot& slot : slots_) {
+        absorb_slot_profile(slot);
+    }
     slots_ = std::move(new_slots);
     hw_engine_ = nullptr;
     user_location_ = Location::Software;
@@ -1636,6 +1645,26 @@ Runtime::adopt_hardware(CompileOutcome outcome)
 
     // Rebuild the slot set: clock + the hardware engine.
     const bool merged = !outcome.prefixes.empty() || outcome.native;
+
+    // Every slot the fabric replaces retires here: bank its interpreter
+    // profile and record the local port name its clock entered through,
+    // so device ticks can be attributed to its clock-driven processes
+    // (trigger descriptions use subprogram-local net names).
+    hw_clock_ports_.clear();
+    for (const Slot& slot : slots_) {
+        if (slot.sub.path != "root" && !(merged && !slot.is_clock)) {
+            continue; // survives the adoption; absorbed when it retires
+        }
+        absorb_slot_profile(slot);
+        if (!outcome.clock_net.empty()) {
+            for (const auto& b : slot.sub.bindings) {
+                if (b.global_net == outcome.clock_net) {
+                    hw_clock_ports_[slot.instance] = b.port;
+                }
+            }
+        }
+    }
+
     std::vector<Slot> new_slots;
     adopted_pads_.clear();
     adopted_leds_.clear();
@@ -1735,6 +1764,7 @@ Runtime::adopt_hardware(CompileOutcome outcome)
         // register values; those side effects either already happened in
         // software or never happened at all.
         hw->discard_pending_tasks();
+        hw->set_profiling(options_.profiling);
     }
     if (clock_engine_ != nullptr && native_engine_ != nullptr) {
         native_engine_->sync_clock_level(clock_engine_->value());
@@ -1753,6 +1783,10 @@ Runtime::adopt_hardware(CompileOutcome outcome)
     transitions_.push_back(rec);
     telemetry::Tracer::global().instant("transition.sw_to_hw",
                                         outcome.version);
+    // The hardware attribution window opens now: ticks from here on
+    // execute on the fabric (any spurious adoption-time fabric edges
+    // above are invisible to tick-based attribution).
+    hw_adopt_ticks_ = virtual_ticks();
 }
 
 void
@@ -1960,6 +1994,8 @@ json_double(double v)
     return buf;
 }
 
+using telemetry::json_escape;
+
 } // namespace
 
 std::string
@@ -2077,6 +2113,323 @@ Runtime::stats_table() const
                           t.clock_mhz);
             out += line;
         }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Source-level profiler (README §Profiling)
+// ---------------------------------------------------------------------------
+
+void
+Runtime::set_profiling(bool on)
+{
+    options_.profiling = on;
+    for (Slot& slot : slots_) {
+        if (auto* sw = dynamic_cast<SwEngine*>(slot.engine.get())) {
+            sw->set_profiling(on);
+        }
+    }
+    if (hw_engine_ != nullptr) {
+        hw_engine_->set_profiling(on);
+    }
+}
+
+void
+Runtime::absorb_slot_profile(const Slot& slot)
+{
+    const auto* sw = dynamic_cast<const SwEngine*>(slot.engine.get());
+    if (sw == nullptr) {
+        return;
+    }
+    auto& per_instance = profile_acc_[slot.instance];
+    for (const sim::ProcessProfile& p : sw->profile()) {
+        ProcAccum& a = per_instance[p.key];
+        if (a.label.empty()) {
+            a.label = p.label;
+            a.kind = p.kind;
+            a.triggers = p.triggers;
+        }
+        a.executions += p.executions;
+        a.eval_ns += p.eval_ns;
+    }
+}
+
+void
+Runtime::attribute_hw_ticks(
+    std::map<std::string, std::map<std::string, ProcAccum>>* acc,
+    uint64_t ticks) const
+{
+    if (ticks == 0 || hw_clock_ports_.empty()) {
+        return;
+    }
+    for (const auto& [instance, clock_port] : hw_clock_ports_) {
+        const auto it = acc->find(instance);
+        if (it == acc->end()) {
+            continue;
+        }
+        const std::string pos = "posedge " + clock_port;
+        const std::string neg = "negedge " + clock_port;
+        for (auto& [key, a] : it->second) {
+            if (a.triggers.empty()) {
+                continue;
+            }
+            uint64_t matches = 0;
+            for (const std::string& t : a.triggers) {
+                if (t == pos || t == neg) {
+                    ++matches;
+                }
+            }
+            if (matches == a.triggers.size()) {
+                // Each virtual tick toggles the clock 0 -> 1 -> 0, so
+                // every posedge and every negedge trigger fires exactly
+                // once per tick. Processes with non-clock sensitivities
+                // get no tick attribution (their fabric activity shows
+                // in the :fabric per-source counters instead).
+                a.hw_triggers += ticks * matches;
+            }
+        }
+    }
+}
+
+void
+Runtime::fold_hw_window()
+{
+    if (hw_clock_ports_.empty()) {
+        return;
+    }
+    attribute_hw_ticks(&profile_acc_, virtual_ticks() - hw_adopt_ticks_);
+    hw_adopt_ticks_ = virtual_ticks();
+    hw_clock_ports_.clear();
+}
+
+std::vector<Runtime::ProfileEntry>
+Runtime::profile() const
+{
+    // Merge banked accumulators, live interpreter counters, and the open
+    // hardware attribution window, all keyed by (instance, canonical
+    // printed item) — so counts splice across engine transitions.
+    auto acc = profile_acc_;
+    for (const Slot& slot : slots_) {
+        const auto* sw = dynamic_cast<const SwEngine*>(slot.engine.get());
+        if (sw == nullptr) {
+            continue;
+        }
+        auto& per_instance = acc[slot.instance];
+        for (const sim::ProcessProfile& p : sw->profile()) {
+            ProcAccum& a = per_instance[p.key];
+            if (a.label.empty()) {
+                a.label = p.label;
+                a.kind = p.kind;
+                a.triggers = p.triggers;
+            }
+            a.executions += p.executions;
+            a.eval_ns += p.eval_ns;
+        }
+    }
+    attribute_hw_ticks(&acc, virtual_ticks() - hw_adopt_ticks_);
+
+    std::vector<ProfileEntry> out;
+    for (const auto& [instance, procs] : acc) {
+        for (const auto& [key, a] : procs) {
+            ProfileEntry e;
+            e.instance = instance;
+            e.key = key;
+            e.label = a.label;
+            e.kind = a.kind;
+            e.triggers = a.triggers;
+            e.sw_triggers = a.executions;
+            e.hw_triggers = a.hw_triggers;
+            e.eval_ns = a.eval_ns;
+            out.push_back(std::move(e));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ProfileEntry& l, const ProfileEntry& r) {
+                  if (l.eval_ns != r.eval_ns) {
+                      return l.eval_ns > r.eval_ns;
+                  }
+                  if (l.total_triggers() != r.total_triggers()) {
+                      return l.total_triggers() > r.total_triggers();
+                  }
+                  if (l.instance != r.instance) {
+                      return l.instance < r.instance;
+                  }
+                  return l.key < r.key;
+              });
+    return out;
+}
+
+std::string
+Runtime::profile_json() const
+{
+    std::string out = "{\"schema\":\"cascade.profile.v1\"";
+    out += ",\"profiling\":";
+    out += options_.profiling ? "true" : "false";
+    out += ",\"location\":\"";
+    out += location_name(user_location_);
+    out += "\",\"virtual_ticks\":" + std::to_string(virtual_ticks());
+    out += ",\"entries\":[";
+    bool first = true;
+    for (const ProfileEntry& e : profile()) {
+        if (!first) {
+            out += ',';
+        }
+        first = false;
+        out += "{\"instance\":\"" + json_escape(e.instance) + '"';
+        out += ",\"kind\":\"" + e.kind + '"';
+        out += ",\"label\":\"" + json_escape(e.label) + '"';
+        out += ",\"key\":\"" + json_escape(e.key) + '"';
+        out += ",\"triggers\":[";
+        for (size_t i = 0; i < e.triggers.size(); ++i) {
+            if (i != 0) {
+                out += ',';
+            }
+            out += '"' + json_escape(e.triggers[i]) + '"';
+        }
+        out += "],\"sw_triggers\":" + std::to_string(e.sw_triggers);
+        out += ",\"hw_triggers\":" + std::to_string(e.hw_triggers);
+        out += ",\"total_triggers\":" + std::to_string(e.total_triggers());
+        out += ",\"eval_ns\":" + std::to_string(e.eval_ns);
+        out += '}';
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+Runtime::profile_table() const
+{
+    char line[256];
+    std::string out = "cascade profile (timing ";
+    out += options_.profiling ? "on" : "off";
+    out += ", location ";
+    out += location_name(user_location_);
+    out += ")\n";
+    const auto entries = profile();
+    if (entries.empty()) {
+        out += "  (no processes)\n";
+        return out;
+    }
+    std::snprintf(line, sizeof line, "  %-10s %-10s %12s %12s %11s  %s\n",
+                  "instance", "kind", "sw-trig", "hw-trig", "eval-ms",
+                  "process");
+    out += line;
+    for (const ProfileEntry& e : entries) {
+        std::snprintf(line, sizeof line,
+                      "  %-10s %-10s %12llu %12llu %11.3f  %s\n",
+                      e.instance.c_str(), e.kind.c_str(),
+                      static_cast<unsigned long long>(e.sw_triggers),
+                      static_cast<unsigned long long>(e.hw_triggers),
+                      static_cast<double>(e.eval_ns) / 1e6,
+                      e.label.c_str());
+        out += line;
+    }
+    return out;
+}
+
+bool
+Runtime::write_flamegraph(const std::string& path, std::string* err) const
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        if (err != nullptr) {
+            *err = "cannot open '" + path + "' for writing";
+        }
+        return false;
+    }
+    // Collapsed-stack format: "frame;frame;frame weight" per line, as
+    // consumed by flamegraph.pl and speedscope. Weight is wall time when
+    // timing was collected, trigger counts otherwise.
+    for (const ProfileEntry& e : profile()) {
+        const uint64_t weight =
+            e.eval_ns != 0 ? e.eval_ns : e.total_triggers();
+        if (weight == 0) {
+            continue;
+        }
+        std::string frames = e.instance + ';' + e.kind + ';' + e.label;
+        for (size_t i = e.instance.size() + e.kind.size() + 2;
+             i < frames.size(); ++i) {
+            if (frames[i] == ';') {
+                frames[i] = ',';
+            }
+        }
+        std::fprintf(f, "%s %llu\n", frames.c_str(),
+                     static_cast<unsigned long long>(weight));
+    }
+    std::fclose(f);
+    return true;
+}
+
+std::string
+Runtime::fabric_table() const
+{
+    char line[256];
+    std::string out = "cascade fabric\n";
+    std::snprintf(line, sizeof line, "  %-26s %s\n", "user location",
+                  location_name(user_location_));
+    out += line;
+    if (!last_report_.has_value()) {
+        out += "  (no hardware compile has completed)\n";
+        return out;
+    }
+    const fpga::CompileReport& r = *last_report_;
+    const double util =
+        options_.device_les != 0
+            ? 100.0 * static_cast<double>(r.area.les) /
+                  static_cast<double>(options_.device_les)
+            : 0.0;
+    std::snprintf(line, sizeof line, "  %-26s %llu / %llu (%.1f%%)\n",
+                  "logic elements",
+                  static_cast<unsigned long long>(r.area.les),
+                  static_cast<unsigned long long>(options_.device_les),
+                  util);
+    out += line;
+    std::snprintf(line, sizeof line, "  %-26s %llu\n", "BRAM bits",
+                  static_cast<unsigned long long>(r.area.bram_bits));
+    out += line;
+    std::snprintf(line, sizeof line, "  %-26s %llu\n", "mapped cells",
+                  static_cast<unsigned long long>(r.cells));
+    out += line;
+    std::snprintf(line, sizeof line, "  %-26s %.1f MHz (target %.1f, %s)\n",
+                  "fmax", r.timing.fmax_mhz, options_.device_clock_mhz,
+                  r.timing.met ? "met" : "missed");
+    out += line;
+    out += "critical path\n";
+    if (r.critical_path_names.empty()) {
+        out += "  (no combinational path)\n";
+    }
+    for (size_t i = 0; i < r.critical_path_names.size(); ++i) {
+        std::snprintf(line, sizeof line, "  %8.3f ns  %s\n",
+                      r.critical_path_arrival_ns[i],
+                      r.critical_path_names[i].c_str());
+        out += line;
+    }
+    if (hw_engine_ != nullptr && hw_engine_->profiling()) {
+        out += "fabric activity (per source construct)\n";
+        const auto activity = hw_engine_->fabric_activity();
+        std::vector<std::pair<std::string, fpga::Bitstream::SourceActivity>>
+            rows(activity.begin(), activity.end());
+        std::sort(rows.begin(), rows.end(),
+                  [](const auto& l, const auto& r2) {
+                      if (l.second.toggles != r2.second.toggles) {
+                          return l.second.toggles > r2.second.toggles;
+                      }
+                      return l.first < r2.first;
+                  });
+        for (const auto& [source, act] : rows) {
+            std::snprintf(line, sizeof line,
+                          "  %12llu evals %12llu toggles  %s\n",
+                          static_cast<unsigned long long>(act.evals),
+                          static_cast<unsigned long long>(act.toggles),
+                          source.c_str());
+            out += line;
+        }
+        if (rows.empty()) {
+            out += "  (no fabric evaluations yet)\n";
+        }
+    } else if (hw_engine_ != nullptr) {
+        out += "  (\":profile on\" enables per-source fabric activity)\n";
     }
     return out;
 }

@@ -64,6 +64,14 @@ class Runtime : public EngineCallbacks {
         /// seconds". IO-bound programs benefit from a smaller target
         /// (peripheral service happens between batches).
         double open_loop_target_wall_s = 1.0;
+        /// Source-level profiler (REPL :profile / :fabric). Per-process
+        /// trigger counts are always collected (one counter add per
+        /// process execution, same cost class as the existing scheduler
+        /// counters); this switch additionally enables wall-time
+        /// attribution in the interpreter and per-node eval/toggle
+        /// counters on the fabric. Off by default so benches measure the
+        /// uninstrumented paths.
+        bool profiling = false;
     };
 
     Runtime(); ///< default options
@@ -173,6 +181,49 @@ class Runtime : public EngineCallbacks {
     std::string stats_table() const;
     /// @}
 
+    /// @{ Source-level profiler (README §Profiling, REPL :profile).
+    /// One user process (always/initial/continuous assign), attributed to
+    /// its module instance and keyed by the canonical printed form of the
+    /// originating module item — the same key whether the process ran in
+    /// the interpreter or on the fabric, so profiles splice across a
+    /// mid-run software-to-hardware adoption.
+    struct ProfileEntry {
+        std::string instance; ///< last path component ("root", "fifo", ...)
+        std::string key;      ///< canonical printed module item
+        std::string label;    ///< compressed one-line form of the key
+        std::string kind;     ///< "seq" | "comb" | "initial" | "continuous"
+        std::vector<std::string> triggers; ///< e.g. "posedge clk_val"
+        uint64_t sw_triggers = 0; ///< interpreter process executions
+        /// Fabric executions, attributed from device ticks for processes
+        /// whose sensitivity list is entirely the adopted clock.
+        uint64_t hw_triggers = 0;
+        uint64_t eval_ns = 0; ///< interpreter wall time (profiling on)
+        uint64_t total_triggers() const { return sw_triggers + hw_triggers; }
+    };
+
+    /// Toggles timing/fabric instrumentation at runtime (the REPL's
+    /// :profile on/off). Applies to live engines and to every engine
+    /// created afterwards.
+    void set_profiling(bool on);
+    bool profiling() const { return options_.profiling; }
+    /// Merged view: retired-engine accumulators + live engines + the
+    /// current hardware attribution window, sorted hottest-first.
+    std::vector<ProfileEntry> profile() const;
+    /// Machine-readable profile ({"schema":"cascade.profile.v1", ...}).
+    std::string profile_json() const;
+    /// Human-readable profile (the REPL's :profile view).
+    std::string profile_table() const;
+    /// Writes the profile as collapsed stacks ("instance;label weight"
+    /// lines) for flamegraph.pl / speedscope. Weight is eval_ns when
+    /// timing was collected, trigger counts otherwise.
+    bool write_flamegraph(const std::string& path,
+                          std::string* err = nullptr) const;
+    /// Fabric residency report (the REPL's :fabric view): LE utilization,
+    /// Fmax, and the critical path rendered as named user signals, plus
+    /// live per-source activity counters while profiling on hardware.
+    std::string fabric_table() const;
+    /// @}
+
     /// EngineCallbacks:
     void on_display(const std::string& text) override;
     void on_write(const std::string& text) override;
@@ -252,6 +303,33 @@ class Runtime : public EngineCallbacks {
         bool record);
     const Slot* find_stdlib(const std::string& type) const;
     Slot* user_slot();
+
+    /// Accumulated profile of one process across retired engine
+    /// incarnations (ProfileEntry minus the identity fields, which are
+    /// the map keys).
+    struct ProcAccum {
+        std::string label;
+        std::string kind;
+        std::vector<std::string> triggers;
+        uint64_t executions = 0;  ///< interpreter trigger counts
+        uint64_t eval_ns = 0;     ///< interpreter wall attribution
+        uint64_t hw_triggers = 0; ///< fabric attribution (closed windows)
+    };
+
+    /// Folds a retiring slot's interpreter counters into profile_acc_.
+    /// Must run before the slot's engine is destroyed; each engine is
+    /// absorbed exactly once (counters are not reset, so live engines
+    /// must not be absorbed).
+    void absorb_slot_profile(const Slot& slot);
+    /// Closes the open hardware attribution window: credits device ticks
+    /// since adoption to clock-driven processes and restarts the window.
+    void fold_hw_window();
+    /// Shared by profile() and fold_hw_window(): adds \p ticks of fabric
+    /// execution to every accumulated process driven purely by the
+    /// adopted clock.
+    void attribute_hw_ticks(
+        std::map<std::string, std::map<std::string, ProcAccum>>* acc,
+        uint64_t ticks) const;
 
     /// One declared VCD probe, resolved at declare time.
     struct Probe {
@@ -360,6 +438,15 @@ class Runtime : public EngineCallbacks {
     std::vector<FifoBinding> adopted_fifos_;
     std::map<std::string, std::string> adopted_prefixes_;
     std::string clock_net_name_;
+
+    // Profiler state: instance -> canonical process key -> accumulator.
+    std::map<std::string, std::map<std::string, ProcAccum>> profile_acc_;
+    /// Per retired-into-hardware instance: the local port name the
+    /// adopted clock entered through (trigger descriptions use local
+    /// names). Rebuilt at each adoption.
+    std::map<std::string, std::string> hw_clock_ports_;
+    /// Virtual tick count when the open hardware window started.
+    uint64_t hw_adopt_ticks_ = 0;
 
     // Engine shortcuts (owned by slots_).
     class ClockEngine* clock_engine_ = nullptr;

@@ -55,6 +55,16 @@ class SwEngine : public Engine, private sim::SystemTaskHandler {
     }
     /// @}
 
+    /// @{ Source-level profiling (Runtime::profile_json / REPL :profile).
+    /// Per-process trigger counts are always collected; eval-ns wall
+    /// attribution follows the interpreter's profiling flag.
+    void set_profiling(bool on) { interp_.set_profiling(on); }
+    std::vector<sim::ProcessProfile> profile() const
+    {
+        return interp_.profile();
+    }
+    /// @}
+
   private:
     void on_display(const std::string& text) override;
     void on_write(const std::string& text) override;

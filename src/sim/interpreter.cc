@@ -1,6 +1,7 @@
 #include "sim/interpreter.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.h"
 #include "verilog/printer.h"
@@ -878,6 +879,7 @@ ModuleInterpreter::build_processes()
           case ItemKind::ContinuousAssign: {
             Process p;
             p.kind = Process::Kind::Continuous;
+            p.item = item.get();
             p.assign = static_cast<const ContinuousAssign*>(item.get());
             collect_reads(*p.assign->rhs, &p.reads);
             collect_lvalue_index_reads(*p.assign->lhs, &p.reads);
@@ -887,6 +889,7 @@ ModuleInterpreter::build_processes()
           case ItemKind::Always: {
             const auto& ab = static_cast<const AlwaysBlock&>(*item);
             Process p;
+            p.item = item.get();
             p.body = ab.body.get();
             bool has_edge = false;
             for (const auto& s : ab.sensitivity) {
@@ -934,6 +937,7 @@ ModuleInterpreter::build_processes()
           case ItemKind::Initial: {
             Process p;
             p.kind = Process::Kind::Initial;
+            p.item = item.get();
             p.body = static_cast<const InitialBlock&>(*item).body.get();
             processes_.push_back(std::move(p));
             break;
@@ -947,6 +951,7 @@ ModuleInterpreter::build_processes()
     seq_deps_.resize(em_->nets.size());
     comb_pending_.assign(processes_.size(), false);
     seq_pending_.assign(processes_.size(), false);
+    proc_stats_.assign(processes_.size(), ProcStat{});
     for (size_t p = 0; p < processes_.size(); ++p) {
         std::sort(processes_[p].reads.begin(), processes_[p].reads.end());
         processes_[p].reads.erase(std::unique(processes_[p].reads.begin(),
@@ -1413,7 +1418,25 @@ void
 ModuleInterpreter::run_process(size_t index)
 {
     ++process_executions_;
+    ProcStat& stat = proc_stats_[index];
+    ++stat.executions;
     const Process& p = processes_[index];
+    if (!profiling_) {
+        // Fast path: no clock reads (see set_profiling).
+        dispatch_process(p);
+        return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    dispatch_process(p);
+    const auto t1 = std::chrono::steady_clock::now();
+    stat.eval_ns += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+}
+
+void
+ModuleInterpreter::dispatch_process(const Process& p)
+{
     if (p.kind == Process::Kind::Continuous) {
         Evaluator ev(this);
         ev.assign(*p.assign->lhs, *p.assign->rhs);
@@ -1694,6 +1717,86 @@ ModuleInterpreter::set_state(const StateSnapshot& snapshot)
                            mem[i].resized(em_->nets[it->second].width));
         }
     }
+}
+
+namespace {
+
+/// Collapses a multi-line source print into a single display line,
+/// truncated so profile tables and flamegraph frames stay readable.
+std::string
+compress_label(const std::string& key)
+{
+    std::string out;
+    bool in_space = false;
+    for (char c : key) {
+        if (c == ' ' || c == '\t' || c == '\n') {
+            in_space = !out.empty();
+            continue;
+        }
+        if (in_space) {
+            out += ' ';
+            in_space = false;
+        }
+        out += c;
+    }
+    while (!out.empty() && (out.back() == ';' || out.back() == ' ')) {
+        out.pop_back();
+    }
+    constexpr size_t kMaxLabel = 56;
+    if (out.size() > kMaxLabel) {
+        out.resize(kMaxLabel - 1);
+        out += "…";
+    }
+    return out;
+}
+
+const char*
+kind_name(char discriminator)
+{
+    switch (discriminator) {
+      case 0: return "continuous";
+      case 1: return "comb";
+      case 2: return "seq";
+      default: return "initial";
+    }
+}
+
+} // namespace
+
+std::vector<ProcessProfile>
+ModuleInterpreter::profile() const
+{
+    std::vector<ProcessProfile> out;
+    out.reserve(processes_.size());
+    for (size_t i = 0; i < processes_.size(); ++i) {
+        const Process& p = processes_[i];
+        ProcessProfile prof;
+        prof.key = p.item != nullptr ? print(*p.item, 0) : std::string();
+        prof.label = compress_label(prof.key);
+        switch (p.kind) {
+          case Process::Kind::Continuous:
+            prof.kind = kind_name(0);
+            break;
+          case Process::Kind::Comb:
+            prof.kind = kind_name(1);
+            break;
+          case Process::Kind::Seq:
+            prof.kind = kind_name(2);
+            break;
+          case Process::Kind::Initial:
+            prof.kind = kind_name(3);
+            break;
+        }
+        for (const Trigger& t : p.triggers) {
+            const std::string& net = em_->nets[t.net].name;
+            prof.triggers.push_back(
+                (t.edge == EdgeKind::Neg ? "negedge " : "posedge ") + net);
+        }
+        prof.executions = proc_stats_[i].executions;
+        prof.eval_ns = proc_stats_[i].eval_ns;
+        out.push_back(std::move(prof));
+    }
+    return out;
 }
 
 } // namespace cascade::sim

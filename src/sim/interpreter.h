@@ -76,6 +76,25 @@ struct StateSnapshot {
     bool operator==(const StateSnapshot&) const = default;
 };
 
+/// Per-process profile sample (see ModuleInterpreter::profile). Trigger
+/// counts are always collected; eval_ns accumulates only while
+/// set_profiling(true) is in effect.
+struct ProcessProfile {
+    /// Canonical id: the source print of the originating module item.
+    /// Stable across engine incarnations of the same subprogram, so the
+    /// runtime can splice profiles over rebuilds and the sw -> hw handoff
+    /// (same idiom as $monitor keys).
+    std::string key;
+    /// Compressed one-line display label derived from the key.
+    std::string label;
+    /// "continuous" | "comb" | "seq" | "initial".
+    std::string kind;
+    /// For seq processes: trigger descriptions ("posedge clk_val").
+    std::vector<std::string> triggers;
+    uint64_t executions = 0; ///< times run_process fired this process
+    uint64_t eval_ns = 0;    ///< cumulative wall time (0 when disabled)
+};
+
 class ModuleInterpreter {
   public:
     /// \p handler may be null when the module contains no system tasks.
@@ -149,6 +168,19 @@ class ModuleInterpreter {
     uint64_t update_calls() const { return update_calls_; }
     /// @}
 
+    /// @{ Source-level profiling. Per-process trigger counts are always
+    /// collected (one indexed add on the run_process path, same cost class
+    /// as process_executions_). Wall-clock attribution reads the steady
+    /// clock twice per process execution, so it sits behind this flag and
+    /// costs nothing when off (the guarded fast path never touches a
+    /// clock).
+    void set_profiling(bool on) { profiling_ = on; }
+    bool profiling() const { return profiling_; }
+    /// Snapshot of every process's profile, in item order. Keys/labels
+    /// are rebuilt on each call (query path, not hot path).
+    std::vector<ProcessProfile> profile() const;
+    /// @}
+
   private:
     struct Trigger {
         uint32_t net = 0;
@@ -161,8 +193,16 @@ class ModuleInterpreter {
         /// For Continuous: the item; for blocks: the body statement.
         const verilog::ContinuousAssign* assign = nullptr;
         const verilog::Stmt* body = nullptr;
+        /// Originating module item (profiling: canonical process ids).
+        const verilog::ModuleItem* item = nullptr;
         std::vector<uint32_t> reads;    ///< comb dependency net ids
         std::vector<Trigger> triggers;  ///< seq edge triggers
+    };
+
+    /// Hot-path profile storage, indexed like processes_.
+    struct ProcStat {
+        uint64_t executions = 0;
+        uint64_t eval_ns = 0;
     };
 
     struct NbUpdate {
@@ -193,6 +233,7 @@ class ModuleInterpreter {
     void commit_element(uint32_t id, uint64_t index, BitVector value);
 
     void run_process(size_t index);
+    void dispatch_process(const Process& p);
     void execute_stmt(const verilog::Stmt& stmt, bool nonblocking_allowed);
 
     /// Registers \p stmt as an active monitor (idempotent per statement).
@@ -236,6 +277,8 @@ class ModuleInterpreter {
 
     std::unordered_set<uint32_t> changed_outputs_;
     bool finished_ = false;
+    bool profiling_ = false;
+    std::vector<ProcStat> proc_stats_;
     uint64_t process_executions_ = 0;
     uint64_t evaluate_calls_ = 0;
     uint64_t update_calls_ = 0;

@@ -110,6 +110,18 @@ Histogram::quantile(double q) const
     return max();
 }
 
+void
+Histogram::reset()
+{
+    for (auto& b : buckets_) {
+        b.store(0, std::memory_order_relaxed);
+    }
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(UINT64_MAX, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
 Registry&
 Registry::global()
 {
@@ -150,6 +162,24 @@ Registry::histogram(const std::string& name)
     return slot.get();
 }
 
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, c] : counters_) {
+        (void)name;
+        c->reset();
+    }
+    for (const auto& [name, g] : gauges_) {
+        (void)name;
+        g->reset();
+    }
+    for (const auto& [name, h] : histograms_) {
+        (void)name;
+        h->reset();
+    }
+}
+
 std::string
 Registry::table() const
 {
@@ -183,12 +213,13 @@ Registry::table() const
     for (const auto& [name, h] : histograms_) {
         std::snprintf(
             line, sizeof line,
-            "  %-*s %20llu  (mean %.4g  min %llu  p50 %llu  p99 %llu  "
-            "max %llu)\n",
+            "  %-*s %20llu  (mean %.4g  min %llu  p50 %llu  p90 %llu  "
+            "p99 %llu  max %llu)\n",
             static_cast<int>(width), name.c_str(),
             static_cast<unsigned long long>(h->count()), h->mean(),
             static_cast<unsigned long long>(h->min()),
             static_cast<unsigned long long>(h->quantile(0.5)),
+            static_cast<unsigned long long>(h->quantile(0.9)),
             static_cast<unsigned long long>(h->quantile(0.99)),
             static_cast<unsigned long long>(h->max()));
         out += line;
@@ -235,6 +266,7 @@ Registry::json() const
                ",\"max\":" + std::to_string(h->max()) +
                ",\"mean\":" + format_double(h->mean()) +
                ",\"p50\":" + std::to_string(h->quantile(0.5)) +
+               ",\"p90\":" + std::to_string(h->quantile(0.9)) +
                ",\"p99\":" + std::to_string(h->quantile(0.99)) + '}';
     }
     out += "}}";

@@ -40,6 +40,10 @@ class Counter {
         return value_.load(std::memory_order_relaxed);
     }
 
+    /// Zeroes the counter (measurement-window bracketing; see
+    /// Registry::reset).
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
   private:
     std::atomic<uint64_t> value_{0};
 };
@@ -73,6 +77,14 @@ class Gauge {
     high_water() const
     {
         return high_water_.load(std::memory_order_relaxed);
+    }
+
+    /// Zeroes both the level and the high-water mark.
+    void
+    reset()
+    {
+        value_.store(0, std::memory_order_relaxed);
+        high_water_.store(0, std::memory_order_relaxed);
     }
 
   private:
@@ -109,6 +121,9 @@ class Histogram {
     /// midpoint; exact for min/max at the extremes).
     uint64_t quantile(double q) const;
 
+    /// Drops every recorded sample.
+    void reset();
+
   private:
     std::atomic<uint64_t> buckets_[kBuckets] = {};
     std::atomic<uint64_t> count_{0};
@@ -140,8 +155,13 @@ class Registry {
     /// The registry as a JSON object:
     /// {"counters":{...},"gauges":{name:{"value":..,"high_water":..}},
     ///  "histograms":{name:{"count":..,"sum":..,"min":..,"max":..,
-    ///                      "mean":..,"p50":..,"p99":..}}}
+    ///                      "mean":..,"p50":..,"p90":..,"p99":..}}}
     std::string json() const;
+
+    /// Zeroes every registered metric in place. Pointers handed out by
+    /// counter()/gauge()/histogram() stay valid (hot paths cache them),
+    /// so callers can bracket a measurement window without restarting.
+    void reset();
 
   private:
     mutable std::mutex mutex_;

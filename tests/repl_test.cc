@@ -184,8 +184,9 @@ TEST(ReplMeta, HelpListsEveryCommand)
     ReplHarness h;
     const std::string out = h.command(":help");
     for (const char* cmd :
-         {":stats", ":stats json", ":trace", ":probe", ":unprobe", ":vcd",
-          ":help"}) {
+         {":stats", ":stats json", ":stats reset", ":profile",
+          ":profile json", ":profile on|off", ":profile flame", ":fabric",
+          ":trace", ":probe", ":unprobe", ":vcd", ":help"}) {
         EXPECT_NE(out.find(cmd), std::string::npos)
             << "missing " << cmd << " in:\n" << out;
     }
@@ -198,6 +199,85 @@ TEST(ReplMeta, UnknownCommandSuggestsHelp)
     EXPECT_NE(out.find("unknown command ':frobnicate'"), std::string::npos)
         << out;
     EXPECT_NE(out.find(":help"), std::string::npos);
+}
+
+TEST(ReplMeta, ProfileTableListsUserProcesses)
+{
+    ReplHarness h;
+    h.command("reg [3:0] r = 0; always @(posedge clk.val) r <= r + 1;");
+    h.runtime().run_for_ticks(4);
+    const std::string out = h.command(":profile");
+    EXPECT_NE(out.find("cascade profile"), std::string::npos) << out;
+    EXPECT_NE(out.find("timing off"), std::string::npos) << out;
+    EXPECT_NE(out.find("seq"), std::string::npos) << out;
+    EXPECT_NE(out.find("r <= (r + 1)"), std::string::npos) << out;
+
+    const std::string on = h.command(":profile on");
+    EXPECT_NE(on.find("profiling on"), std::string::npos) << on;
+    h.runtime().run_for_ticks(4);
+    EXPECT_NE(h.command(":profile").find("timing on"), std::string::npos);
+}
+
+TEST(ReplMeta, ProfileJsonIsWellFormed)
+{
+    ReplHarness h;
+    h.command("reg [3:0] r = 0; always @(posedge clk.val) r <= r + 1;");
+    h.runtime().run_for_ticks(2);
+    const std::string out = h.command(":profile json");
+    EXPECT_NE(out.find("\"schema\":\"cascade.profile.v1\""),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("\"sw_triggers\":"), std::string::npos);
+    EXPECT_NE(out.find("\"hw_triggers\":"), std::string::npos);
+    EXPECT_NE(out.find("\"eval_ns\":"), std::string::npos);
+}
+
+TEST(ReplMeta, ProfileFlameWritesCollapsedStacks)
+{
+    ReplHarness h;
+    h.command("reg [3:0] r = 0; always @(posedge clk.val) r <= r + 1;");
+    h.runtime().run_for_ticks(4);
+    EXPECT_NE(h.command(":profile flame").find("usage:"),
+              std::string::npos);
+    const std::string path = temp_path("repl_flame.folded");
+    const std::string out = h.command(":profile flame " + path);
+    EXPECT_NE(out.find("collapsed stacks written"), std::string::npos)
+        << out;
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line)) << "flamegraph file is empty";
+    // "frames... weight": the weight is a positive integer, frames are
+    // ';'-separated with the instance first.
+    EXPECT_EQ(line.rfind("root;seq;", 0), 0u) << line;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos);
+    EXPECT_GT(std::stoull(line.substr(space + 1)), 0u);
+}
+
+TEST(ReplMeta, StatsResetZeroesMetrics)
+{
+    ReplHarness h;
+    h.command("reg [3:0] r = 0; always @(posedge clk.val) r <= r + 1;");
+    h.runtime().run_for_ticks(3);
+    EXPECT_GT(h.runtime().telemetry().counter("clock.toggles")->value(),
+              0u);
+    const std::string out = h.command(":stats reset");
+    EXPECT_NE(out.find("stats reset"), std::string::npos) << out;
+    EXPECT_EQ(h.runtime().telemetry().counter("clock.toggles")->value(),
+              0u);
+    // Counting resumes on the same handles.
+    h.runtime().run_for_ticks(1);
+    EXPECT_GT(h.runtime().telemetry().counter("clock.toggles")->value(),
+              0u);
+}
+
+TEST(ReplMeta, FabricReportsSoftwareWithoutACompile)
+{
+    ReplHarness h;
+    h.command("reg [3:0] r = 0; always @(posedge clk.val) r <= r + 1;");
+    const std::string out = h.command(":fabric");
+    EXPECT_NE(out.find("cascade fabric"), std::string::npos) << out;
+    EXPECT_NE(out.find("no hardware compile"), std::string::npos) << out;
 }
 
 } // namespace

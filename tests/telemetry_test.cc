@@ -277,6 +277,61 @@ TEST(Telemetry, RegistryReturnsStableHandles)
     EXPECT_NE(json.find("\"value\":-3"), std::string::npos);
 }
 
+TEST(Telemetry, RegistryResetZeroesMetricsInPlace)
+{
+    Registry reg;
+    Counter* c = reg.counter("c");
+    Gauge* g = reg.gauge("g");
+    Histogram* h = reg.histogram("h");
+    c->inc(5);
+    g->set(9);
+    g->set(2);
+    h->record(100);
+    h->record(7);
+
+    reg.reset();
+
+    // Values zero, handles stay valid (hot paths cache the pointers).
+    EXPECT_EQ(reg.counter("c"), c);
+    EXPECT_EQ(c->value(), 0u);
+    EXPECT_EQ(g->value(), 0);
+    EXPECT_EQ(g->high_water(), 0);
+    EXPECT_EQ(h->count(), 0u);
+    EXPECT_EQ(h->sum(), 0u);
+    EXPECT_EQ(h->min(), 0u);
+    EXPECT_EQ(h->max(), 0u);
+    EXPECT_EQ(h->bucket(7), 0u);
+
+    // Recording resumes from scratch on the same handles.
+    c->inc();
+    h->record(3);
+    EXPECT_EQ(c->value(), 1u);
+    EXPECT_EQ(h->count(), 1u);
+    EXPECT_EQ(h->min(), 3u);
+    EXPECT_EQ(h->max(), 3u);
+}
+
+TEST(Telemetry, SnapshotsReportP50P90P99)
+{
+    Registry reg;
+    Histogram* h = reg.histogram("lat");
+    for (uint64_t v = 1; v <= 1000; ++v) {
+        h->record(v);
+    }
+    const std::string json = reg.json();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"p50\":"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"p90\":"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"p99\":"), std::string::npos) << json;
+    const std::string table = reg.table();
+    EXPECT_NE(table.find("p50"), std::string::npos) << table;
+    EXPECT_NE(table.find("p90"), std::string::npos) << table;
+    EXPECT_NE(table.find("p99"), std::string::npos) << table;
+    // Quantiles are monotone in the log-bucket estimate.
+    EXPECT_LE(h->quantile(0.5), h->quantile(0.9));
+    EXPECT_LE(h->quantile(0.9), h->quantile(0.99));
+}
+
 TEST(Telemetry, RegistryThreadedIncrements)
 {
     Registry reg;
