@@ -2,32 +2,89 @@
 /// The cascade command-line tool: a Verilog REPL (paper §3.1). With a file
 /// argument it runs in batch mode; without one it reads eval's from stdin,
 /// stepping the program between inputs so IO side effects appear live.
+///
+/// Flight recorder:
+///   cascade_repl --record session.jsonl [program.v]   record the session
+///   cascade_repl --replay session.jsonl               re-execute it and
+///                                                     diff every output
+///   cascade_repl --replay a.jsonl --record b.jsonl    re-record while
+///                                                     replaying (the CI
+///                                                     determinism check
+///                                                     diffs two of these)
+/// Replay exit codes: 0 match, 1 load/usage error, 2 divergence.
 
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "runtime/repl.h"
+#include "runtime/replay.h"
 #include "runtime/runtime.h"
 
 using cascade::runtime::Repl;
+using cascade::runtime::ReplayOptions;
+using cascade::runtime::ReplayReport;
 using cascade::runtime::Runtime;
 
 int
 main(int argc, char** argv)
 {
+    std::string record_path;
+    std::string replay_path;
+    std::string input_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--record" && i + 1 < argc) {
+            record_path = argv[++i];
+        } else if (arg == "--replay" && i + 1 < argc) {
+            replay_path = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: cascade_repl [--record <journal>] "
+                         "[--replay <journal>] [program.v]\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown flag " << arg << " (try --help)\n";
+            return 1;
+        } else {
+            input_path = arg;
+        }
+    }
+
+    if (!replay_path.empty()) {
+        ReplayOptions ropts;
+        ropts.record_path = record_path;
+        ropts.echo = true;
+        const ReplayReport report =
+            cascade::runtime::replay_journal(replay_path, ropts);
+        std::cerr << report.summary() << "\n";
+        if (!report.error.empty()) {
+            return 1;
+        }
+        return report.diverged ? 2 : 0;
+    }
+
     Runtime::Options options;
     options.compile_effort = 0.3;
     Runtime rt(options);
+    if (!record_path.empty()) {
+        std::string err;
+        if (!rt.start_recording(record_path, &err)) {
+            std::cerr << "cannot record: " << err << "\n";
+            return 1;
+        }
+    }
     Repl repl(&rt, &std::cout);
 
-    if (argc > 1) {
-        std::ifstream file(argv[1]);
+    if (!input_path.empty()) {
+        std::ifstream file(input_path);
         if (!file) {
-            std::cerr << "cannot open " << argv[1] << "\n";
+            std::cerr << "cannot open " << input_path << "\n";
             return 1;
         }
         const bool ok = repl.run_batch(file, 1u << 22);
+        if (rt.recording()) {
+            rt.stop_recording();
+        }
         return ok ? 0 : 1;
     }
 
@@ -49,6 +106,9 @@ main(int argc, char** argv)
                          "available, ctrl-d to exit)\n";
             announced_finish = true;
         }
+    }
+    if (rt.recording()) {
+        rt.stop_recording();
     }
     return 0;
 }

@@ -6,16 +6,34 @@
 #ifndef CASCADE_COMMON_CHECK_H
 #define CASCADE_COMMON_CHECK_H
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace cascade {
 
+namespace common_detail {
+
+/// Called with the formatted failure message just before abort(). The
+/// crash black box (telemetry/journal.h) installs itself here so a CHECK
+/// failure dumps the event ring; an inline variable keeps common free of
+/// any dependency on telemetry.
+using CheckFailHook = void (*)(const char* message);
+inline std::atomic<CheckFailHook> check_fail_hook{nullptr};
+
+} // namespace common_detail
+
 [[noreturn]] inline void
 check_fail(const char* cond, const char* file, int line)
 {
-    std::fprintf(stderr, "CASCADE_CHECK failed: %s at %s:%d\n",
-                 cond, file, line);
+    char message[512];
+    std::snprintf(message, sizeof(message),
+                  "CASCADE_CHECK failed: %s at %s:%d", cond, file, line);
+    std::fprintf(stderr, "%s\n", message);
+    const auto hook = common_detail::check_fail_hook.load();
+    if (hook != nullptr) {
+        hook(message);
+    }
     std::abort();
 }
 

@@ -1,5 +1,8 @@
 #include "common/diagnostics.h"
 
+#include <cstdlib>
+#include <cstring>
+
 namespace cascade {
 
 std::string
@@ -42,6 +45,113 @@ Diagnostics::clear()
 {
     diags_.clear();
     num_errors_ = 0;
+}
+
+const char*
+log_level_name(LogLevel level)
+{
+    switch (level) {
+        case LogLevel::Error: return "error";
+        case LogLevel::Warn: return "warn";
+        case LogLevel::Info: return "info";
+        case LogLevel::Debug: return "debug";
+    }
+    return "?";
+}
+
+namespace {
+
+// Minimal JSON string escaping, duplicated from telemetry to keep common
+// at the bottom of the dependency graph.
+std::string
+log_json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Logger&
+Logger::instance()
+{
+    static Logger* logger = new Logger(); // leaked: outlives static dtors
+    return *logger;
+}
+
+Logger::Logger()
+{
+    const char* env = std::getenv("CASCADE_LOG");
+    if (env == nullptr) {
+        return;
+    }
+    std::string spec = env;
+    size_t start = 0;
+    while (start <= spec.size()) {
+        size_t end = spec.find(',', start);
+        if (end == std::string::npos) {
+            end = spec.size();
+        }
+        const std::string token = spec.substr(start, end - start);
+        if (token == "off") {
+            level_ = static_cast<LogLevel>(-1);
+        } else if (token == "error") {
+            level_ = LogLevel::Error;
+        } else if (token == "warn") {
+            level_ = LogLevel::Warn;
+        } else if (token == "info") {
+            level_ = LogLevel::Info;
+        } else if (token == "debug") {
+            level_ = LogLevel::Debug;
+        } else if (token == "json") {
+            json_ = true;
+        }
+        start = end + 1;
+    }
+}
+
+void
+Logger::write(LogLevel level, const char* component,
+              const std::string& message)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::FILE* out = stream_ != nullptr ? stream_ : stderr;
+    if (json_) {
+        std::fprintf(out,
+                     "{\"log\":\"cascade\",\"level\":\"%s\","
+                     "\"component\":\"%s\",\"msg\":\"%s\"}\n",
+                     log_level_name(level), component,
+                     log_json_escape(message).c_str());
+    } else {
+        std::fprintf(out, "cascade[%s] %s: %s\n", log_level_name(level),
+                     component, message.c_str());
+    }
+    std::fflush(out);
+}
+
+void
+Logger::set_stream(std::FILE* stream)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stream_ = stream;
 }
 
 } // namespace cascade

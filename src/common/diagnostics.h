@@ -1,12 +1,17 @@
 /// \file
-/// Diagnostic collection. User-facing errors (parse errors, type errors,
-/// elaboration failures) are accumulated here rather than thrown; the REPL
-/// reports them and discards the offending input, per Cascade's model of
-/// rejecting ill-formed eval's without disturbing the running program.
+/// Diagnostic collection and structured logging. User-facing errors (parse
+/// errors, type errors, elaboration failures) are accumulated in
+/// Diagnostics rather than thrown; the REPL reports them and discards the
+/// offending input, per Cascade's model of rejecting ill-formed eval's
+/// without disturbing the running program. Logger is the process-wide
+/// leveled log sink that the runtime's formerly ad-hoc stderr messages
+/// route through, gated by the CASCADE_LOG environment variable.
 
 #ifndef CASCADE_COMMON_DIAGNOSTICS_H
 #define CASCADE_COMMON_DIAGNOSTICS_H
 
+#include <cstdio>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -49,6 +54,67 @@ class Diagnostics {
     std::vector<Diagnostic> diags_;
     size_t num_errors_ = 0;
 };
+
+/// Log verbosity, most to least severe. Messages at or above the
+/// configured level are emitted.
+enum class LogLevel {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+};
+
+/// The level's lowercase name ("error", "warn", ...).
+const char* log_level_name(LogLevel level);
+
+/// Process-wide leveled log sink. Configuration comes from the
+/// CASCADE_LOG environment variable, a comma-separated list of tokens:
+/// a level (`off`, `error`, `warn`, `info`, `debug`) and optionally
+/// `json` to emit one JSON object per line instead of plain text. The
+/// default is `warn`. Examples:
+///
+///   CASCADE_LOG=debug        everything, plain text
+///   CASCADE_LOG=info,json    info and above as JSON lines
+///
+/// Plain format: `cascade[warn] component: message`. JSON format:
+/// `{"log":"cascade","level":"warn","component":"...","msg":"..."}`.
+class Logger {
+  public:
+    static Logger& instance();
+
+    /// True when a message at \p level would be emitted — callers should
+    /// gate expensive message construction on this.
+    bool enabled(LogLevel level) const { return level <= level_; }
+
+    /// Emits unconditionally (callers gate on enabled()); thread-safe.
+    void write(LogLevel level, const char* component,
+               const std::string& message);
+
+    void set_level(LogLevel level) { level_ = level; }
+    LogLevel level() const { return level_; }
+    void set_json(bool json) { json_ = json; }
+    bool json() const { return json_; }
+    /// Redirects output (default stderr) — test support.
+    void set_stream(std::FILE* stream);
+
+  private:
+    Logger(); // parses CASCADE_LOG
+
+    std::mutex mutex_;
+    LogLevel level_ = LogLevel::Warn;
+    bool json_ = false;
+    std::FILE* stream_ = nullptr; // nullptr = stderr
+};
+
+/// Convenience: gate on the level, then emit. \p message_expr is only
+/// evaluated when the level is enabled.
+#define CASCADE_LOG_AT(level_, component_, message_expr_)                    \
+    do {                                                                     \
+        if (::cascade::Logger::instance().enabled(level_)) {                 \
+            ::cascade::Logger::instance().write(level_, component_,          \
+                                                (message_expr_));            \
+        }                                                                    \
+    } while (0)
 
 } // namespace cascade
 

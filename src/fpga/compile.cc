@@ -33,6 +33,7 @@ CompileResult
 compile(const verilog::ElaboratedModule& em, const CompileOptions& options)
 {
     CompileResult result;
+    result.report.seed = options.seed;
     TELEM_SPAN("fpga.compile");
 
     static telemetry::Histogram* const synth_ns = phase_hist("synth");

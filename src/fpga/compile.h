@@ -30,6 +30,11 @@ struct CompileReport {
     TimingReport timing;
     size_t netlist_nodes = 0;
     size_t cells = 0;
+    /// The placement RNG seed this compile actually ran with. Reported so
+    /// a compile is reproducible from its logs/journal alone: re-running
+    /// with the same seed yields the identical placement, wirelength and
+    /// Fmax (replay pins it; `:stats json` surfaces it).
+    uint64_t seed = 0;
     uint64_t anneal_moves = 0;
     double wirelength = 0;
     /// The critical path rendered as source-level signal names (netlist

@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "runtime/replay.h"
+#include "telemetry/journal.h"
 #include "telemetry/trace.h"
 
 namespace cascade::runtime {
@@ -178,6 +180,51 @@ Repl::run_meta_command(const std::string& line)
                 *out_ << "cannot open vcd: " << err << "\n";
             }
         }
+    } else if (cmd == ":record") {
+        if (arg.empty()) {
+            if (out_ != nullptr) {
+                if (runtime_->recording()) {
+                    *out_ << "recording to " << runtime_->journal().path()
+                          << "\n";
+                } else {
+                    *out_ << "not recording (usage: :record <file>, "
+                             ":record stop)\n";
+                }
+            }
+        } else if (arg == "stop") {
+            if (runtime_->recording()) {
+                const std::string path = runtime_->journal().path();
+                runtime_->stop_recording();
+                if (out_ != nullptr) {
+                    *out_ << "recording stopped (" << path << ")\n";
+                }
+            } else if (out_ != nullptr) {
+                *out_ << "not recording\n";
+            }
+        } else {
+            std::string err;
+            if (runtime_->start_recording(arg, &err)) {
+                if (out_ != nullptr) {
+                    *out_ << "recording session to " << arg
+                          << " (replay with :replay or --replay)\n";
+                }
+            } else if (out_ != nullptr) {
+                *out_ << "cannot record: " << err << "\n";
+            }
+        }
+    } else if (cmd == ":replay") {
+        if (arg.empty()) {
+            if (out_ != nullptr) {
+                *out_ << "usage: :replay <file>   (re-executes a recorded "
+                         "journal in a fresh runtime and reports the "
+                         "first divergence, if any)\n";
+            }
+        } else {
+            const ReplayReport report = replay_journal(arg);
+            if (out_ != nullptr) {
+                *out_ << report.summary() << "\n";
+            }
+        }
     } else if (cmd == ":help") {
         if (out_ != nullptr) {
             *out_ << ":stats          telemetry table (counters, gauges, "
@@ -200,6 +247,11 @@ Repl::run_meta_command(const std::string& line)
                      ":unprobe <sig>  remove a probe\n"
                      ":vcd <file>     start VCD waveform capture "
                      "(GTKWave-compatible)\n"
+                     ":record <file>  record this session's event journal "
+                     "(JSONL; fresh sessions only)\n"
+                     ":record stop    stop recording\n"
+                     ":replay <file>  deterministically re-execute a "
+                     "recorded journal and diff outputs\n"
                      ":help           this text\n";
         }
     } else {
@@ -214,6 +266,12 @@ Repl::run_meta_command(const std::string& line)
 bool
 Repl::feed(const std::string& text)
 {
+    // Info-class journal event: what the user actually typed (the eval
+    // event later records the accumulated program text that was
+    // submitted; this records the raw interaction for the black box).
+    runtime_->journal().record(
+        "repl.input",
+        telemetry::JsonWriter().str("text", text).build());
     // Meta-commands are line-oriented and only recognized when no Verilog
     // is being accumulated (':' cannot start a Verilog item).
     if (buffer_.find_first_not_of(" \t\r\n") == std::string::npos) {

@@ -51,6 +51,85 @@ wall_seconds()
         .count();
 }
 
+const char*
+location_name(Location loc)
+{
+    switch (loc) {
+    case Location::Software: return "Software";
+    case Location::Hardware: return "Hardware";
+    case Location::HardwareForwarded: return "HardwareForwarded";
+    case Location::Native: return "Native";
+    }
+    return "Unknown";
+}
+
+/// Journal payload for one interrupt: full digest, text capped so a hot
+/// $display loop cannot bloat the ring/file (the digest still pins the
+/// full content for divergence detection).
+std::string
+interrupt_payload(const char* kind, const std::string& text)
+{
+    telemetry::JsonWriter w;
+    w.str("kind", kind);
+    if (text.size() <= 200) {
+        w.str("text", text);
+    } else {
+        w.str("text", std::string_view(text).substr(0, 200));
+        w.num("len", text.size());
+    }
+    w.str("digest", telemetry::digest_hex(text));
+    return w.build();
+}
+
+/// Digest over the deterministic fields of a compile report (everything
+/// except the wall-clock phase timings), so a replayed compile with the
+/// pinned seed produces the identical digest.
+std::string
+report_digest(const fpga::CompileReport& r)
+{
+    std::string s;
+    s += std::to_string(r.netlist_nodes) + '|';
+    s += std::to_string(r.cells) + '|';
+    s += std::to_string(r.seed) + '|';
+    s += std::to_string(r.area.les) + '|';
+    s += std::to_string(r.area.bram_bits) + '|';
+    s += std::to_string(r.anneal_moves) + '|';
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.12g|%.12g|", r.wirelength,
+                  r.timing.fmax_mhz);
+    s += buf;
+    s += r.timing.met ? "1|" : "0|";
+    for (const std::string& name : r.critical_path_names) {
+        s += name;
+        s += ',';
+    }
+    return telemetry::digest_hex(s);
+}
+
+/// FNV digest of a file's contents ("" on IO error) — VCD provenance.
+std::string
+file_digest_hex(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        return "";
+    }
+    uint64_t h = 14695981039346656037ull;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+        for (size_t i = 0; i < n; ++i) {
+            h ^= static_cast<unsigned char>(buf[i]);
+            h *= 1099511628211ull;
+        }
+    }
+    std::fclose(f);
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return hex;
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -405,6 +484,18 @@ Runtime::Runtime(Options options)
       compile_server_(std::make_unique<CompileServer>())
 {
     init_metrics();
+    journal_.set_clock([this] { return virtual_ticks(); });
+    // Register this session with the crash black box: a fatal error dumps
+    // the journal ring plus stats/profile snapshots of every live runtime.
+    blackbox_id_ = telemetry::BlackBox::instance().add_source(
+        "runtime", [this] {
+            std::string out = "{\"events\":" + journal_.ring_json();
+            out += ",\"stats\":" + stats_json();
+            out += ",\"profile\":" + profile_json();
+            out += '}';
+            return out;
+        });
+    telemetry::BlackBox::instance().install_handlers();
     // Load the standard library and implicitly instantiate the Clock
     // (paper §3.2: Clock/Pad/Led are implicitly provided; we instantiate
     // peripherals lazily when the user references them — see eval()).
@@ -420,7 +511,13 @@ Runtime::Runtime(Options options)
     CASCADE_CHECK(ok);
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime()
+{
+    // The black-box provider captures `this`: deregister before members
+    // are torn down so a crash during another runtime's dump cannot walk
+    // into freed state.
+    telemetry::BlackBox::instance().remove_source(blackbox_id_);
+}
 
 void
 Runtime::init_metrics()
@@ -455,18 +552,31 @@ Runtime::init_metrics()
 bool
 Runtime::eval(std::string_view source, std::string* errors)
 {
+    flush_api_steps();
     // The ctor's implicit "Clock clk();" eval is machinery, not a user
     // interaction: keep it out of the repl.* metrics.
     TELEM_SPAN_HIST("runtime.eval",
                     bootstrapping_ ? nullptr : m_.eval_ns);
+    // Every outcome journals an `eval` event: the source text is what
+    // replay re-feeds, and the ok/err fields are compared (a rejected
+    // eval is as much a part of the session as an accepted one).
+    const auto reject = [&](const std::string& err_text) {
+        if (errors != nullptr) {
+            *errors = err_text;
+        }
+        m_.evals_rejected->inc();
+        journal_.record("eval", telemetry::JsonWriter()
+                                    .boolean("ok", false)
+                                    .num("version", version_)
+                                    .str("src", source)
+                                    .str("err", err_text)
+                                    .build());
+        return false;
+    };
     Diagnostics diags;
     SourceUnit unit = parse(source, &diags);
     if (diags.has_errors()) {
-        if (errors != nullptr) {
-            *errors = diags.str();
-        }
-        m_.evals_rejected->inc();
-        return false;
+        return reject(diags.str());
     }
 
     // Integrate tentatively, roll back on elaboration failure (the REPL
@@ -474,13 +584,9 @@ Runtime::eval(std::string_view source, std::string* errors)
     std::vector<std::string> added_modules;
     for (auto& m : unit.modules) {
         if (lib_.find(m->name) != nullptr) {
-            if (errors != nullptr) {
-                *errors = "module '" + m->name +
+            return reject("module '" + m->name +
                           "' is already declared (Cascade evals are "
-                          "append-only, see paper §7.2)";
-            }
-            m_.evals_rejected->inc();
-            return false;
+                          "append-only, see paper §7.2)");
         }
         added_modules.push_back(m->name);
         lib_.add(std::move(m));
@@ -491,7 +597,7 @@ Runtime::eval(std::string_view source, std::string* errors)
     }
 
     std::string rebuild_errors;
-    if (!rebuild_program(&rebuild_errors)) {
+    if (!rebuild_program(&rebuild_errors, "eval")) {
         // Roll back.
         root_items_.resize(old_item_count);
         for (const std::string& name : added_modules) {
@@ -500,17 +606,18 @@ Runtime::eval(std::string_view source, std::string* errors)
         if (!added_modules.empty() || old_item_count != 0 ||
             !root_items_.empty()) {
             std::string ignored;
-            rebuild_program(&ignored); // restore previous good program
+            rebuild_program(&ignored, "rollback"); // restore previous good
         }
-        if (errors != nullptr) {
-            *errors = rebuild_errors;
-        }
-        m_.evals_rejected->inc();
-        return false;
+        return reject(rebuild_errors);
     }
     if (!bootstrapping_) {
         m_.evals_accepted->inc();
     }
+    journal_.record("eval", telemetry::JsonWriter()
+                                .boolean("ok", true)
+                                .num("version", version_)
+                                .str("src", source)
+                                .build());
     return true;
 }
 
@@ -555,7 +662,7 @@ Runtime::initial_skip_mask(const ElaboratedModule& em,
 }
 
 bool
-Runtime::rebuild_program(std::string* errors)
+Runtime::rebuild_program(std::string* errors, const char* reason)
 {
     Diagnostics diags;
     auto root = make_root(root_items_);
@@ -685,6 +792,12 @@ Runtime::rebuild_program(std::string* errors)
 
     settle_evaluations();
 
+    journal_.record("rebuild", telemetry::JsonWriter()
+                                   .num("version", version_)
+                                   .str("reason", reason)
+                                   .num("slots", slots_.size())
+                                   .num("nets", nets_.size())
+                                   .build());
     if (options_.enable_hardware) {
         launch_compile();
     }
@@ -712,6 +825,12 @@ Runtime::settle_evaluations()
 void
 Runtime::flush_interrupts()
 {
+    if (!interrupt_queue_.empty()) {
+        journal_.record("interrupt.flush",
+                        telemetry::JsonWriter()
+                            .num("count", interrupt_queue_.size())
+                            .build());
+    }
     while (!interrupt_queue_.empty()) {
         if (on_output) {
             on_output(interrupt_queue_.front());
@@ -808,6 +927,16 @@ Runtime::route_outputs()
 bool
 Runtime::step()
 {
+    // Journaled lazily as one coalesced api.step{n} event: flushed before
+    // the next non-step input event (step_internal itself is also driven
+    // by run()/run_for_ticks(), which journal their own inputs).
+    ++pending_api_steps_;
+    return step_internal();
+}
+
+bool
+Runtime::step_internal()
+{
     if (finished_) {
         return false;
     }
@@ -875,6 +1004,9 @@ Runtime::step()
         for (Slot& slot : slots_) {
             slot.engine->end();
         }
+        journal_.record("finish", telemetry::JsonWriter()
+                                      .num("iteration", iterations_)
+                                      .build());
         telemetry::Tracer::global().instant("runtime.finish",
                                             virtual_ticks());
     }
@@ -913,10 +1045,13 @@ Runtime::window()
 bool
 Runtime::run_for_ticks(uint64_t ticks)
 {
+    flush_api_steps();
+    journal_.record("api.run_ticks",
+                    telemetry::JsonWriter().num("n", ticks).build());
     const uint64_t target = virtual_ticks() + ticks;
     uint64_t guard = 0;
     while (virtual_ticks() < target && !finished_) {
-        if (!step()) {
+        if (!step_internal()) {
             break;
         }
         if (++guard > ticks * 64 + (1u << 22)) {
@@ -929,8 +1064,11 @@ Runtime::run_for_ticks(uint64_t ticks)
 bool
 Runtime::run(uint64_t max_iterations)
 {
+    flush_api_steps();
+    journal_.record("api.run",
+                    telemetry::JsonWriter().num("n", max_iterations).build());
     for (uint64_t i = 0; i < max_iterations && !finished_; ++i) {
-        step();
+        step_internal();
     }
     return finished_;
 }
@@ -944,6 +1082,7 @@ Runtime::hardware_ready() const
 bool
 Runtime::wait_for_hardware(double timeout_s)
 {
+    flush_api_steps();
     // Poll the compile server without stepping the scheduler: virtual time
     // does not advance, so an adopted program starts on the fabric at the
     // same tick a software run would start at (tick-0 adoption).
@@ -956,13 +1095,102 @@ Runtime::wait_for_hardware(double timeout_s)
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
-    return user_location_ != Location::Software;
+    const bool ok = user_location_ != Location::Software;
+    journal_.record("api.wait_hw",
+                    telemetry::JsonWriter().boolean("ok", ok).build());
+    return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+void
+Runtime::flush_api_steps()
+{
+    // step() is the REPL/driver hot path; journaling each call would write
+    // a line per scheduler iteration. Instead steps accumulate and one
+    // coalesced api.step{n} is emitted before the next non-step input.
+    if (pending_api_steps_ == 0) {
+        return;
+    }
+    const uint64_t n = pending_api_steps_;
+    pending_api_steps_ = 0;
+    journal_.record("api.step",
+                    telemetry::JsonWriter().num("n", n).build());
+}
+
+void
+Runtime::log_event(LogLevel level, const char* component,
+                   const std::string& message)
+{
+    journal_.record("log", telemetry::JsonWriter()
+                               .str("level", log_level_name(level))
+                               .str("component", component)
+                               .str("msg", message)
+                               .build());
+    if (Logger::instance().enabled(level)) {
+        Logger::instance().write(level, component, message);
+    }
+}
+
+std::string
+Runtime::journal_header_json() const
+{
+    // Every option that shapes execution, so a replayer can reconstruct an
+    // identically-configured Runtime from the journal alone. Doubles are
+    // printed round-trip exact (%.17g) by JsonWriter::dbl.
+    return telemetry::JsonWriter()
+        .boolean("enable_inlining", options_.enable_inlining)
+        .boolean("enable_hardware", options_.enable_hardware)
+        .boolean("enable_forwarding", options_.enable_forwarding)
+        .boolean("enable_open_loop", options_.enable_open_loop)
+        .boolean("native_mode", options_.native_mode)
+        .dbl("compile_effort", options_.compile_effort)
+        .dbl("device_clock_mhz", options_.device_clock_mhz)
+        .dbl("mmio_latency_s", options_.mmio_latency_s)
+        .num("device_les", options_.device_les)
+        .num("device_bram_bits", options_.device_bram_bits)
+        .num("open_loop_iterations", options_.open_loop_iterations)
+        .dbl("open_loop_target_wall_s", options_.open_loop_target_wall_s)
+        .boolean("profiling", options_.profiling)
+        .num("compile_seed", options_.compile_seed)
+        .build();
+}
+
+bool
+Runtime::start_recording(const std::string& path, std::string* err)
+{
+    if (version_ > 1) {
+        if (err != nullptr) {
+            *err = "recording must start on a fresh session (the journal "
+                   "replays the whole session from its beginning)";
+        }
+        return false;
+    }
+    return journal_.start_file(path, journal_header_json(), err);
+}
+
+void
+Runtime::stop_recording()
+{
+    flush_api_steps();
+    journal_.stop_file();
+}
+
+void
+Runtime::begin_replay(ReplaySchedule schedule)
+{
+    replay_ = true;
+    replay_schedule_ = std::move(schedule);
 }
 
 void
 Runtime::on_display(const std::string& text)
 {
     interrupt_queue_.push_back(text + "\n");
+    journal_.record("interrupt.enqueue",
+                    interrupt_payload("display", interrupt_queue_.back()));
     m_.interrupts->inc();
     m_.interrupt_depth->set(
         static_cast<int64_t>(interrupt_queue_.size()));
@@ -972,6 +1200,8 @@ void
 Runtime::on_write(const std::string& text)
 {
     interrupt_queue_.push_back(text);
+    journal_.record("interrupt.enqueue",
+                    interrupt_payload("write", interrupt_queue_.back()));
     m_.interrupts->inc();
     m_.interrupt_depth->set(
         static_cast<int64_t>(interrupt_queue_.size()));
@@ -996,6 +1226,12 @@ Runtime::on_monitor(const std::string& key, const std::string& text)
     }
     monitor_last_[key] = text;
     m_.monitor_lines->inc();
+    journal_.record(
+        "monitor.line",
+        telemetry::JsonWriter()
+            .str("key_digest", telemetry::digest_hex(key))
+            .str("text", text)
+            .build());
     on_display(text);
 }
 
@@ -1040,6 +1276,7 @@ Runtime::on_dumpon()
 bool
 Runtime::vcd_open(const std::string& path, std::string* err)
 {
+    flush_api_steps();
     if (vcd_declared_) {
         if (err != nullptr) {
             *err = "a dump is already in progress (signal set is frozen)";
@@ -1049,6 +1286,8 @@ Runtime::vcd_open(const std::string& path, std::string* err)
     if (!vcd_.open(path, err)) {
         return false;
     }
+    journal_.record("api.vcd",
+                    telemetry::JsonWriter().str("path", path).build());
     vcd_requested_path_ = path;
     vcd_bytes_seen_ = 0; // the writer's byte counter restarted at zero
     vcd_capture_ = true;
@@ -1059,11 +1298,22 @@ void
 Runtime::close_vcd()
 {
     if (vcd_.is_open()) {
+        flush_api_steps();
+        journal_.record("api.vcd_close", "{}");
+        const std::string path = vcd_requested_path_;
         const uint64_t before = vcd_.bytes_written();
         vcd_.close();
         m_.vcd_bytes->inc(
             static_cast<int64_t>(vcd_.bytes_written() - before));
         vcd_bytes_seen_ = vcd_.bytes_written();
+        // Digest the closed waveform: identical stimulus must produce an
+        // identical file, so replay compares this event byte-for-byte.
+        journal_.record("vcd.digest",
+                        telemetry::JsonWriter()
+                            .str("path", path)
+                            .num("bytes", vcd_.bytes_written())
+                            .str("digest", file_digest_hex(path))
+                            .build());
     }
     vcd_capture_ = false;
     vcd_declared_ = false;
@@ -1109,6 +1359,9 @@ Runtime::add_probe(const std::string& name, std::string* err)
         probe_names_.end()) {
         probe_names_.push_back(name);
     }
+    flush_api_steps();
+    journal_.record("api.probe",
+                    telemetry::JsonWriter().str("name", name).build());
     return true;
 }
 
@@ -1121,6 +1374,9 @@ Runtime::remove_probe(const std::string& name)
         return false;
     }
     probe_names_.erase(it);
+    flush_api_steps();
+    journal_.record("api.unprobe",
+                    telemetry::JsonWriter().str("name", name).build());
     return true;
 }
 
@@ -1317,6 +1573,9 @@ Runtime::resolve_peripherals()
 void
 Runtime::set_pad(uint64_t buttons)
 {
+    flush_api_steps();
+    journal_.record("api.set_pad",
+                    telemetry::JsonWriter().num("value", buttons).build());
     pad_value_ = buttons;
     for (const std::string& net : pads_) {
         const int n = find_net(net);
@@ -1358,21 +1617,40 @@ Runtime::pad_width_hint(const std::string& net) const
 BitVector
 Runtime::led_state()
 {
+    flush_api_steps();
     // Refresh output nets (a free-running hardware engine's outputs are
     // only polled on demand).
     route_outputs();
+    BitVector out(8, 0);
     for (const std::string& net : leds_) {
         const int n = find_net(net);
         if (n >= 0 && nets_[static_cast<size_t>(n)].has_value) {
-            return nets_[static_cast<size_t>(n)].value;
+            out = nets_[static_cast<size_t>(n)].value;
+            break;
         }
     }
-    return BitVector(8, 0);
+    journal_.record("api.led", telemetry::JsonWriter()
+                                   .num("width", out.width())
+                                   .num("value", out.to_uint64())
+                                   .build());
+    return out;
 }
 
 void
 Runtime::fifo_push(const std::vector<uint8_t>& bytes)
 {
+    flush_api_steps();
+    std::string hex;
+    hex.reserve(bytes.size() * 2);
+    for (const uint8_t b : bytes) {
+        char buf[4];
+        std::snprintf(buf, sizeof(buf), "%02x", b);
+        hex += buf;
+    }
+    journal_.record("api.fifo_push", telemetry::JsonWriter()
+                                         .num("count", bytes.size())
+                                         .str("hex", hex)
+                                         .build());
     fifo_queue_.insert(fifo_queue_.end(), bytes.begin(), bytes.end());
     m_.fifo_backlog->set(static_cast<int64_t>(fifo_queue_.size()));
 }
@@ -1552,25 +1830,68 @@ Runtime::launch_compile()
     job.module = em;
     job.options.effort = options_.compile_effort;
     job.options.target_clock_mhz = options_.device_clock_mhz;
-    job.options.seed = version_;
+    // Placement seed: per-version by default (each rebuild explores a new
+    // placement), a fixed option when the user wants run-to-run identical
+    // compiles, and the journaled value when replaying a recording.
+    uint64_t seed =
+        options_.compile_seed != 0 ? options_.compile_seed : version_;
+    if (replay_) {
+        const auto it = replay_schedule_.seeds.find(version_);
+        if (it != replay_schedule_.seeds.end()) {
+            seed = it->second;
+        }
+    }
+    job.options.seed = seed;
     compile_server_->submit(std::move(job));
     m_.compiles_launched->inc();
+    journal_.record("compile.launch", telemetry::JsonWriter()
+                                          .num("version", version_)
+                                          .num("seed", seed)
+                                          .build());
     telemetry::Tracer::global().instant("compile.launch", version_);
 }
 
 void
 Runtime::poll_compiles()
 {
+    if (replay_) {
+        replay_poll_compiles();
+        return;
+    }
     for (CompileServer::Done& done : compile_server_->poll()) {
         if (done.version != version_ || !pending_outcome_.has_value()) {
-            continue; // stale: the program changed since submission
+            // Stale: the program changed since submission. Info-class
+            // event (never compared): whether a stale result surfaces
+            // before the queue clears is a wall-clock race.
+            journal_.record("compile.stale",
+                            telemetry::JsonWriter()
+                                .num("version", done.version)
+                                .build());
+            continue;
         }
         CompileOutcome outcome = std::move(*pending_outcome_);
         pending_outcome_.reset();
         outcome.result = std::move(done.result);
-        last_report_ = outcome.result.report;
-        adopt_hardware(std::move(outcome));
+        act_on_compile(std::move(outcome));
     }
+}
+
+void
+Runtime::act_on_compile(CompileOutcome outcome)
+{
+    last_report_ = outcome.result.report;
+    const fpga::CompileReport& r = outcome.result.report;
+    journal_.record("compile.done",
+                    telemetry::JsonWriter()
+                        .num("version", outcome.version)
+                        .boolean("ok", outcome.result.ok)
+                        .num("seed", r.seed)
+                        .str("digest", report_digest(r))
+                        .num("les", r.area.les)
+                        .num("cells", r.cells)
+                        .boolean("timing_met", r.timing.met)
+                        .build());
+    adopt_hardware(std::move(outcome));
 }
 
 void
@@ -1587,6 +1908,14 @@ Runtime::adopt_hardware(CompileOutcome outcome)
         interrupt_queue_.push_back("cascade: hardware compilation "
                                    "rejected: " + error + "\n");
         m_.compiles_rejected->inc();
+        journal_.record("compile.rejected",
+                        telemetry::JsonWriter()
+                            .num("version", outcome.version)
+                            .num("iteration", iterations_)
+                            .str("error", error)
+                            .build());
+        log_event(LogLevel::Warn, "compile",
+                  "hardware compilation rejected: " + error);
         telemetry::Tracer::global().instant("compile.rejected",
                                             outcome.version);
         return;
@@ -1781,12 +2110,62 @@ Runtime::adopt_hardware(CompileOutcome outcome)
     rec.trace_ts_us = telemetry::Tracer::global().now_us();
     rec.clock_mhz = actual_clock_mhz;
     transitions_.push_back(rec);
+    journal_.record("adopt",
+                    telemetry::JsonWriter()
+                        .num("version", outcome.version)
+                        .num("iteration", iterations_)
+                        .str("location", location_name(user_location_))
+                        .dbl("clock_mhz", actual_clock_mhz)
+                        .build());
+    log_event(LogLevel::Info, "adopt",
+              std::string("program v") +
+                  std::to_string(outcome.version) + " moved to " +
+                  location_name(user_location_) + " at iteration " +
+                  std::to_string(iterations_));
     telemetry::Tracer::global().instant("transition.sw_to_hw",
                                         outcome.version);
     // The hardware attribution window opens now: ticks from here on
     // execute on the fabric (any spurious adoption-time fabric edges
     // above are invisible to tick-based attribution).
     hw_adopt_ticks_ = virtual_ticks();
+}
+
+void
+Runtime::replay_poll_compiles()
+{
+    // Replay pins adoption to the recorded scheduler iteration: the
+    // compile still runs for real on the server thread (with the pinned
+    // seed), but its result is acted on only at the iteration the
+    // recording adopted (or rejected) it — never earlier, never later.
+    if (replay_schedule_.compile_points.empty() ||
+        replay_schedule_.compile_points.front().iteration != iterations_) {
+        return;
+    }
+    const ReplaySchedule::CompilePoint point =
+        replay_schedule_.compile_points.front();
+    replay_schedule_.compile_points.pop_front();
+    const double t0 = wall_seconds();
+    while (wall_seconds() - t0 < 300.0) {
+        for (CompileServer::Done& done : compile_server_->poll()) {
+            if (done.version != point.version ||
+                !pending_outcome_.has_value()) {
+                journal_.record("compile.stale",
+                                telemetry::JsonWriter()
+                                    .num("version", done.version)
+                                    .build());
+                continue;
+            }
+            CompileOutcome outcome = std::move(*pending_outcome_);
+            pending_outcome_.reset();
+            outcome.result = std::move(done.result);
+            act_on_compile(std::move(outcome));
+            return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    log_event(LogLevel::Error, "replay",
+              "compile for v" + std::to_string(point.version) +
+                  " did not finish within 300s; replay will diverge");
 }
 
 void
@@ -1817,6 +2196,12 @@ Runtime::run_open_loop()
         open_loop_batch_ = std::max<uint64_t>(64,
                                               options_.open_loop_iterations);
     }
+    if (replay_ && !replay_schedule_.grants.empty()) {
+        // Grant sizes were tuned against the recording host's wall clock;
+        // consume the journaled sequence instead of re-adapting.
+        open_loop_batch_ = replay_schedule_.grants.front();
+        replay_schedule_.grants.pop_front();
+    }
     const double wall0 = wall_seconds();
     uint64_t itrs = 0;
     {
@@ -1826,18 +2211,29 @@ Runtime::run_open_loop()
     const double wall = wall_seconds() - wall0;
     m_.open_loop_batch->record(open_loop_batch_);
     m_.open_loop_iterations->inc(itrs);
-    if (std::getenv("CASCADE_DEBUG_OLOOP") != nullptr) {
-        std::fprintf(stderr, "[oloop] itrs=%llu batch=%llu wall=%.3f\n",
-                     static_cast<unsigned long long>(itrs),
-                     static_cast<unsigned long long>(open_loop_batch_),
-                     wall);
+    journal_.record("openloop.grant", telemetry::JsonWriter()
+                                          .num("batch", open_loop_batch_)
+                                          .num("itrs", itrs)
+                                          .build());
+    static const bool oloop_env =
+        std::getenv("CASCADE_DEBUG_OLOOP") != nullptr;
+    if (oloop_env || Logger::instance().enabled(LogLevel::Debug)) {
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "itrs=%llu batch=%llu wall=%.3f",
+                      static_cast<unsigned long long>(itrs),
+                      static_cast<unsigned long long>(open_loop_batch_),
+                      wall);
+        Logger::instance().write(LogLevel::Debug, "openloop", buf);
     }
-    const double target = std::max(0.01, options_.open_loop_target_wall_s);
-    if (wall > 1.5 * target) {
-        open_loop_batch_ = std::max<uint64_t>(64, open_loop_batch_ / 2);
-    } else if (wall < 0.5 * target && itrs == open_loop_batch_) {
-        open_loop_batch_ = std::min<uint64_t>(1u << 22,
-                                              open_loop_batch_ * 2);
+    if (!replay_) {
+        const double target =
+            std::max(0.01, options_.open_loop_target_wall_s);
+        if (wall > 1.5 * target) {
+            open_loop_batch_ = std::max<uint64_t>(64, open_loop_batch_ / 2);
+        } else if (wall < 0.5 * target && itrs == open_loop_batch_) {
+            open_loop_batch_ = std::min<uint64_t>(1u << 22,
+                                                  open_loop_batch_ * 2);
+        }
     }
     if (itrs == 0) {
         return;
@@ -1974,18 +2370,6 @@ Runtime::user_slot()
 
 namespace {
 
-const char*
-location_name(Location loc)
-{
-    switch (loc) {
-    case Location::Software: return "Software";
-    case Location::Hardware: return "Hardware";
-    case Location::HardwareForwarded: return "HardwareForwarded";
-    case Location::Native: return "Native";
-    }
-    return "Unknown";
-}
-
 std::string
 json_double(double v)
 {
@@ -2048,7 +2432,8 @@ Runtime::stats_json() const
                ",\"area_bram_bits\":" + std::to_string(r.area.bram_bits) +
                ",\"fmax_mhz\":" + json_double(r.timing.fmax_mhz) +
                ",\"timing_met\":" +
-               (r.timing.met ? "true" : "false") + '}';
+               (r.timing.met ? "true" : "false") +
+               ",\"seed\":" + std::to_string(r.seed) + '}';
     }
     out += ",\"transitions\":[";
     for (size_t i = 0; i < transitions_.size(); ++i) {
@@ -2124,6 +2509,9 @@ Runtime::stats_table() const
 void
 Runtime::set_profiling(bool on)
 {
+    flush_api_steps();
+    journal_.record("api.profiling",
+                    telemetry::JsonWriter().boolean("on", on).build());
     options_.profiling = on;
     for (Slot& slot : slots_) {
         if (auto* sw = dynamic_cast<SwEngine*>(slot.engine.get())) {

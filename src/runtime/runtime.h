@@ -17,11 +17,13 @@
 #include <string>
 #include <vector>
 
+#include "common/diagnostics.h"
 #include "fpga/compile.h"
 #include "ir/hw_wrapper.h"
 #include "ir/subprogram.h"
 #include "runtime/engine.h"
 #include "sim/vcd.h"
+#include "telemetry/journal.h"
 #include "telemetry/telemetry.h"
 #include "verilog/elaborate.h"
 
@@ -72,6 +74,12 @@ class Runtime : public EngineCallbacks {
         /// counters on the fabric. Off by default so benches measure the
         /// uninstrumented paths.
         bool profiling = false;
+        /// Placement RNG seed for background compiles. 0 (the default)
+        /// derives a per-compile seed from the program version — already
+        /// deterministic, and now reported in CompileReport::seed and the
+        /// journal so any compile is reproducible from its logs. Nonzero
+        /// forces every compile to that seed.
+        uint64_t compile_seed = 0;
     };
 
     Runtime(); ///< default options
@@ -224,6 +232,50 @@ class Runtime : public EngineCallbacks {
     std::string fabric_table() const;
     /// @}
 
+    /// @{ Flight recorder (README §Flight recorder & replay). The journal
+    /// is always on: every nondeterminism-bearing event (eval'ed text,
+    /// interrupt enqueue/flush, adoption decisions, compile launch/done
+    /// with placement seed, open-loop grants, output digests) lands in a
+    /// bounded in-memory ring that the crash black box dumps on a fatal
+    /// error. start_recording() additionally mirrors events to a JSONL
+    /// file (`cascade.events.v1`) that replay.h re-executes
+    /// deterministically.
+
+    telemetry::Journal& journal() { return journal_; }
+
+    /// Starts mirroring the journal to \p path. Must be called on a fresh
+    /// session (before any user eval): the journal replays a whole
+    /// session, so a partial recording would not be re-executable.
+    bool start_recording(const std::string& path, std::string* err = nullptr);
+    void stop_recording();
+    bool recording() const { return journal_.writing(); }
+    /// The recording header: this runtime's options as one JSON object
+    /// (doubles printed round-trip exact), from which replay reconstructs
+    /// an identical runtime.
+    std::string journal_header_json() const;
+
+    /// Everything replay pins to reproduce a recorded session: per-version
+    /// placement seeds, the scheduler iteration at which each compile
+    /// outcome was acted on (adoption is wall-clock-timed live), and the
+    /// open-loop batch grants (adaptively sized from wall time live).
+    struct ReplaySchedule {
+        struct CompilePoint {
+            uint64_t iteration = 0; ///< scheduler_iterations() at decision
+            uint64_t version = 0;   ///< program version decided on
+        };
+        std::deque<CompilePoint> compile_points; ///< adoptions + rejections
+        std::deque<uint64_t> grants;             ///< open-loop batch sizes
+        std::map<uint64_t, uint64_t> seeds;      ///< version -> place seed
+    };
+
+    /// Enters replay mode on a fresh session: compile outcomes are acted
+    /// on exactly at the recorded scheduler iterations (blocking on the
+    /// compile server as needed), placement seeds and open-loop grants
+    /// come from the schedule instead of wall time.
+    void begin_replay(ReplaySchedule schedule);
+    bool replaying() const { return replay_; }
+    /// @}
+
     /// EngineCallbacks:
     void on_display(const std::string& text) override;
     void on_write(const std::string& text) override;
@@ -278,7 +330,20 @@ class Runtime : public EngineCallbacks {
         std::string prefix; ///< inline prefix for hardware state access
     };
 
-    bool rebuild_program(std::string* errors);
+    bool rebuild_program(std::string* errors, const char* reason);
+    /// One scheduler iteration; step()/run()/run_for_ticks() wrap this so
+    /// the public entry points journal api.* input events exactly once.
+    bool step_internal();
+    /// Journals coalesced api.step{n} for any pending public step() calls;
+    /// called before any other input-class event is recorded.
+    void flush_api_steps();
+    /// Journals a `log` event and mirrors it through the process Logger.
+    void log_event(LogLevel level, const char* component,
+                   const std::string& message);
+    /// poll_compiles() in replay mode: act only at scheduled iterations.
+    void replay_poll_compiles();
+    /// Journals compile.done and hands the outcome to adopt_hardware().
+    void act_on_compile(CompileOutcome outcome);
     void settle_evaluations();
     void flush_interrupts();
     void wire_nets();
@@ -384,6 +449,14 @@ class Runtime : public EngineCallbacks {
 
     Options options_;
     telemetry::Registry telemetry_;
+    /// The flight-recorder journal (ring always on; file when recording).
+    telemetry::Journal journal_;
+    /// Public step() calls not yet journaled (coalesced into api.step{n}).
+    uint64_t pending_api_steps_ = 0;
+    /// Crash black-box source registration (removed in the dtor).
+    int blackbox_id_ = 0;
+    bool replay_ = false;
+    ReplaySchedule replay_schedule_;
     Metrics m_;
     /// True only during the ctor's implicit "Clock clk();" eval, which
     /// stays out of the user-facing repl.* metrics.

@@ -6,6 +6,8 @@
 /// repository: it pins the interpreter, the synthesizer, the constant
 /// folder, the canonicalizer, and the bitstream evaluator to one another.
 
+#include <filesystem>
+#include <fstream>
 #include <random>
 #include <sstream>
 
@@ -14,6 +16,7 @@
 #include "fpga/bitstream.h"
 #include "fpga/synth.h"
 #include "sim/interpreter.h"
+#include "telemetry/journal.h"
 #include "verilog/parser.h"
 
 namespace cascade {
@@ -127,6 +130,28 @@ gen_module(uint64_t seed)
     return src.str();
 }
 
+/// On a mismatch, preserves everything needed to reproduce the failure
+/// offline: the generated module and a `cascade.events.v1` journal of the
+/// stimulus that exposed it, under repro/ in the test's working directory
+/// (build/tests/repro under ctest; CI uploads it as an artifact).
+std::string
+write_repro(uint64_t seed, const std::string& src,
+            const telemetry::Journal& journal)
+{
+    std::error_code ec;
+    std::filesystem::create_directories("repro", ec);
+    const std::string base = "repro/fuzz_" + std::to_string(seed);
+    std::ofstream(base + ".v") << src;
+    std::string err;
+    journal.write_ring(base + ".jsonl",
+                       telemetry::JsonWriter()
+                           .str("kind", "fuzz_differential")
+                           .num("seed", seed)
+                           .build(),
+                       &err);
+    return base;
+}
+
 class FuzzDifferential : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FuzzDifferential, InterpreterMatchesNetlist)
@@ -158,13 +183,20 @@ TEST_P(FuzzDifferential, InterpreterMatchesNetlist)
     settle();
     hw.eval_comb();
 
+    // Every cycle's stimulus goes into a journal ring large enough to
+    // hold the whole run, so a mismatch ships with its full history.
+    telemetry::Journal journal(256);
     std::mt19937_64 stim(GetParam() * 977 + 3);
     for (int cycle = 0; cycle < 60; ++cycle) {
+        telemetry::JsonWriter inputs;
+        inputs.num("cycle", static_cast<uint64_t>(cycle));
         for (const char* in : {"a", "b", "c"}) {
             const BitVector v(8, stim());
             sw.set_input(in, v);
             hw.set_input(in, v);
+            inputs.num(in, v.to_uint64());
         }
+        journal.record("fuzz.input", inputs.build());
         settle();
         hw.eval_comb();
         sw.set_input("clk", BitVector(1, 1));
@@ -176,9 +208,27 @@ TEST_P(FuzzDifferential, InterpreterMatchesNetlist)
         hw.set_input("clk", BitVector(1, 0));
         hw.step();
         for (const char* out : {"o0", "o1", "o2"}) {
-            ASSERT_EQ(sw.get(out), hw.output(out))
-                << "cycle " << cycle << " output " << out << "\nmodule:\n"
-                << src;
+            if (sw.get(out) == hw.output(out)) {
+                continue;
+            }
+            journal.record("fuzz.mismatch",
+                           telemetry::JsonWriter()
+                               .num("cycle", static_cast<uint64_t>(cycle))
+                               .str("output", out)
+                               .num("sw", sw.get(out).to_uint64())
+                               .num("hw", hw.output(out).to_uint64())
+                               .build());
+            const std::string base =
+                write_repro(GetParam(), src, journal);
+            FAIL() << "cycle " << cycle << " output " << out << ": sw="
+                   << sw.get(out).to_uint64()
+                   << " hw=" << hw.output(out).to_uint64()
+                   << "\nrepro artifacts: " << base << ".v and " << base
+                   << ".jsonl\nre-run just this seed with:\n"
+                   << "  ./fuzz_differential_test --gtest_filter="
+                   << "'Seeds/FuzzDifferential.InterpreterMatchesNetlist/"
+                   << (GetParam() - 1) << "'\nmodule:\n"
+                   << src;
         }
     }
 }

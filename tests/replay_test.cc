@@ -1,0 +1,255 @@
+/// \file
+/// Deterministic record/replay tests: a session recorded across a mid-run
+/// software-to-hardware adoption must replay with byte-identical output
+/// and identical counters; a tampered journal must report the exact first
+/// diverging event; the placement seed must be pinnable and surfaced.
+
+#include "runtime/replay.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "runtime/repl.h"
+
+namespace cascade::runtime {
+namespace {
+
+std::string
+temp_path(const char* name)
+{
+    return (std::filesystem::temp_directory_path() /
+            (std::string("cascade_replay_test_") + name +
+             std::to_string(::getpid())))
+        .string();
+}
+
+Runtime::Options
+hw_fast()
+{
+    Runtime::Options opts;
+    opts.enable_hardware = true;
+    opts.compile_effort = 0.05;          // keep tests fast
+    opts.open_loop_target_wall_s = 0.02; // small adaptive batches too
+    return opts;
+}
+
+/// A counter with both $display and $monitor output; enough state that a
+/// botched sw -> hw handoff would change the printed sequence.
+const char* kProgram = "reg [15:0] n = 0;\n"
+                       "wire [15:0] h;\n"
+                       "assign h = (n * 16'h9E37) ^ (n >> 3);\n"
+                       "always @(posedge clk.val) begin\n"
+                       "  n <= n + 1;\n"
+                       "  if (n % 64 == 0) $display(\"n=%d h=%d\", n, h);\n"
+                       "end\n"
+                       "initial $monitor(\"mon h=%d\", h[7:0]);\n";
+
+/// Steps until adoption (bounded by wall time), then keeps running.
+bool
+step_until_hardware(Runtime* rt, double timeout_s = 60.0)
+{
+    const auto start = std::chrono::steady_clock::now();
+    while (!rt->hardware_ready()) {
+        rt->step();
+        if (std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count() > timeout_s) {
+            return false;
+        }
+    }
+    return true;
+}
+
+TEST(Replay, RoundTripAcrossAdoptionIsByteIdentical)
+{
+    const std::string path = temp_path("roundtrip.jsonl");
+
+    std::string recorded_output;
+    uint64_t recorded_monitor_lines = 0;
+    uint64_t recorded_interrupts = 0;
+    {
+        Runtime rt(hw_fast());
+        rt.on_output = [&recorded_output](const std::string& text) {
+            recorded_output += text;
+        };
+        std::string err;
+        ASSERT_TRUE(rt.start_recording(path, &err)) << err;
+        ASSERT_TRUE(rt.eval(kProgram));
+        // Run in software, adopt hardware mid-run, keep running after.
+        ASSERT_TRUE(step_until_hardware(&rt));
+        EXPECT_TRUE(rt.hardware_ready());
+        rt.run_for_ticks(1500);
+        rt.stop_recording();
+        recorded_monitor_lines =
+            rt.telemetry().counter("monitor.lines")->value();
+        recorded_interrupts =
+            rt.telemetry().counter("interrupt.enqueued")->value();
+        EXPECT_GT(recorded_monitor_lines, 0u);
+    }
+    ASSERT_FALSE(recorded_output.empty());
+
+    ReplayLog log;
+    std::string err;
+    ASSERT_TRUE(load_journal(path, &log, &err)) << err;
+    // The recording captured the adoption and at least one compile.
+    bool saw_adopt = false;
+    for (const auto& ev : log.events) {
+        if (ev.type == "adopt") {
+            saw_adopt = true;
+        }
+    }
+    ASSERT_TRUE(saw_adopt);
+
+    const Runtime::Options opts = options_from_header(log.header);
+    EXPECT_EQ(opts.compile_effort, 0.05);
+
+    Runtime rt2(opts);
+    std::string replayed_output;
+    rt2.on_output = [&replayed_output](const std::string& text) {
+        replayed_output += text;
+    };
+    const ReplayReport report = replay_into(&rt2, log);
+    EXPECT_TRUE(report.ok) << report.summary();
+    EXPECT_FALSE(report.diverged) << report.summary();
+    EXPECT_GT(report.outputs_compared, 0u);
+
+    // Byte-identical view output and identical observable counters, even
+    // though the original adoption was timed by a background compile.
+    EXPECT_EQ(replayed_output, recorded_output);
+    EXPECT_EQ(rt2.telemetry().counter("monitor.lines")->value(),
+              recorded_monitor_lines);
+    EXPECT_EQ(rt2.telemetry().counter("interrupt.enqueued")->value(),
+              recorded_interrupts);
+    EXPECT_TRUE(rt2.hardware_ready());
+
+    std::filesystem::remove(path);
+}
+
+TEST(Replay, TamperedJournalReportsFirstDivergingEvent)
+{
+    const std::string path = temp_path("tamper.jsonl");
+    {
+        Runtime::Options opts;
+        opts.enable_hardware = false;
+        Runtime rt(opts);
+        std::string err;
+        ASSERT_TRUE(rt.start_recording(path, &err)) << err;
+        ASSERT_TRUE(rt.eval("reg [7:0] n = 0;\n"
+                            "always @(posedge clk.val) begin\n"
+                            "  n <= n + 1;\n"
+                            "  $display(\"n=%d\", n);\n"
+                            "  if (n == 20) $finish;\n"
+                            "end\n"));
+        rt.run(4000);
+        rt.stop_recording();
+    }
+
+    // Tamper with one recorded $display payload ("n=  7" -> "n=  9").
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    in.close();
+    std::string text = ss.str();
+    const std::string needle = "n=  7";
+    const size_t at = text.find(needle);
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, needle.size(), "n=  9");
+
+    // Recover the tampered line's recorded seq for the assertion below.
+    const size_t line_start = text.rfind('\n', at) + 1;
+    const size_t line_end = text.find('\n', at);
+    telemetry::JsonValue tampered_line;
+    ASSERT_TRUE(telemetry::parse_json(
+        text.substr(line_start, line_end - line_start), &tampered_line));
+    const uint64_t tampered_seq = tampered_line.get_u64("seq");
+    ASSERT_GT(tampered_seq, 0u);
+
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+    out.close();
+
+    const ReplayReport report = replay_journal(path);
+    EXPECT_FALSE(report.ok);
+    ASSERT_TRUE(report.diverged) << report.summary();
+    EXPECT_EQ(report.divergence_seq, tampered_seq) << report.summary();
+    EXPECT_EQ(report.divergence_type, "interrupt.enqueue");
+    EXPECT_NE(report.expected.find("n=  9"), std::string::npos)
+        << report.summary();
+    EXPECT_NE(report.actual.find("n=  7"), std::string::npos)
+        << report.summary();
+
+    std::filesystem::remove(path);
+}
+
+TEST(Replay, RecordingRequiresFreshSession)
+{
+    Runtime::Options opts;
+    opts.enable_hardware = false;
+    Runtime rt(opts);
+    ASSERT_TRUE(rt.eval("reg r = 0;"));
+    std::string err;
+    EXPECT_FALSE(rt.start_recording(temp_path("late.jsonl"), &err));
+    EXPECT_NE(err.find("fresh session"), std::string::npos) << err;
+}
+
+TEST(Replay, CompileSeedIsPinnedAndSurfaced)
+{
+    Runtime::Options opts = hw_fast();
+    opts.compile_seed = 12345;
+    Runtime rt(opts);
+    ASSERT_TRUE(rt.eval(kProgram));
+    ASSERT_TRUE(step_until_hardware(&rt));
+    ASSERT_TRUE(rt.last_compile_report().has_value());
+    EXPECT_EQ(rt.last_compile_report()->seed, 12345u);
+    EXPECT_NE(rt.stats_json().find("\"seed\":12345"), std::string::npos);
+}
+
+TEST(Replay, DefaultSeedIsProgramVersion)
+{
+    Runtime rt(hw_fast());
+    ASSERT_TRUE(rt.eval(kProgram));
+    ASSERT_TRUE(step_until_hardware(&rt));
+    ASSERT_TRUE(rt.last_compile_report().has_value());
+    // The bootstrap Clock eval is version 1; the user program is 2.
+    EXPECT_EQ(rt.last_compile_report()->seed, 2u);
+}
+
+TEST(Replay, ReplRecordAndReplayMetaCommands)
+{
+    const std::string path = temp_path("repl.jsonl");
+    {
+        Runtime::Options opts;
+        opts.enable_hardware = false;
+        Runtime rt(opts);
+        std::ostringstream out;
+        Repl repl(&rt, &out);
+        repl.feed(":record " + path + "\n");
+        EXPECT_NE(out.str().find("recording"), std::string::npos);
+        repl.feed("reg [7:0] n = 0;\n");
+        repl.feed("always @(posedge clk.val) begin n <= n + 1; "
+                  "$display(\"n=%d\", n); if (n == 3) $finish; end\n");
+        rt.run(500);
+        repl.feed(":record stop\n");
+        EXPECT_NE(out.str().find("recording stopped"), std::string::npos);
+    }
+    {
+        Runtime::Options opts;
+        opts.enable_hardware = false;
+        Runtime rt(opts);
+        std::ostringstream out;
+        Repl repl(&rt, &out);
+        repl.feed(":replay " + path + "\n");
+        EXPECT_NE(out.str().find("replay ok"), std::string::npos)
+            << out.str();
+    }
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace cascade::runtime
