@@ -1,0 +1,252 @@
+/// \file
+/// Table 5 (multi-tenancy, beyond the paper's single-user deployment):
+/// M concurrent runtimes sharing ONE FpgaDevice through the fabric
+/// hypervisor and ONE pooled compile service. Two results:
+///
+///  1. Aggregate open-loop throughput (summed virtual clock ticks per
+///     second across all tenants) as the tenant count grows 1 -> 2 -> 4.
+///     Spatial partitioning means tenants run concurrently on disjoint LE
+///     slices; the fair batch-grant capping keeps any one tenant from
+///     monopolising control.
+///
+///  2. Compile latency cold vs warm: the same elaborated design compiled
+///     twice through the CompileService. The second submit hits the
+///     content-addressed bitstream cache and must come back >= 10x faster
+///     than the cold flow (in practice, orders of magnitude).
+///
+/// Output: BENCH_table5_multi_tenant.json (headline matrix CI's
+/// smoke-bench job uploads and diffs), plus the usual telemetry sidecars
+/// table5_multi_tenant.stats.json (tenant-0 stats_json() snapshot per
+/// fleet size) and table5_multi_tenant.trace.json (Chrome trace spans).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fpga/compile.h"
+#include "hypervisor/fabric_manager.h"
+#include "runtime/runtime.h"
+#include "service/compile_service.h"
+#include "telemetry/trace.h"
+#include "verilog/parser.h"
+#include "workloads/workloads.h"
+
+using cascade::hypervisor::FabricManager;
+using cascade::runtime::Runtime;
+using cascade::service::CompileService;
+
+namespace {
+
+double
+seconds_since(const std::chrono::steady_clock::time_point& t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+Runtime::Options
+tenant_options(int i)
+{
+    Runtime::Options opts;
+    opts.enable_hardware = true;
+    opts.compile_effort = 0.05;
+    opts.open_loop_target_wall_s = 0.02;
+    // One fixed seed per tenant keeps re-compiles content-identical, so
+    // the later fleet rounds exercise the cache-hit admission path.
+    opts.compile_seed = 7;
+    opts.tenant_name = "bench-t" + std::to_string(i);
+    return opts;
+}
+
+/// Tenant i's program: same shape, different arithmetic, so each fleet
+/// member compiles (and caches) a distinct design.
+std::string
+tenant_program(int i)
+{
+    std::string src;
+    src += "reg [15:0] n = 0;\n";
+    src += "always @(posedge clk.val) n <= n + " + std::to_string(i + 1) +
+           ";\n";
+    return src;
+}
+
+struct FleetResult {
+    double aggregate_ticks_per_s = 0;
+    uint64_t total_ticks = 0;
+    std::string tenant0_stats;
+};
+
+FleetResult
+run_fleet(int tenants, CompileService* service)
+{
+    FabricManager fabric; // fresh default device per fleet size
+    FleetResult out;
+    std::vector<double> rates(tenants, 0.0);
+    std::vector<uint64_t> ticks(tenants, 0);
+    std::vector<std::string> stats(tenants);
+    std::vector<std::thread> threads;
+    threads.reserve(tenants);
+    for (int i = 0; i < tenants; ++i) {
+        threads.emplace_back([&, i] {
+            Runtime rt(tenant_options(i), *service, fabric);
+            rt.on_output = [](const std::string&) {};
+            std::string errors;
+            if (!rt.eval(tenant_program(i), &errors)) {
+                std::fprintf(stderr, "eval failed: %s\n", errors.c_str());
+                return;
+            }
+            if (!rt.wait_for_hardware(120)) {
+                std::fprintf(stderr, "tenant %d never reached hardware\n",
+                             i);
+                return;
+            }
+            const uint64_t t_before = rt.virtual_ticks();
+            const auto t0 = std::chrono::steady_clock::now();
+            rt.run_for_ticks(20000);
+            const double wall = seconds_since(t0);
+            ticks[i] = rt.virtual_ticks() - t_before;
+            rates[i] = wall > 0 ? static_cast<double>(ticks[i]) / wall : 0;
+            if (i == 0) {
+                stats[0] = rt.stats_json();
+            }
+        });
+    }
+    for (std::thread& t : threads) {
+        t.join();
+    }
+    for (int i = 0; i < tenants; ++i) {
+        out.aggregate_ticks_per_s += rates[i];
+        out.total_ticks += ticks[i];
+    }
+    out.tenant0_stats = stats[0];
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table 5: multi-tenant fabric sharing and compile cache\n");
+
+    // -- Compile latency: cold flow vs content-addressed cache hit. -----
+    cascade::Diagnostics diags;
+    auto unit = cascade::verilog::parse(
+        cascade::workloads::proof_of_work_module(16), &diags);
+    cascade::verilog::Elaborator elab(&diags);
+    std::shared_ptr<const cascade::verilog::ElaboratedModule> em =
+        elab.elaborate(*unit.modules[0]);
+    if (em == nullptr) {
+        std::fprintf(stderr, "elab failed: %s\n", diags.str().c_str());
+        return 1;
+    }
+    cascade::fpga::CompileOptions copts;
+    copts.effort = 0.3;
+    copts.seed = 7;
+
+    CompileService::Config cold_cfg;
+    cold_cfg.workers = 1;
+    CompileService latency_svc(cold_cfg);
+    const uint64_t client = latency_svc.register_client();
+
+    auto timed_compile = [&](uint64_t version, bool* cache_hit) {
+        const auto t0 = std::chrono::steady_clock::now();
+        CompileService::Job job;
+        job.version = version;
+        job.module = em;
+        job.options = copts;
+        latency_svc.submit(client, std::move(job));
+        latency_svc.wait_for_done(client, 600);
+        const auto done = latency_svc.poll(client);
+        const double elapsed = seconds_since(t0);
+        if (done.size() != 1 || !done[0].result.ok) {
+            std::fprintf(stderr, "compile %llu failed\n",
+                         static_cast<unsigned long long>(version));
+            std::exit(1);
+        }
+        *cache_hit = done[0].result.report.cache_hit;
+        return elapsed;
+    };
+    bool cold_hit = false;
+    bool warm_hit = false;
+    const double cold_s = timed_compile(1, &cold_hit);
+    const double warm_s = timed_compile(2, &warm_hit);
+    latency_svc.unregister_client(client);
+    const double speedup = cold_s / std::max(warm_s, 1e-9);
+    std::printf("compile latency: cold %.4fs (hit=%d)  warm %.6fs "
+                "(hit=%d)  speedup %.0fx\n",
+                cold_s, cold_hit, warm_s, warm_hit, speedup);
+
+    // -- Aggregate throughput vs tenant count. --------------------------
+    // One shared service across fleet sizes: tenants 0..1 of the M=2 and
+    // M=4 rounds re-compile designs already cached by earlier rounds, so
+    // their path to hardware goes through cache-hit admission.
+    CompileService::Config fleet_cfg;
+    fleet_cfg.workers = 2;
+    CompileService fleet_svc(fleet_cfg);
+
+    std::printf("%-8s %18s %14s\n", "tenants", "aggregate ticks/s",
+                "total ticks");
+    std::string results_body;
+    std::string sidecar_body;
+    for (const int m : {1, 2, 4}) {
+        const FleetResult r = run_fleet(m, &fleet_svc);
+        std::printf("%-8d %18.0f %14llu\n", m, r.aggregate_ticks_per_s,
+                    static_cast<unsigned long long>(r.total_ticks));
+        char row[128];
+        std::snprintf(row, sizeof row,
+                      "{\"tenants\":%d,\"aggregate_ticks_per_s\":%.1f,"
+                      "\"total_ticks\":%llu}",
+                      m, r.aggregate_ticks_per_s,
+                      static_cast<unsigned long long>(r.total_ticks));
+        if (!results_body.empty()) {
+            results_body += ',';
+        }
+        results_body += row;
+        if (!r.tenant0_stats.empty()) {
+            if (!sidecar_body.empty()) {
+                sidecar_body += ',';
+            }
+            sidecar_body += "\"tenants_" + std::to_string(m) +
+                            "\":" + r.tenant0_stats;
+        }
+    }
+
+    {
+        std::ofstream out("BENCH_table5_multi_tenant.json");
+        char compile_row[256];
+        std::snprintf(compile_row, sizeof compile_row,
+                      "\"compile\":{\"cold_seconds\":%.6f,"
+                      "\"warm_seconds\":%.6f,\"warm_cache_hit\":%s,"
+                      "\"speedup\":%.1f}",
+                      cold_s, warm_s, warm_hit ? "true" : "false",
+                      speedup);
+        out << "{\"schema\":\"cascade.bench.v1\","
+            << "\"bench\":\"table5_multi_tenant\"," << compile_row
+            << ",\"fleets\":[" << results_body << "]}\n";
+        std::fprintf(stderr,
+                     "# results -> BENCH_table5_multi_tenant.json\n");
+    }
+    {
+        std::ofstream sidecar("table5_multi_tenant.stats.json");
+        sidecar << '{' << sidecar_body << "}\n";
+        std::fprintf(stderr,
+                     "# stats sidecar -> table5_multi_tenant.stats.json\n");
+    }
+    cascade::telemetry::Tracer::global().write_chrome_json(
+        "table5_multi_tenant.trace.json");
+    std::fprintf(stderr, "# trace -> table5_multi_tenant.trace.json\n");
+
+    if (!warm_hit || speedup < 10.0) {
+        std::fprintf(stderr,
+                     "FAIL: warm compile not a cache hit or < 10x faster "
+                     "than cold\n");
+        return 1;
+    }
+    return 0;
+}

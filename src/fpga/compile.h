@@ -35,6 +35,12 @@ struct CompileReport {
     /// with the same seed yields the identical placement, wirelength and
     /// Fmax (replay pins it; `:stats json` surfaces it).
     uint64_t seed = 0;
+    /// True when this result was served from the compile service's
+    /// content-addressed bitstream cache: no flow ran, so every per-phase
+    /// timing (and total_seconds) is zero, while the deterministic fields
+    /// (netlist, area, placement, Fmax, seed) are byte-identical to the
+    /// cold compile that populated the entry.
+    bool cache_hit = false;
     uint64_t anneal_moves = 0;
     double wirelength = 0;
     /// The critical path rendered as source-level signal names (netlist

@@ -1,0 +1,382 @@
+#include "hypervisor/fabric_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace cascade::hypervisor {
+
+FabricManager::FabricManager(fpga::FpgaDevice device)
+    : device_(std::move(device))
+{
+    telemetry::Registry& reg = telemetry::Registry::global();
+    tenants_gauge_ = reg.gauge("hypervisor.tenants");
+    resident_gauge_ = reg.gauge("hypervisor.resident");
+    evictions_ = reg.counter("hypervisor.evictions");
+    admissions_ = reg.counter("hypervisor.admissions");
+    denials_ = reg.counter("hypervisor.denials");
+}
+
+uint64_t
+FabricManager::add_tenant(const std::string& name, uint64_t le_quota,
+                          uint64_t bram_quota)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t id = ++next_tenant_;
+    Tenant t;
+    t.name = name.empty() ? "tenant-" + std::to_string(id) : name;
+    t.le_quota = le_quota;
+    t.bram_quota = bram_quota;
+    tenants_[id] = std::move(t);
+    tenants_gauge_->set(static_cast<int64_t>(tenants_.size()));
+    return id;
+}
+
+void
+FabricManager::remove_tenant(uint64_t tenant)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = tenants_.find(tenant);
+        if (it == tenants_.end()) {
+            return;
+        }
+        tenants_.erase(it);
+        waiters_.erase(tenant);
+        tenants_gauge_->set(static_cast<int64_t>(tenants_.size()));
+        resident_gauge_->set(
+            static_cast<int64_t>(resident_count_locked()));
+        bump_capacity_epoch_locked();
+    }
+    change_cv_.notify_all();
+}
+
+size_t
+FabricManager::resident_count_locked() const
+{
+    size_t n = 0;
+    for (const auto& [id, t] : tenants_) {
+        if (t.resident) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+bool
+FabricManager::find_slot_locked(uint64_t les, uint64_t* start) const
+{
+    // First fit over the gaps between resident slots (a handful of
+    // tenants; a scan beats a free-list here).
+    std::vector<std::pair<uint64_t, uint64_t>> used;
+    for (const auto& [id, t] : tenants_) {
+        if (t.resident) {
+            used.emplace_back(t.le_start, t.le_count);
+        }
+    }
+    std::sort(used.begin(), used.end());
+    uint64_t cursor = 0;
+    for (const auto& [s, n] : used) {
+        if (s > cursor && s - cursor >= les) {
+            *start = cursor;
+            return true;
+        }
+        cursor = std::max(cursor, s + n);
+    }
+    if (device_.les() > cursor && device_.les() - cursor >= les) {
+        *start = cursor;
+        return true;
+    }
+    return false;
+}
+
+uint64_t
+FabricManager::free_bram_locked() const
+{
+    uint64_t used = 0;
+    for (const auto& [id, t] : tenants_) {
+        if (t.resident) {
+            used += t.bram_bits;
+        }
+    }
+    return used >= device_.bram_bits() ? 0 : device_.bram_bits() - used;
+}
+
+void
+FabricManager::bump_capacity_epoch_locked()
+{
+    capacity_epoch_.fetch_add(1, std::memory_order_release);
+}
+
+Admission
+FabricManager::request_residency(uint64_t tenant,
+                                 const fpga::CompileResult& result)
+{
+    Admission out;
+    bool notify = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = tenants_.find(tenant);
+        if (it == tenants_.end()) {
+            out.error = "unknown tenant";
+            denials_->inc();
+            return out;
+        }
+        Tenant& t = it->second;
+        if (!result.ok) {
+            out.error = result.error;
+            denials_->inc();
+            return out;
+        }
+        const uint64_t les = result.report.area.les;
+        const uint64_t bram = result.report.area.bram_bits;
+        if (t.le_quota != 0 && les > t.le_quota) {
+            out.error = "tenant LE quota exceeded: needs " +
+                        std::to_string(les) + " LEs, quota " +
+                        std::to_string(t.le_quota);
+            denials_->inc();
+            return out;
+        }
+        if (t.bram_quota != 0 && bram > t.bram_quota) {
+            out.error = "tenant BRAM quota exceeded: needs " +
+                        std::to_string(bram) + " bits, quota " +
+                        std::to_string(t.bram_quota);
+            denials_->inc();
+            return out;
+        }
+        if (les > device_.les() || bram > device_.bram_bits()) {
+            out.error = "design does not fit: needs " +
+                        std::to_string(les) + " LEs / " +
+                        std::to_string(bram) + " BRAM bits";
+            denials_->inc();
+            return out;
+        }
+        // Mirror FpgaDevice::program's clocking: a design that misses the
+        // target still runs, PLL-clocked at 90% of its achieved Fmax.
+        double clock = device_.clock_mhz();
+        if (!result.report.timing.met) {
+            clock = result.report.timing.fmax_mhz * 0.9;
+        }
+
+        // Waiter priority: while someone is parked on capacity, a
+        // non-waiter yields even if the fabric has room (fairness; see
+        // the waiters_ comment in the header).
+        if (waiters_.count(tenant) == 0 && !waiters_.empty()) {
+            waiters_.insert(tenant);
+            out.error = "awaiting fabric capacity (yielding to waiting "
+                        "tenant)";
+            out.retryable = true;
+            denials_->inc();
+            return out;
+        }
+
+        uint64_t start = 0;
+        if (bram > free_bram_locked() ||
+            !find_slot_locked(les, &start)) {
+            // Capacity pressure: flag the least-recently-active resident
+            // tenant (never the requester, never one already flagged) and
+            // deny retryable. The victim self-evicts at its next window;
+            // its release bumps the capacity epoch and wakes waiters.
+            const Tenant* victim = nullptr;
+            uint64_t victim_id = 0;
+            for (const auto& [id, cand] : tenants_) {
+                if (id == tenant || !cand.resident ||
+                    cand.evict_requested) {
+                    continue;
+                }
+                if (victim == nullptr ||
+                    cand.last_active < victim->last_active) {
+                    victim = &cand;
+                    victim_id = id;
+                }
+            }
+            if (victim != nullptr) {
+                tenants_[victim_id].evict_requested = true;
+                out.error = "awaiting fabric capacity (eviction of '" +
+                            victim->name + "' requested)";
+            } else {
+                out.error = "awaiting fabric capacity";
+            }
+            waiters_.insert(tenant);
+            out.retryable = true;
+            denials_->inc();
+            return out;
+        }
+
+        waiters_.erase(tenant);
+        t.resident = true;
+        t.le_start = start;
+        t.le_count = les;
+        t.bram_bits = bram;
+        t.last_active = ++activity_clock_;
+        admissions_->inc();
+        resident_gauge_->set(
+            static_cast<int64_t>(resident_count_locked()));
+        bump_capacity_epoch_locked();
+        out.bitstream = std::make_unique<fpga::Bitstream>(result.netlist);
+        out.clock_mhz = clock;
+        out.le_start = start;
+        out.le_count = les;
+        notify = true;
+    }
+    if (notify) {
+        change_cv_.notify_all();
+    }
+    return out;
+}
+
+void
+FabricManager::release_residency(uint64_t tenant)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = tenants_.find(tenant);
+        if (it == tenants_.end() || !it->second.resident) {
+            return;
+        }
+        Tenant& t = it->second;
+        t.resident = false;
+        t.le_start = 0;
+        t.le_count = 0;
+        t.bram_bits = 0;
+        if (t.evict_requested) {
+            t.evict_requested = false;
+            ++t.evictions;
+            evictions_->inc();
+        }
+        resident_gauge_->set(
+            static_cast<int64_t>(resident_count_locked()));
+        bump_capacity_epoch_locked();
+    }
+    change_cv_.notify_all();
+}
+
+void
+FabricManager::request_eviction(uint64_t tenant)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = tenants_.find(tenant);
+    if (it != tenants_.end() && it->second.resident) {
+        it->second.evict_requested = true;
+    }
+}
+
+bool
+FabricManager::eviction_pending(uint64_t tenant) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = tenants_.find(tenant);
+    return it != tenants_.end() && it->second.evict_requested;
+}
+
+uint64_t
+FabricManager::grant_open_loop(uint64_t tenant, uint64_t requested)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) {
+        return requested;
+    }
+    Tenant& t = it->second;
+    t.last_active = ++activity_clock_;
+    const size_t residents = resident_count_locked();
+    uint64_t grant = requested;
+    if (residents > 1) {
+        grant = std::max<uint64_t>(
+            64, requested / static_cast<uint64_t>(residents));
+    }
+    t.ticks_granted += grant;
+    return grant;
+}
+
+void
+FabricManager::wait_for_change(double timeout_s)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const uint64_t epoch = capacity_epoch();
+    change_cv_.wait_for(
+        lock,
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(std::max(0.0, timeout_s))),
+        [&] { return capacity_epoch() != epoch; });
+}
+
+std::vector<SlotInfo>
+FabricManager::slot_map() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<SlotInfo> out;
+    out.reserve(tenants_.size());
+    for (const auto& [id, t] : tenants_) {
+        SlotInfo s;
+        s.tenant = id;
+        s.name = t.name;
+        s.resident = t.resident;
+        s.evict_requested = t.evict_requested;
+        s.le_start = t.le_start;
+        s.le_count = t.le_count;
+        s.bram_bits = t.bram_bits;
+        s.le_quota = t.le_quota;
+        s.bram_quota = t.bram_quota;
+        s.evictions = t.evictions;
+        s.ticks_granted = t.ticks_granted;
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::string
+FabricManager::slot_map_table() const
+{
+    const std::vector<SlotInfo> slots = slot_map();
+    char line[256];
+    std::string out;
+    std::snprintf(line, sizeof line,
+                  "hypervisor slots (device %llu LEs, %llu BRAM bits)\n",
+                  static_cast<unsigned long long>(device_.les()),
+                  static_cast<unsigned long long>(device_.bram_bits()));
+    out += line;
+    if (slots.empty()) {
+        out += "  (no tenants)\n";
+        return out;
+    }
+    for (const SlotInfo& s : slots) {
+        const char* state = s.resident
+                                ? (s.evict_requested ? "evicting"
+                                                     : "resident")
+                                : "software";
+        std::string slice = "-";
+        if (s.resident) {
+            slice = "[" + std::to_string(s.le_start) + ", " +
+                    std::to_string(s.le_start + s.le_count) + ")";
+        }
+        std::string quota = "unlimited";
+        if (s.le_quota != 0) {
+            quota = std::to_string(s.le_quota) + " LEs";
+        }
+        std::snprintf(line, sizeof line,
+                      "  t%-3llu %-12s %-9s LE %-18s quota %-12s "
+                      "evictions %llu\n",
+                      static_cast<unsigned long long>(s.tenant),
+                      s.name.c_str(), state, slice.c_str(), quota.c_str(),
+                      static_cast<unsigned long long>(s.evictions));
+        out += line;
+    }
+    return out;
+}
+
+size_t
+FabricManager::tenant_count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tenants_.size();
+}
+
+size_t
+FabricManager::resident_count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return resident_count_locked();
+}
+
+} // namespace cascade::hypervisor

@@ -197,11 +197,23 @@ replay_into(Runtime* rt, const ReplayLog& log, const ReplayOptions& opts)
             point.iteration = ev.data.get_u64("iteration");
             point.version = ev.data.get_u64("version");
             schedule.compile_points.push_back(point);
+            if (ev.type == "compile.rejected") {
+                // A rejection is forced verbatim on replay: hypervisor
+                // denials (quota, shared-fabric capacity) cannot be
+                // re-derived against the exclusive replay device.
+                schedule.rejections[point.version] =
+                    ev.data.get_str("error");
+            }
         } else if (ev.type == "openloop.grant") {
             schedule.grants.push_back(ev.data.get_u64("batch"));
         } else if (ev.type == "compile.launch") {
             schedule.seeds[ev.data.get_u64("version")] =
                 ev.data.get_u64("seed");
+        } else if (ev.type == "hypervisor.evict") {
+            // Shared-mode evictions re-fire at their recorded scheduler
+            // iteration (the hw->sw relocation is deterministic given
+            // the iteration, so the session replays tick-exact).
+            schedule.evictions.push_back(ev.data.get_u64("iteration"));
         }
     }
     rt->begin_replay(std::move(schedule));

@@ -10,9 +10,11 @@
 #include <thread>
 
 #include "common/check.h"
+#include "hypervisor/fabric_manager.h"
 #include "ir/rewrite.h"
 #include "runtime/hw_engine.h"
 #include "runtime/sw_engine.h"
+#include "service/compile_service.h"
 #include "stdlib/stdlib.h"
 #include "telemetry/trace.h"
 #include "verilog/parser.h"
@@ -375,114 +377,45 @@ class NativeEngine : public Engine {
 };
 
 // ---------------------------------------------------------------------------
-// CompileServer: the networked Quartus stand-in. One worker thread runs
-// fpga::compile jobs in the background (paper §3: "a potentially lengthy
-// compilation is initiated for each in the background").
-// ---------------------------------------------------------------------------
-
-class CompileServer {
-  public:
-    struct Job {
-        uint64_t version = 0;
-        std::shared_ptr<const ElaboratedModule> module;
-        fpga::CompileOptions options;
-    };
-
-    struct Done {
-        uint64_t version = 0;
-        fpga::CompileResult result;
-    };
-
-    CompileServer()
-        : worker_([this] { run(); })
-    {}
-
-    ~CompileServer()
-    {
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            stop_ = true;
-        }
-        cv_.notify_all();
-        worker_.join();
-    }
-
-    void
-    submit(Job job)
-    {
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            // A newer eval obsoletes any queued (not yet running) job.
-            jobs_.clear();
-            jobs_.push_back(std::move(job));
-        }
-        cv_.notify_all();
-    }
-
-    std::vector<Done>
-    poll()
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        std::vector<Done> out = std::move(done_);
-        done_.clear();
-        return out;
-    }
-
-    bool
-    busy() const
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        return running_ || !jobs_.empty();
-    }
-
-  private:
-    void
-    run()
-    {
-        while (true) {
-            Job job;
-            {
-                std::unique_lock<std::mutex> lock(mutex_);
-                cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
-                if (stop_) {
-                    return;
-                }
-                job = std::move(jobs_.front());
-                jobs_.pop_front();
-                running_ = true;
-            }
-            Done done;
-            done.version = job.version;
-            done.result = fpga::compile(*job.module, job.options);
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                done_.push_back(std::move(done));
-                running_ = false;
-            }
-        }
-    }
-
-    mutable std::mutex mutex_;
-    std::condition_variable cv_;
-    std::deque<Job> jobs_;
-    std::vector<Done> done_;
-    bool running_ = false;
-    bool stop_ = false;
-    std::thread worker_;
-};
-
-// ---------------------------------------------------------------------------
 // Runtime
 // ---------------------------------------------------------------------------
 
 Runtime::Runtime() : Runtime(Options()) {}
 
 Runtime::Runtime(Options options)
+    : Runtime(std::move(options), nullptr, nullptr)
+{}
+
+Runtime::Runtime(Options options, service::CompileService& service,
+                 hypervisor::FabricManager& fabric)
+    : Runtime(std::move(options), &service, &fabric)
+{}
+
+Runtime::Runtime(Options options, service::CompileService* service,
+                 hypervisor::FabricManager* fabric)
     : options_(std::move(options)),
       device_(options_.device_les, options_.device_bram_bits,
-              options_.device_clock_mhz),
-      compile_server_(std::make_unique<CompileServer>())
+              options_.device_clock_mhz)
 {
+    // The compile pipeline: the background CompileServer that used to be
+    // embedded here is now the process-wide service::CompileService;
+    // exclusive construction keeps the old behavior with a private
+    // single-worker instance (same thread count, plus the bitstream
+    // cache).
+    if (service != nullptr) {
+        compile_service_ = service;
+    } else {
+        owned_compile_service_ =
+            std::make_unique<service::CompileService>();
+        compile_service_ = owned_compile_service_.get();
+    }
+    compile_client_ = compile_service_->register_client();
+    fabric_ = fabric;
+    if (fabric_ != nullptr) {
+        tenant_ = fabric_->add_tenant(options_.tenant_name,
+                                      options_.tenant_le_quota,
+                                      options_.tenant_bram_quota);
+    }
     init_metrics();
     journal_.set_clock([this] { return virtual_ticks(); });
     // Register this session with the crash black box: a fatal error dumps
@@ -517,6 +450,10 @@ Runtime::~Runtime()
     // are torn down so a crash during another runtime's dump cannot walk
     // into freed state.
     telemetry::BlackBox::instance().remove_source(blackbox_id_);
+    if (fabric_ != nullptr) {
+        fabric_->remove_tenant(tenant_);
+    }
+    compile_service_->unregister_client(compile_client_);
 }
 
 void
@@ -547,6 +484,7 @@ Runtime::init_metrics()
     m_.eval_ns = telemetry_.histogram("repl.eval_ns");
     m_.open_loop_batch = telemetry_.histogram("openloop.batch");
     m_.open_loop_wall_ns = telemetry_.histogram("openloop.wall_ns");
+    m_.compile_wait_ns = telemetry_.histogram("compile.wait_ns");
 }
 
 bool
@@ -774,6 +712,7 @@ Runtime::rebuild_program(std::string* errors, const char* reason)
     // The old engines die with this swap: bank their profile counters
     // first (every failure path above returns with slots_ untouched, so
     // each engine is absorbed exactly once).
+    const bool was_hardware = user_location_ != Location::Software;
     fold_hw_window();
     for (const Slot& slot : slots_) {
         absorb_slot_profile(slot);
@@ -782,6 +721,12 @@ Runtime::rebuild_program(std::string* errors, const char* reason)
     hw_engine_ = nullptr;
     user_location_ = Location::Software;
     ++version_;
+    // Falling off hardware hands our fabric slot back; in shared mode
+    // that completes any pending eviction and wakes tenants parked on
+    // capacity.
+    if (was_hardware && fabric_ != nullptr) {
+        fabric_->release_residency(tenant_);
+    }
 
     wire_nets();
     for (const auto& [name, value] : old_nets) {
@@ -1033,6 +978,23 @@ Runtime::window()
     // the last pre-handoff sample and the first post-handoff sample then
     // bracket the transition with continuous values.
     sample_vcd();
+    // Eviction checkpoint: a tenant flagged by the hypervisor falls back
+    // to software here, between timesteps, where get_state()/set_state()
+    // relocation is safe. Replay re-applies recorded evictions at the
+    // same iteration so shared-mode sessions stay deterministic.
+    if (!finished_) {
+        if (replay_) {
+            if (!replay_schedule_.evictions.empty() &&
+                replay_schedule_.evictions.front() == iterations_) {
+                replay_schedule_.evictions.pop_front();
+                evict_to_software();
+            }
+        } else if (fabric_ != nullptr &&
+                   user_location_ != Location::Software &&
+                   fabric_->eviction_pending(tenant_)) {
+            evict_to_software();
+        }
+    }
     poll_compiles();
     service_peripherals();
     // Open-loop free-running skips the per-timestep windows a waveform
@@ -1083,17 +1045,46 @@ bool
 Runtime::wait_for_hardware(double timeout_s)
 {
     flush_api_steps();
-    // Poll the compile server without stepping the scheduler: virtual time
-    // does not advance, so an adopted program starts on the fabric at the
-    // same tick a software run would start at (tick-0 adoption).
+    // Poll the compile service without stepping the scheduler: virtual
+    // time does not advance, so an adopted program starts on the fabric
+    // at the same tick a software run would start at (tick-0 adoption).
+    // The wait blocks on the service's done condition variable (no
+    // sleep-polling); time spent here is the `compile.wait` span.
     const double t0 = wall_seconds();
-    while (user_location_ == Location::Software &&
-           wall_seconds() - t0 < timeout_s) {
-        poll_compiles();
-        if (user_location_ != Location::Software) {
-            break;
+    {
+        TELEM_SPAN_HIST("compile.wait", m_.compile_wait_ns);
+        while (user_location_ == Location::Software) {
+            poll_compiles();
+            if (user_location_ != Location::Software) {
+                break;
+            }
+            const double remaining = timeout_s - (wall_seconds() - t0);
+            if (remaining <= 0) {
+                break;
+            }
+            if (replay_) {
+                // Replay completion is driven by the recorded schedule,
+                // not wall time; replay_poll_compiles (inside
+                // poll_compiles) blocks until the pinned compile lands.
+                if (replay_schedule_.compile_points.empty()) {
+                    break;
+                }
+                continue;
+            }
+            if (parked_outcome_.has_value() && fabric_ != nullptr) {
+                // Admission denied retryably: wake on fabric capacity
+                // changes rather than compile completions.
+                fabric_->wait_for_change(std::min(remaining, 0.05));
+                continue;
+            }
+            if (!compile_service_->wait_for_done(compile_client_,
+                                                 remaining)) {
+                // Timed out, or nothing in flight will ever complete.
+                if (!compile_service_->busy(compile_client_)) {
+                    break;
+                }
+            }
         }
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
     const bool ok = user_location_ != Location::Software;
     journal_.record("api.wait_hw",
@@ -1824,8 +1815,9 @@ Runtime::launch_compile()
     }
 
     pending_outcome_ = std::move(outcome);
+    parked_outcome_.reset();
     compile_inflight_version_ = version_;
-    CompileServer::Job job;
+    service::CompileService::Job job;
     job.version = version_;
     job.module = em;
     job.options.effort = options_.compile_effort;
@@ -1842,7 +1834,7 @@ Runtime::launch_compile()
         }
     }
     job.options.seed = seed;
-    compile_server_->submit(std::move(job));
+    compile_service_->submit(compile_client_, std::move(job));
     m_.compiles_launched->inc();
     journal_.record("compile.launch", telemetry::JsonWriter()
                                           .num("version", version_)
@@ -1858,7 +1850,8 @@ Runtime::poll_compiles()
         replay_poll_compiles();
         return;
     }
-    for (CompileServer::Done& done : compile_server_->poll()) {
+    for (service::CompileService::Done& done :
+         compile_service_->poll(compile_client_)) {
         if (done.version != version_ || !pending_outcome_.has_value()) {
             // Stale: the program changed since submission. Info-class
             // event (never compared): whether a stale result surfaces
@@ -1872,15 +1865,75 @@ Runtime::poll_compiles()
         CompileOutcome outcome = std::move(*pending_outcome_);
         pending_outcome_.reset();
         outcome.result = std::move(done.result);
-        act_on_compile(std::move(outcome));
+        maybe_admit_and_act(std::move(outcome));
     }
+    retry_parked();
 }
 
 void
-Runtime::act_on_compile(CompileOutcome outcome)
+Runtime::maybe_admit_and_act(CompileOutcome outcome)
+{
+    // Shared mode gates adoption on hypervisor admission, and the grant
+    // is requested BEFORE compile.done is journaled so the compared
+    // compile.done/adopt pair stays adjacent in both record and replay.
+    if (fabric_ == nullptr || !outcome.result.ok) {
+        act_on_compile(std::move(outcome), nullptr);
+        return;
+    }
+    hypervisor::Admission adm =
+        fabric_->request_residency(tenant_, outcome.result);
+    if (adm.bitstream == nullptr && adm.retryable) {
+        // Capacity pressure: park the finished compile and re-request
+        // when the fabric changes. Info-class journal event — replay
+        // runs on an exclusive device where the denial never recurs.
+        journal_.record("hypervisor.defer",
+                        telemetry::JsonWriter()
+                            .num("version", outcome.version)
+                            .str("reason", adm.error)
+                            .build());
+        log_event(LogLevel::Info, "hypervisor",
+                  "admission deferred for v" +
+                      std::to_string(outcome.version) + ": " + adm.error);
+        parked_epoch_ = fabric_->capacity_epoch();
+        parked_outcome_ = std::move(outcome);
+        return;
+    }
+    act_on_compile(std::move(outcome), &adm);
+}
+
+void
+Runtime::retry_parked()
+{
+    if (!parked_outcome_.has_value()) {
+        return;
+    }
+    if (parked_outcome_->version != version_) {
+        parked_outcome_.reset(); // obsoleted by a newer eval
+        return;
+    }
+    if (fabric_ != nullptr &&
+        fabric_->capacity_epoch() == parked_epoch_) {
+        return; // nothing changed; asking again would re-flag a victim
+    }
+    CompileOutcome outcome = std::move(*parked_outcome_);
+    parked_outcome_.reset();
+    maybe_admit_and_act(std::move(outcome));
+}
+
+void
+Runtime::act_on_compile(CompileOutcome outcome,
+                        hypervisor::Admission* admission)
 {
     last_report_ = outcome.result.report;
     const fpga::CompileReport& r = outcome.result.report;
+    // Cache attribution rides in its own info-class event: cache_hit is
+    // a wall-clock artifact (who compiled first), so it must stay out of
+    // the compared compile.done payload.
+    journal_.record("compile.cache",
+                    telemetry::JsonWriter()
+                        .num("version", outcome.version)
+                        .boolean("hit", r.cache_hit)
+                        .build());
     journal_.record("compile.done",
                     telemetry::JsonWriter()
                         .num("version", outcome.version)
@@ -1891,17 +1944,39 @@ Runtime::act_on_compile(CompileOutcome outcome)
                         .num("cells", r.cells)
                         .boolean("timing_met", r.timing.met)
                         .build());
-    adopt_hardware(std::move(outcome));
+    adopt_hardware(std::move(outcome), admission);
 }
 
 void
-Runtime::adopt_hardware(CompileOutcome outcome)
+Runtime::adopt_hardware(CompileOutcome outcome,
+                        hypervisor::Admission* admission)
 {
     std::string error;
     double actual_clock_mhz = device_.clock_mhz();
-    auto fabric = device_.program(outcome.result, &error,
-                                  /*allow_derated_clock=*/true,
-                                  &actual_clock_mhz);
+    std::unique_ptr<fpga::Bitstream> fabric;
+    if (replay_) {
+        // A recorded rejection is forced verbatim: hypervisor denials
+        // (quota, capacity) cannot be re-derived on the exclusive replay
+        // device, and device-level failures reproduce anyway.
+        const auto it = replay_schedule_.rejections.find(outcome.version);
+        if (it != replay_schedule_.rejections.end()) {
+            error = it->second;
+        } else {
+            fabric = device_.program(outcome.result, &error,
+                                     /*allow_derated_clock=*/true,
+                                     &actual_clock_mhz);
+        }
+    } else if (admission != nullptr) {
+        fabric = std::move(admission->bitstream);
+        error = admission->error;
+        if (admission->clock_mhz > 0) {
+            actual_clock_mhz = admission->clock_mhz;
+        }
+    } else {
+        fabric = device_.program(outcome.result, &error,
+                                 /*allow_derated_clock=*/true,
+                                 &actual_clock_mhz);
+    }
     if (fabric == nullptr) {
         // Timing or fit failure: report and stay in software (the UT
         // study's "ran in simulation but did not pass timing closure").
@@ -2117,6 +2192,17 @@ Runtime::adopt_hardware(CompileOutcome outcome)
                         .str("location", location_name(user_location_))
                         .dbl("clock_mhz", actual_clock_mhz)
                         .build());
+    if (fabric_ != nullptr && admission != nullptr) {
+        // Info-class slot record: where on the shared fabric this tenant
+        // landed (first-fit, so placement depends on neighbors).
+        journal_.record("hypervisor.admit",
+                        telemetry::JsonWriter()
+                            .num("version", outcome.version)
+                            .num("le_start", admission->le_start)
+                            .num("le_count", admission->le_count)
+                            .dbl("clock_mhz", actual_clock_mhz)
+                            .build());
+    }
     log_event(LogLevel::Info, "adopt",
               std::string("program v") +
                   std::to_string(outcome.version) + " moved to " +
@@ -2128,6 +2214,32 @@ Runtime::adopt_hardware(CompileOutcome outcome)
     // execute on the fabric (any spurious adoption-time fabric edges
     // above are invisible to tick-based attribution).
     hw_adopt_ticks_ = virtual_ticks();
+}
+
+void
+Runtime::evict_to_software()
+{
+    if (user_location_ == Location::Software || finished_) {
+        return;
+    }
+    // Journal first: replay keys the eviction off this event's iteration
+    // and must see it before the rebuild it triggers. The hw->sw move
+    // itself is the standard Cascade state-transfer (get_state() off the
+    // fabric engine, set_state() into fresh software engines), so the
+    // program's architectural state — including $monitor, VCD and
+    // profile continuity — carries across unchanged.
+    journal_.record("hypervisor.evict",
+                    telemetry::JsonWriter()
+                        .num("iteration", iterations_)
+                        .num("version", version_)
+                        .build());
+    telemetry::Tracer::global().instant("transition.hw_to_sw",
+                                        version_);
+    std::string err;
+    rebuild_program(&err, "evict");
+    log_event(LogLevel::Info, "hypervisor",
+              "tenant evicted to software at iteration " +
+                  std::to_string(iterations_));
 }
 
 void
@@ -2145,8 +2257,10 @@ Runtime::replay_poll_compiles()
         replay_schedule_.compile_points.front();
     replay_schedule_.compile_points.pop_front();
     const double t0 = wall_seconds();
+    TELEM_SPAN_HIST("compile.wait", m_.compile_wait_ns);
     while (wall_seconds() - t0 < 300.0) {
-        for (CompileServer::Done& done : compile_server_->poll()) {
+        for (service::CompileService::Done& done :
+             compile_service_->poll(compile_client_)) {
             if (done.version != point.version ||
                 !pending_outcome_.has_value()) {
                 journal_.record("compile.stale",
@@ -2158,10 +2272,16 @@ Runtime::replay_poll_compiles()
             CompileOutcome outcome = std::move(*pending_outcome_);
             pending_outcome_.reset();
             outcome.result = std::move(done.result);
-            act_on_compile(std::move(outcome));
+            act_on_compile(std::move(outcome), nullptr);
             return;
         }
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        // Block on the service's done CV (no sleep-polling); a false
+        // return with nothing in flight means the result can never
+        // arrive, so fall through to the divergence report.
+        if (!compile_service_->wait_for_done(compile_client_, 0.25) &&
+            !compile_service_->busy(compile_client_)) {
+            break;
+        }
     }
     log_event(LogLevel::Error, "replay",
               "compile for v" + std::to_string(point.version) +
@@ -2196,23 +2316,31 @@ Runtime::run_open_loop()
         open_loop_batch_ = std::max<uint64_t>(64,
                                               options_.open_loop_iterations);
     }
+    uint64_t grant = open_loop_batch_;
     if (replay_ && !replay_schedule_.grants.empty()) {
         // Grant sizes were tuned against the recording host's wall clock;
         // consume the journaled sequence instead of re-adapting.
-        open_loop_batch_ = replay_schedule_.grants.front();
+        grant = replay_schedule_.grants.front();
         replay_schedule_.grants.pop_front();
+        open_loop_batch_ = grant;
+    } else if (!replay_ && fabric_ != nullptr) {
+        // Fair-share ticking: the hypervisor trims the grant when other
+        // tenants are resident so no one monopolizes the fabric between
+        // scheduler windows. The adaptive batch below still tracks the
+        // untrimmed target.
+        grant = fabric_->grant_open_loop(tenant_, open_loop_batch_);
     }
     const double wall0 = wall_seconds();
     uint64_t itrs = 0;
     {
         TELEM_SPAN_HIST("openloop.batch", m_.open_loop_wall_ns);
-        itrs = user->engine->open_loop(open_loop_batch_);
+        itrs = user->engine->open_loop(grant);
     }
     const double wall = wall_seconds() - wall0;
-    m_.open_loop_batch->record(open_loop_batch_);
+    m_.open_loop_batch->record(grant);
     m_.open_loop_iterations->inc(itrs);
     journal_.record("openloop.grant", telemetry::JsonWriter()
-                                          .num("batch", open_loop_batch_)
+                                          .num("batch", grant)
                                           .num("itrs", itrs)
                                           .build());
     static const bool oloop_env =
@@ -2230,7 +2358,7 @@ Runtime::run_open_loop()
             std::max(0.01, options_.open_loop_target_wall_s);
         if (wall > 1.5 * target) {
             open_loop_batch_ = std::max<uint64_t>(64, open_loop_batch_ / 2);
-        } else if (wall < 0.5 * target && itrs == open_loop_batch_) {
+        } else if (wall < 0.5 * target && itrs == grant) {
             open_loop_batch_ = std::min<uint64_t>(1u << 22,
                                                   open_loop_batch_ * 2);
         }
@@ -2433,7 +2561,9 @@ Runtime::stats_json() const
                ",\"fmax_mhz\":" + json_double(r.timing.fmax_mhz) +
                ",\"timing_met\":" +
                (r.timing.met ? "true" : "false") +
-               ",\"seed\":" + std::to_string(r.seed) + '}';
+               ",\"seed\":" + std::to_string(r.seed) +
+               ",\"cache_hit\":" + (r.cache_hit ? "true" : "false") +
+               '}';
     }
     out += ",\"transitions\":[";
     for (size_t i = 0; i < transitions_.size(); ++i) {
@@ -2759,6 +2889,9 @@ Runtime::fabric_table() const
     out += line;
     if (!last_report_.has_value()) {
         out += "  (no hardware compile has completed)\n";
+        if (fabric_ != nullptr) {
+            out += fabric_->slot_map_table();
+        }
         return out;
     }
     const fpga::CompileReport& r = *last_report_;
@@ -2818,6 +2951,9 @@ Runtime::fabric_table() const
         }
     } else if (hw_engine_ != nullptr) {
         out += "  (\":profile on\" enables per-source fabric activity)\n";
+    }
+    if (fabric_ != nullptr) {
+        out += fabric_->slot_map_table();
     }
     return out;
 }

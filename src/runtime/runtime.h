@@ -27,9 +27,15 @@
 #include "telemetry/telemetry.h"
 #include "verilog/elaborate.h"
 
-namespace cascade::runtime {
+namespace cascade::service {
+class CompileService;
+}
+namespace cascade::hypervisor {
+class FabricManager;
+struct Admission;
+}
 
-class CompileServer;
+namespace cascade::runtime {
 
 /// Where a subprogram's engine currently executes (Fig. 9 stages).
 enum class Location {
@@ -80,10 +86,26 @@ class Runtime : public EngineCallbacks {
         /// journal so any compile is reproducible from its logs. Nonzero
         /// forces every compile to that seed.
         uint64_t compile_seed = 0;
+        /// @{ Shared mode only (the FabricManager constructor): how this
+        /// runtime registers with the hypervisor. An empty name becomes
+        /// "tenant-<id>"; a zero quota means unlimited (the device's
+        /// capacity still applies).
+        std::string tenant_name;
+        uint64_t tenant_le_quota = 0;
+        uint64_t tenant_bram_quota = 0;
+        /// @}
     };
 
     Runtime(); ///< default options
     explicit Runtime(Options options);
+    /// Shared mode: compiles go through the pooled \p service and
+    /// hardware residency through the \p fabric hypervisor (one shared
+    /// FpgaDevice hosting many tenants; this runtime self-evicts back to
+    /// software when flagged). Both must outlive the runtime. Default
+    /// construction keeps today's exclusive device + private single
+    /// worker.
+    Runtime(Options options, service::CompileService& service,
+            hypervisor::FabricManager& fabric);
     ~Runtime() override;
 
     Runtime(const Runtime&) = delete;
@@ -127,6 +149,10 @@ class Runtime : public EngineCallbacks {
         return last_report_;
     }
     uint64_t scheduler_iterations() const { return iterations_; }
+    /// Shared mode: the hypervisor tenant id this runtime registered as
+    /// (0 in exclusive mode).
+    uint64_t tenant_id() const { return tenant_; }
+    bool shared_mode() const { return fabric_ != nullptr; }
     /// @}
 
     /// @{ Waveform capture (IEEE-1364 VCD). The dump is runtime-owned and
@@ -266,6 +292,15 @@ class Runtime : public EngineCallbacks {
         std::deque<CompilePoint> compile_points; ///< adoptions + rejections
         std::deque<uint64_t> grants;             ///< open-loop batch sizes
         std::map<uint64_t, uint64_t> seeds;      ///< version -> place seed
+        /// Scheduler iterations at which the recorded session was evicted
+        /// from hardware (hypervisor.evict events): replay re-triggers
+        /// the hw->sw relocation at exactly these points.
+        std::deque<uint64_t> evictions;
+        /// Versions whose compile was rejected in the recording, with the
+        /// recorded error text (hypervisor quota/admission denials cannot
+        /// be re-derived on the exclusive replay device, so every
+        /// recorded rejection is forced verbatim).
+        std::map<uint64_t, std::string> rejections;
     };
 
     /// Enters replay mode on a fresh session: compile outcomes are acted
@@ -292,6 +327,11 @@ class Runtime : public EngineCallbacks {
     void on_dumpon() override;
 
   private:
+    /// The delegate both public constructors funnel into (null service =
+    /// construct a private one; null fabric = exclusive mode).
+    Runtime(Options options, service::CompileService* service,
+            hypervisor::FabricManager* fabric);
+
     struct Net {
         std::string name;
         BitVector value;
@@ -342,8 +382,22 @@ class Runtime : public EngineCallbacks {
                    const std::string& message);
     /// poll_compiles() in replay mode: act only at scheduled iterations.
     void replay_poll_compiles();
-    /// Journals compile.done and hands the outcome to adopt_hardware().
-    void act_on_compile(CompileOutcome outcome);
+    /// Journals compile.cache + compile.done and hands the outcome to
+    /// adopt_hardware(). \p admission is the hypervisor's slot grant in
+    /// shared mode, null in exclusive mode (the private device programs).
+    void act_on_compile(CompileOutcome outcome,
+                        hypervisor::Admission* admission);
+    /// Shared mode: asks the hypervisor for a slot before acting. A
+    /// retryable denial parks the outcome (journaled hypervisor.defer)
+    /// until the fabric's capacity epoch moves.
+    void maybe_admit_and_act(CompileOutcome outcome);
+    /// Re-attempts a parked admission once the fabric changed.
+    void retry_parked();
+    /// Relocates the user program from hardware back to its software
+    /// engines (the hypervisor's cooperative eviction path; also driven
+    /// by replay at recorded hypervisor.evict iterations). State-transfer
+    /// safe at any scheduler iteration per the Cascade ABI.
+    void evict_to_software();
     void settle_evaluations();
     void flush_interrupts();
     void wire_nets();
@@ -355,7 +409,8 @@ class Runtime : public EngineCallbacks {
     void service_peripherals();
     uint32_t pad_width_hint(const std::string& net) const;
     void poll_compiles();
-    void adopt_hardware(CompileOutcome outcome);
+    void adopt_hardware(CompileOutcome outcome,
+                        hypervisor::Admission* admission);
     void launch_compile();
     void run_open_loop();
     void feed_fifo_hw(const FifoBinding& f);
@@ -443,6 +498,7 @@ class Runtime : public EngineCallbacks {
         telemetry::Histogram* eval_ns = nullptr;
         telemetry::Histogram* open_loop_batch = nullptr;
         telemetry::Histogram* open_loop_wall_ns = nullptr;
+        telemetry::Histogram* compile_wait_ns = nullptr;
     };
 
     void init_metrics();
@@ -530,9 +586,22 @@ class Runtime : public EngineCallbacks {
     uint64_t open_loop_batch_ = 0;
 
     fpga::FpgaDevice device_;
-    std::unique_ptr<CompileServer> compile_server_;
+    /// The compile pipeline: a private 1-worker service in exclusive
+    /// mode, the shared pooled service in shared mode.
+    service::CompileService* compile_service_ = nullptr;
+    std::unique_ptr<service::CompileService> owned_compile_service_;
+    uint64_t compile_client_ = 0;
+    /// Shared mode: the fabric hypervisor this runtime is a tenant of
+    /// (null in exclusive mode).
+    hypervisor::FabricManager* fabric_ = nullptr;
+    uint64_t tenant_ = 0;
     uint64_t compile_inflight_version_ = 0;
     std::optional<CompileOutcome> pending_outcome_;
+    /// Shared mode: a finished compile awaiting fabric capacity (its
+    /// admission was denied retryable). Re-tried when the hypervisor's
+    /// capacity epoch moves past parked_epoch_.
+    std::optional<CompileOutcome> parked_outcome_;
+    uint64_t parked_epoch_ = 0;
 };
 
 } // namespace cascade::runtime

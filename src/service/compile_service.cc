@@ -1,0 +1,305 @@
+#include "service/compile_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/check.h"
+#include "telemetry/journal.h"
+#include "verilog/printer.h"
+
+namespace cascade::service {
+
+CompileService::CompileService() : CompileService(Config()) {}
+
+CompileService::CompileService(Config config)
+    : config_(std::move(config))
+{
+    telemetry::Registry& reg = telemetry::Registry::global();
+    hits_ = reg.counter("compile.cache.hits");
+    misses_ = reg.counter("compile.cache.misses");
+    cancelled_ = reg.counter("compile.cancelled");
+    dropped_ = reg.counter("compile.queue.dropped");
+    depth_ = reg.gauge("compile.queue.depth");
+    workers_.reserve(config_.workers);
+    for (size_t i = 0; i < config_.workers; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+CompileService::~CompileService()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    done_cv_.notify_all();
+    for (std::thread& w : workers_) {
+        w.join();
+    }
+}
+
+uint64_t
+CompileService::register_client()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t id = ++next_client_;
+    clients_.insert(id);
+    return id;
+}
+
+void
+CompileService::unregister_client(uint64_t client)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        clients_.erase(client);
+        queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                                    [client](const Pending& p) {
+                                        return p.client == client;
+                                    }),
+                     queue_.end());
+        done_.erase(client);
+        depth_->set(static_cast<int64_t>(queue_.size()));
+    }
+    done_cv_.notify_all();
+}
+
+std::string
+CompileService::cache_key(const verilog::ElaboratedModule& em,
+                          const fpga::CompileOptions& options)
+{
+    // The canonical printed declaration is cloned pre-parameter-binding,
+    // so the bound parameter values are part of the address (two
+    // elaborations of one module text with different parameters are
+    // different designs).
+    std::string s = verilog::print(*em.decl);
+    s += '\x1f';
+    std::map<std::string, std::string> params;
+    for (const auto& [name, value] : em.params) {
+        params[name] = value.to_hex_string();
+    }
+    for (const auto& [name, hex] : params) {
+        s += name;
+        s += '=';
+        s += hex;
+        s += ';';
+    }
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "|e=%.17g|clk=%.17g|seed=%llu",
+                  options.effort, options.target_clock_mhz,
+                  static_cast<unsigned long long>(options.seed));
+    s += buf;
+    return telemetry::digest_hex(s);
+}
+
+void
+CompileService::cache_insert_locked(const std::string& key,
+                                    const fpga::CompileResult& result)
+{
+    if (!config_.enable_cache || key.empty() || !result.ok) {
+        return;
+    }
+    const auto it = cache_.find(key);
+    if (it == cache_.end()) {
+        cache_[key] = result;
+        cache_lru_.push_front(key);
+        if (cache_.size() > config_.cache_capacity &&
+            !cache_lru_.empty()) {
+            cache_.erase(cache_lru_.back());
+            cache_lru_.pop_back();
+        }
+    }
+}
+
+void
+CompileService::submit(uint64_t client, Job job)
+{
+    bool notify_done = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (clients_.count(client) == 0) {
+            return;
+        }
+        // A newer program version obsoletes this client's queued (not yet
+        // running) jobs — the REPL's compile-cancellation path.
+        const size_t before = queue_.size();
+        queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                                    [client](const Pending& p) {
+                                        return p.client == client;
+                                    }),
+                     queue_.end());
+        cancelled_->inc(before - queue_.size());
+
+        Pending pending;
+        pending.client = client;
+        pending.key = config_.enable_cache && job.module != nullptr
+                          ? cache_key(*job.module, job.options)
+                          : std::string();
+        pending.job = std::move(job);
+
+        // Content-addressed lookup: a hit is answered synchronously, with
+        // the per-phase flow timings zeroed (no flow ran) and the hit bit
+        // set; everything deterministic (netlist, area, placement, seed,
+        // Fmax) is byte-identical to the cold compile that populated the
+        // entry.
+        const auto hit = config_.enable_cache && !pending.key.empty()
+                             ? cache_.find(pending.key)
+                             : cache_.end();
+        if (hit != cache_.end()) {
+            hits_->inc();
+            cache_lru_.remove(pending.key);
+            cache_lru_.push_front(pending.key);
+            Done done;
+            done.version = pending.job.version;
+            done.result = hit->second;
+            done.result.report.cache_hit = true;
+            done.result.report.synth_seconds = 0;
+            done.result.report.techmap_seconds = 0;
+            done.result.report.place_seconds = 0;
+            done.result.report.timing_seconds = 0;
+            done.result.report.total_seconds = 0;
+            done_[client].push_back(std::move(done));
+            notify_done = true;
+        } else {
+            if (!pending.key.empty()) {
+                misses_->inc();
+            }
+            queue_.push_back(std::move(pending));
+            if (queue_.size() > config_.queue_capacity) {
+                queue_.pop_front();
+                dropped_->inc();
+            }
+        }
+        depth_->set(static_cast<int64_t>(queue_.size()));
+    }
+    if (notify_done) {
+        done_cv_.notify_all();
+    } else {
+        work_cv_.notify_one();
+    }
+}
+
+std::vector<CompileService::Done>
+CompileService::poll(uint64_t client)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = done_.find(client);
+    if (it == done_.end()) {
+        return {};
+    }
+    std::vector<Done> out = std::move(it->second);
+    it->second.clear();
+    return out;
+}
+
+bool
+CompileService::inflight_locked(uint64_t client) const
+{
+    const auto r = running_.find(client);
+    if (r != running_.end() && r->second > 0) {
+        return true;
+    }
+    for (const Pending& p : queue_) {
+        if (p.client == client) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+CompileService::busy(uint64_t client) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inflight_locked(client);
+}
+
+bool
+CompileService::wait_for_done(uint64_t client, double timeout_s)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(std::max(0.0, timeout_s)));
+    done_cv_.wait_until(lock, deadline, [&] {
+        const auto it = done_.find(client);
+        return stop_ || (it != done_.end() && !it->second.empty()) ||
+               !inflight_locked(client);
+    });
+    const auto it = done_.find(client);
+    return it != done_.end() && !it->second.empty();
+}
+
+void
+CompileService::wait_idle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+        if (stop_) {
+            return true;
+        }
+        if (!queue_.empty()) {
+            return false;
+        }
+        for (const auto& [client, n] : running_) {
+            if (n > 0) {
+                return false;
+            }
+        }
+        return true;
+    });
+}
+
+size_t
+CompileService::queued_jobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+size_t
+CompileService::cache_entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+}
+
+void
+CompileService::worker_loop()
+{
+    while (true) {
+        Pending pending;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (stop_) {
+                return;
+            }
+            pending = std::move(queue_.front());
+            queue_.pop_front();
+            ++running_[pending.client];
+            depth_->set(static_cast<int64_t>(queue_.size()));
+        }
+        Done done;
+        done.version = pending.job.version;
+        done.result = fpga::compile(*pending.job.module,
+                                    pending.job.options);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            cache_insert_locked(pending.key, done.result);
+            --running_[pending.client];
+            // A client that unregistered mid-compile gets its result
+            // dropped (nobody will poll for it); the cache insert above
+            // still happened, so the work is not wasted.
+            if (clients_.count(pending.client) != 0) {
+                done_[pending.client].push_back(std::move(done));
+            }
+        }
+        done_cv_.notify_all();
+    }
+}
+
+} // namespace cascade::service

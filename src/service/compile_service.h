@@ -1,0 +1,151 @@
+/// \file
+/// The pooled compile service: the process-wide successor of the
+/// single-runtime CompileServer that used to live inside runtime.cc. One
+/// service instance hosts an N-worker thread pool running fpga::compile
+/// jobs for any number of registered clients (Runtimes), a bounded FIFO
+/// queue with per-client cancellation (a superseded program version
+/// cancels its still-queued compile), and a content-addressed bitstream
+/// cache: results are keyed by a digest of the canonical elaborated
+/// source, the bound parameter values, the device/target configuration,
+/// the annealing effort, and the placement seed. A hit skips
+/// synth/techmap/place entirely and returns the cached CompileResult with
+/// `CompileReport::cache_hit = true` and zeroed per-phase timings — the
+/// dominant REPL pattern (recompiling an unchanged program) becomes
+/// near-free.
+
+#ifndef CASCADE_SERVICE_COMPILE_SERVICE_H
+#define CASCADE_SERVICE_COMPILE_SERVICE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fpga/compile.h"
+#include "telemetry/telemetry.h"
+#include "verilog/elaborate.h"
+
+namespace cascade::service {
+
+class CompileService {
+  public:
+    struct Config {
+        /// Worker threads. 0 is legal (jobs queue but never run — used by
+        /// tests that need deterministic queue/cancellation behavior; the
+        /// cache still answers hits synchronously at submit).
+        size_t workers = 1;
+        /// Bounded FIFO: when full, the oldest queued job is dropped
+        /// (counted in compile.queue.dropped).
+        size_t queue_capacity = 64;
+        bool enable_cache = true;
+        /// Cached CompileResults retained (LRU beyond this).
+        size_t cache_capacity = 128;
+    };
+
+    struct Job {
+        uint64_t version = 0;
+        std::shared_ptr<const verilog::ElaboratedModule> module;
+        fpga::CompileOptions options;
+    };
+
+    struct Done {
+        uint64_t version = 0;
+        fpga::CompileResult result;
+    };
+
+    // Two overloads rather than `Config config = Config()`: a default
+    // argument of a nested NSDMI class inside its enclosing class is
+    // ill-formed until the class is complete.
+    CompileService();
+    explicit CompileService(Config config);
+    ~CompileService();
+
+    CompileService(const CompileService&) = delete;
+    CompileService& operator=(const CompileService&) = delete;
+
+    /// @{ Client registry. Each Runtime registers once; results are
+    /// delivered per-client, and unregistering cancels that client's
+    /// queued jobs and discards its undelivered results.
+    uint64_t register_client();
+    void unregister_client(uint64_t client);
+    /// @}
+
+    /// Enqueues a compile for \p client. Any job of the same client still
+    /// in the queue is cancelled first (a newer program version obsoletes
+    /// it). On a cache hit the finished result is delivered immediately
+    /// without touching the queue or the workers.
+    void submit(uint64_t client, Job job);
+
+    /// Drains and returns every finished compile for \p client.
+    std::vector<Done> poll(uint64_t client);
+
+    /// True while \p client has a job queued or running.
+    bool busy(uint64_t client) const;
+
+    /// Blocks until a finished compile is available for \p client (true)
+    /// or \p timeout_s elapsed / the client has nothing in flight (false).
+    /// This is the condition-variable replacement for the old 1 ms
+    /// adoption-poll sleep loops.
+    bool wait_for_done(uint64_t client, double timeout_s);
+
+    /// Blocks until the queue is empty and no worker is running a job
+    /// (benches bracket measurements with this).
+    void wait_idle();
+
+    /// @{ Introspection.
+    size_t queued_jobs() const;
+    size_t cache_entries() const;
+    /// The content-address of one compile: digest over the canonical
+    /// printed elaborated source, bound parameter values, effort, target
+    /// clock (the device configuration the flow compiles against), and
+    /// placement seed. Exposed for tests.
+    static std::string cache_key(const verilog::ElaboratedModule& em,
+                                 const fpga::CompileOptions& options);
+    /// @}
+
+  private:
+    struct Pending {
+        uint64_t client = 0;
+        Job job;
+        std::string key; ///< cache key (empty when caching is off)
+    };
+
+    void worker_loop();
+    bool inflight_locked(uint64_t client) const;
+    void cache_insert_locked(const std::string& key,
+                             const fpga::CompileResult& result);
+
+    const Config config_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable work_cv_; ///< workers wait for queue items
+    std::condition_variable done_cv_; ///< clients wait for results
+    bool stop_ = false;
+    uint64_t next_client_ = 0;
+    std::set<uint64_t> clients_;
+    std::deque<Pending> queue_;
+    std::map<uint64_t, size_t> running_;            ///< client -> jobs
+    std::map<uint64_t, std::vector<Done>> done_;    ///< client -> results
+    std::map<std::string, fpga::CompileResult> cache_;
+    std::list<std::string> cache_lru_; ///< front = most recently used
+    std::vector<std::thread> workers_;
+
+    /// Process-registry metrics (telemetry::Registry::global()): pointers
+    /// are stable for the registry's lifetime.
+    telemetry::Counter* hits_ = nullptr;
+    telemetry::Counter* misses_ = nullptr;
+    telemetry::Counter* cancelled_ = nullptr;
+    telemetry::Counter* dropped_ = nullptr;
+    telemetry::Gauge* depth_ = nullptr;
+};
+
+} // namespace cascade::service
+
+#endif // CASCADE_SERVICE_COMPILE_SERVICE_H

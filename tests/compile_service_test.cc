@@ -1,0 +1,340 @@
+/// \file
+/// Tests for the pooled compile service: the content-addressed bitstream
+/// cache (a warm hit is byte-identical to the cold miss that populated it,
+/// with the hit bit set and the flow timings zeroed; any change to the
+/// device configuration or placement seed misses), per-client cancellation
+/// of superseded jobs, the bounded queue, multi-worker completion, and the
+/// cache/queue metrics surfaced through the process telemetry registry.
+
+#include "service/compile_service.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/telemetry.h"
+#include "verilog/parser.h"
+
+namespace cascade::service {
+namespace {
+
+using namespace verilog;
+
+std::shared_ptr<const ElaboratedModule>
+elaborate_src(std::string_view src)
+{
+    Diagnostics diags;
+    SourceUnit unit = parse(src, &diags);
+    EXPECT_FALSE(diags.has_errors()) << diags.str();
+    Elaborator elab(&diags);
+    auto em = elab.elaborate(*unit.modules[0]);
+    EXPECT_NE(em, nullptr) << diags.str();
+    return std::shared_ptr<const ElaboratedModule>(std::move(em));
+}
+
+std::shared_ptr<const ElaboratedModule>
+counter_module()
+{
+    return elaborate_src(R"(
+        module C(input wire clk, output wire [15:0] q);
+          reg [15:0] cnt = 0;
+          always @(posedge clk) cnt <= cnt + 1;
+          assign q = cnt;
+        endmodule
+    )");
+}
+
+fpga::CompileOptions
+fast_options(uint64_t seed = 7)
+{
+    fpga::CompileOptions o;
+    o.effort = 0.05;
+    o.target_clock_mhz = 50.0;
+    o.seed = seed;
+    return o;
+}
+
+CompileService::Job
+job_for(uint64_t version,
+        std::shared_ptr<const ElaboratedModule> em,
+        const fpga::CompileOptions& options)
+{
+    CompileService::Job j;
+    j.version = version;
+    j.module = std::move(em);
+    j.options = options;
+    return j;
+}
+
+/// Drains until exactly one Done arrives (worker completions are async).
+CompileService::Done
+wait_one(CompileService& svc, uint64_t client)
+{
+    std::vector<CompileService::Done> out;
+    for (int i = 0; i < 400 && out.empty(); ++i) {
+        svc.wait_for_done(client, 0.25);
+        out = svc.poll(client);
+    }
+    EXPECT_EQ(out.size(), 1u);
+    return out.empty() ? CompileService::Done() : std::move(out[0]);
+}
+
+// ---------------------------------------------------------------------
+// The content-addressed cache
+// ---------------------------------------------------------------------
+
+TEST(CompileCache, WarmHitIsByteIdenticalWithZeroPhaseTimes)
+{
+    CompileService svc;
+    const uint64_t client = svc.register_client();
+    auto em = counter_module();
+
+    svc.submit(client, job_for(1, em, fast_options()));
+    const CompileService::Done cold = wait_one(svc, client);
+    ASSERT_TRUE(cold.result.ok) << cold.result.error;
+    EXPECT_FALSE(cold.result.report.cache_hit);
+    EXPECT_GT(cold.result.report.total_seconds, 0.0);
+    EXPECT_EQ(svc.cache_entries(), 1u);
+
+    svc.submit(client, job_for(2, em, fast_options()));
+    const CompileService::Done warm = wait_one(svc, client);
+    ASSERT_TRUE(warm.result.ok) << warm.result.error;
+    EXPECT_TRUE(warm.result.report.cache_hit);
+
+    // No flow ran: every per-phase time (and the total) is zero.
+    EXPECT_EQ(warm.result.report.synth_seconds, 0.0);
+    EXPECT_EQ(warm.result.report.techmap_seconds, 0.0);
+    EXPECT_EQ(warm.result.report.place_seconds, 0.0);
+    EXPECT_EQ(warm.result.report.timing_seconds, 0.0);
+    EXPECT_EQ(warm.result.report.total_seconds, 0.0);
+
+    // Everything deterministic is byte-identical to the cold compile —
+    // the cached entry even shares the immutable netlist object.
+    EXPECT_EQ(warm.result.netlist.get(), cold.result.netlist.get());
+    EXPECT_EQ(warm.result.report.seed, cold.result.report.seed);
+    EXPECT_EQ(warm.result.report.area.les, cold.result.report.area.les);
+    EXPECT_EQ(warm.result.report.area.bram_bits,
+              cold.result.report.area.bram_bits);
+    EXPECT_EQ(warm.result.report.cells, cold.result.report.cells);
+    EXPECT_EQ(warm.result.report.anneal_moves,
+              cold.result.report.anneal_moves);
+    EXPECT_EQ(warm.result.report.wirelength, cold.result.report.wirelength);
+    EXPECT_EQ(warm.result.report.timing.fmax_mhz,
+              cold.result.report.timing.fmax_mhz);
+    EXPECT_EQ(warm.result.report.critical_path_names,
+              cold.result.report.critical_path_names);
+
+    svc.unregister_client(client);
+}
+
+TEST(CompileCache, KeyCoversDeviceConfigEffortAndSeed)
+{
+    auto em = counter_module();
+    const std::string base = CompileService::cache_key(*em, fast_options());
+    EXPECT_FALSE(base.empty());
+
+    // Same inputs -> same address.
+    EXPECT_EQ(base, CompileService::cache_key(*em, fast_options()));
+
+    // A different placement seed, annealing effort, or device target
+    // clock is a different compile.
+    fpga::CompileOptions seed2 = fast_options(8);
+    EXPECT_NE(base, CompileService::cache_key(*em, seed2));
+    fpga::CompileOptions effort2 = fast_options();
+    effort2.effort = 0.1;
+    EXPECT_NE(base, CompileService::cache_key(*em, effort2));
+    fpga::CompileOptions clock2 = fast_options();
+    clock2.target_clock_mhz = 100.0;
+    EXPECT_NE(base, CompileService::cache_key(*em, clock2));
+
+    // And so is a different design.
+    auto other = elaborate_src(R"(
+        module D(input wire clk, output wire [15:0] q);
+          reg [15:0] cnt = 0;
+          always @(posedge clk) cnt <= cnt + 2;
+          assign q = cnt;
+        endmodule
+    )");
+    EXPECT_NE(base, CompileService::cache_key(*other, fast_options()));
+}
+
+TEST(CompileCache, DifferentSeedMissesAndRunsTheFlow)
+{
+    CompileService svc;
+    const uint64_t client = svc.register_client();
+    auto em = counter_module();
+
+    svc.submit(client, job_for(1, em, fast_options(7)));
+    const CompileService::Done first = wait_one(svc, client);
+    ASSERT_TRUE(first.result.ok);
+
+    svc.submit(client, job_for(2, em, fast_options(8)));
+    const CompileService::Done second = wait_one(svc, client);
+    ASSERT_TRUE(second.result.ok);
+    EXPECT_FALSE(second.result.report.cache_hit);
+    EXPECT_GT(second.result.report.total_seconds, 0.0);
+    EXPECT_EQ(svc.cache_entries(), 2u);
+
+    svc.unregister_client(client);
+}
+
+TEST(CompileCache, DisabledCacheAlwaysRunsTheFlow)
+{
+    CompileService::Config cfg;
+    cfg.enable_cache = false;
+    CompileService svc(cfg);
+    const uint64_t client = svc.register_client();
+    auto em = counter_module();
+
+    svc.submit(client, job_for(1, em, fast_options()));
+    const CompileService::Done a = wait_one(svc, client);
+    svc.submit(client, job_for(2, em, fast_options()));
+    const CompileService::Done b = wait_one(svc, client);
+    EXPECT_FALSE(a.result.report.cache_hit);
+    EXPECT_FALSE(b.result.report.cache_hit);
+    EXPECT_EQ(svc.cache_entries(), 0u);
+
+    svc.unregister_client(client);
+}
+
+// ---------------------------------------------------------------------
+// Queue semantics (workers = 0 keeps jobs queued deterministically)
+// ---------------------------------------------------------------------
+
+TEST(CompileQueue, NewerVersionCancelsQueuedJobOfSameClient)
+{
+    CompileService::Config cfg;
+    cfg.workers = 0;
+    CompileService svc(cfg);
+    const uint64_t a = svc.register_client();
+    const uint64_t b = svc.register_client();
+    auto em = counter_module();
+
+    svc.submit(a, job_for(1, em, fast_options(1)));
+    svc.submit(b, job_for(1, em, fast_options(2)));
+    EXPECT_EQ(svc.queued_jobs(), 2u);
+
+    // A newer program version from client a replaces a's queued job but
+    // leaves b's untouched.
+    svc.submit(a, job_for(2, em, fast_options(3)));
+    EXPECT_EQ(svc.queued_jobs(), 2u);
+    EXPECT_TRUE(svc.busy(a));
+    EXPECT_TRUE(svc.busy(b));
+
+    svc.unregister_client(a);
+    EXPECT_EQ(svc.queued_jobs(), 1u);
+    EXPECT_FALSE(svc.busy(a));
+    svc.unregister_client(b);
+    EXPECT_EQ(svc.queued_jobs(), 0u);
+}
+
+TEST(CompileQueue, BoundedQueueDropsOldest)
+{
+    CompileService::Config cfg;
+    cfg.workers = 0;
+    cfg.queue_capacity = 2;
+    cfg.enable_cache = false;
+    CompileService svc(cfg);
+    auto em = counter_module();
+    // Distinct clients so per-client cancellation does not kick in.
+    const uint64_t c1 = svc.register_client();
+    const uint64_t c2 = svc.register_client();
+    const uint64_t c3 = svc.register_client();
+
+    svc.submit(c1, job_for(1, em, fast_options(1)));
+    svc.submit(c2, job_for(1, em, fast_options(2)));
+    svc.submit(c3, job_for(1, em, fast_options(3)));
+    EXPECT_EQ(svc.queued_jobs(), 2u);
+    EXPECT_FALSE(svc.busy(c1)); // the oldest was dropped
+    EXPECT_TRUE(svc.busy(c2));
+    EXPECT_TRUE(svc.busy(c3));
+}
+
+TEST(CompileQueue, WaitForDoneReturnsFalseWithNothingInFlight)
+{
+    CompileService svc;
+    const uint64_t client = svc.register_client();
+    // Nothing submitted: returns immediately, not after the timeout.
+    EXPECT_FALSE(svc.wait_for_done(client, 60.0));
+    svc.unregister_client(client);
+}
+
+// ---------------------------------------------------------------------
+// The worker pool
+// ---------------------------------------------------------------------
+
+TEST(CompilePool, MultipleWorkersCompleteAllJobs)
+{
+    CompileService::Config cfg;
+    cfg.workers = 3;
+    CompileService svc(cfg);
+    auto em = counter_module();
+
+    std::vector<uint64_t> clients;
+    for (int i = 0; i < 6; ++i) {
+        clients.push_back(svc.register_client());
+    }
+    for (size_t i = 0; i < clients.size(); ++i) {
+        // Same design, distinct seeds: the first six are all misses.
+        svc.submit(clients[i],
+                   job_for(1, em, fast_options(100 + i)));
+    }
+    svc.wait_idle();
+    for (const uint64_t c : clients) {
+        auto out = svc.poll(c);
+        ASSERT_EQ(out.size(), 1u);
+        EXPECT_TRUE(out[0].result.ok);
+        svc.unregister_client(c);
+    }
+    EXPECT_EQ(svc.cache_entries(), 6u);
+}
+
+TEST(CompilePool, ResultsAreIsolatedPerClient)
+{
+    CompileService svc;
+    const uint64_t a = svc.register_client();
+    const uint64_t b = svc.register_client();
+    auto em = counter_module();
+
+    svc.submit(a, job_for(41, em, fast_options(1)));
+    const CompileService::Done da = wait_one(svc, a);
+    EXPECT_EQ(da.version, 41u);
+    // b never submitted: nothing to poll, and nothing was stolen.
+    EXPECT_TRUE(svc.poll(b).empty());
+
+    svc.unregister_client(a);
+    svc.unregister_client(b);
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+TEST(CompileMetrics, CacheAndQueueCountersAdvance)
+{
+    telemetry::Registry& reg = telemetry::Registry::global();
+    telemetry::Counter* hits = reg.counter("compile.cache.hits");
+    telemetry::Counter* misses = reg.counter("compile.cache.misses");
+    telemetry::Gauge* depth = reg.gauge("compile.queue.depth");
+    const uint64_t hits0 = hits->value();
+    const uint64_t misses0 = misses->value();
+
+    CompileService svc;
+    const uint64_t client = svc.register_client();
+    auto em = counter_module();
+
+    svc.submit(client, job_for(1, em, fast_options(55)));
+    wait_one(svc, client);
+    svc.submit(client, job_for(2, em, fast_options(55)));
+    wait_one(svc, client);
+
+    EXPECT_EQ(misses->value(), misses0 + 1);
+    EXPECT_EQ(hits->value(), hits0 + 1);
+    EXPECT_EQ(depth->value(), 0); // drained
+    svc.unregister_client(client);
+}
+
+} // namespace
+} // namespace cascade::service

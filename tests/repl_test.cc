@@ -13,7 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include "hypervisor/fabric_manager.h"
 #include "runtime/runtime.h"
+#include "service/compile_service.h"
 
 namespace cascade::runtime {
 namespace {
@@ -278,6 +280,42 @@ TEST(ReplMeta, FabricReportsSoftwareWithoutACompile)
     const std::string out = h.command(":fabric");
     EXPECT_NE(out.find("cascade fabric"), std::string::npos) << out;
     EXPECT_NE(out.find("no hardware compile"), std::string::npos) << out;
+}
+
+TEST(ReplMeta, FabricRendersHypervisorSlotMapInSharedMode)
+{
+    // A shared-mode runtime extends :fabric with the hypervisor's slot
+    // map: one row per tenant with id, LE slice, and residency state.
+    service::CompileService svc;
+    hypervisor::FabricManager fm;
+    Runtime::Options opts;
+    opts.enable_hardware = true;
+    opts.compile_effort = 0.05;
+    opts.tenant_name = "repl-tenant";
+    Runtime rt(opts, svc, fm);
+    std::ostringstream sink;
+    Repl repl(&rt, &sink);
+
+    // Before any compile: registered but software-resident.
+    repl.feed("reg [3:0] r = 0; always @(posedge clk.val) r <= r + 1;\n");
+    sink.str("");
+    repl.feed(":fabric\n");
+    std::string out = sink.str();
+    EXPECT_NE(out.find("cascade fabric"), std::string::npos) << out;
+    EXPECT_NE(out.find("hypervisor slots"), std::string::npos) << out;
+    EXPECT_NE(out.find("repl-tenant"), std::string::npos) << out;
+    EXPECT_NE(out.find("software"), std::string::npos) << out;
+    EXPECT_NE(out.find("LE -"), std::string::npos) << out;
+
+    // After adoption: resident, with a concrete LE slice.
+    ASSERT_TRUE(rt.wait_for_hardware(60.0));
+    sink.str("");
+    repl.feed(":fabric\n");
+    out = sink.str();
+    EXPECT_NE(out.find("repl-tenant"), std::string::npos) << out;
+    EXPECT_NE(out.find("resident"), std::string::npos) << out;
+    EXPECT_NE(out.find("LE [0, "), std::string::npos) << out;
+    EXPECT_EQ(out.find("software"), std::string::npos) << out;
 }
 
 } // namespace
