@@ -6,10 +6,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <mutex>
+
 #include "fpga/bitstream.h"
 #include "fpga/synth.h"
 #include "runtime/runtime.h"
 #include "sim/interpreter.h"
+#include "telemetry/sync.h"
 #include "verilog/parser.h"
 #include "workloads/workloads.h"
 
@@ -153,6 +156,36 @@ BM_ShaBitstreamCycle(benchmark::State& state)
     }
 }
 BENCHMARK(BM_ShaBitstreamCycle);
+
+/// Uncontended lock/unlock cost of the raw std::mutex — the baseline for
+/// BM_TelemetryMutexLockUnlock below.
+void
+BM_StdMutexLockUnlock(benchmark::State& state)
+{
+    std::mutex m;
+    for (auto _ : state) {
+        m.lock();
+        benchmark::DoNotOptimize(&m);
+        m.unlock();
+    }
+}
+BENCHMARK(BM_StdMutexLockUnlock);
+
+/// Instrumented wrapper on its uncontended fast path (try_lock success:
+/// two relaxed counter bumps, an owner store, and two clock reads).
+/// Compare against BM_StdMutexLockUnlock for the wrapper overhead; with
+/// CASCADE_SYNC_TELEMETRY=0 the two must be indistinguishable.
+void
+BM_TelemetryMutexLockUnlock(benchmark::State& state)
+{
+    telemetry::Mutex m("bench.micro");
+    for (auto _ : state) {
+        m.lock();
+        benchmark::DoNotOptimize(&m);
+        m.unlock();
+    }
+}
+BENCHMARK(BM_TelemetryMutexLockUnlock);
 
 void
 BM_RuntimeEval(benchmark::State& state)

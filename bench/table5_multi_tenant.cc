@@ -3,8 +3,8 @@
 /// M concurrent runtimes sharing ONE FpgaDevice through the fabric
 /// hypervisor and ONE pooled compile service. Two results:
 ///
-///  1. Aggregate open-loop throughput (summed virtual clock ticks per
-///     second across all tenants) as the tenant count grows 1 -> 2 -> 4.
+///  1. Aggregate AND per-tenant open-loop throughput (virtual clock
+///     ticks per second) as the tenant count grows 1 -> 2 -> 4 -> 8 -> 16.
 ///     Spatial partitioning means tenants run concurrently on disjoint LE
 ///     slices; the fair batch-grant capping keeps any one tenant from
 ///     monopolising control.
@@ -15,13 +15,23 @@
 ///     than the cold flow (in practice, orders of magnitude).
 ///
 /// Output: BENCH_table5_multi_tenant.json (headline matrix CI's
-/// smoke-bench job uploads and diffs), plus the usual telemetry sidecars
+/// smoke-bench job uploads and diffs; per-tenant ticks/s per fleet row,
+/// plus the 1->4 lost-throughput attribution), the telemetry sidecars
 /// table5_multi_tenant.stats.json (tenant-0 stats_json() snapshot per
-/// fleet size) and table5_multi_tenant.trace.json (Chrome trace spans).
+/// fleet size) and table5_multi_tenant.trace.json (per-tenant swimlane
+/// Chrome trace), and table5_multi_tenant.contention.json — the
+/// cascade.contention.v1 report for the 4-tenant fleet, extended with an
+/// "attribution" object that decomposes the 1->4 aggregate-throughput gap
+/// into named serialization sites. On this (typically single-core CI)
+/// host the dominant site is "cpu.timeslice" — tenants runnable but not
+/// running, measured directly as wall - cpu - lock_wait per tenant — with
+/// the instrumented lock/CV sites ranked after it.
 
 #include <algorithm>
+#include <barrier>
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -31,6 +41,7 @@
 #include "hypervisor/fabric_manager.h"
 #include "runtime/runtime.h"
 #include "service/compile_service.h"
+#include "telemetry/sync.h"
 #include "telemetry/trace.h"
 #include "verilog/parser.h"
 #include "workloads/workloads.h"
@@ -75,10 +86,29 @@ tenant_program(int i)
     return src;
 }
 
+double
+thread_cpu_seconds()
+{
+    timespec ts;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+struct TenantSample {
+    uint64_t ticks = 0;
+    double rate = 0;        ///< ticks/s over this tenant's measured run
+    double wall_s = 0;      ///< measured-run wall time
+    double cpu_s = 0;       ///< thread CPU time inside the measured run
+    double lock_wait_s = 0; ///< SyncRegistry wait total for this tenant
+};
+
 struct FleetResult {
     double aggregate_ticks_per_s = 0;
     uint64_t total_ticks = 0;
+    std::vector<TenantSample> tenants;
     std::string tenant0_stats;
+    std::string contention_json; ///< registry snapshot right after join
 };
 
 FleetResult
@@ -86,9 +116,14 @@ run_fleet(int tenants, CompileService* service)
 {
     FabricManager fabric; // fresh default device per fleet size
     FleetResult out;
-    std::vector<double> rates(tenants, 0.0);
-    std::vector<uint64_t> ticks(tenants, 0);
-    std::vector<std::string> stats(tenants);
+    out.tenants.resize(tenants);
+    // All tenants reach hardware first; the barrier's completion step
+    // then zeroes the contention registry, so the per-site waits and
+    // blocked-on matrix cover exactly the measured window (compile-time
+    // CV parking would otherwise swamp the run-phase numbers).
+    std::barrier start_barrier(tenants, []() noexcept {
+        cascade::telemetry::SyncRegistry::global().reset();
+    });
     std::vector<std::thread> threads;
     threads.reserve(tenants);
     for (int i = 0; i < tenants; ++i) {
@@ -98,32 +133,115 @@ run_fleet(int tenants, CompileService* service)
             std::string errors;
             if (!rt.eval(tenant_program(i), &errors)) {
                 std::fprintf(stderr, "eval failed: %s\n", errors.c_str());
+                start_barrier.arrive_and_drop();
                 return;
             }
             if (!rt.wait_for_hardware(120)) {
                 std::fprintf(stderr, "tenant %d never reached hardware\n",
                              i);
+                start_barrier.arrive_and_drop();
                 return;
             }
+            start_barrier.arrive_and_wait();
+            TenantSample& s = out.tenants[i];
             const uint64_t t_before = rt.virtual_ticks();
+            const double cpu0 = thread_cpu_seconds();
             const auto t0 = std::chrono::steady_clock::now();
             rt.run_for_ticks(20000);
-            const double wall = seconds_since(t0);
-            ticks[i] = rt.virtual_ticks() - t_before;
-            rates[i] = wall > 0 ? static_cast<double>(ticks[i]) / wall : 0;
+            s.wall_s = seconds_since(t0);
+            s.cpu_s = thread_cpu_seconds() - cpu0;
+            s.ticks = rt.virtual_ticks() - t_before;
+            s.rate = s.wall_s > 0
+                         ? static_cast<double>(s.ticks) / s.wall_s
+                         : 0;
+            // Snapshot this tenant's blocked total before the Runtime
+            // destructor adds its teardown lock traffic.
+            const auto waits =
+                cascade::telemetry::SyncRegistry::global().tenant_waits();
+            const auto w = waits.find(rt.tenant_id());
+            s.lock_wait_s = w != waits.end()
+                                ? static_cast<double>(w->second) * 1e-9
+                                : 0;
             if (i == 0) {
-                stats[0] = rt.stats_json();
+                out.tenant0_stats = rt.stats_json();
             }
         });
     }
     for (std::thread& t : threads) {
         t.join();
     }
-    for (int i = 0; i < tenants; ++i) {
-        out.aggregate_ticks_per_s += rates[i];
-        out.total_ticks += ticks[i];
+    out.contention_json =
+        cascade::telemetry::SyncRegistry::global().contention_json();
+    for (const TenantSample& s : out.tenants) {
+        out.aggregate_ticks_per_s += s.rate;
+        out.total_ticks += s.ticks;
     }
-    out.tenant0_stats = stats[0];
+    return out;
+}
+
+/// One ranked contributor to the 1->M throughput gap.
+struct GapSite {
+    std::string name;
+    std::string kind;
+    double seconds = 0;
+};
+
+/// Decomposes the 1->M gap: each tenant's measured-run excess over the
+/// single-tenant baseline (wall - ticks/rate1) is serialization; the
+/// measured components are per-site lock/CV waits (SyncRegistry) and
+/// "cpu.timeslice" — runnable-but-not-running time, wall - cpu -
+/// lock_wait, the share the OS scheduler spent running *other* tenants.
+struct GapAttribution {
+    double lost_s = 0;       ///< total excess wall across tenants
+    double attributed_s = 0; ///< covered by the named sites below
+    double pct = 0;          ///< 100 * attributed / lost (capped)
+    std::vector<GapSite> sites; ///< ranked, largest first
+};
+
+GapAttribution
+attribute_gap(const FleetResult& fleet, double baseline_rate)
+{
+    GapAttribution out;
+    double timeslice_s = 0;
+    double lock_wait_s = 0;
+    for (const TenantSample& s : fleet.tenants) {
+        if (baseline_rate > 0) {
+            const double expected =
+                static_cast<double>(s.ticks) / baseline_rate;
+            out.lost_s += std::max(0.0, s.wall_s - expected);
+        }
+        timeslice_s +=
+            std::max(0.0, s.wall_s - s.cpu_s - s.lock_wait_s);
+        lock_wait_s += s.lock_wait_s;
+    }
+    out.sites.push_back({"cpu.timeslice", "cpu", timeslice_s});
+    // Split the lock-wait total back into named sites by each site's
+    // share of tenant waits.
+    const auto snap =
+        cascade::telemetry::SyncRegistry::global().snapshot();
+    double site_total_s = 0;
+    for (const auto& s : snap) {
+        site_total_s += static_cast<double>(s.tenant_wait_ns) * 1e-9;
+    }
+    for (const auto& s : snap) {
+        const double site_s = static_cast<double>(s.tenant_wait_ns) * 1e-9;
+        if (site_s <= 0) {
+            continue;
+        }
+        const double scaled =
+            site_total_s > 0 ? lock_wait_s * site_s / site_total_s : 0;
+        out.sites.push_back({s.name, s.kind, scaled});
+    }
+    std::sort(out.sites.begin(), out.sites.end(),
+              [](const GapSite& a, const GapSite& b) {
+                  return a.seconds > b.seconds;
+              });
+    for (const GapSite& s : out.sites) {
+        out.attributed_s += s.seconds;
+    }
+    out.pct = out.lost_s > 0
+                  ? std::min(100.0, 100.0 * out.attributed_s / out.lost_s)
+                  : 100.0;
     return out;
 }
 
@@ -190,24 +308,52 @@ main()
     fleet_cfg.workers = 2;
     CompileService fleet_svc(fleet_cfg);
 
-    std::printf("%-8s %18s %14s\n", "tenants", "aggregate ticks/s",
-                "total ticks");
+    std::printf("%-8s %18s %14s %16s\n", "tenants", "aggregate ticks/s",
+                "total ticks", "min..max /tenant");
     std::string results_body;
     std::string sidecar_body;
-    for (const int m : {1, 2, 4}) {
+    double baseline_rate = 0; // single-tenant ticks/s, the 1-> M yardstick
+    double aggregate_1 = 0;
+    double aggregate_4 = 0;
+    GapAttribution gap;
+    std::string contention_4;
+    for (const int m : {1, 2, 4, 8, 16}) {
         const FleetResult r = run_fleet(m, &fleet_svc);
-        std::printf("%-8d %18.0f %14llu\n", m, r.aggregate_ticks_per_s,
-                    static_cast<unsigned long long>(r.total_ticks));
-        char row[128];
+        double rate_min = r.tenants.empty() ? 0 : r.tenants[0].rate;
+        double rate_max = rate_min;
+        std::string per_tenant;
+        for (size_t i = 0; i < r.tenants.size(); ++i) {
+            const TenantSample& s = r.tenants[i];
+            rate_min = std::min(rate_min, s.rate);
+            rate_max = std::max(rate_max, s.rate);
+            char t[192];
+            std::snprintf(t, sizeof t,
+                          "{\"tenant\":%zu,\"ticks\":%llu,"
+                          "\"ticks_per_s\":%.1f,\"wall_s\":%.4f,"
+                          "\"cpu_s\":%.4f,\"lock_wait_s\":%.6f}",
+                          i, static_cast<unsigned long long>(s.ticks),
+                          s.rate, s.wall_s, s.cpu_s, s.lock_wait_s);
+            if (!per_tenant.empty()) {
+                per_tenant += ',';
+            }
+            per_tenant += t;
+        }
+        std::printf("%-8d %18.0f %14llu %7.0f..%-7.0f\n", m,
+                    r.aggregate_ticks_per_s,
+                    static_cast<unsigned long long>(r.total_ticks),
+                    rate_min, rate_max);
+        char row[160];
         std::snprintf(row, sizeof row,
                       "{\"tenants\":%d,\"aggregate_ticks_per_s\":%.1f,"
-                      "\"total_ticks\":%llu}",
+                      "\"total_ticks\":%llu,\"per_tenant\":[",
                       m, r.aggregate_ticks_per_s,
                       static_cast<unsigned long long>(r.total_ticks));
         if (!results_body.empty()) {
             results_body += ',';
         }
         results_body += row;
+        results_body += per_tenant;
+        results_body += "]}";
         if (!r.tenant0_stats.empty()) {
             if (!sidecar_body.empty()) {
                 sidecar_body += ',';
@@ -215,7 +361,68 @@ main()
             sidecar_body += "\"tenants_" + std::to_string(m) +
                             "\":" + r.tenant0_stats;
         }
+        if (m == 1) {
+            baseline_rate = r.aggregate_ticks_per_s;
+            aggregate_1 = r.aggregate_ticks_per_s;
+        } else if (m == 4) {
+            // Attribute NOW: the registry still holds the 4-tenant
+            // window's per-site waits (the next fleet's start barrier
+            // zeroes it).
+            aggregate_4 = r.aggregate_ticks_per_s;
+            contention_4 = r.contention_json;
+            gap = attribute_gap(r, baseline_rate);
+        }
     }
+
+    const double gap_pct =
+        aggregate_1 > 0
+            ? 100.0 * (aggregate_1 - aggregate_4) / aggregate_1
+            : 0;
+    std::printf("1->4 tenants: aggregate %.0f -> %.0f ticks/s "
+                "(%.0f%% drop), %.3fs lost, %.0f%% attributed:\n",
+                aggregate_1, aggregate_4, gap_pct, gap.lost_s, gap.pct);
+    std::string sites_json;
+    std::string dominant_json;
+    double cum_s = 0;
+    for (const GapSite& s : gap.sites) {
+        if (s.seconds <= 0) {
+            continue;
+        }
+        const double share =
+            gap.lost_s > 0 ? 100.0 * s.seconds / gap.lost_s : 0;
+        std::printf("  %-24s %-6s %8.3fs %5.1f%%\n", s.name.c_str(),
+                    s.kind.c_str(), s.seconds, share);
+        char site_row[160];
+        std::snprintf(site_row, sizeof site_row,
+                      "{\"site\":\"%s\",\"kind\":\"%s\","
+                      "\"seconds\":%.6f,\"share_pct\":%.1f}",
+                      s.name.c_str(), s.kind.c_str(), s.seconds, share);
+        if (!sites_json.empty()) {
+            sites_json += ',';
+        }
+        sites_json += site_row;
+        // Dominant = the minimal ranked prefix covering 90% of what was
+        // attributed.
+        if (gap.attributed_s > 0 && cum_s < 0.9 * gap.attributed_s) {
+            if (!dominant_json.empty()) {
+                dominant_json += ',';
+            }
+            dominant_json += '"' + s.name + '"';
+        }
+        cum_s += s.seconds;
+    }
+    char attr_head[256];
+    std::snprintf(attr_head, sizeof attr_head,
+                  "\"attribution\":{\"from_tenants\":1,\"to_tenants\":4,"
+                  "\"aggregate_ticks_per_s_1\":%.1f,"
+                  "\"aggregate_ticks_per_s_4\":%.1f,\"gap_pct\":%.1f,"
+                  "\"lost_seconds\":%.6f,"
+                  "\"lost_throughput_attributed_pct\":%.1f,",
+                  aggregate_1, aggregate_4, gap_pct, gap.lost_s, gap.pct);
+    const std::string attribution = std::string(attr_head) +
+                                    "\"dominant_sites\":[" + dominant_json +
+                                    "],\"attributed_sites\":[" +
+                                    sites_json + "]}";
 
     {
         std::ofstream out("BENCH_table5_multi_tenant.json");
@@ -227,8 +434,8 @@ main()
                       cold_s, warm_s, warm_hit ? "true" : "false",
                       speedup);
         out << "{\"schema\":\"cascade.bench.v1\","
-            << "\"bench\":\"table5_multi_tenant\"," << compile_row
-            << ",\"fleets\":[" << results_body << "]}\n";
+            << "\"bench\":\"table5_multi_tenant\"," << compile_row << ','
+            << attribution << ",\"fleets\":[" << results_body << "]}\n";
         std::fprintf(stderr,
                      "# results -> BENCH_table5_multi_tenant.json\n");
     }
@@ -237,6 +444,21 @@ main()
         sidecar << '{' << sidecar_body << "}\n";
         std::fprintf(stderr,
                      "# stats sidecar -> table5_multi_tenant.stats.json\n");
+    }
+    {
+        // The cascade.contention.v1 report captured right after the
+        // 4-tenant fleet, with the gap attribution spliced in as a
+        // sibling key (schema stays v1: additive).
+        std::ofstream sidecar("table5_multi_tenant.contention.json");
+        if (contention_4.size() > 1 && contention_4.front() == '{') {
+            sidecar << '{' << attribution << ','
+                    << contention_4.substr(1) << "\n";
+        } else {
+            sidecar << '{' << attribution << "}\n";
+        }
+        std::fprintf(
+            stderr,
+            "# contention sidecar -> table5_multi_tenant.contention.json\n");
     }
     cascade::telemetry::Tracer::global().write_chrome_json(
         "table5_multi_tenant.trace.json");

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
+
+#include "telemetry/trace.h"
 
 namespace cascade::hypervisor {
 
@@ -21,12 +24,13 @@ uint64_t
 FabricManager::add_tenant(const std::string& name, uint64_t le_quota,
                           uint64_t bram_quota)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<telemetry::Mutex> lock(mutex_);
     const uint64_t id = ++next_tenant_;
     Tenant t;
     t.name = name.empty() ? "tenant-" + std::to_string(id) : name;
     t.le_quota = le_quota;
     t.bram_quota = bram_quota;
+    t.registered_at = std::chrono::steady_clock::now();
     tenants_[id] = std::move(t);
     tenants_gauge_->set(static_cast<int64_t>(tenants_.size()));
     return id;
@@ -36,7 +40,7 @@ void
 FabricManager::remove_tenant(uint64_t tenant)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard<telemetry::Mutex> lock(mutex_);
         const auto it = tenants_.find(tenant);
         if (it == tenants_.end()) {
             return;
@@ -115,7 +119,7 @@ FabricManager::request_residency(uint64_t tenant,
     Admission out;
     bool notify = false;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard<telemetry::Mutex> lock(mutex_);
         const auto it = tenants_.find(tenant);
         if (it == tenants_.end()) {
             out.error = "unknown tenant";
@@ -126,6 +130,8 @@ FabricManager::request_residency(uint64_t tenant,
         if (!result.ok) {
             out.error = result.error;
             denials_->inc();
+            telemetry::Tracer::global().instant_tenant("hypervisor.deny",
+                                                       tenant, 0);
             return out;
         }
         const uint64_t les = result.report.area.les;
@@ -135,6 +141,8 @@ FabricManager::request_residency(uint64_t tenant,
                         std::to_string(les) + " LEs, quota " +
                         std::to_string(t.le_quota);
             denials_->inc();
+            telemetry::Tracer::global().instant_tenant("hypervisor.deny",
+                                                       tenant, les);
             return out;
         }
         if (t.bram_quota != 0 && bram > t.bram_quota) {
@@ -142,6 +150,8 @@ FabricManager::request_residency(uint64_t tenant,
                         std::to_string(bram) + " bits, quota " +
                         std::to_string(t.bram_quota);
             denials_->inc();
+            telemetry::Tracer::global().instant_tenant("hypervisor.deny",
+                                                       tenant, bram);
             return out;
         }
         if (les > device_.les() || bram > device_.bram_bits()) {
@@ -149,6 +159,8 @@ FabricManager::request_residency(uint64_t tenant,
                         std::to_string(les) + " LEs / " +
                         std::to_string(bram) + " BRAM bits";
             denials_->inc();
+            telemetry::Tracer::global().instant_tenant("hypervisor.deny",
+                                                       tenant, les);
             return out;
         }
         // Mirror FpgaDevice::program's clocking: a design that misses the
@@ -167,6 +179,10 @@ FabricManager::request_residency(uint64_t tenant,
                         "tenant)";
             out.retryable = true;
             denials_->inc();
+            // Tracer instants under mutex_ are fine: the tracer's own
+            // lock is a leaf (it never acquires anything else).
+            telemetry::Tracer::global().instant_tenant("hypervisor.defer",
+                                                       tenant, 0);
             return out;
         }
 
@@ -200,6 +216,8 @@ FabricManager::request_residency(uint64_t tenant,
             waiters_.insert(tenant);
             out.retryable = true;
             denials_->inc();
+            telemetry::Tracer::global().instant_tenant("hypervisor.defer",
+                                                       tenant, victim_id);
             return out;
         }
 
@@ -217,6 +235,8 @@ FabricManager::request_residency(uint64_t tenant,
         out.clock_mhz = clock;
         out.le_start = start;
         out.le_count = les;
+        telemetry::Tracer::global().instant_tenant("hypervisor.admit",
+                                                   tenant, les);
         notify = true;
     }
     if (notify) {
@@ -229,7 +249,7 @@ void
 FabricManager::release_residency(uint64_t tenant)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard<telemetry::Mutex> lock(mutex_);
         const auto it = tenants_.find(tenant);
         if (it == tenants_.end() || !it->second.resident) {
             return;
@@ -254,7 +274,7 @@ FabricManager::release_residency(uint64_t tenant)
 void
 FabricManager::request_eviction(uint64_t tenant)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<telemetry::Mutex> lock(mutex_);
     const auto it = tenants_.find(tenant);
     if (it != tenants_.end() && it->second.resident) {
         it->second.evict_requested = true;
@@ -264,7 +284,7 @@ FabricManager::request_eviction(uint64_t tenant)
 bool
 FabricManager::eviction_pending(uint64_t tenant) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<telemetry::Mutex> lock(mutex_);
     const auto it = tenants_.find(tenant);
     return it != tenants_.end() && it->second.evict_requested;
 }
@@ -272,27 +292,41 @@ FabricManager::eviction_pending(uint64_t tenant) const
 uint64_t
 FabricManager::grant_open_loop(uint64_t tenant, uint64_t requested)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = tenants_.find(tenant);
-    if (it == tenants_.end()) {
-        return requested;
-    }
-    Tenant& t = it->second;
-    t.last_active = ++activity_clock_;
-    const size_t residents = resident_count_locked();
     uint64_t grant = requested;
-    if (residents > 1) {
-        grant = std::max<uint64_t>(
-            64, requested / static_cast<uint64_t>(residents));
+    {
+        std::lock_guard<telemetry::Mutex> lock(mutex_);
+        const auto it = tenants_.find(tenant);
+        if (it == tenants_.end()) {
+            return requested;
+        }
+        Tenant& t = it->second;
+        t.last_active = ++activity_clock_;
+        const size_t residents = resident_count_locked();
+        if (residents > 1) {
+            grant = std::max<uint64_t>(
+                64, requested / static_cast<uint64_t>(residents));
+        }
+        t.ticks_granted += grant;
     }
-    t.ticks_granted += grant;
+    telemetry::Tracer::global().instant_tenant("hypervisor.grant", tenant,
+                                               grant);
     return grant;
+}
+
+void
+FabricManager::note_ticks(uint64_t tenant, uint64_t ticks)
+{
+    std::lock_guard<telemetry::Mutex> lock(mutex_);
+    const auto it = tenants_.find(tenant);
+    if (it != tenants_.end()) {
+        it->second.ticks_done += ticks;
+    }
 }
 
 void
 FabricManager::wait_for_change(double timeout_s)
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<telemetry::Mutex> lock(mutex_);
     const uint64_t epoch = capacity_epoch();
     change_cv_.wait_for(
         lock,
@@ -304,7 +338,7 @@ FabricManager::wait_for_change(double timeout_s)
 std::vector<SlotInfo>
 FabricManager::slot_map() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<telemetry::Mutex> lock(mutex_);
     std::vector<SlotInfo> out;
     out.reserve(tenants_.size());
     for (const auto& [id, t] : tenants_) {
@@ -320,6 +354,11 @@ FabricManager::slot_map() const
         s.bram_quota = t.bram_quota;
         s.evictions = t.evictions;
         s.ticks_granted = t.ticks_granted;
+        s.ticks_done = t.ticks_done;
+        s.active_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() -
+                         t.registered_at)
+                         .count();
         out.push_back(std::move(s));
     }
     return out;
@@ -345,21 +384,74 @@ FabricManager::slot_map_table() const
                                 ? (s.evict_requested ? "evicting"
                                                      : "resident")
                                 : "software";
-        std::string slice = "-";
+        char slice[48] = "-";
         if (s.resident) {
-            slice = "[" + std::to_string(s.le_start) + ", " +
-                    std::to_string(s.le_start + s.le_count) + ")";
+            std::snprintf(slice, sizeof slice, "[%llu, %llu)",
+                          static_cast<unsigned long long>(s.le_start),
+                          static_cast<unsigned long long>(s.le_start +
+                                                          s.le_count));
         }
-        std::string quota = "unlimited";
+        char quota[32] = "unlimited";
         if (s.le_quota != 0) {
-            quota = std::to_string(s.le_quota) + " LEs";
+            std::snprintf(quota, sizeof quota, "%llu LEs",
+                          static_cast<unsigned long long>(s.le_quota));
         }
         std::snprintf(line, sizeof line,
                       "  t%-3llu %-12s %-9s LE %-18s quota %-12s "
                       "evictions %llu\n",
                       static_cast<unsigned long long>(s.tenant),
-                      s.name.c_str(), state, slice.c_str(), quota.c_str(),
+                      s.name.c_str(), state, slice, quota,
                       static_cast<unsigned long long>(s.evictions));
+        out += line;
+    }
+    return out;
+}
+
+std::string
+FabricManager::fleet_table() const
+{
+    const std::vector<SlotInfo> slots = slot_map();
+    const std::map<uint64_t, uint64_t> waits =
+        telemetry::SyncRegistry::global().tenant_waits();
+    uint64_t total_wait = 0;
+    for (const auto& [tenant, ns] : waits) {
+        total_wait += ns;
+    }
+    char line[256];
+    std::string out;
+    std::snprintf(line, sizeof line, "fleet (%zu tenants, %zu resident)\n",
+                  slots.size(),
+                  static_cast<size_t>(std::count_if(
+                      slots.begin(), slots.end(),
+                      [](const SlotInfo& s) { return s.resident; })));
+    out += line;
+    if (slots.empty()) {
+        out += "  (no tenants)\n";
+        return out;
+    }
+    std::snprintf(line, sizeof line, "  %-4s %-12s %-9s %12s %12s %6s %6s\n",
+                  "id", "name", "state", "ticks", "ticks/s", "wait%",
+                  "evict");
+    out += line;
+    for (const SlotInfo& s : slots) {
+        const char* state = s.resident
+                                ? (s.evict_requested ? "evicting"
+                                                     : "resident")
+                                : "software";
+        const double rate =
+            s.active_s > 0 ? static_cast<double>(s.ticks_done) / s.active_s
+                           : 0.0;
+        const auto w = waits.find(s.tenant);
+        const double wait_pct =
+            total_wait > 0 && w != waits.end()
+                ? 100.0 * static_cast<double>(w->second) /
+                      static_cast<double>(total_wait)
+                : 0.0;
+        std::snprintf(line, sizeof line,
+                      "  t%-3" PRIu64 " %-12s %-9s %12" PRIu64
+                      " %12.1f %5.1f%% %6" PRIu64 "\n",
+                      s.tenant, s.name.c_str(), state, s.ticks_done, rate,
+                      wait_pct, s.evictions);
         out += line;
     }
     return out;
@@ -368,14 +460,14 @@ FabricManager::slot_map_table() const
 size_t
 FabricManager::tenant_count() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<telemetry::Mutex> lock(mutex_);
     return tenants_.size();
 }
 
 size_t
 FabricManager::resident_count() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<telemetry::Mutex> lock(mutex_);
     return resident_count_locked();
 }
 

@@ -18,6 +18,7 @@
 #define CASCADE_HYPERVISOR_FABRIC_MANAGER_H
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "fpga/compile.h"
+#include "telemetry/sync.h"
 #include "telemetry/telemetry.h"
 
 namespace cascade::hypervisor {
@@ -61,6 +63,8 @@ struct SlotInfo {
     uint64_t bram_quota = 0; ///< 0 = unlimited
     uint64_t evictions = 0;  ///< completed evictions of this tenant
     uint64_t ticks_granted = 0; ///< open-loop ticks granted while resident
+    uint64_t ticks_done = 0; ///< ticks actually executed (note_ticks)
+    double active_s = 0;     ///< wall seconds since the tenant registered
 };
 
 class FabricManager {
@@ -103,6 +107,11 @@ class FabricManager {
     /// the tenant's activity stamp (the eviction-victim LRU order).
     uint64_t grant_open_loop(uint64_t tenant, uint64_t requested);
 
+    /// Records \p ticks open-loop ticks actually executed by \p tenant
+    /// (the Runtime reports back after each batch; grant_open_loop only
+    /// knows what was *offered*). Feeds the fleet view's ticks/s.
+    void note_ticks(uint64_t tenant, uint64_t ticks);
+
     /// @{ Capacity-change notification. The epoch bumps on every
     /// admission, release, or tenant removal; parked admissions re-try
     /// only when it moved (lock-free read), and wait_for_change() blocks
@@ -118,6 +127,10 @@ class FabricManager {
     std::vector<SlotInfo> slot_map() const; ///< sorted by tenant id
     /// The REPL's :fabric rendering of the slot map.
     std::string slot_map_table() const;
+    /// The REPL's :top rendering: one row per tenant with live ticks/s,
+    /// resident/evicted state, and wait-time share (each tenant's slice
+    /// of the fleet's total blocked time, from the SyncRegistry).
+    std::string fleet_table() const;
     const fpga::FpgaDevice& device() const { return device_; }
     size_t tenant_count() const;
     size_t resident_count() const;
@@ -136,6 +149,8 @@ class FabricManager {
         uint64_t last_active = 0; ///< logical activity stamp (LRU order)
         uint64_t evictions = 0;
         uint64_t ticks_granted = 0;
+        uint64_t ticks_done = 0;
+        std::chrono::steady_clock::time_point registered_at;
     };
 
     size_t resident_count_locked() const;
@@ -147,8 +162,8 @@ class FabricManager {
 
     const fpga::FpgaDevice device_;
 
-    mutable std::mutex mutex_;
-    std::condition_variable change_cv_;
+    mutable telemetry::Mutex mutex_{"fabric.slots"};
+    telemetry::CondVar change_cv_{"fabric.change_cv"};
     std::map<uint64_t, Tenant> tenants_;
     /// Tenants parked on a retryable denial. While any tenant is waiting,
     /// non-waiters are denied admission even into free capacity: without

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "runtime/replay.h"
 #include "telemetry/journal.h"
+#include "telemetry/sync.h"
 #include "telemetry/trace.h"
 
 namespace cascade::runtime {
@@ -123,6 +124,24 @@ Repl::run_meta_command(const std::string& line)
     } else if (cmd == ":fabric") {
         if (out_ != nullptr) {
             *out_ << runtime_->fabric_table();
+        }
+    } else if (cmd == ":top") {
+        if (out_ != nullptr) {
+            *out_ << runtime_->top_table();
+        }
+    } else if (cmd == ":contention" && arg == "json") {
+        if (out_ != nullptr) {
+            *out_ << telemetry::SyncRegistry::global().contention_json()
+                  << "\n";
+        }
+    } else if (cmd == ":contention" && arg == "reset") {
+        telemetry::SyncRegistry::global().reset();
+        if (out_ != nullptr) {
+            *out_ << "contention stats reset\n";
+        }
+    } else if (cmd == ":contention") {
+        if (out_ != nullptr) {
+            *out_ << telemetry::SyncRegistry::global().contention_table();
         }
     } else if (cmd == ":trace") {
         if (arg.empty()) {
@@ -240,6 +259,13 @@ Repl::run_meta_command(const std::string& line)
                      "flamegraph.pl\n"
                      ":fabric         fabric residency: LE utilization, "
                      "Fmax, named critical path\n"
+                     ":top            fleet view: per-tenant ticks/s, "
+                     "state, wait-time share\n"
+                     ":contention     lock/CV wait table ranked by tenant "
+                     "wait, blocked-on matrix\n"
+                     ":contention json  the same as cascade.contention.v1 "
+                     "JSON\n"
+                     ":contention reset zero the contention registry\n"
                      ":trace <file>   dump phase spans as Chrome "
                      "trace_event JSON\n"
                      ":probe <signal> add a waveform probe (net or "

@@ -16,6 +16,7 @@
 #include "runtime/sw_engine.h"
 #include "service/compile_service.h"
 #include "stdlib/stdlib.h"
+#include "telemetry/sync.h"
 #include "telemetry/trace.h"
 #include "verilog/parser.h"
 #include "verilog/printer.h"
@@ -415,6 +416,10 @@ Runtime::Runtime(Options options, service::CompileService* service,
         tenant_ = fabric_->add_tenant(options_.tenant_name,
                                       options_.tenant_le_quota,
                                       options_.tenant_bram_quota);
+        // From here on every journal event carries the tenant tag, and
+        // this thread's lock waits / trace events attribute to it.
+        journal_.set_tenant(tenant_);
+        telemetry::set_thread_tenant(tenant_);
     }
     init_metrics();
     journal_.set_clock([this] { return virtual_ticks(); });
@@ -487,9 +492,18 @@ Runtime::init_metrics()
     m_.compile_wait_ns = telemetry_.histogram("compile.wait_ns");
 }
 
+void
+Runtime::bind_thread_tenant() const
+{
+    if (fabric_ != nullptr) {
+        telemetry::set_thread_tenant(tenant_);
+    }
+}
+
 bool
 Runtime::eval(std::string_view source, std::string* errors)
 {
+    bind_thread_tenant();
     flush_api_steps();
     // The ctor's implicit "Clock clk();" eval is machinery, not a user
     // interaction: keep it out of the repl.* metrics.
@@ -875,12 +889,25 @@ Runtime::step()
     // Journaled lazily as one coalesced api.step{n} event: flushed before
     // the next non-step input event (step_internal itself is also driven
     // by run()/run_for_ticks(), which journal their own inputs).
+    bind_thread_tenant();
     ++pending_api_steps_;
     return step_internal();
 }
 
 bool
 Runtime::step_internal()
+{
+    // Exclusive sessions skip the span: the tracer push is mutex-guarded
+    // and would tax the single-runtime hot path for a one-lane trace.
+    if (fabric_ == nullptr) {
+        return step_body();
+    }
+    telemetry::SpanGuard span(telemetry::Tracer::global(), "sched.iter");
+    return step_body();
+}
+
+bool
+Runtime::step_body()
 {
     if (finished_) {
         return false;
@@ -1007,6 +1034,7 @@ Runtime::window()
 bool
 Runtime::run_for_ticks(uint64_t ticks)
 {
+    bind_thread_tenant();
     flush_api_steps();
     journal_.record("api.run_ticks",
                     telemetry::JsonWriter().num("n", ticks).build());
@@ -1026,6 +1054,7 @@ Runtime::run_for_ticks(uint64_t ticks)
 bool
 Runtime::run(uint64_t max_iterations)
 {
+    bind_thread_tenant();
     flush_api_steps();
     journal_.record("api.run",
                     telemetry::JsonWriter().num("n", max_iterations).build());
@@ -1044,6 +1073,7 @@ Runtime::hardware_ready() const
 bool
 Runtime::wait_for_hardware(double timeout_s)
 {
+    bind_thread_tenant();
     flush_api_steps();
     // Poll the compile service without stepping the scheduler: virtual
     // time does not advance, so an adopted program starts on the fabric
@@ -2233,6 +2263,7 @@ Runtime::evict_to_software()
                         .num("iteration", iterations_)
                         .num("version", version_)
                         .build());
+    telemetry::Tracer::global().instant("hypervisor.evict", version_);
     telemetry::Tracer::global().instant("transition.hw_to_sw",
                                         version_);
     std::string err;
@@ -2339,6 +2370,11 @@ Runtime::run_open_loop()
     const double wall = wall_seconds() - wall0;
     m_.open_loop_batch->record(grant);
     m_.open_loop_iterations->inc(itrs);
+    if (fabric_ != nullptr) {
+        // Report executed (not granted) ticks: the fleet view's ticks/s
+        // reflects work done, even when a batch ends early on $finish.
+        fabric_->note_ticks(tenant_, itrs);
+    }
     journal_.record("openloop.grant", telemetry::JsonWriter()
                                           .num("batch", grant)
                                           .num("itrs", itrs)
@@ -2546,6 +2582,14 @@ Runtime::stats_json() const
                ",\"fabric_cycles\":" +
                std::to_string(hw_engine_->fabric_cycles()) + '}';
     }
+    out += ",\"compile_service\":{\"cache_hits\":" +
+           std::to_string(compile_service_->cache_hits()) +
+           ",\"cache_misses\":" +
+           std::to_string(compile_service_->cache_misses()) +
+           ",\"cache_hit_rate\":" +
+           json_double(compile_service_->cache_hit_rate()) +
+           ",\"queue_depth\":" +
+           std::to_string(compile_service_->queued_jobs()) + '}';
     out += ",\"metrics\":" + telemetry_.json();
     out += ",\"process_metrics\":" + telemetry::Registry::global().json();
     if (last_report_.has_value()) {
@@ -2583,6 +2627,25 @@ Runtime::stats_json() const
 }
 
 std::string
+Runtime::top_table() const
+{
+    if (fabric_ != nullptr) {
+        return fabric_->fleet_table();
+    }
+    char line[160];
+    std::string out = "exclusive session (no hypervisor)\n";
+    std::snprintf(line, sizeof line,
+                  "  location %-9s ticks %llu  iterations %llu  "
+                  "timeline %.6fs\n",
+                  location_name(user_location_),
+                  static_cast<unsigned long long>(virtual_ticks()),
+                  static_cast<unsigned long long>(iterations_),
+                  timeline_s_);
+    out += line;
+    return out;
+}
+
+std::string
 Runtime::stats_table() const
 {
     char line[160];
@@ -2595,6 +2658,19 @@ Runtime::stats_table() const
     out += line;
     std::snprintf(line, sizeof line, "  %-26s %.6f\n", "timeline seconds",
                   timeline_s_);
+    out += line;
+    out += "compile service\n";
+    std::snprintf(line, sizeof line,
+                  "  %-26s %.1f%% (%llu hits / %llu misses)\n",
+                  "cache hit rate",
+                  100.0 * compile_service_->cache_hit_rate(),
+                  static_cast<unsigned long long>(
+                      compile_service_->cache_hits()),
+                  static_cast<unsigned long long>(
+                      compile_service_->cache_misses()));
+    out += line;
+    std::snprintf(line, sizeof line, "  %-26s %zu\n", "queue depth",
+                  compile_service_->queued_jobs());
     out += line;
     out += "runtime metrics\n";
     out += telemetry_.table();

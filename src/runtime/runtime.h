@@ -211,6 +211,10 @@ class Runtime : public EngineCallbacks {
     /// compile timings from the last report, and the transition log, as
     /// one JSON object (benches write this next to their output).
     std::string stats_json() const;
+    /// The REPL's :top view: per-tenant ticks/s, resident state, and
+    /// wait-time share via the hypervisor's fleet table in shared mode;
+    /// a one-line session summary in exclusive mode.
+    std::string top_table() const;
     /// Human-readable snapshot (the REPL's :stats view).
     std::string stats_table() const;
     /// @}
@@ -373,7 +377,15 @@ class Runtime : public EngineCallbacks {
     bool rebuild_program(std::string* errors, const char* reason);
     /// One scheduler iteration; step()/run()/run_for_ticks() wrap this so
     /// the public entry points journal api.* input events exactly once.
+    /// In shared mode each iteration is also a "sched.iter" span on this
+    /// tenant's trace lane (step_body carries the actual phases).
     bool step_internal();
+    bool step_body();
+    /// Stamps the calling thread with this runtime's tenant id (shared
+    /// mode only) so lock waits and trace events attribute correctly.
+    /// Public entry points call this: a tenant's Runtime is driven from
+    /// its own thread, which may not be the one that constructed it.
+    void bind_thread_tenant() const;
     /// Journals coalesced api.step{n} for any pending public step() calls;
     /// called before any other input-class event is recorded.
     void flush_api_steps();

@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "telemetry/journal.h"
+#include "telemetry/sync.h"
+#include "telemetry/trace.h"
 #include "verilog/printer.h"
 
 namespace cascade::service {
@@ -30,7 +32,7 @@ CompileService::CompileService(Config config)
 CompileService::~CompileService()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard<telemetry::Mutex> lock(mutex_);
         stop_ = true;
     }
     work_cv_.notify_all();
@@ -43,7 +45,7 @@ CompileService::~CompileService()
 uint64_t
 CompileService::register_client()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<telemetry::Mutex> lock(mutex_);
     const uint64_t id = ++next_client_;
     clients_.insert(id);
     return id;
@@ -53,7 +55,7 @@ void
 CompileService::unregister_client(uint64_t client)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard<telemetry::Mutex> lock(mutex_);
         clients_.erase(client);
         queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
                                     [client](const Pending& p) {
@@ -118,7 +120,7 @@ CompileService::submit(uint64_t client, Job job)
 {
     bool notify_done = false;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard<telemetry::Mutex> lock(mutex_);
         if (clients_.count(client) == 0) {
             return;
         }
@@ -137,6 +139,8 @@ CompileService::submit(uint64_t client, Job job)
         pending.key = config_.enable_cache && job.module != nullptr
                           ? cache_key(*job.module, job.options)
                           : std::string();
+        pending.tenant = telemetry::thread_tenant();
+        pending.enqueue_us = telemetry::Tracer::global().now_us();
         pending.job = std::move(job);
 
         // Content-addressed lookup: a hit is answered synchronously, with
@@ -149,6 +153,7 @@ CompileService::submit(uint64_t client, Job job)
                              : cache_.end();
         if (hit != cache_.end()) {
             hits_->inc();
+            ++local_hits_;
             cache_lru_.remove(pending.key);
             cache_lru_.push_front(pending.key);
             Done done;
@@ -165,6 +170,7 @@ CompileService::submit(uint64_t client, Job job)
         } else {
             if (!pending.key.empty()) {
                 misses_->inc();
+                ++local_misses_;
             }
             queue_.push_back(std::move(pending));
             if (queue_.size() > config_.queue_capacity) {
@@ -184,7 +190,7 @@ CompileService::submit(uint64_t client, Job job)
 std::vector<CompileService::Done>
 CompileService::poll(uint64_t client)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<telemetry::Mutex> lock(mutex_);
     const auto it = done_.find(client);
     if (it == done_.end()) {
         return {};
@@ -212,14 +218,14 @@ CompileService::inflight_locked(uint64_t client) const
 bool
 CompileService::busy(uint64_t client) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<telemetry::Mutex> lock(mutex_);
     return inflight_locked(client);
 }
 
 bool
 CompileService::wait_for_done(uint64_t client, double timeout_s)
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<telemetry::Mutex> lock(mutex_);
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -236,7 +242,7 @@ CompileService::wait_for_done(uint64_t client, double timeout_s)
 void
 CompileService::wait_idle()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<telemetry::Mutex> lock(mutex_);
     done_cv_.wait(lock, [&] {
         if (stop_) {
             return true;
@@ -256,15 +262,39 @@ CompileService::wait_idle()
 size_t
 CompileService::queued_jobs() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<telemetry::Mutex> lock(mutex_);
     return queue_.size();
 }
 
 size_t
 CompileService::cache_entries() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<telemetry::Mutex> lock(mutex_);
     return cache_.size();
+}
+
+uint64_t
+CompileService::cache_hits() const
+{
+    std::lock_guard<telemetry::Mutex> lock(mutex_);
+    return local_hits_;
+}
+
+uint64_t
+CompileService::cache_misses() const
+{
+    std::lock_guard<telemetry::Mutex> lock(mutex_);
+    return local_misses_;
+}
+
+double
+CompileService::cache_hit_rate() const
+{
+    std::lock_guard<telemetry::Mutex> lock(mutex_);
+    const uint64_t total = local_hits_ + local_misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(local_hits_) /
+                            static_cast<double>(total);
 }
 
 void
@@ -273,7 +303,7 @@ CompileService::worker_loop()
     while (true) {
         Pending pending;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
+            std::unique_lock<telemetry::Mutex> lock(mutex_);
             work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
             if (stop_) {
                 return;
@@ -283,12 +313,22 @@ CompileService::worker_loop()
             ++running_[pending.client];
             depth_->set(static_cast<int64_t>(queue_.size()));
         }
+        // Queue-residency span on the submitting tenant's lane: how
+        // long the job sat behind other tenants' compiles.
+        telemetry::Tracer& tracer = telemetry::Tracer::global();
+        tracer.record_complete_tenant(
+            "compile.queued", pending.enqueue_us,
+            tracer.now_us() - pending.enqueue_us, pending.tenant);
         Done done;
         done.version = pending.job.version;
+        const double exec_start_us = tracer.now_us();
         done.result = fpga::compile(*pending.job.module,
                                     pending.job.options);
+        tracer.record_complete_tenant("compile.exec", exec_start_us,
+                                      tracer.now_us() - exec_start_us,
+                                      pending.tenant);
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            std::lock_guard<telemetry::Mutex> lock(mutex_);
             cache_insert_locked(pending.key, done.result);
             --running_[pending.client];
             // A client that unregistered mid-compile gets its result

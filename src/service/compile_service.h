@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "fpga/compile.h"
+#include "telemetry/sync.h"
 #include "telemetry/telemetry.h"
 #include "verilog/elaborate.h"
 
@@ -102,6 +103,13 @@ class CompileService {
     /// @{ Introspection.
     size_t queued_jobs() const;
     size_t cache_entries() const;
+    /// Per-instance cache counters (the process-registry counters
+    /// aggregate across every service in the process; :stats wants this
+    /// service's numbers).
+    uint64_t cache_hits() const;
+    uint64_t cache_misses() const;
+    /// hits / (hits + misses); 0.0 before the first keyed lookup.
+    double cache_hit_rate() const;
     /// The content-address of one compile: digest over the canonical
     /// printed elaborated source, bound parameter values, effort, target
     /// clock (the device configuration the flow compiles against), and
@@ -115,6 +123,8 @@ class CompileService {
         uint64_t client = 0;
         Job job;
         std::string key; ///< cache key (empty when caching is off)
+        uint64_t tenant = 0;   ///< submitting thread's tenant (lanes)
+        double enqueue_us = 0; ///< tracer time at submit (queue span)
     };
 
     void worker_loop();
@@ -124,9 +134,11 @@ class CompileService {
 
     const Config config_;
 
-    mutable std::mutex mutex_;
-    std::condition_variable work_cv_; ///< workers wait for queue items
-    std::condition_variable done_cv_; ///< clients wait for results
+    mutable telemetry::Mutex mutex_{"service.queue"};
+    telemetry::CondVar work_cv_{
+        "service.work_cv"}; ///< workers wait for queue items
+    telemetry::CondVar done_cv_{
+        "service.done_cv"}; ///< clients wait for results
     bool stop_ = false;
     uint64_t next_client_ = 0;
     std::set<uint64_t> clients_;
@@ -144,6 +156,10 @@ class CompileService {
     telemetry::Counter* cancelled_ = nullptr;
     telemetry::Counter* dropped_ = nullptr;
     telemetry::Gauge* depth_ = nullptr;
+
+    /// This service's own hit/miss tally (guarded by mutex_).
+    uint64_t local_hits_ = 0;
+    uint64_t local_misses_ = 0;
 };
 
 } // namespace cascade::service

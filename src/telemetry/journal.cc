@@ -411,8 +411,15 @@ Journal::~Journal()
 void
 Journal::set_clock(std::function<uint64_t()> clock)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<Mutex> lock(mutex_);
     clock_ = std::move(clock);
+}
+
+void
+Journal::set_tenant(uint64_t tenant)
+{
+    std::lock_guard<Mutex> lock(mutex_);
+    tenant_ = tenant;
 }
 
 uint64_t
@@ -421,9 +428,10 @@ Journal::record(const char* type, std::string data)
     Event event;
     std::function<void(const Event&)> observer;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard<Mutex> lock(mutex_);
         event.seq = ++seq_;
         event.vt = clock_ ? clock_() : 0;
+        event.tenant = tenant_;
         event.type = type;
         event.data = std::move(data);
         if (ring_.size() < ring_capacity_) {
@@ -452,7 +460,7 @@ bool
 Journal::start_file(const std::string& path, const std::string& header_json,
                     std::string* err)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<Mutex> lock(mutex_);
     if (file_ != nullptr) {
         if (err != nullptr) {
             *err = "already recording to " + path_;
@@ -476,7 +484,7 @@ Journal::start_file(const std::string& path, const std::string& header_json,
 void
 Journal::stop_file()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<Mutex> lock(mutex_);
     if (file_ != nullptr) {
         std::fclose(file_);
         file_ = nullptr;
@@ -487,7 +495,7 @@ Journal::stop_file()
 bool
 Journal::writing() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<Mutex> lock(mutex_);
     return file_ != nullptr;
 }
 
@@ -516,14 +524,14 @@ Journal::write_ring(const std::string& path, const std::string& header_json,
 void
 Journal::set_observer(std::function<void(const Event&)> observer)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<Mutex> lock(mutex_);
     observer_ = std::move(observer);
 }
 
 std::vector<Journal::Event>
 Journal::ring() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<Mutex> lock(mutex_);
     std::vector<Event> out;
     out.reserve(ring_.size());
     if (ring_.size() < ring_capacity_) {
@@ -555,7 +563,7 @@ Journal::ring_json() const
 uint64_t
 Journal::events_recorded() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<Mutex> lock(mutex_);
     return seq_;
 }
 
@@ -571,7 +579,17 @@ Journal::event_json(const Event& event)
     out += std::to_string(event.vt);
     out += ",\"type\":\"";
     out += json_escape(event.type);
-    out += "\",\"data\":";
+    out += "\",";
+    // Shared-mode attribution tag; omitted entirely at tenant 0 so
+    // exclusive-session journals are byte-identical to pre-tag ones.
+    // Placed before "data" — replay's loader extracts the payload as
+    // everything from the final "data": key, and must not see it.
+    if (event.tenant != 0) {
+        out += "\"tenant\":";
+        out += std::to_string(event.tenant);
+        out += ',';
+    }
+    out += "\"data\":";
     out += event.data.empty() ? "{}" : event.data;
     out += '}';
     return out;

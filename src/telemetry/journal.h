@@ -31,6 +31,8 @@
 #include <string_view>
 #include <vector>
 
+#include "telemetry/sync.h"
+
 namespace cascade::telemetry {
 
 /// FNV-1a 64-bit digest — the journal's output-digest function ($display
@@ -101,6 +103,7 @@ class Journal {
     struct Event {
         uint64_t seq = 0;  ///< monotonic per-journal sequence number
         uint64_t vt = 0;   ///< virtual time (clock ticks) at record time
+        uint64_t tenant = 0; ///< owning tenant (0 = exclusive mode)
         std::string type;  ///< vocabulary entry, e.g. "interrupt.enqueue"
         std::string data;  ///< payload as one canonical JSON object
     };
@@ -113,6 +116,12 @@ class Journal {
 
     /// Virtual-time source stamped onto each event (0 until set).
     void set_clock(std::function<uint64_t()> clock);
+
+    /// Tenant id stamped onto each subsequent event. Shared-mode
+    /// runtimes set this once at construction; exclusive sessions leave
+    /// it 0 and the field never appears in the serialized stream
+    /// (cascade.events.v1 stays backward-compatible).
+    void set_tenant(uint64_t tenant);
 
     /// Records one event; returns its sequence number. \p data must be a
     /// JSON object (JsonWriter::build()).
@@ -147,7 +156,7 @@ class Journal {
     static std::string event_json(const Event& event);
 
   private:
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_{"journal.ring"};
     std::function<uint64_t()> clock_;
     std::function<void(const Event&)> observer_;
     std::vector<Event> ring_;
@@ -155,6 +164,7 @@ class Journal {
     size_t next_ = 0;   ///< ring slot for the next event
     size_t count_ = 0;  ///< events currently in the ring
     uint64_t seq_ = 0;
+    uint64_t tenant_ = 0;
     std::FILE* file_ = nullptr;
     std::string path_;
 };

@@ -3,6 +3,9 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <set>
+
+#include "telemetry/sync.h"
 
 namespace cascade::telemetry {
 
@@ -69,6 +72,36 @@ Tracer::record_complete(const char* name, double ts_us, double dur_us,
     e.dur_us = dur_us;
     e.tid = thread_id();
     e.depth = depth;
+    e.tenant = thread_tenant();
+    push(e);
+}
+
+void
+Tracer::record_complete(const char* name, double ts_us, double dur_us,
+                        uint32_t depth, uint64_t arg)
+{
+    TraceEvent e;
+    e.name = name;
+    e.ts_us = ts_us;
+    e.dur_us = dur_us;
+    e.tid = thread_id();
+    e.depth = depth;
+    e.has_arg = true;
+    e.arg = arg;
+    e.tenant = thread_tenant();
+    push(e);
+}
+
+void
+Tracer::record_complete_tenant(const char* name, double ts_us,
+                               double dur_us, uint64_t tenant)
+{
+    TraceEvent e;
+    e.name = name;
+    e.ts_us = ts_us;
+    e.dur_us = dur_us;
+    e.tid = thread_id();
+    e.tenant = tenant;
     push(e);
 }
 
@@ -80,6 +113,7 @@ Tracer::instant(const char* name)
     e.ts_us = now_us();
     e.tid = thread_id();
     e.instant = true;
+    e.tenant = thread_tenant();
     push(e);
 }
 
@@ -93,6 +127,21 @@ Tracer::instant(const char* name, uint64_t arg)
     e.instant = true;
     e.has_arg = true;
     e.arg = arg;
+    e.tenant = thread_tenant();
+    push(e);
+}
+
+void
+Tracer::instant_tenant(const char* name, uint64_t tenant, uint64_t arg)
+{
+    TraceEvent e;
+    e.name = name;
+    e.ts_us = now_us();
+    e.tid = thread_id();
+    e.instant = true;
+    e.has_arg = true;
+    e.arg = arg;
+    e.tenant = tenant;
     push(e);
 }
 
@@ -134,14 +183,35 @@ Tracer::chrome_json() const
     std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
     char buf[256];
     bool first = true;
+    // Tenant lanes: tenant N exports as pid 1+N so a multi-tenant run
+    // renders as one swimlane per tenant. pid 1 (tenant 0 / exclusive
+    // mode) is unchanged and gets no metadata, preserving the legacy
+    // single-process trace shape.
+    std::set<uint64_t> tenants;
+    for (const TraceEvent& e : evs) {
+        if (e.tenant != 0) {
+            tenants.insert(e.tenant);
+        }
+    }
+    for (const uint64_t t : tenants) {
+        if (!first) {
+            out += ',';
+        }
+        first = false;
+        out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+               std::to_string(1 + t) +
+               ",\"args\":{\"name\":\"tenant " + std::to_string(t) +
+               "\"}}";
+    }
     for (const TraceEvent& e : evs) {
         if (!first) {
             out += ',';
         }
         first = false;
         out += "{\"name\":\"" + json_escape(e.name) +
-               "\",\"cat\":\"cascade\",\"pid\":1,\"tid\":" +
-               std::to_string(e.tid);
+               "\",\"cat\":\"cascade\",\"pid\":" +
+               std::to_string(1 + e.tenant) +
+               ",\"tid\":" + std::to_string(e.tid);
         std::snprintf(buf, sizeof buf, ",\"ts\":%.3f", e.ts_us);
         out += buf;
         if (e.instant) {

@@ -31,7 +31,8 @@ struct TraceEvent {
     uint32_t depth = 0;
     bool instant = false;
     bool has_arg = false;
-    uint64_t arg = 0; ///< emitted as args.value
+    uint64_t arg = 0;    ///< emitted as args.value
+    uint64_t tenant = 0; ///< swimlane: exported as pid 1 + tenant
 };
 
 class Tracer {
@@ -46,12 +47,23 @@ class Tracer {
 
     /// Records a completed span with caller-supplied timestamps (the
     /// SpanGuard path; also used directly by tests for determinism).
+    /// Every event lands on the calling thread's tenant lane (see
+    /// telemetry::set_thread_tenant); the arg overload additionally
+    /// tags args.value (the blocked-on holder, a version number, ...).
     void record_complete(const char* name, double ts_us, double dur_us,
                          uint32_t depth);
+    void record_complete(const char* name, double ts_us, double dur_us,
+                         uint32_t depth, uint64_t arg);
+    /// Records a span on an explicit tenant's lane regardless of the
+    /// calling thread (compile workers acting on a tenant's behalf).
+    void record_complete_tenant(const char* name, double ts_us,
+                                double dur_us, uint64_t tenant);
     /// Records a point event, optionally tagged with a numeric argument
     /// (e.g. the adopted program version).
     void instant(const char* name);
     void instant(const char* name, uint64_t arg);
+    /// Point event pinned to an explicit tenant's lane.
+    void instant_tenant(const char* name, uint64_t tenant, uint64_t arg);
 
     /// Oldest-first copy of the buffered events.
     std::vector<TraceEvent> events() const;

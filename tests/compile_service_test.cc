@@ -129,6 +129,29 @@ TEST(CompileCache, WarmHitIsByteIdenticalWithZeroPhaseTimes)
     svc.unregister_client(client);
 }
 
+TEST(CompileCache, HitRateGettersTrackLocalTraffic)
+{
+    CompileService svc;
+    const uint64_t client = svc.register_client();
+    auto em = counter_module();
+    EXPECT_EQ(svc.cache_hits(), 0u);
+    EXPECT_EQ(svc.cache_misses(), 0u);
+    EXPECT_EQ(svc.cache_hit_rate(), 0.0); // no traffic yet
+
+    svc.submit(client, job_for(1, em, fast_options()));
+    wait_one(svc, client);
+    svc.submit(client, job_for(2, em, fast_options()));
+    wait_one(svc, client);
+
+    // Same content twice: one miss populated the cache, one hit reused
+    // it. These getters count THIS service's traffic (the process-wide
+    // registry counters aggregate across services).
+    EXPECT_EQ(svc.cache_misses(), 1u);
+    EXPECT_EQ(svc.cache_hits(), 1u);
+    EXPECT_DOUBLE_EQ(svc.cache_hit_rate(), 0.5);
+    svc.unregister_client(client);
+}
+
 TEST(CompileCache, KeyCoversDeviceConfigEffortAndSeed)
 {
     auto em = counter_module();

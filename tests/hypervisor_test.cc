@@ -22,6 +22,8 @@
 #include "fpga/compile.h"
 #include "runtime/runtime.h"
 #include "service/compile_service.h"
+#include "telemetry/journal.h"
+#include "telemetry/sync.h"
 #include "verilog/parser.h"
 
 namespace cascade {
@@ -214,6 +216,64 @@ TEST(Hypervisor, FourConcurrentTenantsByteIdenticalWithForcedEviction)
     // All four unregistered on destruction.
     EXPECT_EQ(fm.tenant_count(), 0u);
     EXPECT_EQ(fm.resident_count(), 0u);
+}
+
+TEST(Hypervisor, MultiTenantContentionReportRoundTrip)
+{
+    // Concurrent tenants hammer the instrumented fabric and service
+    // locks; afterwards the contention report must name those sites and
+    // every shared-mode journal event must carry its tenant tag. Run
+    // under TSan, this doubles as the wrappers' race check.
+    telemetry::SyncRegistry::global().reset();
+    constexpr int kTenants = 4;
+    CompileService::Config cfg;
+    cfg.workers = 2;
+    CompileService svc(cfg);
+    FabricManager fm;
+    std::vector<std::thread> threads;
+    std::vector<uint64_t> tenant_ids(kTenants, 0);
+    std::vector<std::vector<telemetry::Journal::Event>> rings(kTenants);
+    for (int i = 0; i < kTenants; ++i) {
+        threads.emplace_back([&, i] {
+            Runtime::Options opts = hw_fast();
+            opts.tenant_name = "ct" + std::to_string(i);
+            Runtime rt(opts, svc, fm);
+            rt.on_output = [](const std::string&) {};
+            ASSERT_TRUE(rt.eval(tenant_program(i)));
+            ASSERT_TRUE(rt.wait_for_hardware(120.0));
+            rt.run_for_ticks(200);
+            tenant_ids[i] = rt.tenant_id();
+            rings[i] = rt.journal().ring();
+        });
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+
+    const std::string json =
+        telemetry::SyncRegistry::global().contention_json();
+    EXPECT_NE(json.find("\"schema\":\"cascade.contention.v1\""),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"fabric.slots\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"service.queue\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"journal.ring\""), std::string::npos) << json;
+
+    for (int i = 0; i < kTenants; ++i) {
+        ASSERT_FALSE(rings[i].empty()) << "tenant " << i;
+        ASSERT_NE(tenant_ids[i], 0u);
+        for (const auto& event : rings[i]) {
+            EXPECT_EQ(event.tenant, tenant_ids[i])
+                << "tenant " << i << " event " << event.type;
+            const std::string line =
+                telemetry::Journal::event_json(event);
+            EXPECT_NE(line.find("\"tenant\":" +
+                                std::to_string(tenant_ids[i])),
+                      std::string::npos)
+                << line;
+        }
+    }
+    telemetry::SyncRegistry::global().reset();
 }
 
 // ---------------------------------------------------------------------

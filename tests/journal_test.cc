@@ -105,6 +105,37 @@ TEST(Journal, EventFormatAndClock)
               "{\"seq\":2,\"vt\":99,\"type\":\"u\",\"data\":{}}");
 }
 
+TEST(Journal, TenantTagAppearsOnlyInSharedMode)
+{
+    // Exclusive sessions (tenant 0, the default) serialize exactly as
+    // before — cascade.events.v1 stays byte-compatible — while a
+    // shared-mode journal tags every subsequent event.
+    Journal j;
+    j.record("before");
+    j.set_tenant(3);
+    j.record("after", JsonWriter().num("k", 1).build());
+    const auto ring = j.ring();
+    ASSERT_EQ(ring.size(), 2u);
+    EXPECT_EQ(ring[0].tenant, 0u);
+    EXPECT_EQ(ring[1].tenant, 3u);
+    EXPECT_EQ(Journal::event_json(ring[0]),
+              "{\"seq\":1,\"vt\":0,\"type\":\"before\",\"data\":{}}");
+    EXPECT_EQ(Journal::event_json(ring[1]),
+              "{\"seq\":2,\"vt\":0,\"type\":\"after\",\"tenant\":3,"
+              "\"data\":{\"k\":1}}");
+
+    // The tagged line is still a valid JSON document with the payload
+    // intact under "data".
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parse_json(Journal::event_json(ring[1]), &v, &err)) << err;
+    EXPECT_EQ(v.get_u64("tenant"), 3u);
+    EXPECT_EQ(v.get_u64("seq"), 2u);
+    const JsonValue* data = v.find("data");
+    ASSERT_NE(data, nullptr);
+    EXPECT_EQ(data->get_u64("k"), 1u);
+}
+
 TEST(Journal, RingIsBoundedAndOldestFirst)
 {
     Journal j(256);

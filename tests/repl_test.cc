@@ -188,6 +188,7 @@ TEST(ReplMeta, HelpListsEveryCommand)
     for (const char* cmd :
          {":stats", ":stats json", ":stats reset", ":profile",
           ":profile json", ":profile on|off", ":profile flame", ":fabric",
+          ":top", ":contention", ":contention json", ":contention reset",
           ":trace", ":probe", ":unprobe", ":vcd", ":help"}) {
         EXPECT_NE(out.find(cmd), std::string::npos)
             << "missing " << cmd << " in:\n" << out;
@@ -282,6 +283,63 @@ TEST(ReplMeta, FabricReportsSoftwareWithoutACompile)
     EXPECT_NE(out.find("no hardware compile"), std::string::npos) << out;
 }
 
+TEST(ReplMeta, TopReportsExclusiveSessionWithoutHypervisor)
+{
+    ReplHarness h;
+    h.command("reg [3:0] r = 0; always @(posedge clk.val) r <= r + 1;");
+    h.runtime().run_for_ticks(3);
+    const std::string out = h.command(":top");
+    EXPECT_NE(out.find("exclusive session (no hypervisor)"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("ticks"), std::string::npos);
+}
+
+TEST(ReplMeta, ContentionTableGolden)
+{
+    ReplHarness h;
+    // The harness itself exercises instrumented sites (journal ring,
+    // compile-service queue), so the table always has rows.
+    h.command("reg [3:0] r = 0; always @(posedge clk.val) r <= r + 1;");
+    const std::string out = h.command(":contention");
+    EXPECT_NE(out.find("contention by site"), std::string::npos) << out;
+    EXPECT_NE(out.find("blocked-on"), std::string::npos) << out;
+}
+
+TEST(ReplMeta, ContentionJsonHasSchema)
+{
+    ReplHarness h;
+    const std::string out = h.command(":contention json");
+    EXPECT_NE(out.find("\"schema\":\"cascade.contention.v1\""),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("\"sites\":["), std::string::npos);
+    EXPECT_NE(out.find("\"blocked_on\":["), std::string::npos);
+}
+
+TEST(ReplMeta, ContentionResetAcknowledges)
+{
+    ReplHarness h;
+    const std::string out = h.command(":contention reset");
+    EXPECT_NE(out.find("contention stats reset"), std::string::npos)
+        << out;
+}
+
+TEST(ReplMeta, StatsSurfaceCompileCacheAndQueueDepth)
+{
+    ReplHarness h;
+    const std::string table = h.command(":stats");
+    EXPECT_NE(table.find("compile service"), std::string::npos) << table;
+    EXPECT_NE(table.find("cache hit rate"), std::string::npos) << table;
+    EXPECT_NE(table.find("queue depth"), std::string::npos) << table;
+    const std::string json = h.command(":stats json");
+    EXPECT_NE(json.find("\"compile_service\":{"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"cache_hits\":"), std::string::npos);
+    EXPECT_NE(json.find("\"cache_hit_rate\":"), std::string::npos);
+    EXPECT_NE(json.find("\"queue_depth\":"), std::string::npos);
+}
+
 TEST(ReplMeta, FabricRendersHypervisorSlotMapInSharedMode)
 {
     // A shared-mode runtime extends :fabric with the hypervisor's slot
@@ -316,6 +374,31 @@ TEST(ReplMeta, FabricRendersHypervisorSlotMapInSharedMode)
     EXPECT_NE(out.find("resident"), std::string::npos) << out;
     EXPECT_NE(out.find("LE [0, "), std::string::npos) << out;
     EXPECT_EQ(out.find("software"), std::string::npos) << out;
+}
+
+TEST(ReplMeta, TopRendersFleetViewInSharedMode)
+{
+    service::CompileService svc;
+    hypervisor::FabricManager fm;
+    Runtime::Options opts;
+    opts.enable_hardware = true;
+    opts.compile_effort = 0.05;
+    opts.tenant_name = "top-tenant";
+    Runtime rt(opts, svc, fm);
+    std::ostringstream sink;
+    Repl repl(&rt, &sink);
+
+    repl.feed("reg [3:0] r = 0; always @(posedge clk.val) r <= r + 1;\n");
+    ASSERT_TRUE(rt.wait_for_hardware(60.0));
+    rt.run_for_ticks(32);
+    sink.str("");
+    repl.feed(":top\n");
+    const std::string out = sink.str();
+    EXPECT_NE(out.find("fleet ("), std::string::npos) << out;
+    EXPECT_NE(out.find("top-tenant"), std::string::npos) << out;
+    EXPECT_NE(out.find("resident"), std::string::npos) << out;
+    EXPECT_NE(out.find("ticks/s"), std::string::npos) << out;
+    EXPECT_NE(out.find("wait%"), std::string::npos) << out;
 }
 
 } // namespace
