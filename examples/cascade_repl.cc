@@ -12,7 +12,15 @@
 ///                                                     determinism check
 ///                                                     diffs two of these)
 /// Replay exit codes: 0 match, 1 load/usage error, 2 divergence.
+///
+/// Monitoring:
+///   cascade_repl --monitor <port> [program.v]   serve /metrics /healthz
+///                                               /slo /timeseries /events
+///                                               on 127.0.0.1:<port>
+///                                               (0 = pick an ephemeral
+///                                               port and print it)
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -32,15 +40,26 @@ main(int argc, char** argv)
     std::string record_path;
     std::string replay_path;
     std::string input_path;
+    int monitor_port = -1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--record" && i + 1 < argc) {
             record_path = argv[++i];
         } else if (arg == "--replay" && i + 1 < argc) {
             replay_path = argv[++i];
+        } else if (arg == "--monitor" && i + 1 < argc) {
+            char* end = nullptr;
+            const long port = std::strtol(argv[++i], &end, 10);
+            if (end == nullptr || *end != '\0' || port < 0 ||
+                port > 65535) {
+                std::cerr << "--monitor needs a port in [0, 65535]\n";
+                return 1;
+            }
+            monitor_port = static_cast<int>(port);
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "usage: cascade_repl [--record <journal>] "
-                         "[--replay <journal>] [program.v]\n";
+                         "[--replay <journal>] [--monitor <port>] "
+                         "[program.v]\n";
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "unknown flag " << arg << " (try --help)\n";
@@ -66,6 +85,16 @@ main(int argc, char** argv)
     Runtime::Options options;
     options.compile_effort = 0.3;
     Runtime rt(options);
+    if (monitor_port >= 0) {
+        std::string err;
+        if (!rt.start_monitor(static_cast<uint16_t>(monitor_port),
+                              &err)) {
+            std::cerr << "cannot start monitor: " << err << "\n";
+            return 1;
+        }
+        std::cerr << "monitoring on 127.0.0.1:" << rt.monitor_port()
+                  << " (/metrics /healthz /slo /timeseries /events)\n";
+    }
     if (!record_path.empty()) {
         std::string err;
         if (!rt.start_recording(record_path, &err)) {

@@ -1,0 +1,170 @@
+/// \file
+/// CI smoke check for the live monitoring endpoint. Starts a monitored
+/// runtime (ephemeral port), runs a small always-block workload, and
+/// scrapes every endpoint the way an operator's Prometheus/curl would:
+///
+///   - /metrics twice: both scrapes must pass the strict text-exposition
+///     validator and the virtual-tick gauge must be monotonic between
+///     them (counters that go backwards break rate() queries);
+///   - /healthz, /slo, /timeseries: status 200 and schema markers;
+///   - /events: the live journal tail must yield NDJSON lines whose
+///     sequence numbers strictly increase.
+///
+/// Artifacts (metrics.prom, slo.json, timeseries.json, events.ndjson)
+/// are written next to the binary for CI upload. Exits nonzero on any
+/// failure, so the CI step is a real gate on the monitoring surface.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.h"
+#include "telemetry/export.h"
+#include "telemetry/journal.h"
+#include "telemetry/monitor_server.h"
+
+using cascade::runtime::Runtime;
+
+namespace {
+
+int failures = 0;
+
+void
+check(bool ok, const std::string& what)
+{
+    if (ok) {
+        std::fprintf(stderr, "ok   %s\n", what.c_str());
+    } else {
+        std::fprintf(stderr, "FAIL %s\n", what.c_str());
+        ++failures;
+    }
+}
+
+void
+save(const std::string& path, const std::string& body)
+{
+    std::ofstream out(path);
+    out << body;
+}
+
+double
+metric_value(const std::string& text, const std::string& name)
+{
+    // First sample line of `name` (exact match or with labels).
+    size_t pos = 0;
+    while ((pos = text.find(name, pos)) != std::string::npos) {
+        const bool line_start = pos == 0 || text[pos - 1] == '\n';
+        const size_t after = pos + name.size();
+        const char c = after < text.size() ? text[after] : '\0';
+        if (line_start && (c == ' ' || c == '{')) {
+            const size_t sp = text.find(' ', pos);
+            if (sp != std::string::npos) {
+                return std::strtod(text.c_str() + sp + 1, nullptr);
+            }
+        }
+        pos = after;
+    }
+    return -1;
+}
+
+} // namespace
+
+int
+main()
+{
+    Runtime::Options opts;
+    opts.enable_hardware = false;
+    opts.timeseries_interval_s = 0.001;
+    Runtime rt(opts);
+    check(rt.eval("reg [15:0] n = 0;\n"
+                  "always @(posedge clk.val) n <= n + 1;\n"),
+          "eval workload");
+
+    std::string err;
+    check(rt.start_monitor(0, &err), "start monitor: " + err);
+    const uint16_t port = rt.monitor_port();
+    std::fprintf(stderr, "# monitoring on 127.0.0.1:%u\n", port);
+
+    rt.run(2048);
+
+    int status = 0;
+    std::string first;
+    check(cascade::telemetry::http_get(port, "/metrics", &status, &first,
+                                       &err) &&
+              status == 200,
+          "GET /metrics: " + err);
+    check(cascade::telemetry::validate_prometheus_text(first, &err),
+          "first scrape validates: " + err);
+
+    rt.run(2048);
+    std::string second;
+    check(cascade::telemetry::http_get(port, "/metrics", &status,
+                                       &second, &err) &&
+              status == 200,
+          "GET /metrics (second): " + err);
+    check(cascade::telemetry::validate_prometheus_text(second, &err),
+          "second scrape validates: " + err);
+    const double ticks1 = metric_value(first, "cascade_virtual_ticks");
+    const double ticks2 = metric_value(second, "cascade_virtual_ticks");
+    check(ticks1 >= 0 && ticks2 > ticks1,
+          "cascade_virtual_ticks monotonic (" + std::to_string(ticks1) +
+              " -> " + std::to_string(ticks2) + ")");
+    save("metrics.prom", second);
+
+    std::string body;
+    check(cascade::telemetry::http_get(port, "/healthz", &status, &body,
+                                       &err) &&
+              status == 200 &&
+              body.find("\"status\":\"ok\"") != std::string::npos,
+          "GET /healthz ok: " + body);
+
+    check(cascade::telemetry::http_get(port, "/slo", &status, &body,
+                                       &err) &&
+              status == 200 &&
+              body.find("\"schema\":\"cascade.slo.v1\"") !=
+                  std::string::npos,
+          "GET /slo schema: " + err);
+    save("slo.json", body);
+
+    check(cascade::telemetry::http_get(port, "/timeseries", &status,
+                                       &body, &err) &&
+              status == 200 &&
+              body.find("\"schema\":\"cascade.timeseries.v1\"") !=
+                  std::string::npos &&
+              body.find("runtime.ticks_per_s") != std::string::npos,
+          "GET /timeseries schema + sampled series");
+    save("timeseries.json", body);
+
+    std::vector<std::string> lines;
+    check(cascade::telemetry::http_stream_lines(port, "/events", 5,
+                                                10000, &lines, &err) &&
+              lines.size() >= 5,
+          "GET /events streams 5 lines: " + err);
+    uint64_t last_seq = 0;
+    bool seqs_increase = true;
+    std::string ndjson;
+    for (const std::string& line : lines) {
+        cascade::telemetry::JsonValue ev;
+        if (!cascade::telemetry::parse_json(line, &ev, &err)) {
+            seqs_increase = false;
+            break;
+        }
+        const uint64_t seq = ev.get_u64("seq");
+        if (seq <= last_seq) {
+            seqs_increase = false;
+        }
+        last_seq = seq;
+        ndjson += line + "\n";
+    }
+    check(seqs_increase, "/events lines parse, seq strictly increases");
+    save("events.ndjson", ndjson);
+
+    rt.stop_monitor();
+    check(!rt.monitoring(), "monitor stops");
+
+    std::fprintf(stderr, failures == 0 ? "# monitor smoke: all ok\n"
+                                       : "# monitor smoke: %d failure(s)\n",
+                 failures);
+    return failures == 0 ? 0 : 1;
+}

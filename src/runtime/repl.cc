@@ -1,5 +1,6 @@
 #include "runtime/repl.h"
 
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 #include <regex>
@@ -80,10 +81,10 @@ Repl::run_meta_command(const std::string& line)
             *out_ << runtime_->stats_json() << "\n";
         }
     } else if (cmd == ":stats" && arg == "reset") {
-        runtime_->telemetry().reset();
-        telemetry::Registry::global().reset();
+        runtime_->reset_stats();
         if (out_ != nullptr) {
-            *out_ << "stats reset (runtime and process registries)\n";
+            *out_ << "stats reset (registries, sync sites, time series, "
+                     "SLO windows)\n";
         }
     } else if (cmd == ":stats") {
         if (out_ != nullptr) {
@@ -142,6 +143,58 @@ Repl::run_meta_command(const std::string& line)
     } else if (cmd == ":contention") {
         if (out_ != nullptr) {
             *out_ << telemetry::SyncRegistry::global().contention_table();
+        }
+    } else if (cmd == ":monitor" && arg == "off") {
+        if (runtime_->monitoring()) {
+            runtime_->stop_monitor();
+            if (out_ != nullptr) {
+                *out_ << "monitor stopped\n";
+            }
+        } else if (out_ != nullptr) {
+            *out_ << "monitor is not running\n";
+        }
+    } else if (cmd == ":monitor") {
+        if (arg.empty()) {
+            if (out_ != nullptr) {
+                if (runtime_->monitoring()) {
+                    *out_ << "monitoring on 127.0.0.1:"
+                          << runtime_->monitor_port()
+                          << " (/metrics /healthz /slo /timeseries "
+                             "/events)\n";
+                } else {
+                    *out_ << "usage: :monitor <port|off>\n";
+                }
+            }
+        } else {
+            char* end = nullptr;
+            const long port = std::strtol(arg.c_str(), &end, 10);
+            if (end == nullptr || *end != '\0' || port < 0 ||
+                port > 65535) {
+                if (out_ != nullptr) {
+                    *out_ << "usage: :monitor <port|off>\n";
+                }
+            } else {
+                std::string err;
+                if (runtime_->start_monitor(
+                        static_cast<uint16_t>(port), &err)) {
+                    if (out_ != nullptr) {
+                        *out_ << "monitoring on 127.0.0.1:"
+                              << runtime_->monitor_port()
+                              << " (/metrics /healthz /slo /timeseries "
+                                 "/events)\n";
+                    }
+                } else if (out_ != nullptr) {
+                    *out_ << "cannot start monitor: " << err << "\n";
+                }
+            }
+        }
+    } else if (cmd == ":slo" && arg == "json") {
+        if (out_ != nullptr) {
+            *out_ << runtime_->slo_json() << "\n";
+        }
+    } else if (cmd == ":slo") {
+        if (out_ != nullptr) {
+            *out_ << runtime_->slo_table();
         }
     } else if (cmd == ":trace") {
         if (arg.empty()) {
@@ -249,8 +302,8 @@ Repl::run_meta_command(const std::string& line)
             *out_ << ":stats          telemetry table (counters, gauges, "
                      "histograms, transitions)\n"
                      ":stats json     the same snapshot as JSON\n"
-                     ":stats reset    zero every metric (runtime and "
-                     "process registries)\n"
+                     ":stats reset    zero every metric (registries, sync "
+                     "sites, time series, SLO windows)\n"
                      ":profile        per-process profile (trigger counts, "
                      "eval time, sw+hw)\n"
                      ":profile json   the same profile as JSON\n"
@@ -266,6 +319,12 @@ Repl::run_meta_command(const std::string& line)
                      ":contention json  the same as cascade.contention.v1 "
                      "JSON\n"
                      ":contention reset zero the contention registry\n"
+                     ":monitor <port> serve /metrics /healthz /slo "
+                     "/timeseries /events on 127.0.0.1\n"
+                     ":monitor off    stop the monitoring server\n"
+                     ":slo            SLO status over the rolling window "
+                     "(breached objectives first)\n"
+                     ":slo json       the same as cascade.slo.v1 JSON\n"
                      ":trace <file>   dump phase spans as Chrome "
                      "trace_event JSON\n"
                      ":probe <signal> add a waveform probe (net or "

@@ -16,6 +16,8 @@
 #include "runtime/sw_engine.h"
 #include "service/compile_service.h"
 #include "stdlib/stdlib.h"
+#include "telemetry/export.h"
+#include "telemetry/monitor_server.h"
 #include "telemetry/sync.h"
 #include "telemetry/trace.h"
 #include "verilog/parser.h"
@@ -423,13 +425,26 @@ Runtime::Runtime(Options options, service::CompileService* service,
     }
     init_metrics();
     journal_.set_clock([this] { return virtual_ticks(); });
+    telemetry::SloTracker::Config slo_cfg;
+    slo_cfg.window_s = options_.slo_window_s;
+    slo_cfg.max_cold_compile_p99_s = options_.slo_max_cold_compile_p99_s;
+    slo_cfg.max_warm_compile_p99_s = options_.slo_max_warm_compile_p99_s;
+    slo_cfg.max_interrupt_p99_s = options_.slo_max_interrupt_p99_s;
+    slo_cfg.min_ticks_per_s = options_.slo_min_ticks_per_s;
+    slo_ = std::make_unique<telemetry::SloTracker>(slo_cfg);
+    monitor_epoch_wall_ = wall_seconds();
+    monitor_last_sample_wall_ = monitor_epoch_wall_;
+    monitor_next_sample_wall_ =
+        monitor_epoch_wall_ + std::max(0.0, options_.timeseries_interval_s);
     // Register this session with the crash black box: a fatal error dumps
-    // the journal ring plus stats/profile snapshots of every live runtime.
+    // the journal ring plus stats/profile/time-series snapshots of every
+    // live runtime.
     blackbox_id_ = telemetry::BlackBox::instance().add_source(
         "runtime", [this] {
             std::string out = "{\"events\":" + journal_.ring_json();
             out += ",\"stats\":" + stats_json();
             out += ",\"profile\":" + profile_json();
+            out += ",\"timeseries\":" + timeseries_.json();
             out += '}';
             return out;
         });
@@ -447,10 +462,21 @@ Runtime::Runtime(Options options, service::CompileService* service,
     const bool ok = eval("Clock clk();", &errors);
     bootstrapping_ = false;
     CASCADE_CHECK(ok);
+    if (options_.monitor_port != 0) {
+        std::string merr;
+        if (!start_monitor(options_.monitor_port, &merr)) {
+            log_event(LogLevel::Warn, "monitor",
+                      "monitor failed to start: " + merr);
+        }
+    }
 }
 
 Runtime::~Runtime()
 {
+    // The monitor server's thread reads this runtime through its
+    // providers and the journal tap: it must be gone before anything
+    // else is torn down.
+    stop_monitor();
     // The black-box provider captures `this`: deregister before members
     // are torn down so a crash during another runtime's dump cannot walk
     // into freed state.
@@ -790,6 +816,16 @@ Runtime::flush_interrupts()
                             .num("count", interrupt_queue_.size())
                             .build());
     }
+    // Queue-residency latency for the SLO window: every stamped entry
+    // drains in this batch (the queue empties below), so the stamp deque
+    // clears with it.
+    if (!interrupt_enqueue_wall_.empty()) {
+        const double now = wall_seconds();
+        for (const double t0 : interrupt_enqueue_wall_) {
+            slo_->record_interrupt(now, now - t0);
+        }
+        interrupt_enqueue_wall_.clear();
+    }
     while (!interrupt_queue_.empty()) {
         if (on_output) {
             on_output(interrupt_queue_.front());
@@ -1024,6 +1060,9 @@ Runtime::window()
     }
     poll_compiles();
     service_peripherals();
+    // Time-series + SLO sampling (README §Monitoring): interval-gated,
+    // so between samples this is one wall-clock read.
+    sample_monitor();
     // Open-loop free-running skips the per-timestep windows a waveform
     // dump samples in, so it is suspended while a dump is active.
     if (!finished_ && options_.enable_open_loop && !vcd_capture_) {
@@ -1215,6 +1254,9 @@ Runtime::on_display(const std::string& text)
     m_.interrupts->inc();
     m_.interrupt_depth->set(
         static_cast<int64_t>(interrupt_queue_.size()));
+    if (options_.slo_max_interrupt_p99_s > 0) {
+        interrupt_enqueue_wall_.push_back(wall_seconds());
+    }
 }
 
 void
@@ -1226,6 +1268,9 @@ Runtime::on_write(const std::string& text)
     m_.interrupts->inc();
     m_.interrupt_depth->set(
         static_cast<int64_t>(interrupt_queue_.size()));
+    if (options_.slo_max_interrupt_p99_s > 0) {
+        interrupt_enqueue_wall_.push_back(wall_seconds());
+    }
 }
 
 void
@@ -1864,6 +1909,7 @@ Runtime::launch_compile()
         }
     }
     job.options.seed = seed;
+    compile_submit_wall_[version_] = wall_seconds();
     compile_service_->submit(compile_client_, std::move(job));
     m_.compiles_launched->inc();
     journal_.record("compile.launch", telemetry::JsonWriter()
@@ -1956,6 +2002,21 @@ Runtime::act_on_compile(CompileOutcome outcome,
 {
     last_report_ = outcome.result.report;
     const fpga::CompileReport& r = outcome.result.report;
+    // End-to-end compile latency (submit -> acted on) for the SLO
+    // window; warm = answered from the bitstream cache. Superseded
+    // versions never reach here, so sweep everything up to this one.
+    const auto submitted = compile_submit_wall_.find(outcome.version);
+    if (submitted != compile_submit_wall_.end()) {
+        const double now = wall_seconds();
+        const double latency = now - submitted->second;
+        if (r.cache_hit) {
+            slo_->record_warm_compile(now, latency);
+        } else {
+            slo_->record_cold_compile(now, latency);
+        }
+        compile_submit_wall_.erase(compile_submit_wall_.begin(),
+                                   std::next(submitted));
+    }
     // Cache attribution rides in its own info-class event: cache_hit is
     // a wall-clock artifact (who compiled first), so it must stay out of
     // the compared compile.done payload.
@@ -2706,6 +2767,357 @@ Runtime::stats_table() const
         }
     }
     return out;
+}
+
+// ---------------------------------------------------------------------------
+// Live monitoring (README §Monitoring)
+// ---------------------------------------------------------------------------
+
+std::string
+Runtime::monitor_tenant_label() const
+{
+    if (fabric_ == nullptr) {
+        return "";
+    }
+    return options_.tenant_name.empty()
+               ? "tenant-" + std::to_string(tenant_)
+               : options_.tenant_name;
+}
+
+void
+Runtime::sample_monitor()
+{
+    if (options_.timeseries_interval_s <= 0) {
+        return;
+    }
+    const double now = wall_seconds();
+    if (now < monitor_next_sample_wall_) {
+        return;
+    }
+    monitor_next_sample_wall_ = now + options_.timeseries_interval_s;
+    const double t = now - monitor_epoch_wall_;
+    const double dt = now - monitor_last_sample_wall_;
+    // Rates are deltas against the previous sample; counters can move
+    // backwards across a :stats reset, in which case the delta restarts.
+    const uint64_t toggles = m_.clock_toggles->value();
+    const uint64_t dtoggles = toggles >= monitor_last_sample_toggles_
+                                  ? toggles - monitor_last_sample_toggles_
+                                  : toggles;
+    const double ticks_per_s =
+        dt > 0 ? (static_cast<double>(dtoggles) / 2.0) / dt : 0.0;
+    monitor_last_sample_wall_ = now;
+    monitor_last_sample_toggles_ = toggles;
+
+    timeseries_.sample("runtime.ticks_per_s", t, ticks_per_s);
+    timeseries_.sample(
+        "runtime.interrupt_depth", t,
+        static_cast<double>(m_.interrupt_depth->value()));
+    timeseries_.sample(
+        "runtime.resident", t,
+        user_location_ != Location::Software ? 1.0 : 0.0);
+    timeseries_.sample(
+        "service.queue_depth", t,
+        static_cast<double>(compile_service_->queued_jobs()));
+    timeseries_.sample("service.cache_hit_rate", t,
+                       compile_service_->cache_hit_rate());
+    if (fabric_ != nullptr) {
+        const auto waits =
+            telemetry::SyncRegistry::global().tenant_waits();
+        const auto it = waits.find(tenant_);
+        const uint64_t wait_ns = it == waits.end() ? 0 : it->second;
+        const uint64_t dwait = wait_ns >= monitor_last_tenant_wait_ns_
+                                   ? wait_ns - monitor_last_tenant_wait_ns_
+                                   : wait_ns;
+        monitor_last_tenant_wait_ns_ = wait_ns;
+        const double share =
+            dt > 0 ? std::min(1.0, static_cast<double>(dwait) / 1e9 / dt)
+                   : 0.0;
+        timeseries_.sample("runtime.lock_wait_share", t, share);
+        timeseries_.sample(
+            "tenant." + monitor_tenant_label() + ".ticks_per_s", t,
+            ticks_per_s);
+    }
+    slo_->record_ticks_per_s(now, monitor_tenant_label(), ticks_per_s);
+    slo_->tick(now, [this](const telemetry::SloTracker::Objective& o) {
+        telemetry::JsonWriter w;
+        w.str("objective", o.name);
+        if (!o.tenant.empty()) {
+            w.str("tenant", o.tenant);
+        }
+        w.dbl("observed", o.observed);
+        w.dbl("threshold", o.threshold);
+        w.num("breaches", o.breaches);
+        journal_.record("slo.breach", w.build());
+    });
+}
+
+bool
+Runtime::start_monitor(uint16_t port, std::string* err)
+{
+    if (monitoring()) {
+        if (err != nullptr) {
+            *err = "monitor already running on port " +
+                   std::to_string(monitor_port());
+        }
+        return false;
+    }
+    auto server = std::make_unique<telemetry::MonitorServer>();
+    server->handle("/metrics",
+                   "text/plain; version=0.0.4; charset=utf-8",
+                   [this] { return metrics_text(); });
+    server->handle("/slo", "application/json",
+                   [this] { return slo_json(); });
+    server->handle("/healthz", "application/json", [this] {
+        const bool breached = slo_breached();
+        std::string out = "{\"status\":\"";
+        out += breached ? "breached" : "ok";
+        out += "\",\"breached\":";
+        out += breached ? "true" : "false";
+        out += "}\n";
+        return out;
+    });
+    server->handle("/timeseries", "application/json",
+                   [this] { return timeseries_json(); });
+    server->attach_journal(&journal_);
+    if (!server->start(port, err)) {
+        return false;
+    }
+    monitor_ = std::move(server);
+    return true;
+}
+
+void
+Runtime::stop_monitor()
+{
+    if (monitor_ != nullptr) {
+        monitor_->stop();
+        monitor_.reset();
+    }
+}
+
+bool
+Runtime::monitoring() const
+{
+    return monitor_ != nullptr && monitor_->running();
+}
+
+uint16_t
+Runtime::monitor_port() const
+{
+    return monitor_ != nullptr ? monitor_->port() : 0;
+}
+
+std::string
+Runtime::slo_json() const
+{
+    return slo_->json(wall_seconds());
+}
+
+std::string
+Runtime::slo_table() const
+{
+    return slo_->table(wall_seconds());
+}
+
+bool
+Runtime::slo_breached() const
+{
+    return slo_->evaluate(wall_seconds()).breached;
+}
+
+void
+Runtime::reset_stats()
+{
+    // One reset clears every measurement surface (:stats reset): both
+    // metric registries, the sync sites + blocked-on matrix + per-tenant
+    // wait totals, the time-series rings, and SLO windows/breach
+    // counters. Monitor delta state restarts via the backwards-counter
+    // guards in sample_monitor().
+    telemetry_.reset();
+    telemetry::Registry::global().reset();
+    telemetry::SyncRegistry::global().reset();
+    timeseries_.reset();
+    slo_->reset();
+    monitor_last_sample_toggles_ = 0;
+    monitor_last_tenant_wait_ns_ = 0;
+}
+
+std::string
+Runtime::metrics_text() const
+{
+    using telemetry::PromWriter;
+    PromWriter w;
+    const double now = wall_seconds();
+
+    w.family("cascade_up", "gauge", "1 while this runtime is live.");
+    w.sample("cascade_up", {}, uint64_t{1});
+    w.family("cascade_virtual_ticks", "gauge",
+             "Virtual clock ticks executed by this runtime.");
+    w.sample("cascade_virtual_ticks", {}, m_.clock_toggles->value() / 2);
+
+    // Registry dumps: this runtime's scoped registry plus the process
+    // registry. The scope label keeps identically-named series apart;
+    // shared-mode runtime series additionally carry the tenant.
+    const auto render = [&w](const telemetry::Registry::Snapshot& snap,
+                             const PromWriter::Labels& labels) {
+        for (const auto& [name, value] : snap.counters) {
+            const std::string fam =
+                telemetry::prom_sanitize_name(name) + "_total";
+            w.family(fam, "counter", "Counter " + name + ".");
+            w.sample(fam, labels, value);
+        }
+        for (const auto& [name, g] : snap.gauges) {
+            const std::string fam = telemetry::prom_sanitize_name(name);
+            w.family(fam, "gauge", "Gauge " + name + ".");
+            w.sample(fam, labels, static_cast<double>(g.value));
+            const std::string hw = fam + "_high_water";
+            w.family(hw, "gauge", "High-water mark of " + name + ".");
+            w.sample(hw, labels, static_cast<double>(g.high_water));
+        }
+        for (const auto& [name, h] : snap.histograms) {
+            const std::string fam = telemetry::prom_sanitize_name(name);
+            w.family(fam, "summary", "Histogram " + name + ".");
+            PromWriter::Labels q = labels;
+            q.emplace_back("quantile", "0.5");
+            w.sample(fam, q, static_cast<double>(h.p50));
+            q.back().second = "0.9";
+            w.sample(fam, q, static_cast<double>(h.p90));
+            q.back().second = "0.99";
+            w.sample(fam, q, static_cast<double>(h.p99));
+            w.sample(fam, labels, h.sum, "_sum");
+            w.sample(fam, labels, h.count, "_count");
+        }
+    };
+    PromWriter::Labels runtime_labels = {{"scope", "runtime"}};
+    if (fabric_ != nullptr) {
+        runtime_labels.emplace_back("tenant", monitor_tenant_label());
+    }
+    render(telemetry_.snapshot(), runtime_labels);
+    render(telemetry::Registry::global().snapshot(),
+           {{"scope", "process"}});
+
+    // Fleet view (shared mode): one labeled series per tenant from the
+    // hypervisor's slot map and the sync registry's wait totals.
+    if (fabric_ != nullptr) {
+        w.family("cascade_tenant_resident", "gauge",
+                 "1 while the tenant's user logic is on the fabric.");
+        w.family("cascade_tenant_ticks_per_s", "gauge",
+                 "Open-loop ticks per second per tenant (fleet view).");
+        w.family("cascade_tenant_le_used", "gauge",
+                 "Logic elements occupied by the tenant's slot.");
+        w.family("cascade_tenant_evictions_total", "counter",
+                 "Completed evictions of the tenant.");
+        w.family("cascade_tenant_lock_wait_seconds_total", "counter",
+                 "Blocked time accrued by the tenant's threads.");
+        w.family("cascade_tenant_lock_wait_share", "gauge",
+                 "The tenant's share of the fleet's total blocked time.");
+        const auto waits =
+            telemetry::SyncRegistry::global().tenant_waits();
+        uint64_t total_wait_ns = 0;
+        for (const auto& [tenant, ns] : waits) {
+            (void)tenant;
+            total_wait_ns += ns;
+        }
+        for (const auto& s : fabric_->slot_map()) {
+            const PromWriter::Labels l = {{"tenant", s.name}};
+            w.sample("cascade_tenant_resident", l,
+                     uint64_t{s.resident ? 1u : 0u});
+            w.sample("cascade_tenant_ticks_per_s", l,
+                     s.active_s > 0
+                         ? static_cast<double>(s.ticks_done) / s.active_s
+                         : 0.0);
+            w.sample("cascade_tenant_le_used", l, s.le_count);
+            w.sample("cascade_tenant_evictions_total", l, s.evictions);
+            const auto it = waits.find(s.tenant);
+            const uint64_t ns = it == waits.end() ? 0 : it->second;
+            w.sample("cascade_tenant_lock_wait_seconds_total", l,
+                     static_cast<double>(ns) / 1e9);
+            w.sample("cascade_tenant_lock_wait_share", l,
+                     total_wait_ns > 0 ? static_cast<double>(ns) /
+                                             static_cast<double>(
+                                                 total_wait_ns)
+                                       : 0.0);
+        }
+    }
+
+    // Lock contention, one series per named site (PR 6's sync registry).
+    const auto sites = telemetry::SyncRegistry::global().snapshot();
+    if (!sites.empty()) {
+        w.family("cascade_lock_acquisitions_total", "counter",
+                 "Lock/CV acquisitions per sync site.");
+        w.family("cascade_lock_contended_total", "counter",
+                 "Acquisitions that blocked, per sync site.");
+        w.family("cascade_lock_wait_seconds_total", "counter",
+                 "Total blocked seconds per sync site.");
+        w.family("cascade_lock_wait_p99_seconds", "gauge",
+                 "p99 blocked time per sync site.");
+        w.family("cascade_lock_hold_seconds_total", "counter",
+                 "Total hold seconds per sync site (mutex sites).");
+        for (const auto& s : sites) {
+            const PromWriter::Labels l = {{"site", s.name},
+                                          {"kind", s.kind}};
+            w.sample("cascade_lock_acquisitions_total", l,
+                     s.acquisitions);
+            w.sample("cascade_lock_contended_total", l, s.contended);
+            w.sample("cascade_lock_wait_seconds_total", l,
+                     static_cast<double>(s.wait_sum_ns) / 1e9);
+            w.sample("cascade_lock_wait_p99_seconds", l,
+                     static_cast<double>(s.wait_p99_ns) / 1e9);
+            w.sample("cascade_lock_hold_seconds_total", l,
+                     static_cast<double>(s.hold_sum_ns) / 1e9);
+        }
+    }
+
+    // Compile service (distinct names from the registry's compile.*
+    // metrics so the explicit gauges never collide with a registry dump).
+    w.family("cascade_compile_service_queue_depth", "gauge",
+             "Jobs queued in the pooled compile service.");
+    w.sample("cascade_compile_service_queue_depth", {},
+             uint64_t{compile_service_->queued_jobs()});
+    w.family("cascade_compile_service_cache_entries", "gauge",
+             "Bitstreams resident in the compile cache.");
+    w.sample("cascade_compile_service_cache_entries", {},
+             uint64_t{compile_service_->cache_entries()});
+    w.family("cascade_compile_service_cache_hit_rate", "gauge",
+             "Bitstream-cache hit rate since process start.");
+    w.sample("cascade_compile_service_cache_hit_rate", {},
+             compile_service_->cache_hit_rate());
+
+    // SLO status (also at /slo in JSON).
+    const telemetry::SloTracker::Status status = slo_->evaluate(now);
+    w.family("cascade_slo_breached", "gauge",
+             "1 while any SLO objective is in breach.");
+    w.sample("cascade_slo_breached", {},
+             uint64_t{status.breached ? 1u : 0u});
+    w.family("cascade_slo_breaches_total", "counter",
+             "Cumulative OK->breach transitions across objectives.");
+    w.sample("cascade_slo_breaches_total", {}, slo_->total_breaches());
+    if (!status.objectives.empty()) {
+        w.family("cascade_slo_objective_observed", "gauge",
+                 "Rolling-window statistic per SLO objective.");
+        w.family("cascade_slo_objective_threshold", "gauge",
+                 "Configured threshold per SLO objective.");
+        w.family("cascade_slo_objective_breached", "gauge",
+                 "1 while the objective is in breach.");
+        for (const auto& o : status.objectives) {
+            PromWriter::Labels l = {{"objective", o.name}};
+            if (!o.tenant.empty()) {
+                l.emplace_back("tenant", o.tenant);
+            }
+            w.sample("cascade_slo_objective_observed", l, o.observed);
+            w.sample("cascade_slo_objective_threshold", l, o.threshold);
+            w.sample("cascade_slo_objective_breached", l,
+                     uint64_t{o.breached ? 1u : 0u});
+        }
+    }
+
+    if (monitor_ != nullptr) {
+        w.family("cascade_monitor_events_dropped_total", "counter",
+                 "/events lines dropped to streaming backpressure.");
+        w.sample("cascade_monitor_events_dropped_total", {},
+                 monitor_->events_dropped());
+    }
+    return w.render();
 }
 
 // ---------------------------------------------------------------------------

@@ -23,10 +23,14 @@
 #include "ir/subprogram.h"
 #include "runtime/engine.h"
 #include "sim/vcd.h"
+#include "telemetry/export.h"
 #include "telemetry/journal.h"
 #include "telemetry/telemetry.h"
 #include "verilog/elaborate.h"
 
+namespace cascade::telemetry {
+class MonitorServer;
+}
 namespace cascade::service {
 class CompileService;
 }
@@ -93,6 +97,27 @@ class Runtime : public EngineCallbacks {
         std::string tenant_name;
         uint64_t tenant_le_quota = 0;
         uint64_t tenant_bram_quota = 0;
+        /// @}
+        /// @{ Live monitoring (README §Monitoring). A nonzero
+        /// monitor_port starts the embedded HTTP server on
+        /// 127.0.0.1:<port> at construction (CLI --monitor, REPL
+        /// :monitor). Deliberately excluded from the journal header:
+        /// monitoring is observational, so a replay neither needs nor
+        /// wants to rebind the recorded session's port.
+        uint16_t monitor_port = 0;
+        /// Wall-second period of the in-scheduler time-series sampler
+        /// and SLO evaluation (<= 0 disables both; sampling also runs
+        /// whenever a monitor server is active).
+        double timeseries_interval_s = 0.5;
+        /// @}
+        /// @{ SLO thresholds, evaluated over a rolling window. A zero
+        /// threshold disables that objective; breach transitions are
+        /// journaled as `slo.breach` and surfaced at GET /slo.
+        double slo_window_s = 60;
+        double slo_max_cold_compile_p99_s = 0;
+        double slo_max_warm_compile_p99_s = 0;
+        double slo_max_interrupt_p99_s = 0;
+        double slo_min_ticks_per_s = 0;
         /// @}
     };
 
@@ -217,6 +242,48 @@ class Runtime : public EngineCallbacks {
     std::string top_table() const;
     /// Human-readable snapshot (the REPL's :stats view).
     std::string stats_table() const;
+    /// @}
+
+    /// @{ Live monitoring (README §Monitoring). The embedded HTTP server
+    /// exposes /metrics (Prometheus text format), /healthz, /slo,
+    /// /timeseries, and /events (live journal tail as NDJSON). Opt-in:
+    /// Options::monitor_port, start_monitor(), CLI --monitor, or the
+    /// REPL's :monitor.
+
+    /// Starts the monitor on 127.0.0.1:\p port (0 = ephemeral; read the
+    /// bound port back with monitor_port()). False + *err on failure.
+    bool start_monitor(uint16_t port, std::string* err = nullptr);
+    void stop_monitor();
+    bool monitoring() const;
+    uint16_t monitor_port() const; ///< bound port; 0 when not monitoring
+
+    /// The /metrics body: this runtime's registry, the process registry,
+    /// per-tenant fleet gauges (`tenant` label), per-site lock-contention
+    /// series (`site` label), compile-service gauges, and SLO state, in
+    /// the Prometheus text exposition format. Thread-safe (reads only
+    /// atomics and mutex-protected snapshots), so the server thread may
+    /// call it concurrently with the scheduler.
+    std::string metrics_text() const;
+
+    /// @{ SLO status over the rolling window (GET /slo, REPL :slo).
+    std::string slo_json() const;
+    std::string slo_table() const;
+    bool slo_breached() const;
+    telemetry::SloTracker& slo_tracker() { return *slo_; }
+    /// @}
+
+    /// @{ The in-process time-series recorder (GET /timeseries; dumped
+    /// into the crash black box). Sampled from the scheduler's
+    /// inter-timestep window every Options::timeseries_interval_s.
+    std::string timeseries_json() const { return timeseries_.json(); }
+    telemetry::TimeSeries& timeseries() { return timeseries_; }
+    /// @}
+
+    /// Clears every measurement surface in one shot (the REPL's
+    /// :stats reset): both metric registries, the sync registry's sites,
+    /// blocked-on matrix, and per-tenant wait totals, the time-series
+    /// rings, and the SLO windows and breach counters.
+    void reset_stats();
     /// @}
 
     /// @{ Source-level profiler (README §Profiling, REPL :profile).
@@ -470,6 +537,15 @@ class Runtime : public EngineCallbacks {
         int net_index = -1; ///< nets_ index when is_net
     };
 
+    /// Time-series + SLO sampling hook (called from window()): every
+    /// timeseries_interval_s wall seconds it records ticks/s, queue
+    /// depths, residency, and lock-wait share, then ticks the SLO
+    /// tracker (journaling `slo.breach` transitions). No-ops between
+    /// intervals at the cost of one wall-clock read.
+    void sample_monitor();
+    /// The `tenant` label value in shared mode ("" in exclusive mode).
+    std::string monitor_tenant_label() const;
+
     /// End-of-timestep sampling hook (called from window()).
     void sample_vcd();
     /// Freezes the probe set: expands probe-all / explicit names into
@@ -614,6 +690,26 @@ class Runtime : public EngineCallbacks {
     /// capacity epoch moves past parked_epoch_.
     std::optional<CompileOutcome> parked_outcome_;
     uint64_t parked_epoch_ = 0;
+
+    // Live-monitoring state (README §Monitoring).
+    telemetry::TimeSeries timeseries_;
+    std::unique_ptr<telemetry::SloTracker> slo_;
+    /// Wall-clock origin for time-series timestamps (construction time).
+    double monitor_epoch_wall_ = 0;
+    double monitor_next_sample_wall_ = 0;
+    /// Delta state for sampled rates (previous sample point).
+    double monitor_last_sample_wall_ = 0;
+    uint64_t monitor_last_sample_toggles_ = 0;
+    uint64_t monitor_last_tenant_wait_ns_ = 0;
+    /// Wall time each in-flight compile version was submitted at, so
+    /// act_on_compile can feed end-to-end latency into the SLO tracker.
+    std::map<uint64_t, double> compile_submit_wall_;
+    /// Wall enqueue stamps parallel to interrupt_queue_ (drained
+    /// together), feeding the interrupt-latency SLO.
+    std::deque<double> interrupt_enqueue_wall_;
+    /// Declared last: its server thread reads members above through
+    /// locked/atomic accessors, and must be gone before they are.
+    std::unique_ptr<telemetry::MonitorServer> monitor_;
 };
 
 } // namespace cascade::runtime

@@ -427,6 +427,7 @@ Journal::record(const char* type, std::string data)
 {
     Event event;
     std::function<void(const Event&)> observer;
+    std::vector<std::function<void(const Event&)>> taps;
     {
         std::lock_guard<Mutex> lock(mutex_);
         event.seq = ++seq_;
@@ -447,11 +448,20 @@ Journal::record(const char* type, std::string data)
             std::fputc('\n', file_);
         }
         observer = observer_;
+        if (!taps_.empty()) {
+            taps.reserve(taps_.size());
+            for (const auto& [id, tap] : taps_) {
+                taps.push_back(tap);
+            }
+        }
     }
-    // The observer runs unlocked so it may inspect the journal (but must
-    // not record into it).
+    // The observer and taps run unlocked so they may inspect the journal
+    // (but must not record into it).
     if (observer) {
         observer(event);
+    }
+    for (const auto& tap : taps) {
+        tap(event);
     }
     return event.seq;
 }
@@ -526,6 +536,27 @@ Journal::set_observer(std::function<void(const Event&)> observer)
 {
     std::lock_guard<Mutex> lock(mutex_);
     observer_ = std::move(observer);
+}
+
+int
+Journal::add_tap(std::function<void(const Event&)> tap)
+{
+    std::lock_guard<Mutex> lock(mutex_);
+    const int id = next_tap_id_++;
+    taps_.emplace_back(id, std::move(tap));
+    return id;
+}
+
+void
+Journal::remove_tap(int id)
+{
+    std::lock_guard<Mutex> lock(mutex_);
+    for (size_t i = 0; i < taps_.size(); ++i) {
+        if (taps_[i].first == id) {
+            taps_.erase(taps_.begin() + static_cast<long>(i));
+            return;
+        }
+    }
 }
 
 std::vector<Journal::Event>

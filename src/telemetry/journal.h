@@ -145,6 +145,15 @@ class Journal {
     /// every recorded event. Pass nullptr to clear.
     void set_observer(std::function<void(const Event&)> observer);
 
+    /// @{ Broadcast taps: like the observer but many may coexist, so
+    /// passive listeners (the monitor server's /events stream) never
+    /// fight replay's divergence detector for the single observer slot.
+    /// Taps run outside the journal lock and must not record into the
+    /// journal. Returns an id for remove_tap.
+    int add_tap(std::function<void(const Event&)> tap);
+    void remove_tap(int id);
+    /// @}
+
     /// Oldest-first copy of the ring (the black-box view).
     std::vector<Event> ring() const;
     /// The ring as a JSON array (embedded in crash dumps).
@@ -159,6 +168,8 @@ class Journal {
     mutable Mutex mutex_{"journal.ring"};
     std::function<uint64_t()> clock_;
     std::function<void(const Event&)> observer_;
+    std::vector<std::pair<int, std::function<void(const Event&)>>> taps_;
+    int next_tap_id_ = 1;
     std::vector<Event> ring_;
     size_t ring_capacity_;
     size_t next_ = 0;   ///< ring slot for the next event

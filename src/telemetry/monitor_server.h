@@ -1,0 +1,144 @@
+/// \file
+/// The wire half of the observability subsystem: a dependency-free
+/// embedded HTTP/1.1 server (POSIX sockets + poll, one background thread)
+/// that exposes a Runtime's telemetry to operators and scrapers. Opt-in:
+/// nothing listens unless Options::monitor_port / `--monitor` / the REPL's
+/// `:monitor` turn it on.
+///
+/// Endpoints are registered as body providers keyed by request path
+/// (`/metrics`, `/slo`, `/healthz`, `/timeseries`); providers run on the
+/// server thread, so they must only read state that is safe to read off
+/// the runtime thread (registry atomics, mutex-protected snapshots).
+/// `GET /events` is special-cased: it replays the journal ring and then
+/// streams every subsequent event as newline-delimited JSON — the same
+/// `Journal::event_json` bytes the on-disk recorder writes — through a
+/// bounded per-client queue (drop-oldest; a `{"dropped":N}` line marks
+/// any gap). The stream attaches through Journal::add_tap, never the
+/// single observer slot, so replay's divergence detector is untouched.
+///
+/// This is deliberately the repo's first wire protocol: ROADMAP item 5's
+/// networked session service can reuse the listener/framing scaffolding.
+
+#ifndef CASCADE_TELEMETRY_MONITOR_SERVER_H
+#define CASCADE_TELEMETRY_MONITOR_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/journal.h"
+
+namespace cascade::telemetry {
+
+/// One embedded monitoring server. start()/stop() from the owning thread;
+/// everything else is internally synchronized.
+class MonitorServer {
+  public:
+    /// Streaming backpressure bound: queued-but-unsent /events lines per
+    /// client beyond which the oldest are dropped (and counted).
+    static constexpr size_t kMaxQueuedLines = 1024;
+
+    MonitorServer() = default;
+    ~MonitorServer();
+
+    MonitorServer(const MonitorServer&) = delete;
+    MonitorServer& operator=(const MonitorServer&) = delete;
+
+    /// Registers the body provider for GET \p path (e.g. "/metrics").
+    /// \p content_type goes out verbatim in the response header. Must be
+    /// called before start(); providers run on the server thread.
+    void handle(const std::string& path, const std::string& content_type,
+                std::function<std::string()> provider);
+
+    /// Connects `GET /events` to \p journal (ring replay + live tail).
+    /// Must be called before start(); the tap is removed by stop().
+    void attach_journal(Journal* journal);
+
+    /// Binds 127.0.0.1:\p port (0 = ephemeral) and starts the server
+    /// thread. Returns false with *err on bind/listen failure.
+    bool start(uint16_t port, std::string* err = nullptr);
+
+    /// Stops the server thread, closes every connection, and detaches
+    /// the journal tap. Idempotent.
+    void stop();
+
+    bool running() const { return running_.load(std::memory_order_acquire); }
+    /// The bound port (resolves ephemeral requests); 0 when not running.
+    uint16_t port() const { return port_.load(std::memory_order_acquire); }
+
+    /// Total /events lines dropped to backpressure across all clients.
+    uint64_t events_dropped() const
+    {
+        return events_dropped_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Client {
+        int fd = -1;
+        std::string in;        ///< request bytes until the blank line
+        std::string out;       ///< response bytes not yet written
+        bool streaming = false;
+        bool close_when_drained = false;
+        uint64_t last_seq = 0; ///< /events dedup vs. the ring replay
+        uint64_t dropped = 0;  ///< lines dropped since the last notice
+        std::deque<std::string> queue; ///< /events lines awaiting send
+    };
+
+    void run();
+    void accept_clients();
+    void service_client(Client& client, bool readable, bool writable);
+    void respond(Client& client, const std::string& path);
+    void begin_event_stream(Client& client);
+    void on_event(const Journal::Event& event);
+    void flush_stream(Client& client);
+    void wake();
+    void close_all();
+
+    struct Endpoint {
+        std::string content_type;
+        std::function<std::string()> provider;
+    };
+
+    std::map<std::string, Endpoint> endpoints_;
+    Journal* journal_ = nullptr;
+    int tap_id_ = -1;
+
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<uint16_t> port_{0};
+    std::atomic<uint64_t> events_dropped_{0};
+    int listen_fd_ = -1;
+    int wake_fds_[2] = {-1, -1};
+    std::thread thread_;
+
+    std::mutex mutex_; ///< guards clients_ (server thread + journal tap)
+    std::vector<std::unique_ptr<Client>> clients_;
+};
+
+/// @{ Minimal HTTP client helpers (tests and the CI smoke scraper —
+/// no curl dependency). Blocking, loopback-oriented.
+
+/// Fetches http://127.0.0.1:port\p path. Returns false with *err on
+/// connect/IO/parse failure; otherwise fills *status and *body.
+bool http_get(uint16_t port, const std::string& path, int* status,
+              std::string* body, std::string* err = nullptr);
+
+/// Connects to a streaming endpoint and collects whole lines from the
+/// response body until \p n_lines arrive or \p timeout_ms passes.
+/// Returns false with *err on connect/HTTP failure or timeout.
+bool http_stream_lines(uint16_t port, const std::string& path,
+                       size_t n_lines, int timeout_ms,
+                       std::vector<std::string>* lines,
+                       std::string* err = nullptr);
+/// @}
+
+} // namespace cascade::telemetry
+
+#endif // CASCADE_TELEMETRY_MONITOR_SERVER_H

@@ -180,6 +180,31 @@ Registry::reset()
     }
 }
 
+Registry::Snapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot s;
+    s.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) {
+        s.counters.emplace_back(name, c->value());
+    }
+    s.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) {
+        s.gauges.emplace_back(
+            name, Snapshot::GaugeValue{g->value(), g->high_water()});
+    }
+    s.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+        s.histograms.emplace_back(
+            name,
+            Snapshot::HistogramValue{h->count(), h->sum(), h->min(),
+                                     h->max(), h->mean(), h->quantile(0.5),
+                                     h->quantile(0.9), h->quantile(0.99)});
+    }
+    return s;
+}
+
 std::string
 Registry::table() const
 {

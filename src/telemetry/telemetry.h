@@ -22,6 +22,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace cascade::telemetry {
 
@@ -162,6 +163,30 @@ class Registry {
     /// counter()/gauge()/histogram() stay valid (hot paths cache them),
     /// so callers can bracket a measurement window without restarting.
     void reset();
+
+    /// Point-in-time copy of every metric, sorted by name — what exporters
+    /// (the Prometheus renderer, the time-series sampler) iterate without
+    /// holding the registry lock while formatting.
+    struct Snapshot {
+        struct GaugeValue {
+            int64_t value;
+            int64_t high_water;
+        };
+        struct HistogramValue {
+            uint64_t count;
+            uint64_t sum;
+            uint64_t min;
+            uint64_t max;
+            double mean;
+            uint64_t p50;
+            uint64_t p90;
+            uint64_t p99;
+        };
+        std::vector<std::pair<std::string, uint64_t>> counters;
+        std::vector<std::pair<std::string, GaugeValue>> gauges;
+        std::vector<std::pair<std::string, HistogramValue>> histograms;
+    };
+    Snapshot snapshot() const;
 
   private:
     mutable std::mutex mutex_;

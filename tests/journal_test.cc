@@ -18,7 +18,9 @@
 
 #include "common/check.h"
 #include "common/diagnostics.h"
+#include "hypervisor/fabric_manager.h"
 #include "runtime/runtime.h"
+#include "service/compile_service.h"
 
 namespace cascade::telemetry {
 namespace {
@@ -414,6 +416,94 @@ TEST(BlackBoxDeathTest, CheckFailureWritesCrashFile)
         EXPECT_TRUE(saw_display);
         EXPECT_NE(data->find("stats"), nullptr);
         EXPECT_NE(data->find("profile"), nullptr);
+    }
+    EXPECT_TRUE(found_runtime);
+    std::filesystem::remove_all(dir);
+}
+
+/// Shared-mode black box: when a multi-tenant session dies, the crash
+/// file's journal events must carry their tenant tags and the dump must
+/// include the time-series section recorded before the crash — the
+/// post-mortem shows the minutes before death, not just the final ring.
+TEST(BlackBoxDeathTest, SharedModeCrashCarriesTenantTagsAndTimeseries)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const std::string dir = (std::filesystem::temp_directory_path() /
+                             "cascade_journal_test_crashdir_shared")
+                                .string();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    ::setenv("CASCADE_CRASH_DIR", dir.c_str(), 1);
+
+    EXPECT_DEATH(
+        {
+            service::CompileService::Config cfg;
+            cfg.workers = 1;
+            service::CompileService svc(cfg);
+            hypervisor::FabricManager fm;
+            runtime::Runtime::Options opts;
+            opts.enable_hardware = false;
+            opts.tenant_name = "doomed";
+            opts.timeseries_interval_s = 0.0005;
+            runtime::Runtime rt(opts, svc, fm);
+            rt.eval("reg [7:0] n = 0;\n"
+                    "always @(posedge clk.val) begin\n"
+                    "  n <= n + 1; $display(\"n=%d\", n);\n"
+                    "end\n");
+            // Long enough that the scheduler takes time-series samples.
+            for (int i = 0; i < 50 && rt.timeseries().names().empty();
+                 ++i) {
+                rt.run(64);
+            }
+            CASCADE_CHECK(3 == 4);
+        },
+        "CASCADE_CHECK failed: 3 == 4");
+    ::unsetenv("CASCADE_CRASH_DIR");
+
+    std::string crash_path;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("cascade-crash-", 0) == 0) {
+            crash_path = entry.path().string();
+        }
+    }
+    ASSERT_FALSE(crash_path.empty())
+        << "no cascade-crash-*.json in " << dir;
+
+    std::ifstream in(crash_path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parse_json(ss.str(), &v, &err)) << err;
+    EXPECT_EQ(v.get_str("schema"), "cascade.crash.v1");
+    const JsonValue* sources = v.find("sources");
+    ASSERT_NE(sources, nullptr);
+    bool found_runtime = false;
+    for (const JsonValue& s : sources->arr) {
+        if (s.get_str("name") != "runtime") {
+            continue;
+        }
+        found_runtime = true;
+        const JsonValue* data = s.find("data");
+        ASSERT_NE(data, nullptr);
+
+        // Every journal event of a shared-mode session is tenant-tagged.
+        const JsonValue* events = data->find("events");
+        ASSERT_NE(events, nullptr);
+        ASSERT_FALSE(events->arr.empty());
+        for (const JsonValue& e : events->arr) {
+            EXPECT_GT(e.get_u64("tenant"), 0u)
+                << "untagged event " << e.get_str("type");
+        }
+
+        // The time-series rings ride along in the dump.
+        const JsonValue* ts = data->find("timeseries");
+        ASSERT_NE(ts, nullptr);
+        EXPECT_EQ(ts->get_str("schema"), "cascade.timeseries.v1");
+        const JsonValue* series = ts->find("series");
+        ASSERT_NE(series, nullptr);
+        EXPECT_NE(series->find("runtime.ticks_per_s"), nullptr);
     }
     EXPECT_TRUE(found_runtime);
     std::filesystem::remove_all(dir);

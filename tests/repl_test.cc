@@ -16,6 +16,7 @@
 #include "hypervisor/fabric_manager.h"
 #include "runtime/runtime.h"
 #include "service/compile_service.h"
+#include "telemetry/sync.h"
 
 namespace cascade::runtime {
 namespace {
@@ -185,11 +186,16 @@ TEST(ReplMeta, HelpListsEveryCommand)
 {
     ReplHarness h;
     const std::string out = h.command(":help");
+    // The complete meta-command vocabulary: every command and spelled-out
+    // subcommand the dispatcher accepts must appear in :help. A new
+    // command without a help line fails here.
     for (const char* cmd :
          {":stats", ":stats json", ":stats reset", ":profile",
           ":profile json", ":profile on|off", ":profile flame", ":fabric",
           ":top", ":contention", ":contention json", ":contention reset",
-          ":trace", ":probe", ":unprobe", ":vcd", ":help"}) {
+          ":monitor <port>", ":monitor off", ":slo", ":slo json",
+          ":trace", ":probe", ":unprobe", ":vcd", ":record",
+          ":record stop", ":replay", ":help"}) {
         EXPECT_NE(out.find(cmd), std::string::npos)
             << "missing " << cmd << " in:\n" << out;
     }
@@ -272,6 +278,80 @@ TEST(ReplMeta, StatsResetZeroesMetrics)
     h.runtime().run_for_ticks(1);
     EXPECT_GT(h.runtime().telemetry().counter("clock.toggles")->value(),
               0u);
+}
+
+/// Regression: :stats reset used to clear only the two metric
+/// registries, leaving the sync registry's sites, the time-series rings,
+/// and the SLO breach counters behind — so a "fresh" measurement window
+/// still showed stale contention and breach history.
+TEST(ReplMeta, StatsResetClearsSyncSitesTimeseriesAndSlo)
+{
+    ReplHarness h;
+    h.command("reg [3:0] r = 0; always @(posedge clk.val) r <= r + 1;");
+    h.runtime().run_for_ticks(3);
+
+    // Populate every surface the reset must cover. Sites survive a
+    // reset (handles stay valid) but their counters must zero.
+    const auto probe_acquisitions = [] {
+        for (const auto& s : telemetry::SyncRegistry::global().snapshot()) {
+            if (s.name == "repl_test.reset_probe") {
+                return s.acquisitions;
+            }
+        }
+        return uint64_t{0};
+    };
+#if CASCADE_SYNC_TELEMETRY
+    telemetry::Mutex mu("repl_test.reset_probe");
+    {
+        std::lock_guard<telemetry::Mutex> lock(mu);
+    }
+    ASSERT_GT(probe_acquisitions(), 0u);
+#endif
+    h.runtime().timeseries().sample("probe", 0.0, 1.0);
+    ASSERT_FALSE(h.runtime().timeseries().names().empty());
+    h.runtime().slo_tracker().record_cold_compile(0.0, 1.0);
+
+    h.command(":stats reset");
+    EXPECT_EQ(probe_acquisitions(), 0u);
+    EXPECT_TRUE(h.runtime().timeseries().names().empty());
+    EXPECT_EQ(h.runtime().slo_tracker().total_breaches(), 0u);
+    const auto status = h.runtime().slo_tracker().evaluate(1.0);
+    EXPECT_FALSE(status.breached);
+}
+
+TEST(ReplMeta, MonitorCommandLifecycle)
+{
+    ReplHarness h;
+    EXPECT_NE(h.command(":monitor").find("usage: :monitor <port|off>"),
+              std::string::npos);
+    EXPECT_NE(h.command(":monitor pizza")
+                  .find("usage: :monitor <port|off>"),
+              std::string::npos);
+    EXPECT_NE(h.command(":monitor off").find("monitor is not running"),
+              std::string::npos);
+
+    const std::string started = h.command(":monitor 0");
+    EXPECT_NE(started.find("monitoring on 127.0.0.1:"),
+              std::string::npos)
+        << started;
+    EXPECT_TRUE(h.runtime().monitoring());
+    // Status query while running reports the bound port.
+    EXPECT_NE(h.command(":monitor").find("monitoring on 127.0.0.1:"),
+              std::string::npos);
+    EXPECT_NE(h.command(":monitor off").find("monitor stopped"),
+              std::string::npos);
+    EXPECT_FALSE(h.runtime().monitoring());
+}
+
+TEST(ReplMeta, SloTableAndJson)
+{
+    ReplHarness h;
+    EXPECT_NE(h.command(":slo").find("no SLO thresholds configured"),
+              std::string::npos);
+    const std::string json = h.command(":slo json");
+    EXPECT_NE(json.find("\"schema\":\"cascade.slo.v1\""),
+              std::string::npos)
+        << json;
 }
 
 TEST(ReplMeta, FabricReportsSoftwareWithoutACompile)
