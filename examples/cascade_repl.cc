@@ -15,7 +15,8 @@
 ///
 /// Monitoring:
 ///   cascade_repl --monitor <port> [program.v]   serve /metrics /healthz
-///                                               /slo /timeseries /events
+///                                               /slo /timeseries
+///                                               /requests /events
 ///                                               on 127.0.0.1:<port>
 ///                                               (0 = pick an ephemeral
 ///                                               port and print it)
@@ -93,7 +94,8 @@ main(int argc, char** argv)
             return 1;
         }
         std::cerr << "monitoring on 127.0.0.1:" << rt.monitor_port()
-                  << " (/metrics /healthz /slo /timeseries /events)\n";
+                  << " (/metrics /healthz /slo /timeseries /requests "
+                     "/events)\n";
     }
     if (!record_path.empty()) {
         std::string err;

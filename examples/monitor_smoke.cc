@@ -7,12 +7,15 @@
 ///     validator and the virtual-tick gauge must be monotonic between
 ///     them (counters that go backwards break rate() queries);
 ///   - /healthz, /slo, /timeseries: status 200 and schema markers;
+///   - /requests: the traced-request feed must yield NDJSON objects
+///     with request ids and segment partitions;
 ///   - /events: the live journal tail must yield NDJSON lines whose
 ///     sequence numbers strictly increase.
 ///
-/// Artifacts (metrics.prom, slo.json, timeseries.json, events.ndjson)
-/// are written next to the binary for CI upload. Exits nonzero on any
-/// failure, so the CI step is a real gate on the monitoring surface.
+/// Artifacts (metrics.prom, slo.json, timeseries.json, requests.ndjson,
+/// events.ndjson) are written next to the binary for CI upload. Exits
+/// nonzero on any failure, so the CI step is a real gate on the
+/// monitoring surface.
 
 #include <cstdio>
 #include <fstream>
@@ -135,6 +138,41 @@ main()
               body.find("runtime.ticks_per_s") != std::string::npos,
           "GET /timeseries schema + sampled series");
     save("timeseries.json", body);
+
+    check(cascade::telemetry::http_get(port, "/requests", &status, &body,
+                                       &err) &&
+              status == 200,
+          "GET /requests: " + err);
+    {
+        // NDJSON: at least the eval request, every line a JSON object
+        // with an id and a segment partition.
+        size_t parsed = 0;
+        bool requests_ok = !body.empty();
+        size_t start = 0;
+        while (start < body.size()) {
+            size_t end = body.find('\n', start);
+            if (end == std::string::npos) {
+                end = body.size();
+            }
+            const std::string line = body.substr(start, end - start);
+            start = end + 1;
+            if (line.empty()) {
+                continue;
+            }
+            cascade::telemetry::JsonValue req;
+            if (!cascade::telemetry::parse_json(line, &req, &err) ||
+                req.get_u64("id") == 0 ||
+                line.find("\"segments\":[") == std::string::npos) {
+                requests_ok = false;
+                break;
+            }
+            ++parsed;
+        }
+        check(requests_ok && parsed >= 1,
+              "/requests lines parse with ids (" +
+                  std::to_string(parsed) + " requests)");
+        save("requests.ndjson", body);
+    }
 
     std::vector<std::string> lines;
     check(cascade::telemetry::http_stream_lines(port, "/events", 5,

@@ -130,6 +130,25 @@ Repl::run_meta_command(const std::string& line)
         if (out_ != nullptr) {
             *out_ << runtime_->top_table();
         }
+    } else if (cmd == ":requests" && arg == "json") {
+        if (out_ != nullptr) {
+            *out_ << runtime_->requests_json();
+        }
+    } else if (cmd == ":requests") {
+        if (out_ != nullptr) {
+            *out_ << runtime_->requests_table();
+        }
+    } else if (cmd == ":why") {
+        char* end = nullptr;
+        const unsigned long long id =
+            std::strtoull(arg.c_str(), &end, 10);
+        if (arg.empty() || end == nullptr || *end != '\0') {
+            if (out_ != nullptr) {
+                *out_ << "usage: :why <request id> (see :requests)\n";
+            }
+        } else if (out_ != nullptr) {
+            *out_ << runtime_->request_why(id);
+        }
     } else if (cmd == ":contention" && arg == "json") {
         if (out_ != nullptr) {
             *out_ << telemetry::SyncRegistry::global().contention_json()
@@ -160,7 +179,7 @@ Repl::run_meta_command(const std::string& line)
                     *out_ << "monitoring on 127.0.0.1:"
                           << runtime_->monitor_port()
                           << " (/metrics /healthz /slo /timeseries "
-                             "/events)\n";
+                             "/events /requests)\n";
                 } else {
                     *out_ << "usage: :monitor <port|off>\n";
                 }
@@ -181,7 +200,7 @@ Repl::run_meta_command(const std::string& line)
                         *out_ << "monitoring on 127.0.0.1:"
                               << runtime_->monitor_port()
                               << " (/metrics /healthz /slo /timeseries "
-                                 "/events)\n";
+                                 "/events /requests)\n";
                     }
                 } else if (out_ != nullptr) {
                     *out_ << "cannot start monitor: " << err << "\n";
@@ -312,6 +331,12 @@ Repl::run_meta_command(const std::string& line)
                      "flamegraph.pl\n"
                      ":fabric         fabric residency: LE utilization, "
                      "Fmax, named critical path\n"
+                     ":requests       recent traced requests (evals, "
+                     "compiles, interrupts, evictions)\n"
+                     ":requests json  the same as cascade.requests.v1 "
+                     "JSON\n"
+                     ":why <id>       critical-path latency decomposition "
+                     "of one request\n"
                      ":top            fleet view: per-tenant ticks/s, "
                      "state, wait-time share\n"
                      ":contention     lock/CV wait table ranked by tenant "
@@ -320,7 +345,7 @@ Repl::run_meta_command(const std::string& line)
                      "JSON\n"
                      ":contention reset zero the contention registry\n"
                      ":monitor <port> serve /metrics /healthz /slo "
-                     "/timeseries /events on 127.0.0.1\n"
+                     "/timeseries /events /requests on 127.0.0.1\n"
                      ":monitor off    stop the monitoring server\n"
                      ":slo            SLO status over the rolling window "
                      "(breached objectives first)\n"

@@ -535,6 +535,19 @@ Runtime::eval(std::string_view source, std::string* errors)
     // interaction: keep it out of the repl.* metrics.
     TELEM_SPAN_HIST("runtime.eval",
                     bootstrapping_ ? nullptr : m_.eval_ns);
+    // Request tracing: the eval request's id is the journal seq of its
+    // `eval` event (recorded at completion, so the id is known only when
+    // the request closes — a single-segment request either way).
+    const double eval_start_us = telemetry::Tracer::global().now_us();
+    const auto track_eval = [&](uint64_t id, bool ok) {
+        if (bootstrapping_) {
+            return; // the ctor's implicit Clock eval is machinery
+        }
+        const double now_us = telemetry::Tracer::global().now_us();
+        requests_.begin(id, "eval", version_, tenant_, eval_start_us);
+        requests_.add_segment(id, "eval", now_us - eval_start_us);
+        finish_request(id, "eval", version_, ok, now_us);
+    };
     // Every outcome journals an `eval` event: the source text is what
     // replay re-feeds, and the ok/err fields are compared (a rejected
     // eval is as much a part of the session as an accepted one).
@@ -543,12 +556,14 @@ Runtime::eval(std::string_view source, std::string* errors)
             *errors = err_text;
         }
         m_.evals_rejected->inc();
-        journal_.record("eval", telemetry::JsonWriter()
-                                    .boolean("ok", false)
-                                    .num("version", version_)
-                                    .str("src", source)
-                                    .str("err", err_text)
-                                    .build());
+        const uint64_t id =
+            journal_.record("eval", telemetry::JsonWriter()
+                                        .boolean("ok", false)
+                                        .num("version", version_)
+                                        .str("src", source)
+                                        .str("err", err_text)
+                                        .build());
+        track_eval(id, false);
         return false;
     };
     Diagnostics diags;
@@ -591,11 +606,13 @@ Runtime::eval(std::string_view source, std::string* errors)
     if (!bootstrapping_) {
         m_.evals_accepted->inc();
     }
-    journal_.record("eval", telemetry::JsonWriter()
-                                .boolean("ok", true)
-                                .num("version", version_)
-                                .str("src", source)
-                                .build());
+    const uint64_t id =
+        journal_.record("eval", telemetry::JsonWriter()
+                                    .boolean("ok", true)
+                                    .num("version", version_)
+                                    .str("src", source)
+                                    .build());
+    track_eval(id, true);
     return true;
 }
 
@@ -810,21 +827,34 @@ Runtime::settle_evaluations()
 void
 Runtime::flush_interrupts()
 {
+    uint64_t flush_id = 0;
     if (!interrupt_queue_.empty()) {
-        journal_.record("interrupt.flush",
-                        telemetry::JsonWriter()
-                            .num("count", interrupt_queue_.size())
-                            .build());
+        flush_id = journal_.record("interrupt.flush",
+                                   telemetry::JsonWriter()
+                                       .num("count",
+                                            interrupt_queue_.size())
+                                       .build());
     }
     // Queue-residency latency for the SLO window: every stamped entry
     // drains in this batch (the queue empties below), so the stamp deque
-    // clears with it.
+    // clears with it. The oldest entry's wait is also the interrupt
+    // batch's traced request latency (id = the flush event's seq).
+    double oldest_wait_s = 0;
     if (!interrupt_enqueue_wall_.empty()) {
         const double now = wall_seconds();
+        oldest_wait_s = now - interrupt_enqueue_wall_.front();
         for (const double t0 : interrupt_enqueue_wall_) {
             slo_->record_interrupt(now, now - t0);
         }
         interrupt_enqueue_wall_.clear();
+    }
+    if (flush_id != 0) {
+        const double now_us = telemetry::Tracer::global().now_us();
+        const double dur_us = std::max(0.0, oldest_wait_s * 1e6);
+        requests_.begin(flush_id, "interrupt", version_, tenant_,
+                        now_us - dur_us);
+        requests_.add_segment(flush_id, "queue", dur_us);
+        finish_request(flush_id, "interrupt", version_, true, now_us);
     }
     while (!interrupt_queue_.empty()) {
         if (on_output) {
@@ -1024,6 +1054,9 @@ Runtime::step_body()
 void
 Runtime::window()
 {
+    // Close an adopted compile request once the fabric ticked (the
+    // adoption itself happened in an earlier window's poll_compiles).
+    note_first_hw_tick();
     // Ordered interrupt queue -> view.
     flush_interrupts();
     for (Slot& slot : slots_) {
@@ -1067,6 +1100,9 @@ Runtime::window()
     // dump samples in, so it is suspended while a dump is active.
     if (!finished_ && options_.enable_open_loop && !vcd_capture_) {
         run_open_loop();
+        // An open-loop batch right after adoption already executed the
+        // first hardware ticks; close the request in the same window.
+        note_first_hw_tick();
     }
 }
 
@@ -1889,14 +1925,6 @@ Runtime::launch_compile()
         em = std::shared_ptr<const ElaboratedModule>(std::move(wem));
     }
 
-    pending_outcome_ = std::move(outcome);
-    parked_outcome_.reset();
-    compile_inflight_version_ = version_;
-    service::CompileService::Job job;
-    job.version = version_;
-    job.module = em;
-    job.options.effort = options_.compile_effort;
-    job.options.target_clock_mhz = options_.device_clock_mhz;
     // Placement seed: per-version by default (each rebuild explores a new
     // placement), a fixed option when the user wants run-to-run identical
     // compiles, and the journaled value when replaying a recording.
@@ -1908,14 +1936,48 @@ Runtime::launch_compile()
             seed = it->second;
         }
     }
+
+    // Request tracing: this launch supersedes any in-flight compile
+    // request (its result will surface as compile.stale, if at all);
+    // close those before opening the new request. The new id is the
+    // journal seq of the compile.launch event, recorded before
+    // submission so the workers see it on the job.
+    telemetry::Tracer& tracer = telemetry::Tracer::global();
+    const double submit_us = tracer.now_us();
+    if (pending_outcome_.has_value() && pending_outcome_->request != 0) {
+        finish_request(pending_outcome_->request, "compile",
+                       pending_outcome_->version, false, submit_us);
+    }
+    if (parked_outcome_.has_value() && parked_outcome_->request != 0) {
+        finish_request(parked_outcome_->request, "compile",
+                       parked_outcome_->version, false, submit_us);
+    }
+    m_.compiles_launched->inc();
+    const uint64_t request =
+        journal_.record("compile.launch", telemetry::JsonWriter()
+                                              .num("version", version_)
+                                              .num("seed", seed)
+                                              .build());
+    outcome.request = request;
+    outcome.submit_us = submit_us;
+    requests_.begin(request, "compile", version_, tenant_, submit_us);
+    // Flow start: the causal arrow leaves the runtime thread here and
+    // lands in the worker's compile.exec span (phase "t"), then back at
+    // adoption (phase "f").
+    tracer.flow("request", 's', request);
+
+    pending_outcome_ = std::move(outcome);
+    parked_outcome_.reset();
+    compile_inflight_version_ = version_;
+    service::CompileService::Job job;
+    job.version = version_;
+    job.request = request;
+    job.module = em;
+    job.options.effort = options_.compile_effort;
+    job.options.target_clock_mhz = options_.device_clock_mhz;
     job.options.seed = seed;
     compile_submit_wall_[version_] = wall_seconds();
     compile_service_->submit(compile_client_, std::move(job));
-    m_.compiles_launched->inc();
-    journal_.record("compile.launch", telemetry::JsonWriter()
-                                          .num("version", version_)
-                                          .num("seed", seed)
-                                          .build());
     telemetry::Tracer::global().instant("compile.launch", version_);
 }
 
@@ -1935,12 +1997,23 @@ Runtime::poll_compiles()
             journal_.record("compile.stale",
                             telemetry::JsonWriter()
                                 .num("version", done.version)
+                                .num("req", done.request)
                                 .build());
+            if (done.request != 0) {
+                finish_request(done.request, "compile", done.version,
+                               false,
+                               telemetry::Tracer::global().now_us());
+            }
             continue;
         }
         CompileOutcome outcome = std::move(*pending_outcome_);
         pending_outcome_.reset();
         outcome.result = std::move(done.result);
+        outcome.svc_cache_us = done.cache_us;
+        outcome.svc_enqueue_us = done.enqueue_us;
+        outcome.svc_dequeue_us = done.dequeue_us;
+        outcome.svc_done_us = done.done_us;
+        outcome.polled_us = telemetry::Tracer::global().now_us();
         maybe_admit_and_act(std::move(outcome));
     }
     retry_parked();
@@ -1965,6 +2038,7 @@ Runtime::maybe_admit_and_act(CompileOutcome outcome)
         journal_.record("hypervisor.defer",
                         telemetry::JsonWriter()
                             .num("version", outcome.version)
+                            .num("req", outcome.request)
                             .str("reason", adm.error)
                             .build());
         log_event(LogLevel::Info, "hypervisor",
@@ -2035,10 +2109,63 @@ Runtime::act_on_compile(CompileOutcome outcome,
                         .num("cells", r.cells)
                         .boolean("timing_met", r.timing.met)
                         .build());
-    adopt_hardware(std::move(outcome), admission);
+
+    // Critical-path decomposition: the timeline anchors (submit ->
+    // service done -> polled -> here) and the report's flow phases
+    // partition the request's wall time into consecutive segments, so
+    // the segment sum equals end-to-end latency by construction.
+    // "overhead" absorbs the service-side slack the named segments
+    // don't cover (submit lock wait, cache insert, clock jitter).
+    const uint64_t request = outcome.request;
+    const uint64_t request_version = outcome.version;
+    telemetry::Tracer& tracer = telemetry::Tracer::global();
+    const double act_start_us = tracer.now_us();
+    if (request != 0) {
+        const auto clamp0 = [](double us) { return std::max(0.0, us); };
+        const double queue_us =
+            clamp0(outcome.svc_dequeue_us - outcome.svc_enqueue_us);
+        const double phases_us = r.phase_sum_seconds() * 1e6;
+        requests_.annotate_cache(request, r.cache_hit);
+        requests_.add_segment(request, "cache", outcome.svc_cache_us);
+        requests_.add_segment(request, "queue", queue_us);
+        requests_.add_segment(request, "synth", r.synth_seconds * 1e6);
+        requests_.add_segment(request, "techmap",
+                              r.techmap_seconds * 1e6);
+        requests_.add_segment(request, "place", r.place_seconds * 1e6);
+        requests_.add_segment(request, "timing",
+                              r.timing_seconds * 1e6);
+        requests_.add_segment(
+            request, "overhead",
+            clamp0((outcome.svc_done_us - outcome.submit_us) -
+                   outcome.svc_cache_us - queue_us - phases_us));
+        requests_.add_segment(
+            request, "wait",
+            clamp0(outcome.polled_us - outcome.svc_done_us));
+        requests_.add_segment(
+            request, "admission",
+            clamp0(act_start_us - outcome.polled_us));
+    }
+    const bool adopted = adopt_hardware(std::move(outcome), admission);
+    if (request != 0) {
+        const double now_us = tracer.now_us();
+        requests_.add_segment(request, "adoption",
+                              now_us - act_start_us);
+        if (adopted) {
+            // The request stays open until the fabric executes its
+            // first post-adoption tick (note_first_hw_tick). The flow
+            // arrow lands back on the runtime thread here.
+            tracer.flow("request", 'f', request);
+            first_tick_request_ = request;
+            first_tick_version_ = request_version;
+            first_tick_adopt_us_ = now_us;
+        } else {
+            finish_request(request, "compile", request_version, false,
+                           now_us);
+        }
+    }
 }
 
-void
+bool
 Runtime::adopt_hardware(CompileOutcome outcome,
                         hypervisor::Admission* admission)
 {
@@ -2084,7 +2211,7 @@ Runtime::adopt_hardware(CompileOutcome outcome,
                   "hardware compilation rejected: " + error);
         telemetry::Tracer::global().instant("compile.rejected",
                                             outcome.version);
-        return;
+        return false;
     }
 
     // Gather state: the user subprogram plus (under forwarding) each
@@ -2305,6 +2432,7 @@ Runtime::adopt_hardware(CompileOutcome outcome,
     // execute on the fabric (any spurious adoption-time fabric edges
     // above are invisible to tick-based attribution).
     hw_adopt_ticks_ = virtual_ticks();
+    return true;
 }
 
 void
@@ -2319,19 +2447,73 @@ Runtime::evict_to_software()
     // fabric engine, set_state() into fresh software engines), so the
     // program's architectural state — including $monitor, VCD and
     // profile continuity — carries across unchanged.
-    journal_.record("hypervisor.evict",
-                    telemetry::JsonWriter()
-                        .num("iteration", iterations_)
-                        .num("version", version_)
-                        .build());
+    const uint64_t request =
+        journal_.record("hypervisor.evict",
+                        telemetry::JsonWriter()
+                            .num("iteration", iterations_)
+                            .num("version", version_)
+                            .build());
     telemetry::Tracer::global().instant("hypervisor.evict", version_);
     telemetry::Tracer::global().instant("transition.hw_to_sw",
                                         version_);
+    // The eviction is itself a traced request (id = the evict event's
+    // seq): its latency is the hw->sw rebuild the tenant experiences.
+    const double evict_start_us = telemetry::Tracer::global().now_us();
+    requests_.begin(request, "evict", version_, tenant_,
+                    evict_start_us);
     std::string err;
     rebuild_program(&err, "evict");
+    const double now_us = telemetry::Tracer::global().now_us();
+    requests_.add_segment(request, "rebuild", now_us - evict_start_us);
+    finish_request(request, "evict", version_, err.empty(), now_us);
     log_event(LogLevel::Info, "hypervisor",
               "tenant evicted to software at iteration " +
                   std::to_string(iterations_));
+}
+
+void
+Runtime::note_first_hw_tick()
+{
+    if (first_tick_request_ == 0) {
+        return;
+    }
+    if (user_location_ == Location::Software) {
+        // Evicted (or rebuilt) before the fabric ever ticked for this
+        // request: it ends at its adoption point — the hardware ran no
+        // cycles on its behalf, so there is no first_tick segment.
+        finish_request(first_tick_request_, "compile",
+                       first_tick_version_, true, first_tick_adopt_us_);
+        first_tick_request_ = 0;
+        return;
+    }
+    if (virtual_ticks() <= hw_adopt_ticks_) {
+        return; // no post-adoption tick yet
+    }
+    const double now_us = telemetry::Tracer::global().now_us();
+    requests_.add_segment(first_tick_request_, "first_tick",
+                          now_us - first_tick_adopt_us_);
+    finish_request(first_tick_request_, "compile", first_tick_version_,
+                   true, now_us);
+    first_tick_request_ = 0;
+}
+
+void
+Runtime::finish_request(uint64_t id, const char* kind, uint64_t version,
+                        bool ok, double end_us)
+{
+    if (!requests_.end(id, ok, end_us)) {
+        return; // already closed (superseded) or never tracked
+    }
+    // Info-class completion marker threading the request id into the
+    // journal. The payload is deliberately wall-clock-free (ids are
+    // journal seqs, durations stay in the tracker), so re-recorded
+    // replay journals remain byte-identical with tracing on.
+    journal_.record("request.done", telemetry::JsonWriter()
+                                        .num("id", id)
+                                        .str("kind", kind)
+                                        .num("version", version)
+                                        .boolean("ok", ok)
+                                        .build());
 }
 
 void
@@ -2355,15 +2537,26 @@ Runtime::replay_poll_compiles()
              compile_service_->poll(compile_client_)) {
             if (done.version != point.version ||
                 !pending_outcome_.has_value()) {
-                journal_.record("compile.stale",
-                                telemetry::JsonWriter()
-                                    .num("version", done.version)
-                                    .build());
+                // No compile.stale journal event here: whether a stale
+                // result surfaces before the adoption point is a
+                // wall-clock race, and a replayed session's journal must
+                // be byte-deterministic (CI diffs two replays of the
+                // same recording).
+                if (done.request != 0) {
+                    finish_request(
+                        done.request, "compile", done.version, false,
+                        telemetry::Tracer::global().now_us());
+                }
                 continue;
             }
             CompileOutcome outcome = std::move(*pending_outcome_);
             pending_outcome_.reset();
             outcome.result = std::move(done.result);
+            outcome.svc_cache_us = done.cache_us;
+            outcome.svc_enqueue_us = done.enqueue_us;
+            outcome.svc_dequeue_us = done.dequeue_us;
+            outcome.svc_done_us = done.done_us;
+            outcome.polled_us = telemetry::Tracer::global().now_us();
             act_on_compile(std::move(outcome), nullptr);
             return;
         }
@@ -2878,6 +3071,8 @@ Runtime::start_monitor(uint16_t port, std::string* err)
     });
     server->handle("/timeseries", "application/json",
                    [this] { return timeseries_json(); });
+    server->handle("/requests", "application/x-ndjson",
+                   [this] { return requests_ndjson(); });
     server->attach_journal(&journal_);
     if (!server->start(port, err)) {
         return false;
@@ -3110,6 +3305,19 @@ Runtime::metrics_text() const
                      uint64_t{o.breached ? 1u : 0u});
         }
     }
+
+    // Request tracing: lifetime counts here; the per-segment latency
+    // histograms (cascade_request_<segment>_ns) ride in the runtime
+    // registry dump above, fed by the tracker as requests complete.
+    w.family("cascade_requests_completed_total", "counter",
+             "Finished traced requests (evals, compiles, interrupt "
+             "batches, evictions).");
+    w.sample("cascade_requests_completed_total", {},
+             requests_.completed_total());
+    w.family("cascade_requests_open", "gauge",
+             "Traced requests currently in flight.");
+    w.sample("cascade_requests_open", {},
+             uint64_t{requests_.open_count()});
 
     if (monitor_ != nullptr) {
         w.family("cascade_monitor_events_dropped_total", "counter",

@@ -25,6 +25,7 @@
 #include "sim/vcd.h"
 #include "telemetry/export.h"
 #include "telemetry/journal.h"
+#include "telemetry/request_trace.h"
 #include "telemetry/telemetry.h"
 #include "verilog/elaborate.h"
 
@@ -286,6 +287,32 @@ class Runtime : public EngineCallbacks {
     void reset_stats();
     /// @}
 
+    /// @{ Causal request tracing (README §Request tracing). Every
+    /// user-visible operation — eval, background compile, interrupt
+    /// batch, eviction — carries a request id (the journal seq of its
+    /// originating event) through the compile service, the hypervisor's
+    /// admission decisions, and the adoption window. The tracker's
+    /// critical-path analyzer partitions each request's wall time into
+    /// named segments (queue, cache, synth/techmap/place/timing,
+    /// admission, adoption, first_tick) that sum to end-to-end latency.
+    telemetry::RequestTracker& request_tracker() { return requests_; }
+    const telemetry::RequestTracker& request_tracker() const
+    {
+        return requests_;
+    }
+    /// {"schema":"cascade.requests.v1"} over the retained requests.
+    std::string requests_json() const { return requests_.json(); }
+    /// GET /requests: one request per NDJSON line.
+    std::string requests_ndjson() const { return requests_.ndjson(); }
+    /// The REPL's :requests view.
+    std::string requests_table() const { return requests_.table(); }
+    /// The REPL's :why <id> view (latency decomposition of one request).
+    std::string request_why(uint64_t id) const
+    {
+        return requests_.why(id);
+    }
+    /// @}
+
     /// @{ Source-level profiler (README §Profiling, REPL :profile).
     /// One user process (always/initial/continuous assign), attributed to
     /// its module instance and keyed by the canonical printed form of the
@@ -431,6 +458,19 @@ class Runtime : public EngineCallbacks {
         std::map<std::string, std::string> prefixes;
         bool native = false;
         std::string clock_net;
+        /// @{ Request tracing: the causal id (journal seq of this
+        /// compile's compile.launch event) and the timeline anchors the
+        /// critical-path analyzer partitions into segments. submit_us is
+        /// stamped at launch, the svc_* anchors are copied from the
+        /// service's Done, polled_us when poll_compiles() saw the result.
+        uint64_t request = 0;
+        double submit_us = 0;
+        double svc_cache_us = 0;
+        double svc_enqueue_us = 0;
+        double svc_dequeue_us = 0;
+        double svc_done_us = 0;
+        double polled_us = 0;
+        /// @}
     };
 
     /// Runtime wiring for one FIFO standard component.
@@ -488,9 +528,21 @@ class Runtime : public EngineCallbacks {
     void service_peripherals();
     uint32_t pad_width_hint(const std::string& net) const;
     void poll_compiles();
-    void adopt_hardware(CompileOutcome outcome,
+    /// True when the program moved to hardware; false on rejection (the
+    /// request tracer closes a rejected request at the adoption segment,
+    /// an adopted one only after its first hardware tick).
+    bool adopt_hardware(CompileOutcome outcome,
                         hypervisor::Admission* admission);
     void launch_compile();
+    /// Closes an adopted compile request once the fabric executed its
+    /// first post-adoption tick (called from window()); also closes it
+    /// at the adoption point if the tenant is evicted before ticking.
+    void note_first_hw_tick();
+    /// Journals the info-class request.done event (deterministic payload
+    /// only — ids are journal seqs, so record/replay journals match) and
+    /// closes the request in the tracker.
+    void finish_request(uint64_t id, const char* kind, uint64_t version,
+                        bool ok, double end_us);
     void run_open_loop();
     void feed_fifo_hw(const FifoBinding& f);
     bool promote_pins(
@@ -704,6 +756,16 @@ class Runtime : public EngineCallbacks {
     /// Wall time each in-flight compile version was submitted at, so
     /// act_on_compile can feed end-to-end latency into the SLO tracker.
     std::map<uint64_t, double> compile_submit_wall_;
+    /// Causal request tracker (REPL :requests/:why, GET /requests,
+    /// cascade_request_* histograms). Feeds telemetry_, so it must be
+    /// declared after it; read by the monitor thread (internally locked).
+    telemetry::RequestTracker requests_{&telemetry_};
+    /// An adopted compile request waiting for its first hardware tick
+    /// (the request closes when virtual ticks move past the adoption
+    /// point). 0 = none pending.
+    uint64_t first_tick_request_ = 0;
+    uint64_t first_tick_version_ = 0;
+    double first_tick_adopt_us_ = 0;
     /// Wall enqueue stamps parallel to interrupt_queue_ (drained
     /// together), feeding the interrupt-latency SLO.
     std::deque<double> interrupt_enqueue_wall_;

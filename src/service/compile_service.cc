@@ -136,11 +136,14 @@ CompileService::submit(uint64_t client, Job job)
 
         Pending pending;
         pending.client = client;
+        // The content-address digest + map probe IS the cache lookup the
+        // request tracer bills to the "cache" segment; bracket it.
+        telemetry::Tracer& tracer = telemetry::Tracer::global();
+        const double lookup_start_us = tracer.now_us();
         pending.key = config_.enable_cache && job.module != nullptr
                           ? cache_key(*job.module, job.options)
                           : std::string();
         pending.tenant = telemetry::thread_tenant();
-        pending.enqueue_us = telemetry::Tracer::global().now_us();
         pending.job = std::move(job);
 
         // Content-addressed lookup: a hit is answered synchronously, with
@@ -151,6 +154,8 @@ CompileService::submit(uint64_t client, Job job)
         const auto hit = config_.enable_cache && !pending.key.empty()
                              ? cache_.find(pending.key)
                              : cache_.end();
+        pending.enqueue_us = tracer.now_us();
+        pending.cache_us = pending.enqueue_us - lookup_start_us;
         if (hit != cache_.end()) {
             hits_->inc();
             ++local_hits_;
@@ -158,6 +163,11 @@ CompileService::submit(uint64_t client, Job job)
             cache_lru_.push_front(pending.key);
             Done done;
             done.version = pending.job.version;
+            done.request = pending.job.request;
+            done.cache_us = pending.cache_us;
+            done.enqueue_us = pending.enqueue_us;
+            done.dequeue_us = pending.enqueue_us;
+            done.done_us = pending.enqueue_us;
             done.result = hit->second;
             done.result.report.cache_hit = true;
             done.result.report.synth_seconds = 0;
@@ -321,12 +331,24 @@ CompileService::worker_loop()
             tracer.now_us() - pending.enqueue_us, pending.tenant);
         Done done;
         done.version = pending.job.version;
+        done.request = pending.job.request;
+        done.cache_us = pending.cache_us;
+        done.enqueue_us = pending.enqueue_us;
         const double exec_start_us = tracer.now_us();
+        done.dequeue_us = exec_start_us;
         done.result = fpga::compile(*pending.job.module,
                                     pending.job.options);
         tracer.record_complete_tenant("compile.exec", exec_start_us,
                                       tracer.now_us() - exec_start_us,
                                       pending.tenant);
+        done.done_us = tracer.now_us();
+        if (pending.job.request != 0) {
+            // Flow step inside the compile.exec span just recorded: the
+            // request's causal arrow hops from the submitting runtime
+            // thread onto this worker (and this tenant's lane).
+            tracer.flow_tenant("request", 't', pending.job.request,
+                               pending.tenant, exec_start_us);
+        }
         {
             std::lock_guard<telemetry::Mutex> lock(mutex_);
             cache_insert_locked(pending.key, done.result);

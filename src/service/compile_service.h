@@ -54,11 +54,26 @@ class CompileService {
         uint64_t version = 0;
         std::shared_ptr<const verilog::ElaboratedModule> module;
         fpga::CompileOptions options;
+        /// Causal request id (the submitting runtime's journal seq for
+        /// the compile.launch event); 0 when the caller doesn't trace.
+        /// Echoed back on Done and bound into the worker's trace spans
+        /// as a flow step, so a request's spans chain across threads.
+        uint64_t request = 0;
     };
 
     struct Done {
         uint64_t version = 0;
         fpga::CompileResult result;
+        uint64_t request = 0; ///< echoed from Job::request
+        /// @{ Request-tracing timeline anchors (tracer microseconds):
+        /// the service-side boundaries the critical-path analyzer turns
+        /// into the cache/queue/flow segments of the request. On a cache
+        /// hit dequeue_us == done_us == enqueue_us (answered at submit).
+        double cache_us = 0;   ///< cache key digest + lookup duration
+        double enqueue_us = 0; ///< queued (after the cache lookup)
+        double dequeue_us = 0; ///< a worker popped the job
+        double done_us = 0;    ///< result pushed to the done queue
+        /// @}
     };
 
     // Two overloads rather than `Config config = Config()`: a default
@@ -125,6 +140,7 @@ class CompileService {
         std::string key; ///< cache key (empty when caching is off)
         uint64_t tenant = 0;   ///< submitting thread's tenant (lanes)
         double enqueue_us = 0; ///< tracer time at submit (queue span)
+        double cache_us = 0;   ///< cache lookup duration at submit
     };
 
     void worker_loop();

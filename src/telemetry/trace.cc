@@ -145,6 +145,26 @@ Tracer::instant_tenant(const char* name, uint64_t tenant, uint64_t arg)
     push(e);
 }
 
+void
+Tracer::flow(const char* name, char phase, uint64_t id)
+{
+    flow_tenant(name, phase, id, thread_tenant(), now_us());
+}
+
+void
+Tracer::flow_tenant(const char* name, char phase, uint64_t id,
+                    uint64_t tenant, double ts_us)
+{
+    TraceEvent e;
+    e.name = name;
+    e.ts_us = ts_us;
+    e.tid = thread_id();
+    e.tenant = tenant;
+    e.flow_phase = phase;
+    e.flow_id = id;
+    push(e);
+}
+
 std::vector<TraceEvent>
 Tracer::events() const
 {
@@ -214,7 +234,17 @@ Tracer::chrome_json() const
                ",\"tid\":" + std::to_string(e.tid);
         std::snprintf(buf, sizeof buf, ",\"ts\":%.3f", e.ts_us);
         out += buf;
-        if (e.instant) {
+        if (e.flow_phase != 0) {
+            // Flow arrow anchor: binds to the slice enclosing ts on this
+            // thread; "bp":"e" makes the finish bind to the enclosing
+            // slice rather than the next one.
+            out += ",\"ph\":\"";
+            out += e.flow_phase;
+            out += "\",\"id\":" + std::to_string(e.flow_id);
+            if (e.flow_phase == 'f') {
+                out += ",\"bp\":\"e\"";
+            }
+        } else if (e.instant) {
             out += ",\"ph\":\"i\",\"s\":\"t\"";
         } else {
             std::snprintf(buf, sizeof buf, ",\"ph\":\"X\",\"dur\":%.3f",

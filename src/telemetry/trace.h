@@ -33,6 +33,12 @@ struct TraceEvent {
     bool has_arg = false;
     uint64_t arg = 0;    ///< emitted as args.value
     uint64_t tenant = 0; ///< swimlane: exported as pid 1 + tenant
+    /// Flow binding (Chrome trace_event "s"/"t"/"f" phases): 0 for
+    /// ordinary events, else the phase character. Flow events with the
+    /// same flow_id render as arrows linking the slices that enclose
+    /// them, across threads and tenant lanes.
+    char flow_phase = 0;
+    uint64_t flow_id = 0;
 };
 
 class Tracer {
@@ -64,6 +70,18 @@ class Tracer {
     void instant(const char* name, uint64_t arg);
     /// Point event pinned to an explicit tenant's lane.
     void instant_tenant(const char* name, uint64_t tenant, uint64_t arg);
+
+    /// @{ Flow events (request tracing): a flow is a causal arrow chain
+    /// through the slices it binds to. \p phase is 's' (start), 't'
+    /// (step), or 'f' (finish); events sharing \p id form one chain.
+    /// The plain overload stamps the current time on the calling
+    /// thread's tenant lane; the _tenant overload pins lane and
+    /// timestamp explicitly (compile workers binding a flow step into a
+    /// span they recorded retroactively).
+    void flow(const char* name, char phase, uint64_t id);
+    void flow_tenant(const char* name, char phase, uint64_t id,
+                     uint64_t tenant, double ts_us);
+    /// @}
 
     /// Oldest-first copy of the buffered events.
     std::vector<TraceEvent> events() const;

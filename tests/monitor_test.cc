@@ -13,6 +13,7 @@
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -289,6 +290,83 @@ TEST(Monitor, InducedSlowCompileBreachesSloAndJournals)
         << err;
     EXPECT_NE(body.find("cascade_slo_breached 1"), std::string::npos);
     EXPECT_TRUE(telemetry::validate_prometheus_text(body, &err)) << err;
+}
+
+TEST(Monitor, OffThenOnSamePortRebindsImmediately)
+{
+    // :monitor off followed by :monitor <same port> must rebind right
+    // away -- the listener sets SO_REUSEADDR, so a lingering TIME_WAIT
+    // socket from the previous incarnation cannot block the port.
+    Runtime::Options opts;
+    opts.enable_hardware = false;
+    Runtime rt(opts);
+    ASSERT_TRUE(rt.eval(kCounter));
+    rt.run(32);
+
+    std::string err;
+    ASSERT_TRUE(rt.start_monitor(0, &err)) << err;
+    const uint16_t port = rt.monitor_port();
+    ASSERT_NE(port, 0);
+
+    // Serve at least one request so the socket has seen traffic.
+    int status = 0;
+    std::string body;
+    ASSERT_TRUE(telemetry::http_get(port, "/healthz", &status, &body,
+                                    &err))
+        << err;
+    EXPECT_EQ(status, 200);
+
+    rt.stop_monitor();
+    ASSERT_FALSE(rt.monitoring());
+
+    // Rebind the exact same port, immediately.
+    ASSERT_TRUE(rt.start_monitor(port, &err)) << err;
+    EXPECT_EQ(rt.monitor_port(), port);
+    ASSERT_TRUE(telemetry::http_get(port, "/healthz", &status, &body,
+                                    &err))
+        << err;
+    EXPECT_EQ(status, 200);
+    EXPECT_NE(body.find("\"status\":\"ok\""), std::string::npos);
+    rt.stop_monitor();
+}
+
+TEST(Monitor, RequestsEndpointServesNdjsonSpans)
+{
+    Runtime::Options opts;
+    opts.enable_hardware = false;
+    Runtime rt(opts);
+    ASSERT_TRUE(rt.eval(kCounter));
+    rt.run(32);
+
+    std::string err;
+    ASSERT_TRUE(rt.start_monitor(0, &err)) << err;
+    int status = 0;
+    std::string body;
+    ASSERT_TRUE(telemetry::http_get(rt.monitor_port(), "/requests",
+                                    &status, &body, &err))
+        << err;
+    EXPECT_EQ(status, 200);
+
+    // One JSON object per line; the eval request is in there with its
+    // identity and segment partition.
+    ASSERT_FALSE(body.empty());
+    std::istringstream lines(body);
+    std::string line;
+    size_t parsed = 0;
+    bool saw_eval = false;
+    while (std::getline(lines, line)) {
+        ASSERT_EQ(line.front(), '{') << line;
+        ASSERT_EQ(line.back(), '}') << line;
+        EXPECT_NE(line.find("\"id\":"), std::string::npos) << line;
+        EXPECT_NE(line.find("\"segments\":["), std::string::npos);
+        if (line.find("\"kind\":\"eval\"") != std::string::npos) {
+            saw_eval = true;
+        }
+        ++parsed;
+    }
+    EXPECT_GE(parsed, 1u);
+    EXPECT_TRUE(saw_eval) << body;
+    rt.stop_monitor();
 }
 
 } // namespace

@@ -192,7 +192,8 @@ TEST(ReplMeta, HelpListsEveryCommand)
     for (const char* cmd :
          {":stats", ":stats json", ":stats reset", ":profile",
           ":profile json", ":profile on|off", ":profile flame", ":fabric",
-          ":top", ":contention", ":contention json", ":contention reset",
+          ":top", ":requests", ":requests json", ":why <id>",
+          ":contention", ":contention json", ":contention reset",
           ":monitor <port>", ":monitor off", ":slo", ":slo json",
           ":trace", ":probe", ":unprobe", ":vcd", ":record",
           ":record stop", ":replay", ":help"}) {
@@ -373,6 +374,44 @@ TEST(ReplMeta, TopReportsExclusiveSessionWithoutHypervisor)
               std::string::npos)
         << out;
     EXPECT_NE(out.find("ticks"), std::string::npos);
+}
+
+TEST(ReplMeta, RequestsTableAndWhyDecomposition)
+{
+    ReplHarness h;
+    h.command("reg [3:0] r = 0; always @(posedge clk.val) r <= r + 1;");
+    h.runtime().run_for_ticks(3);
+
+    const std::string table = h.command(":requests");
+    EXPECT_NE(table.find("id  kind"), std::string::npos) << table;
+    EXPECT_NE(table.find("eval"), std::string::npos) << table;
+    EXPECT_NE(table.find(":why <id>"), std::string::npos);
+
+    const std::string json = h.command(":requests json");
+    EXPECT_NE(json.find("\"schema\":\"cascade.requests.v1\""),
+              std::string::npos)
+        << json;
+
+    // :why on a real eval request decomposes it; the id is the journal
+    // seq, recoverable from the tracker.
+    uint64_t id = 0;
+    for (const auto& r : h.runtime().request_tracker().recent()) {
+        if (std::string(r.kind) == "eval") {
+            id = r.id;
+        }
+    }
+    ASSERT_NE(id, 0u);
+    const std::string why = h.command(":why " + std::to_string(id));
+    EXPECT_NE(why.find("request " + std::to_string(id)),
+              std::string::npos)
+        << why;
+    EXPECT_NE(why.find("end-to-end"), std::string::npos);
+    EXPECT_NE(why.find("segments sum"), std::string::npos);
+
+    EXPECT_NE(h.command(":why").find("usage: :why <request id>"),
+              std::string::npos);
+    EXPECT_NE(h.command(":why 999999").find("not found"),
+              std::string::npos);
 }
 
 TEST(ReplMeta, ContentionTableGolden)

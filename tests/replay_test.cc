@@ -8,10 +8,13 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <tuple>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -249,6 +252,153 @@ TEST(Replay, ReplRecordAndReplayMetaCommands)
             << out.str();
     }
     std::filesystem::remove(path);
+}
+
+TEST(Replay, RequestTracingIsDeterministicAcrossReplay)
+{
+    // Request ids are journal sequence numbers, and the request.done
+    // journal event carries no wall-clock fields, so a recording made
+    // with tracing active must replay byte-identically and reproduce
+    // the exact same request ids/kinds/outcomes.
+    const std::string path = temp_path("requests.jsonl");
+
+    std::string recorded_output;
+    {
+        Runtime rt(hw_fast());
+        rt.on_output = [&recorded_output](const std::string& text) {
+            recorded_output += text;
+        };
+        std::string err;
+        ASSERT_TRUE(rt.start_recording(path, &err)) << err;
+        ASSERT_TRUE(rt.eval(kProgram));
+        ASSERT_TRUE(step_until_hardware(&rt));
+        rt.run_for_ticks(1500);
+        rt.stop_recording();
+    }
+
+    ReplayLog log;
+    std::string err;
+    ASSERT_TRUE(load_journal(path, &log, &err)) << err;
+
+    // Every request.done id resolves to an earlier journal event of the
+    // matching kind -- request ids ARE the originating event's seq.
+    std::vector<std::tuple<uint64_t, std::string, bool>> recorded_done;
+    bool saw_compile_done = false;
+    for (const auto& ev : log.events) {
+        if (ev.type != "request.done") {
+            continue;
+        }
+        const uint64_t id = ev.data.get_u64("id");
+        const std::string kind = ev.data.get_str("kind");
+        recorded_done.emplace_back(id, kind,
+                                   ev.data.get_bool("ok"));
+        if (id < log.events.front().seq) {
+            // Originated before recording began (the bootstrap compile
+            // is launched at construction); no line to cross-check.
+            continue;
+        }
+        bool origin_found = false;
+        for (const auto& origin : log.events) {
+            if (origin.seq != id) {
+                continue;
+            }
+            origin_found = true;
+            if (kind == "eval") {
+                EXPECT_EQ(origin.type, "eval");
+            } else if (kind == "compile") {
+                EXPECT_EQ(origin.type, "compile.launch");
+            } else if (kind == "interrupt") {
+                EXPECT_EQ(origin.type, "interrupt.flush");
+            } else if (kind == "evict") {
+                EXPECT_EQ(origin.type, "hypervisor.evict");
+            }
+        }
+        EXPECT_TRUE(origin_found) << "request " << id
+                                  << " has no originating event";
+        if (kind == "compile" && ev.data.get_bool("ok")) {
+            saw_compile_done = true;
+        }
+    }
+    ASSERT_FALSE(recorded_done.empty());
+    ASSERT_TRUE(saw_compile_done)
+        << "no successful compile request in the recording";
+
+    // Replay the recording twice, re-recording each run. The two
+    // replayed journals must be BYTE-identical -- request.done events
+    // carry no wall-clock fields, so tracing does not break the CI
+    // determinism diff.
+    const auto replay_once = [&](const std::string& rerecord_path,
+                                 std::string* output)
+        -> std::vector<std::tuple<uint64_t, std::string, bool>> {
+        Runtime rt2(options_from_header(log.header));
+        rt2.on_output = [output](const std::string& text) {
+            *output += text;
+        };
+        ReplayOptions ropts;
+        ropts.record_path = rerecord_path;
+        const ReplayReport report = replay_into(&rt2, log, ropts);
+        EXPECT_TRUE(report.ok) << report.summary();
+        std::vector<std::tuple<uint64_t, std::string, bool>> done;
+        for (const auto& r : rt2.request_tracker().recent()) {
+            done.emplace_back(r.id, r.kind, r.ok);
+        }
+        // Every request id the replayed tracker holds is the seq of an
+        // originating event in the replayed session's own journal.
+        for (const auto& ev : rt2.journal().ring()) {
+            for (auto& d : done) {
+                if (ev.seq != std::get<0>(d)) {
+                    continue;
+                }
+                const std::string& kind = std::get<1>(d);
+                if (kind == "compile") {
+                    EXPECT_EQ(ev.type, "compile.launch");
+                } else if (kind == "eval") {
+                    EXPECT_EQ(ev.type, "eval");
+                } else if (kind == "interrupt") {
+                    EXPECT_EQ(ev.type, "interrupt.flush");
+                }
+            }
+        }
+        return done;
+    };
+
+    const std::string replay1 = temp_path("requests_replay1.jsonl");
+    const std::string replay2 = temp_path("requests_replay2.jsonl");
+    std::string output1;
+    std::string output2;
+    const auto done1 = replay_once(replay1, &output1);
+    const auto done2 = replay_once(replay2, &output2);
+
+    // Byte-identical user-visible output, and the recording's output
+    // reproduced exactly even with tracing active.
+    EXPECT_EQ(output1, recorded_output);
+    EXPECT_EQ(output2, output1);
+
+    // Identical request histories: same ids, kinds, and outcomes.
+    EXPECT_EQ(done1, done2);
+    bool replay_saw_compile = false;
+    for (const auto& d : done1) {
+        if (std::get<1>(d) == "compile" && std::get<2>(d)) {
+            replay_saw_compile = true;
+        }
+    }
+    EXPECT_TRUE(replay_saw_compile);
+
+    // And the journals themselves are byte-identical, request.done
+    // lines included (the CI determinism check's exact comparison).
+    std::ifstream f1(replay1);
+    std::ifstream f2(replay2);
+    std::stringstream s1;
+    std::stringstream s2;
+    s1 << f1.rdbuf();
+    s2 << f2.rdbuf();
+    ASSERT_FALSE(s1.str().empty());
+    EXPECT_EQ(s1.str(), s2.str());
+    EXPECT_NE(s1.str().find("request.done"), std::string::npos);
+
+    std::filesystem::remove(path);
+    std::filesystem::remove(replay1);
+    std::filesystem::remove(replay2);
 }
 
 } // namespace
