@@ -121,12 +121,33 @@ def main():
         drifts.extend(drft)
         compared += 1
 
+    # Fresh results with no committed baseline are a soft warning too:
+    # a new bench landed without seeding its gate. Print the exact copy
+    # command so seeding it is a paste away.
+    unseeded = 0
+    if os.path.isdir(args.results_dir):
+        baselines = set(os.listdir(args.baseline_dir))
+        for entry in sorted(os.listdir(args.results_dir)):
+            if not (entry.startswith("BENCH_") and
+                    entry.endswith(".json")):
+                continue
+            if entry in baselines:
+                continue
+            unseeded += 1
+            fresh_path = os.path.join(args.results_dir, entry)
+            print(f"::warning title=bench baseline::{entry} has no "
+                  f"committed baseline; future regressions in it are "
+                  f"invisible")
+            print(f"  seed it with: cp {fresh_path} "
+                  f"{os.path.join(args.baseline_dir, entry)}")
+
     for msg in drifts:
         print(f"::notice title=bench drift::{msg}")
     for msg in regressions:
         print(f"::warning title=bench regression::{msg}")
     print(f"compared {compared} baseline file(s): "
-          f"{len(regressions)} regression(s), {len(drifts)} drift(s)")
+          f"{len(regressions)} regression(s), {len(drifts)} drift(s), "
+          f"{unseeded} unseeded fresh result(s)")
     if regressions and args.strict:
         return 1
     return 0

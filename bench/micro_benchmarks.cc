@@ -187,6 +187,32 @@ BM_TelemetryMutexLockUnlock(benchmark::State& state)
 }
 BENCHMARK(BM_TelemetryMutexLockUnlock);
 
+/// Runtime scheduler tick with the interactive debugger disarmed (0) vs
+/// one armed-but-never-firing breakpoint (1). The disarmed cost is the
+/// guarded fast path -- a single relaxed atomic load per inter-timestep
+/// window -- so Arg(0) must sit within noise of a build that predates
+/// the debugger entirely; Arg(1) prices the per-window condition sweep.
+void
+BM_RuntimeTickDebugger(benchmark::State& state)
+{
+    using cascade::runtime::Runtime;
+    Runtime::Options opts;
+    opts.enable_hardware = false;
+    Runtime rt(opts);
+    rt.on_output = [](const std::string&) {};
+    std::string errors;
+    rt.eval("reg [31:0] cnt = 0; "
+            "always @(posedge clk.val) cnt <= cnt + 1;",
+            &errors);
+    if (state.range(0) != 0) {
+        rt.debug_break("cnt", "==", "4000000000", &errors);
+    }
+    for (auto _ : state) {
+        rt.run_for_ticks(1);
+    }
+}
+BENCHMARK(BM_RuntimeTickDebugger)->Arg(0)->Arg(1);
+
 void
 BM_RuntimeEval(benchmark::State& state)
 {

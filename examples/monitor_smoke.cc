@@ -10,12 +10,15 @@
 ///   - /requests: the traced-request feed must yield NDJSON objects
 ///     with request ids and segment partitions;
 ///   - /events: the live journal tail must yield NDJSON lines whose
-///     sequence numbers strictly increase.
+///     sequence numbers strictly increase;
+///   - /debug: after arming a breakpoint and running to the fire, the
+///     debugger snapshot must report the halted point and the
+///     cascade_debug_* metric families must be live in /metrics.
 ///
 /// Artifacts (metrics.prom, slo.json, timeseries.json, requests.ndjson,
-/// events.ndjson) are written next to the binary for CI upload. Exits
-/// nonzero on any failure, so the CI step is a real gate on the
-/// monitoring surface.
+/// events.ndjson, debug.json) are written next to the binary for CI
+/// upload. Exits nonzero on any failure, so the CI step is a real gate
+/// on the monitoring surface.
 
 #include <cstdio>
 #include <fstream>
@@ -138,6 +141,51 @@ main()
               body.find("runtime.ticks_per_s") != std::string::npos,
           "GET /timeseries schema + sampled series");
     save("timeseries.json", body);
+
+    // Interactive-debugger surface: arm a breakpoint, run to the fire,
+    // and scrape the halted state the way a dashboard would.
+    rt.set_debug_window_path("debug-window.vcd");
+    const uint64_t point_id = rt.debug_break("n", "==", "2000", &err);
+    check(point_id != 0, "arm breakpoint: " + err);
+    for (int i = 0; i < 200000 && !rt.debug_halted(); ++i) {
+        rt.step();
+    }
+    check(rt.debug_halted(), "breakpoint fires and halts");
+
+    check(cascade::telemetry::http_get(port, "/debug", &status, &body,
+                                       &err) &&
+              status == 200 &&
+              body.find("\"schema\":\"cascade.debug.v1\"") !=
+                  std::string::npos &&
+              body.find("\"halted\":true") != std::string::npos &&
+              body.find("\"signal\":\"n\"") != std::string::npos,
+          "GET /debug schema + halted point");
+    save("debug.json", body);
+
+    std::string halted_metrics;
+    check(cascade::telemetry::http_get(port, "/metrics", &status,
+                                       &halted_metrics, &err) &&
+              status == 200 &&
+              cascade::telemetry::validate_prometheus_text(halted_metrics,
+                                                           &err),
+          "halted scrape validates: " + err);
+    check(metric_value(halted_metrics, "cascade_debug_points") == 1 &&
+              metric_value(halted_metrics, "cascade_debug_fires_total") >=
+                  1 &&
+              metric_value(halted_metrics, "cascade_debug_halted") == 1,
+          "cascade_debug_* families present and firing");
+
+    // The wall-clock heartbeat keeps /timeseries moving while the
+    // virtual clock is frozen: the halted gauge must be sampled.
+    check(cascade::telemetry::http_get(port, "/timeseries", &status,
+                                       &body, &err) &&
+              status == 200 &&
+              body.find("runtime.halted") != std::string::npos,
+          "GET /timeseries samples runtime.halted while frozen");
+
+    check(rt.debug_continue() && !rt.debug_halted(),
+          "continue resumes the virtual clock");
+    check(rt.debug_delete(point_id), "delete the point");
 
     check(cascade::telemetry::http_get(port, "/requests", &status, &body,
                                        &err) &&

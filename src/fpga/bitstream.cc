@@ -249,7 +249,7 @@ Bitstream::step()
             prev_port_clock_[p] = now;
         }
         if (latches.empty() && mem_latches.empty()) {
-            return;
+            break;
         }
         for (auto& [r, v] : latches) {
             reg_state_[r] = std::move(v);
@@ -260,6 +260,71 @@ Bitstream::step()
             }
         }
         eval_comb();
+    }
+    if (debug_armed_) {
+        debug_step_check();
+    }
+}
+
+void
+Bitstream::arm_debug(std::vector<DebugTrigger> triggers,
+                     std::vector<DebugProbe> probes, size_t ring_depth)
+{
+    debug_triggers_ = std::move(triggers);
+    debug_probes_ = std::move(probes);
+    debug_ring_.clear();
+    debug_ring_depth_ = ring_depth == 0 ? 1 : ring_depth;
+    debug_fired_ = 0;
+    debug_fire_cycle_ = 0;
+    debug_armed_ = !debug_triggers_.empty() || !debug_probes_.empty();
+}
+
+void
+Bitstream::disarm_debug()
+{
+    debug_armed_ = false;
+    debug_triggers_.clear();
+    debug_probes_.clear();
+    debug_ring_.clear();
+    debug_fired_ = 0;
+    debug_fire_cycle_ = 0;
+}
+
+void
+Bitstream::debug_step_check()
+{
+    if (debug_fired_ != 0) {
+        // Sticky: the window is frozen at the firing cycle so the MMIO
+        // traffic that drains the fire does not scroll it away.
+        return;
+    }
+    if (!debug_probes_.empty()) {
+        std::vector<BitVector> vals;
+        vals.reserve(debug_probes_.size());
+        for (const DebugProbe& p : debug_probes_) {
+            vals.push_back(output(p.output));
+        }
+        debug_ring_.push_back(DebugSample{cycles_, std::move(vals)});
+        while (debug_ring_.size() > debug_ring_depth_) {
+            debug_ring_.pop_front();
+        }
+    }
+    for (DebugTrigger& t : debug_triggers_) {
+        const BitVector& v = output(t.output);
+        bool fired = false;
+        if (t.watch) {
+            fired = t.has_prev && v != t.prev;
+        } else {
+            // Condition cells are 1-bit comparators; fire on the rising
+            // edge so a condition already true at arming does not trip.
+            fired = t.has_prev && !t.prev.to_bool() && v.to_bool();
+        }
+        t.prev = v;
+        t.has_prev = true;
+        if (fired && debug_fired_ == 0) {
+            debug_fired_ = t.id;
+            debug_fire_cycle_ = cycles_;
+        }
     }
 }
 

@@ -8,6 +8,8 @@
 #ifndef CASCADE_FPGA_BITSTREAM_H
 #define CASCADE_FPGA_BITSTREAM_H
 
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -71,9 +73,49 @@ class Bitstream {
     uint64_t latch_count(const std::string& name) const;
     /// @}
 
+    /// @{ Debugger instrumentation (ILA-style). arm_debug installs the
+    /// trigger/probe output set produced by instrument_debug_triggers;
+    /// while armed, every step() runs one guarded epilogue (rising-edge /
+    /// value-change detection on the trigger outputs, plus a push into the
+    /// bounded pre-trigger capture ring). Like profiling, the disarmed
+    /// cost is a single branch per step. A fire is sticky — the ring
+    /// freezes on the firing cycle so the window survives the MMIO
+    /// traffic that follows — until the twin is discarded or cleared.
+    struct DebugTrigger {
+        uint64_t id = 0;    ///< debugger point id (reported on fire)
+        int output = -1;    ///< trigger cell's output index
+        bool watch = false; ///< change-detect instead of condition edge
+        bool has_prev = false;
+        BitVector prev;
+    };
+    struct DebugProbe {
+        std::string name;
+        int output = -1;
+        uint32_t width = 1;
+    };
+    struct DebugSample {
+        uint64_t cycle = 0; ///< device cycle (cycles())
+        std::vector<BitVector> values; ///< parallel to debug_probes()
+    };
+    void arm_debug(std::vector<DebugTrigger> triggers,
+                   std::vector<DebugProbe> probes, size_t ring_depth);
+    void disarm_debug();
+    bool debug_armed() const { return debug_armed_; }
+    /// Point id of the first trigger that fired, or 0 while none has.
+    uint64_t debug_fired() const { return debug_fired_; }
+    uint64_t debug_fire_cycle() const { return debug_fire_cycle_; }
+    const std::vector<DebugProbe>& debug_probes() const {
+        return debug_probes_;
+    }
+    const std::deque<DebugSample>& debug_ring() const {
+        return debug_ring_;
+    }
+    /// @}
+
   private:
     void eval_range(size_t first);
     void eval_comb_profiled();
+    void debug_step_check();
 
     std::shared_ptr<const Netlist> nl_;
     std::vector<BitVector> values_;       ///< per node
@@ -90,6 +132,14 @@ class Bitstream {
     std::vector<uint64_t> eval_count_;   ///< per node (profiling only)
     std::vector<uint64_t> toggle_count_; ///< per node (profiling only)
     std::vector<uint64_t> reg_latch_count_; ///< per register (always)
+
+    bool debug_armed_ = false;
+    std::vector<DebugTrigger> debug_triggers_;
+    std::vector<DebugProbe> debug_probes_;
+    std::deque<DebugSample> debug_ring_;
+    size_t debug_ring_depth_ = 64;
+    uint64_t debug_fired_ = 0;
+    uint64_t debug_fire_cycle_ = 0;
 };
 
 } // namespace cascade::fpga

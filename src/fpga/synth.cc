@@ -1726,4 +1726,143 @@ synthesize(const ElaboratedModule& em, Diagnostics* diags)
     return synth.run();
 }
 
+namespace {
+
+/// Resolves a user-facing signal name against a netlist: exact register
+/// name, exact net-name alias, exact port name, then a unique `.`/`_`
+/// suffix match (so `:break n == 5` finds `root.n` or a flattened
+/// `root_n`). Returns the node id, or ~0u with *err set.
+uint32_t
+resolve_debug_signal(const Netlist& nl, const std::string& name,
+                     std::string* err)
+{
+    for (const RegDef& reg : nl.regs) {
+        if (reg.name == name) {
+            return reg.q;
+        }
+    }
+    for (const auto& [node, alias] : nl.node_names) {
+        if (alias == name) {
+            return node;
+        }
+    }
+    for (const PortDef& port : nl.inputs) {
+        if (port.name == name) {
+            return port.node;
+        }
+    }
+    for (const PortDef& port : nl.outputs) {
+        if (port.name == name) {
+            return port.node;
+        }
+    }
+    // Suffix match: candidate names must end in <sep><name> where sep is
+    // a hierarchy separator. Ambiguity is an error, not a guess.
+    const auto suffix_matches = [&name](const std::string& full) {
+        if (full.size() <= name.size() ||
+            full.compare(full.size() - name.size(), name.size(), name) !=
+                0) {
+            return false;
+        }
+        const char sep = full[full.size() - name.size() - 1];
+        return sep == '.' || sep == '_';
+    };
+    uint32_t found = ~0u;
+    std::string found_name;
+    bool ambiguous = false;
+    for (const RegDef& reg : nl.regs) {
+        if (suffix_matches(reg.name)) {
+            if (found != ~0u && found_name != reg.name) {
+                ambiguous = true;
+            }
+            found = reg.q;
+            found_name = reg.name;
+        }
+    }
+    for (const auto& [node, alias] : nl.node_names) {
+        if (suffix_matches(alias)) {
+            if (found != ~0u && found_name != alias) {
+                ambiguous = true;
+            }
+            found = node;
+            found_name = alias;
+        }
+    }
+    if (ambiguous) {
+        if (err != nullptr) {
+            *err = "signal '" + name +
+                   "' is ambiguous in the synthesized netlist";
+        }
+        return ~0u;
+    }
+    if (found == ~0u && err != nullptr) {
+        *err = "signal '" + name + "' not found in the synthesized netlist";
+    }
+    return found;
+}
+
+} // namespace
+
+DebugInstrumented
+instrument_debug_triggers(const Netlist& base,
+                          const std::vector<DebugTriggerSpec>& specs,
+                          const std::vector<std::string>& probes,
+                          std::string* err)
+{
+    DebugInstrumented out;
+    auto nl = std::make_unique<Netlist>(base);
+    NetlistBuilder b(nl.get());
+    for (const DebugTriggerSpec& spec : specs) {
+        const uint32_t sig = resolve_debug_signal(*nl, spec.signal, err);
+        if (sig == ~0u) {
+            return out; // netlist stays null; *err already set
+        }
+        b.set_source("debug:" + spec.signal);
+        uint32_t cell = sig;
+        if (!spec.watch) {
+            const uint32_t w = nl->nodes[sig].width;
+            const uint32_t c = b.constant(spec.value.resized(w));
+            if (spec.op == "==") {
+                cell = b.make(Op::Eq, 1, {sig, c});
+            } else if (spec.op == "!=") {
+                cell = b.make(Op::Not, 1, {b.make(Op::Eq, 1, {sig, c})});
+            } else if (spec.op == "<") {
+                cell = b.make(Op::Ult, 1, {sig, c});
+            } else if (spec.op == ">") {
+                cell = b.make(Op::Ult, 1, {c, sig});
+            } else if (spec.op == "<=") {
+                cell = b.make(Op::Not, 1, {b.make(Op::Ult, 1, {c, sig})});
+            } else if (spec.op == ">=") {
+                cell = b.make(Op::Not, 1, {b.make(Op::Ult, 1, {sig, c})});
+            } else {
+                if (err != nullptr) {
+                    *err = "unsupported debug comparison '" + spec.op + "'";
+                }
+                return out;
+            }
+        }
+        const std::string oname =
+            "__dbg" + std::to_string(out.trigger_outputs.size());
+        b.output(oname, cell);
+        out.trigger_outputs.push_back(
+            static_cast<uint32_t>(nl->outputs.size() - 1));
+    }
+    for (const std::string& probe : probes) {
+        const uint32_t sig = resolve_debug_signal(*nl, probe, nullptr);
+        if (sig == ~0u) {
+            continue; // best-effort: the ring captures what it can see
+        }
+        b.set_source("debug:" + probe);
+        const std::string oname =
+            "__dbgp" + std::to_string(out.probe_names.size());
+        b.output(oname, sig);
+        out.probe_names.push_back(probe);
+        out.probe_outputs.push_back(
+            static_cast<uint32_t>(nl->outputs.size() - 1));
+        out.probe_widths.push_back(nl->nodes[sig].width);
+    }
+    out.netlist = std::move(nl);
+    return out;
+}
+
 } // namespace cascade::fpga

@@ -11,6 +11,8 @@
 #define CASCADE_FPGA_SYNTH_H
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/diagnostics.h"
 #include "fpga/netlist.h"
@@ -23,6 +25,43 @@ namespace cascade::fpga {
 /// that survived wrapping, non-static loop bounds).
 std::unique_ptr<Netlist> synthesize(const verilog::ElaboratedModule& em,
                                     Diagnostics* diags);
+
+/// A debugger trigger to synthesize into an instrumented twin (ILA-style).
+/// Condition triggers get a genuine comparator cell; watch triggers probe
+/// the raw signal and the evaluator detects the value change cycle to
+/// cycle.
+struct DebugTriggerSpec {
+    uint64_t id = 0;    ///< debugger point id (round-trips to the fire)
+    std::string signal; ///< signal name, resolved against the netlist
+    bool watch = false; ///< value-change watchpoint (no comparator)
+    std::string op;     ///< one of == != < > <= >= (condition only)
+    BitVector value;    ///< comparison constant (condition only)
+};
+
+/// Instrumented twin: a copy of the base netlist with trigger cells and
+/// pre-trigger capture probes appended as extra outputs (`__dbg<k>` /
+/// `__dbgp<k>`), all provenance-labeled `debug:<signal>`.
+struct DebugInstrumented {
+    std::unique_ptr<Netlist> netlist; ///< null on failure (see err)
+    /// Output index (into netlist->outputs) per trigger, parallel to the
+    /// spec vector passed in.
+    std::vector<uint32_t> trigger_outputs;
+    /// Ring probes that resolved, with their output indices and widths.
+    std::vector<std::string> probe_names;
+    std::vector<uint32_t> probe_outputs;
+    std::vector<uint32_t> probe_widths;
+};
+
+/// Builds the instrumented twin of \p base. Trigger signals must resolve
+/// (exact register/port/alias name, else an unambiguous `.`/`_` suffix) or
+/// the whole instrumentation fails; unresolved ring \p probes are skipped.
+/// \p base itself is never mutated — it is typically the compile cache's
+/// shared netlist.
+DebugInstrumented
+instrument_debug_triggers(const Netlist& base,
+                          const std::vector<DebugTriggerSpec>& specs,
+                          const std::vector<std::string>& probes,
+                          std::string* err);
 
 } // namespace cascade::fpga
 

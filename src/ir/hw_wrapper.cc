@@ -780,15 +780,24 @@ class WrapperBuilder {
         assign_wire("_w_latch", 1, write_to(map_->ctrl.latch));
         assign_wire("_w_clear", 1, write_to(map_->ctrl.clear));
         assign_wire("_w_oloop", 1, write_to(map_->ctrl.oloop));
+        // Both `_oloop != 0` terms are gated on `~_w_oloop`: a host write
+        // to ctrl.oloop while a batch is still draining (the debugger's
+        // early cancel after a trigger fires mid-batch) must neither tick
+        // the design clock once more nor auto-latch during the write
+        // cycle — the write itself defines the new loop count.
         assign_wire(
             "_latch", 1,
             binop(BinaryOp::BitOr, id("_w_latch"),
                   binop(BinaryOp::BitAnd, id("_updates"),
-                        binop(BinaryOp::Neq, id("_oloop"), num(32, 0)))));
+                        binop(BinaryOp::BitAnd,
+                              binop(BinaryOp::Neq, id("_oloop"), num(32, 0)),
+                              unop(UnaryOp::BitwiseNot, id("_w_oloop"))))));
         assign_wire(
             "_otick", 1,
             binop(BinaryOp::BitAnd,
-                  binop(BinaryOp::Neq, id("_oloop"), num(32, 0)),
+                  binop(BinaryOp::BitAnd,
+                        binop(BinaryOp::Neq, id("_oloop"), num(32, 0)),
+                        unop(UnaryOp::BitwiseNot, id("_w_oloop"))),
                   unop(UnaryOp::BitwiseNot, id("_tasks"))));
     }
 

@@ -1,0 +1,172 @@
+#include "runtime/debugger.h"
+
+#include <algorithm>
+
+namespace cascade::runtime {
+
+bool
+Debugger::valid_op(const std::string& op)
+{
+    return op == "==" || op == "!=" || op == "<" || op == ">" ||
+           op == "<=" || op == ">=";
+}
+
+bool
+Debugger::compare(const BitVector& lhs, const std::string& op,
+                  const BitVector& rhs)
+{
+    const BitVector r = rhs.resized(lhs.width());
+    if (op == "==") {
+        return BitVector::eq(lhs, r);
+    }
+    if (op == "!=") {
+        return !BitVector::eq(lhs, r);
+    }
+    if (op == "<") {
+        return BitVector::ult(lhs, r);
+    }
+    if (op == ">") {
+        return BitVector::ult(r, lhs);
+    }
+    if (op == "<=") {
+        return BitVector::ule(lhs, r);
+    }
+    if (op == ">=") {
+        return BitVector::ule(r, lhs);
+    }
+    return false;
+}
+
+uint64_t
+Debugger::add_break(const std::string& signal, const std::string& op,
+                    const BitVector& value)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Point p;
+    p.id = next_id_++;
+    p.kind = Kind::Break;
+    p.signal = signal;
+    p.op = op;
+    p.value = value;
+    points_.push_back(std::move(p));
+    count_.store(points_.size(), std::memory_order_relaxed);
+    return points_.back().id;
+}
+
+uint64_t
+Debugger::add_watch(const std::string& signal)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Point p;
+    p.id = next_id_++;
+    p.kind = Kind::Watch;
+    p.signal = signal;
+    points_.push_back(std::move(p));
+    count_.store(points_.size(), std::memory_order_relaxed);
+    return points_.back().id;
+}
+
+bool
+Debugger::remove(uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it =
+        std::find_if(points_.begin(), points_.end(),
+                     [id](const Point& p) { return p.id == id; });
+    if (it == points_.end()) {
+        return false;
+    }
+    points_.erase(it);
+    count_.store(points_.size(), std::memory_order_relaxed);
+    return true;
+}
+
+void
+Debugger::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    points_.clear();
+    count_.store(0, std::memory_order_relaxed);
+}
+
+size_t
+Debugger::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return points_.size();
+}
+
+std::vector<Debugger::Point>
+Debugger::points() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return points_;
+}
+
+std::optional<Debugger::Fire>
+Debugger::evaluate(const Lookup& lookup)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::optional<Fire> fire;
+    for (Point& p : points_) {
+        const BitVector* v = lookup(p.signal);
+        if (v == nullptr) {
+            continue;
+        }
+        bool fired = false;
+        if (p.kind == Kind::Break) {
+            const bool cond = compare(*v, p.op, p.value);
+            fired = p.has_last && !p.last_cond && cond;
+            p.last_cond = cond;
+        } else {
+            fired = p.has_last && *v != p.last;
+            p.last = *v;
+        }
+        p.has_last = true;
+        if (fired) {
+            ++p.hits;
+            if (!fire.has_value()) {
+                fire = Fire{p.id, p.kind, p.signal, *v};
+            }
+        }
+    }
+    if (fire.has_value()) {
+        fires_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return fire;
+}
+
+void
+Debugger::prime(const Lookup& lookup)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Point& p : points_) {
+        const BitVector* v = lookup(p.signal);
+        if (v == nullptr) {
+            continue;
+        }
+        if (p.kind == Kind::Break) {
+            p.last_cond = compare(*v, p.op, p.value);
+        } else {
+            p.last = *v;
+        }
+        p.has_last = true;
+    }
+}
+
+std::optional<Debugger::Point>
+Debugger::note_fire(uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it =
+        std::find_if(points_.begin(), points_.end(),
+                     [id](const Point& p) { return p.id == id; });
+    if (it == points_.end()) {
+        return std::nullopt;
+    }
+    ++it->hits;
+    fires_.fetch_add(1, std::memory_order_relaxed);
+    return *it;
+}
+
+} // namespace cascade::runtime

@@ -9,6 +9,7 @@
 #define CASCADE_RUNTIME_ENGINE_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -96,6 +97,16 @@ class Engine {
     virtual bool supports_open_loop() const { return false; }
 
     virtual bool is_hardware() const = 0;
+
+    /// Live value of a named signal, for the debugger's `:peek` and
+    /// condition evaluation. Unlike get_state() this reads one signal at
+    /// honest cost (a map lookup in software, one MMIO read in hardware).
+    /// Returns nullopt for unknown names or engines without name access.
+    virtual std::optional<BitVector> peek(const std::string& name)
+    {
+        (void)name;
+        return std::nullopt;
+    }
 
     /// Modeled time consumed since the last call (seconds): fabric cycles
     /// and bus transactions for hardware engines; zero for software (the

@@ -283,6 +283,7 @@ HwEngine::open_loop(uint64_t max_iterations)
     // i.e. one per two fabric cycles here.
     const uint64_t cycle_limit = 2 * max_iterations + 64;
     uint64_t cycles = 0;
+    bool debug_stop = false;
     fabric_->set_input(in_rw_, BitVector(1, 0));
     while (cycles < cycle_limit) {
         fabric_->set_input(in_clk_, BitVector(1, 1));
@@ -293,9 +294,21 @@ HwEngine::open_loop(uint64_t max_iterations)
         if (fabric_->output(out_wait_).is_zero()) {
             break;
         }
+        if (fabric_->debug_fired() != 0) {
+            debug_stop = true;
+            break;
+        }
     }
     cycles_accum_ += cycles;
     const uint32_t itrs = mmio_read(map_.ctrl.itrs);
+    if (debug_stop) {
+        // A synthesized trigger fired mid-batch: cancel the rest of the
+        // grant so the runtime can halt at the firing cycle. The cancel
+        // write resets the iteration counter (read above, first), and the
+        // wrapper gates _otick/_latch on the write cycle so cancelling
+        // neither ticks the design clock nor auto-latches.
+        mmio_write(map_.ctrl.oloop, 0);
+    }
     if (service_tasks()) {
         task_pending_ = false;
     }

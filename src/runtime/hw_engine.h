@@ -54,6 +54,16 @@ class HwEngine : public Engine {
         return !map_.clock_input.empty();
     }
 
+    /// One MMIO slot read — the honest cost of `:peek` against hardware.
+    std::optional<BitVector> peek(const std::string& name) override
+    {
+        const ir::VarSlot* slot = map_.find(name);
+        if (slot == nullptr || slot->elems != 0) {
+            return std::nullopt;
+        }
+        return read_var(*slot);
+    }
+
     double take_modeled_seconds() override;
 
     /// @{ Raw slot access for the runtime's peripheral drivers (hardware
@@ -66,6 +76,27 @@ class HwEngine : public Engine {
 
     uint64_t mmio_transactions() const { return transactions_; }
     uint64_t fabric_cycles() const { return fabric_->cycles(); }
+
+    /// @{ Debugger instrumentation: forwards to the programmed fabric's
+    /// trigger cells and pre-trigger capture ring (see Bitstream). While a
+    /// trigger is pending, open_loop stops early: the remaining grant is
+    /// cancelled (reading the completed count first — the cancel write
+    /// resets it) so the runtime can halt and evict at the firing cycle.
+    bool debug_armed() const { return fabric_->debug_armed(); }
+    uint64_t debug_fired() const { return fabric_->debug_fired(); }
+    uint64_t debug_fire_cycle() const
+    {
+        return fabric_->debug_fire_cycle();
+    }
+    const std::vector<fpga::Bitstream::DebugProbe>& debug_probes() const
+    {
+        return fabric_->debug_probes();
+    }
+    const std::deque<fpga::Bitstream::DebugSample>& debug_ring() const
+    {
+        return fabric_->debug_ring();
+    }
+    /// @}
 
     /// @{ Source-level activity profiling: forwards to the programmed
     /// fabric's per-node eval/toggle counters (provenance-labeled).

@@ -75,7 +75,8 @@ Repl::run_meta_command(const std::string& line)
     std::string cmd;
     std::string arg;
     std::string arg2;
-    words >> cmd >> arg >> arg2;
+    std::string arg3;
+    words >> cmd >> arg >> arg2 >> arg3;
     if (cmd == ":stats" && arg == "json") {
         if (out_ != nullptr) {
             *out_ << runtime_->stats_json() << "\n";
@@ -179,7 +180,7 @@ Repl::run_meta_command(const std::string& line)
                     *out_ << "monitoring on 127.0.0.1:"
                           << runtime_->monitor_port()
                           << " (/metrics /healthz /slo /timeseries "
-                             "/events /requests)\n";
+                             "/debug /events /requests)\n";
                 } else {
                     *out_ << "usage: :monitor <port|off>\n";
                 }
@@ -200,7 +201,7 @@ Repl::run_meta_command(const std::string& line)
                         *out_ << "monitoring on 127.0.0.1:"
                               << runtime_->monitor_port()
                               << " (/metrics /healthz /slo /timeseries "
-                                 "/events /requests)\n";
+                                 "/debug /events /requests)\n";
                     }
                 } else if (out_ != nullptr) {
                     *out_ << "cannot start monitor: " << err << "\n";
@@ -316,6 +317,114 @@ Repl::run_meta_command(const std::string& line)
                 *out_ << report.summary() << "\n";
             }
         }
+    } else if (cmd == ":break") {
+        if (arg.empty() || arg2.empty() || arg3.empty()) {
+            if (out_ != nullptr) {
+                *out_ << "usage: :break <signal> <op> <value>   (op: == != "
+                         "< > <= >=; value: unsigned decimal)\n";
+            }
+        } else {
+            std::string err;
+            const uint64_t id = runtime_->debug_break(arg, arg2, arg3, &err);
+            if (id != 0) {
+                if (out_ != nullptr) {
+                    *out_ << "breakpoint #" << id << " armed: " << arg
+                          << " " << arg2 << " " << arg3
+                          << (runtime_->user_location() !=
+                                      Location::Software
+                                  ? " (synthesized into the fabric)"
+                                  : "")
+                          << "\n";
+                }
+            } else if (out_ != nullptr) {
+                *out_ << "cannot break: " << err << "\n";
+            }
+        }
+    } else if (cmd == ":watch") {
+        if (arg.empty()) {
+            if (out_ != nullptr) {
+                *out_ << "usage: :watch <signal>\n";
+            }
+        } else {
+            std::string err;
+            const uint64_t id = runtime_->debug_watch(arg, &err);
+            if (id != 0) {
+                if (out_ != nullptr) {
+                    *out_ << "watchpoint #" << id << " armed on " << arg
+                          << "\n";
+                }
+            } else if (out_ != nullptr) {
+                *out_ << "cannot watch: " << err << "\n";
+            }
+        }
+    } else if (cmd == ":delete") {
+        char* end = nullptr;
+        const unsigned long long id = std::strtoull(arg.c_str(), &end, 10);
+        if (arg.empty() || end == nullptr || *end != '\0') {
+            if (out_ != nullptr) {
+                *out_ << "usage: :delete <point id> (see :debug)\n";
+            }
+        } else if (runtime_->debug_delete(id)) {
+            if (out_ != nullptr) {
+                *out_ << "point #" << id << " deleted\n";
+            }
+        } else if (out_ != nullptr) {
+            *out_ << "no point #" << id << "\n";
+        }
+    } else if (cmd == ":step") {
+        uint64_t n = 1;
+        if (!arg.empty()) {
+            char* end = nullptr;
+            n = std::strtoull(arg.c_str(), &end, 10);
+            if (end == nullptr || *end != '\0' || n == 0) {
+                if (out_ != nullptr) {
+                    *out_ << "usage: :step [n]\n";
+                }
+                return true;
+            }
+        }
+        std::string err;
+        if (runtime_->debug_step(n, &err)) {
+            if (out_ != nullptr) {
+                *out_ << "stepped " << n << " cycle" << (n == 1 ? "" : "s")
+                      << "; now at tick " << runtime_->virtual_ticks()
+                      << "\n";
+            }
+        } else if (out_ != nullptr) {
+            *out_ << "cannot step: " << err << "\n";
+        }
+    } else if (cmd == ":continue") {
+        if (runtime_->debug_continue()) {
+            if (out_ != nullptr) {
+                *out_ << "continuing from tick "
+                      << runtime_->virtual_ticks() << "\n";
+            }
+        } else if (out_ != nullptr) {
+            *out_ << "not halted\n";
+        }
+    } else if (cmd == ":peek") {
+        if (arg.empty()) {
+            if (out_ != nullptr) {
+                *out_ << "usage: :peek <signal>\n";
+            }
+        } else {
+            std::string err;
+            const auto v = runtime_->debug_peek(arg, &err);
+            if (v.has_value()) {
+                if (out_ != nullptr) {
+                    *out_ << arg << " = " << v->to_dec_string() << " (0x"
+                          << v->to_hex_string() << ", " << v->width()
+                          << " bit" << (v->width() == 1 ? "" : "s")
+                          << ")\n";
+                }
+            } else if (out_ != nullptr) {
+                *out_ << "cannot peek: " << err << "\n";
+            }
+        }
+    } else if (cmd == ":debug") {
+        if (out_ != nullptr) {
+            *out_ << runtime_->debug_table();
+        }
     } else if (cmd == ":help") {
         if (out_ != nullptr) {
             *out_ << ":stats          telemetry table (counters, gauges, "
@@ -345,7 +454,7 @@ Repl::run_meta_command(const std::string& line)
                      "JSON\n"
                      ":contention reset zero the contention registry\n"
                      ":monitor <port> serve /metrics /healthz /slo "
-                     "/timeseries /events /requests on 127.0.0.1\n"
+                     "/timeseries /debug /events /requests on 127.0.0.1\n"
                      ":monitor off    stop the monitoring server\n"
                      ":slo            SLO status over the rolling window "
                      "(breached objectives first)\n"
@@ -357,6 +466,17 @@ Repl::run_meta_command(const std::string& line)
                      ":unprobe <sig>  remove a probe\n"
                      ":vcd <file>     start VCD waveform capture "
                      "(GTKWave-compatible)\n"
+                     ":break <sig> <op> <val>  arm a conditional "
+                     "breakpoint (synthesized into the fabric when "
+                     "hardware-resident)\n"
+                     ":watch <signal> arm a value-change watchpoint\n"
+                     ":delete <id>    disarm a break/watch point\n"
+                     ":debug          list armed points and halt state\n"
+                     ":step [n]       while halted: advance n clock "
+                     "cycles (default 1)\n"
+                     ":continue       resume from a halt (re-admits to "
+                     "hardware when compiled)\n"
+                     ":peek <signal>  read one live signal value\n"
                      ":record <file>  record this session's event journal "
                      "(JSONL; fresh sessions only)\n"
                      ":record stop    stop recording\n"

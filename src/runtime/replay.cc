@@ -19,7 +19,9 @@ is_compared(const std::string& type)
            type == "monitor.line" || type == "compile.launch" ||
            type == "compile.done" || type == "compile.rejected" ||
            type == "adopt" || type == "openloop.grant" ||
-           type == "vcd.digest" || type == "finish";
+           type == "vcd.digest" || type == "finish" ||
+           type == "debug.fire" || type == "debug.peek" ||
+           type == "debug.step" || type == "debug.resume";
 }
 
 std::vector<uint8_t>
@@ -290,6 +292,20 @@ replay_into(Runtime* rt, const ReplayLog& log, const ReplayOptions& opts)
             rt->remove_probe(ev.data.get_str("name"));
         } else if (t == "api.profiling") {
             rt->set_profiling(ev.data.get_bool("on"));
+        } else if (t == "api.debug_break") {
+            rt->debug_break(ev.data.get_str("signal"),
+                            ev.data.get_str("op"),
+                            ev.data.get_str("value"));
+        } else if (t == "api.debug_watch") {
+            rt->debug_watch(ev.data.get_str("signal"));
+        } else if (t == "api.debug_delete") {
+            rt->debug_delete(ev.data.get_u64("id"));
+        } else if (t == "api.debug_step") {
+            rt->debug_step(ev.data.get_u64("n"));
+        } else if (t == "api.debug_continue") {
+            rt->debug_continue();
+        } else if (t == "api.debug_peek") {
+            rt->debug_peek(ev.data.get_str("signal"));
         } else {
             continue; // compared or informational: not an input
         }

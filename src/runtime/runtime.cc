@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "fpga/synth.h"
 #include "hypervisor/fabric_manager.h"
 #include "ir/rewrite.h"
 #include "runtime/hw_engine.h"
@@ -509,8 +510,13 @@ Runtime::init_metrics()
     m_.vcd_bytes = telemetry_.counter("vcd.bytes_written");
     m_.monitor_lines = telemetry_.counter("monitor.lines");
     m_.monitor_suppressed = telemetry_.counter("monitor.suppressed");
+    m_.debug_fires = telemetry_.counter("debug.fires");
+    m_.debug_steps = telemetry_.counter("debug.steps");
+    m_.debug_peeks = telemetry_.counter("debug.peeks");
     m_.interrupt_depth = telemetry_.gauge("interrupt.queue_depth");
     m_.fifo_backlog = telemetry_.gauge("fifo.backlog");
+    m_.debug_points = telemetry_.gauge("debug.points");
+    m_.debug_halted = telemetry_.gauge("debug.halted");
     m_.step_ns = telemetry_.histogram("scheduler.step_ns");
     m_.eval_ns = telemetry_.histogram("repl.eval_ns");
     m_.open_loop_batch = telemetry_.histogram("openloop.batch");
@@ -776,6 +782,11 @@ Runtime::rebuild_program(std::string* errors, const char* reason)
     }
     slots_ = std::move(new_slots);
     hw_engine_ = nullptr;
+    // The retired fabric (and any debug instrumentation synthesized into
+    // it) is gone; software-side condition evaluation takes over until
+    // the next adoption re-arms the hardware.
+    hw_rebuild_.reset();
+    hw_debug_armed_.store(false, std::memory_order_relaxed);
     user_location_ = Location::Software;
     ++version_;
     // Falling off hardware hands our fabric slot back; in shared mode
@@ -978,6 +989,14 @@ Runtime::step_body()
     if (finished_) {
         return false;
     }
+    if (debug_halted_.load(std::memory_order_relaxed) && !debug_stepping_) {
+        // Halted at a fired point: the virtual clock is paused, so the
+        // iteration is refused rather than executed. The monitor sampler
+        // still runs — a halted session should read as "paused", not
+        // "hung", on /timeseries.
+        sample_monitor();
+        return !finished_;
+    }
     const double t0 = wall_seconds();
     ++iterations_;
     m_.iterations->inc();
@@ -1074,14 +1093,22 @@ Runtime::window()
     // the last pre-handoff sample and the first post-handoff sample then
     // bracket the transition with continuous values.
     sample_vcd();
+    // Debugger evaluation window: one relaxed atomic load while
+    // disarmed. Runs before the eviction checkpoint because a hardware
+    // fire evicts to software right here — and in replay the recorded
+    // hypervisor.evict for that same iteration then finds the program
+    // already in software and no-ops.
+    if (!finished_ && debugger_.armed()) {
+        debug_eval_window();
+    }
     // Eviction checkpoint: a tenant flagged by the hypervisor falls back
     // to software here, between timesteps, where get_state()/set_state()
     // relocation is safe. Replay re-applies recorded evictions at the
     // same iteration so shared-mode sessions stay deterministic.
     if (!finished_) {
         if (replay_) {
-            if (!replay_schedule_.evictions.empty() &&
-                replay_schedule_.evictions.front() == iterations_) {
+            while (!replay_schedule_.evictions.empty() &&
+                   replay_schedule_.evictions.front() <= iterations_) {
                 replay_schedule_.evictions.pop_front();
                 evict_to_software();
             }
@@ -1097,8 +1124,14 @@ Runtime::window()
     // so between samples this is one wall-clock read.
     sample_monitor();
     // Open-loop free-running skips the per-timestep windows a waveform
-    // dump samples in, so it is suspended while a dump is active.
-    if (!finished_ && options_.enable_open_loop && !vcd_capture_) {
+    // dump samples in, so it is suspended while a dump is active — and
+    // likewise while halted at a fired point, or when debug conditions
+    // are armed but not synthesized into the fabric (software-evaluated
+    // conditions need every window).
+    if (!finished_ && options_.enable_open_loop && !vcd_capture_ &&
+        !debug_halted_.load(std::memory_order_relaxed) &&
+        (!debugger_.armed() ||
+         hw_debug_armed_.load(std::memory_order_relaxed))) {
         run_open_loop();
         // An open-loop batch right after adoption already executed the
         // first hardware ticks; close the request in the same window.
@@ -1116,6 +1149,9 @@ Runtime::run_for_ticks(uint64_t ticks)
     const uint64_t target = virtual_ticks() + ticks;
     uint64_t guard = 0;
     while (virtual_ticks() < target && !finished_) {
+        if (debug_halted_.load(std::memory_order_relaxed)) {
+            break; // halted at a breakpoint: the virtual clock is paused
+        }
         if (!step_internal()) {
             break;
         }
@@ -1134,6 +1170,9 @@ Runtime::run(uint64_t max_iterations)
     journal_.record("api.run",
                     telemetry::JsonWriter().num("n", max_iterations).build());
     for (uint64_t i = 0; i < max_iterations && !finished_; ++i) {
+        if (debug_halted_.load(std::memory_order_relaxed)) {
+            break; // halted at a breakpoint: the virtual clock is paused
+        }
         step_internal();
     }
     return finished_;
@@ -1626,6 +1665,660 @@ Runtime::sample_vcd()
         m_.vcd_bytes->inc(bytes - vcd_bytes_seen_);
         vcd_bytes_seen_ = bytes;
     }
+}
+
+// ---------------------------------------------------------------------------
+// Interactive debugger
+// ---------------------------------------------------------------------------
+
+const BitVector*
+Runtime::debug_read(const std::string& name,
+                    std::map<std::string, BitVector>* cache)
+{
+    const auto cached = cache->find(name);
+    if (cached != cache->end()) {
+        return &cached->second;
+    }
+    const int ni = find_net(name);
+    if (ni >= 0 && nets_[static_cast<size_t>(ni)].has_value) {
+        return &nets_[static_cast<size_t>(ni)].value;
+    }
+    if (Slot* user = user_slot(); user != nullptr && user->engine) {
+        if (auto v = user->engine->peek(name)) {
+            return &cache->emplace(name, std::move(*v)).first->second;
+        }
+    }
+    return nullptr;
+}
+
+uint64_t
+Runtime::debug_break(const std::string& signal, const std::string& op,
+                     const std::string& value, std::string* err)
+{
+    bind_thread_tenant();
+    if (!Debugger::valid_op(op)) {
+        if (err != nullptr) {
+            *err = "unknown comparison '" + op +
+                   "' (use == != < > <= >=)";
+        }
+        return 0;
+    }
+    const auto parsed = BitVector::from_decimal(64, value);
+    if (!parsed.has_value()) {
+        if (err != nullptr) {
+            *err = "bad value '" + value + "' (unsigned decimal)";
+        }
+        return 0;
+    }
+    std::map<std::string, BitVector> cache;
+    if (debug_read(signal, &cache) == nullptr) {
+        if (err != nullptr) {
+            *err = "unknown signal '" + signal + "'";
+        }
+        return 0;
+    }
+    flush_api_steps();
+    const uint64_t seq =
+        journal_.record("api.debug_break", telemetry::JsonWriter()
+                                               .str("signal", signal)
+                                               .str("op", op)
+                                               .str("value", value)
+                                               .build());
+    const uint64_t id = debugger_.add_break(signal, op, *parsed);
+    debug_arm_seq_[id] = seq;
+    m_.debug_points->set(static_cast<int64_t>(debugger_.size()));
+    // Flow arrow from the arming eval to the eventual fire.
+    telemetry::Tracer::global().flow("debug.arm", 's', seq);
+    if (hw_engine_ != nullptr) {
+        std::string derr;
+        if (!rearm_hardware_debug(&derr)) {
+            log_event(LogLevel::Warn, "debug",
+                      "hardware trigger instrumentation unavailable: " +
+                          derr + " (condition evaluates in software; "
+                                 "open loop suspended)");
+        }
+    }
+    log_event(LogLevel::Info, "debug",
+              "breakpoint #" + std::to_string(id) + " armed: " + signal +
+                  " " + op + " " + value);
+    return id;
+}
+
+uint64_t
+Runtime::debug_watch(const std::string& signal, std::string* err)
+{
+    bind_thread_tenant();
+    std::map<std::string, BitVector> cache;
+    if (debug_read(signal, &cache) == nullptr) {
+        if (err != nullptr) {
+            *err = "unknown signal '" + signal + "'";
+        }
+        return 0;
+    }
+    flush_api_steps();
+    const uint64_t seq =
+        journal_.record("api.debug_watch", telemetry::JsonWriter()
+                                               .str("signal", signal)
+                                               .build());
+    const uint64_t id = debugger_.add_watch(signal);
+    debug_arm_seq_[id] = seq;
+    m_.debug_points->set(static_cast<int64_t>(debugger_.size()));
+    telemetry::Tracer::global().flow("debug.arm", 's', seq);
+    if (hw_engine_ != nullptr) {
+        std::string derr;
+        if (!rearm_hardware_debug(&derr)) {
+            log_event(LogLevel::Warn, "debug",
+                      "hardware trigger instrumentation unavailable: " +
+                          derr + " (condition evaluates in software; "
+                                 "open loop suspended)");
+        }
+    }
+    log_event(LogLevel::Info, "debug",
+              "watchpoint #" + std::to_string(id) + " armed on " + signal);
+    return id;
+}
+
+bool
+Runtime::debug_delete(uint64_t id)
+{
+    bind_thread_tenant();
+    flush_api_steps();
+    journal_.record("api.debug_delete",
+                    telemetry::JsonWriter().num("id", id).build());
+    if (!debugger_.remove(id)) {
+        return false;
+    }
+    debug_arm_seq_.erase(id);
+    m_.debug_points->set(static_cast<int64_t>(debugger_.size()));
+    if (hw_engine_ != nullptr) {
+        std::string derr;
+        rearm_hardware_debug(&derr); // drops the point's trigger cell
+    }
+    return true;
+}
+
+bool
+Runtime::debug_step(uint64_t cycles, std::string* err)
+{
+    bind_thread_tenant();
+    if (!debug_halted_.load(std::memory_order_relaxed)) {
+        if (err != nullptr) {
+            *err = "not halted (a :break/:watch must fire first)";
+        }
+        return false;
+    }
+    if (finished_) {
+        if (err != nullptr) {
+            *err = "program finished";
+        }
+        return false;
+    }
+    flush_api_steps();
+    journal_.record("api.debug_step",
+                    telemetry::JsonWriter().num("n", cycles).build());
+    m_.debug_steps->inc(cycles);
+    journal_.record("debug.step", telemetry::JsonWriter()
+                                      .num("n", cycles)
+                                      .num("iteration", iterations_)
+                                      .num("tick", virtual_ticks())
+                                      .build());
+    // Let exactly \p cycles virtual clock cycles through the halt gate.
+    debug_stepping_ = true;
+    const uint64_t target = virtual_ticks() + cycles;
+    uint64_t guard = 0;
+    while (virtual_ticks() < target && !finished_) {
+        step_internal();
+        if (++guard > cycles * 64 + (1u << 20)) {
+            break; // clockless program: nothing will ever tick
+        }
+    }
+    debug_stepping_ = false;
+    return true;
+}
+
+bool
+Runtime::debug_continue()
+{
+    bind_thread_tenant();
+    if (!debug_halted_.load(std::memory_order_relaxed)) {
+        return false;
+    }
+    flush_api_steps();
+    journal_.record("api.debug_continue", telemetry::JsonWriter()
+                                              .num("iteration", iterations_)
+                                              .build());
+    debug_halted_.store(false, std::memory_order_relaxed);
+    m_.debug_halted->set(0);
+    // The halt is a span on this tenant's trace lane, from fire to here.
+    telemetry::Tracer& tracer = telemetry::Tracer::global();
+    const double now_us = tracer.now_us();
+    if (fabric_ != nullptr) {
+        tracer.record_complete_tenant("debug.halt", debug_halt_start_us_,
+                                      now_us - debug_halt_start_us_,
+                                      tenant_);
+    } else {
+        tracer.record_complete("debug.halt", debug_halt_start_us_,
+                               now_us - debug_halt_start_us_, 0);
+    }
+    journal_.record("debug.resume", telemetry::JsonWriter()
+                                        .num("iteration", iterations_)
+                                        .num("tick", virtual_ticks())
+                                        .build());
+    log_event(LogLevel::Info, "debug",
+              "continuing from tick " + std::to_string(virtual_ticks()));
+    // Re-admission is already in flight: the eviction's rebuild
+    // relaunched the background compile, so the normal poll/adopt path
+    // moves the program back to hardware on the next windows.
+    return true;
+}
+
+std::optional<BitVector>
+Runtime::debug_peek(const std::string& signal, std::string* err)
+{
+    bind_thread_tenant();
+    flush_api_steps();
+    journal_.record("api.debug_peek",
+                    telemetry::JsonWriter().str("signal", signal).build());
+    std::map<std::string, BitVector> cache;
+    const BitVector* v = debug_read(signal, &cache);
+    if (v == nullptr) {
+        if (err != nullptr) {
+            *err = "unknown signal '" + signal + "'";
+        }
+        return std::nullopt;
+    }
+    m_.debug_peeks->inc();
+    // Compared on replay: a replayed peek cross-checks the recorded
+    // value, so state divergence surfaces at the first peek.
+    journal_.record("debug.peek",
+                    telemetry::JsonWriter()
+                        .str("signal", signal)
+                        .str("value", "0x" + v->to_hex_string())
+                        .num("width", v->width())
+                        .num("tick", virtual_ticks())
+                        .build());
+    return *v;
+}
+
+void
+Runtime::debug_eval_window()
+{
+    std::map<std::string, BitVector> cache;
+    const bool hw_armed = hw_debug_armed_.load(std::memory_order_relaxed);
+    if (!hw_armed) {
+        // Pre-trigger ring: mirror the probed signals each window. While
+        // the triggers live in the fabric its own capture ring records
+        // instead (these windows never see open-loop cycles anyway).
+        sample_debug_ring(&cache);
+    }
+    std::optional<Debugger::Fire> fire;
+    bool hw_fire = false;
+    if (hw_armed && hw_engine_ != nullptr) {
+        const uint64_t id = hw_engine_->debug_fired();
+        if (id != 0) {
+            const auto point = debugger_.note_fire(id);
+            if (point.has_value()) {
+                Debugger::Fire f;
+                f.id = id;
+                f.kind = point->kind;
+                f.signal = point->signal;
+                if (auto v = hw_engine_->peek(point->signal)) {
+                    f.value = std::move(*v);
+                }
+                fire = std::move(f);
+                hw_fire = true;
+            }
+        }
+    } else {
+        fire = debugger_.evaluate(
+            [this, &cache](const std::string& name) {
+                return debug_read(name, &cache);
+            });
+    }
+    if (fire.has_value()) {
+        handle_debug_fire(*fire, hw_fire);
+    }
+}
+
+void
+Runtime::handle_debug_fire(const Debugger::Fire& fire, bool hw_fire)
+{
+    const bool was_halted =
+        debug_halted_.load(std::memory_order_relaxed);
+    const char* kind =
+        fire.kind == Debugger::Kind::Watch ? "watch" : "break";
+    // Replay compares this event: a fire is pinned by its recorded
+    // iteration, exactly like an eviction. The payload stays value-free
+    // except the signal identity (values are cross-checked by peeks).
+    journal_.record("debug.fire", telemetry::JsonWriter()
+                                      .num("id", fire.id)
+                                      .str("kind", kind)
+                                      .str("signal", fire.signal)
+                                      .num("iteration", iterations_)
+                                      .num("tick", virtual_ticks())
+                                      .str("origin", hw_fire ? "hw" : "sw")
+                                      .build());
+    m_.debug_fires->inc();
+    telemetry::Tracer& tracer = telemetry::Tracer::global();
+    tracer.instant("debug.fire", fire.id);
+    const auto arm = debug_arm_seq_.find(fire.id);
+    if (arm != debug_arm_seq_.end()) {
+        // Close the causal arrow opened when the point was armed.
+        tracer.flow("debug.arm", 'f', arm->second);
+    }
+    std::string line = "debug: ";
+    line += fire.kind == Debugger::Kind::Watch ? "watchpoint #"
+                                               : "breakpoint #";
+    line += std::to_string(fire.id) + " fired on " + fire.signal;
+    if (fire.value.width() != 0) {
+        line += " (value 0x" + fire.value.to_hex_string() + ")";
+    }
+    line += " at tick " + std::to_string(virtual_ticks()) +
+            (hw_fire ? " [hardware]" : "") + "\n";
+    interrupt_queue_.push_back(std::move(line));
+    m_.interrupts->inc();
+    if (was_halted) {
+        // Fired while single-stepping: report it, stay halted.
+        flush_interrupts();
+        return;
+    }
+    // Dump the pre-trigger window before any eviction tears the fabric
+    // (and its capture ring) down.
+    dump_debug_window(hw_fire);
+    debug_halt_start_us_ = tracer.now_us();
+    debug_halted_.store(true, std::memory_order_relaxed);
+    m_.debug_halted->set(1);
+    log_event(LogLevel::Info, "debug",
+              std::string(kind) + "point #" + std::to_string(fire.id) +
+                  " fired on " + fire.signal + " at iteration " +
+                  std::to_string(iterations_) +
+                  (hw_fire ? " (hardware trigger; evicting to software "
+                             "for cycle-stepping)"
+                           : ""));
+    if (user_location_ != Location::Software && !finished_) {
+        // Cooperative eviction over the state-transfer ABI: the user
+        // cycle-steps in the interpreter; :continue re-admits via the
+        // compile the rebuild relaunches.
+        evict_to_software();
+        // The fabric already reported this edge; re-baseline the
+        // software evaluator so the same condition does not fire again
+        // on the next window.
+        std::map<std::string, BitVector> cache;
+        debugger_.prime([this, &cache](const std::string& name) {
+            return debug_read(name, &cache);
+        });
+    }
+    flush_interrupts();
+}
+
+void
+Runtime::sample_debug_ring(std::map<std::string, BitVector>* cache)
+{
+    // Signal set: the frozen VCD probes when a dump is active (same
+    // order, so the dumped window's identifier codes byte-match the main
+    // file's), else explicit probes, else the armed signals themselves.
+    std::vector<std::string> names;
+    if (vcd_declared_) {
+        names.reserve(vcd_probes_.size());
+        for (const Probe& p : vcd_probes_) {
+            names.push_back(p.name);
+        }
+    } else if (!probe_names_.empty()) {
+        names = probe_names_;
+        std::sort(names.begin(), names.end());
+        names.erase(std::unique(names.begin(), names.end()), names.end());
+    } else {
+        for (const auto& p : debugger_.points()) {
+            names.push_back(p.signal);
+        }
+        std::sort(names.begin(), names.end());
+        names.erase(std::unique(names.begin(), names.end()), names.end());
+    }
+    if (names != debug_ring_.names) {
+        debug_ring_.reset();
+        debug_ring_.names = std::move(names);
+    }
+    CaptureRing::Sample sample;
+    sample.time = clock_toggles_;
+    if (vcd_declared_) {
+        // Identical gather as sample_vcd() in this same window, so the
+        // ring's values (and the change records they render to) equal
+        // the main dump's.
+        std::vector<BitVector> storage;
+        gather_vcd_values(&storage);
+        sample.values = std::move(storage);
+    } else {
+        sample.values.reserve(debug_ring_.names.size());
+        for (const std::string& name : debug_ring_.names) {
+            const BitVector* v = debug_read(name, cache);
+            sample.values.push_back(v != nullptr ? *v : BitVector());
+        }
+    }
+    debug_ring_.push(sample.time, std::move(sample.values));
+}
+
+void
+Runtime::dump_debug_window(bool hw_fire)
+{
+    sim::VcdWriter window;
+    std::string err;
+    if (!window.open(debug_window_path_, &err)) {
+        log_event(LogLevel::Warn, "debug",
+                  "pre-trigger window dump failed: " + err);
+        return;
+    }
+    size_t samples = 0;
+    const bool use_hw_ring = hw_fire && hw_engine_ != nullptr &&
+                             !hw_engine_->debug_ring().empty();
+    if (use_hw_ring) {
+        // The fabric's capture ring: probed outputs of the instrumented
+        // twin, timestamped in fabric cycles.
+        const auto& probes = hw_engine_->debug_probes();
+        for (const auto& p : probes) {
+            window.declare(p.name, p.width);
+        }
+        for (const auto& s : hw_engine_->debug_ring()) {
+            std::vector<const BitVector*> values;
+            values.reserve(s.values.size());
+            for (const BitVector& v : s.values) {
+                values.push_back(&v);
+            }
+            window.sample(s.cycle, values);
+            ++samples;
+        }
+    } else {
+        // The runtime's mirror ring (virtual-clock timestamps).
+        for (size_t i = 0; i < debug_ring_.names.size(); ++i) {
+            uint32_t width = 1;
+            for (const auto& s : debug_ring_.samples) {
+                if (i < s.values.size() && s.values[i].width() != 0) {
+                    width = s.values[i].width();
+                    break;
+                }
+            }
+            window.declare(debug_ring_.names[i], width);
+        }
+        for (const auto& s : debug_ring_.samples) {
+            std::vector<const BitVector*> values;
+            values.reserve(s.values.size());
+            for (const BitVector& v : s.values) {
+                values.push_back(v.width() != 0 ? &v : nullptr);
+            }
+            window.sample(s.time, values);
+            ++samples;
+        }
+    }
+    window.flush();
+    window.close();
+    // Info-class provenance (not compared: the digest covers wall-free
+    // content, but the event exists only on sessions that dump).
+    journal_.record("debug.window",
+                    telemetry::JsonWriter()
+                        .str("path", debug_window_path_)
+                        .num("samples", samples)
+                        .str("source", use_hw_ring ? "hw" : "sw")
+                        .str("digest", file_digest_hex(debug_window_path_))
+                        .build());
+    interrupt_queue_.push_back("debug: pre-trigger window (" +
+                               std::to_string(samples) + " samples) -> " +
+                               debug_window_path_ + "\n");
+    m_.interrupts->inc();
+}
+
+bool
+Runtime::rearm_hardware_debug(std::string* err)
+{
+    hw_debug_armed_.store(false, std::memory_order_relaxed);
+    if (hw_engine_ == nullptr || !hw_rebuild_.has_value()) {
+        if (err != nullptr) {
+            *err = "no rebuildable hardware engine";
+        }
+        return false;
+    }
+    Slot* user = user_slot();
+    if (user == nullptr || user->engine.get() != hw_engine_) {
+        if (err != nullptr) {
+            *err = "user slot is not the hardware engine";
+        }
+        return false;
+    }
+    const auto points = debugger_.points();
+    std::vector<fpga::DebugTriggerSpec> specs;
+    specs.reserve(points.size());
+    for (const auto& p : points) {
+        fpga::DebugTriggerSpec spec;
+        spec.id = p.id;
+        spec.signal = p.signal;
+        spec.watch = p.kind == Debugger::Kind::Watch;
+        spec.op = p.op;
+        spec.value = p.value;
+        specs.push_back(std::move(spec));
+    }
+    // Ring probes: the explicit probe set if any, else the armed signals.
+    std::vector<std::string> probes = probe_names_;
+    if (probes.empty()) {
+        for (const auto& p : points) {
+            probes.push_back(p.signal);
+        }
+    }
+    std::sort(probes.begin(), probes.end());
+    probes.erase(std::unique(probes.begin(), probes.end()), probes.end());
+
+    std::unique_ptr<fpga::Bitstream> fabric;
+    std::vector<fpga::Bitstream::DebugTrigger> triggers;
+    std::vector<fpga::Bitstream::DebugProbe> ring_probes;
+    if (!specs.empty()) {
+        std::string ierr;
+        fpga::DebugInstrumented inst = fpga::instrument_debug_triggers(
+            *hw_rebuild_->netlist, specs, probes, &ierr);
+        if (inst.netlist == nullptr) {
+            if (err != nullptr) {
+                *err = ierr;
+            }
+            return false;
+        }
+        std::shared_ptr<const fpga::Netlist> twin(std::move(inst.netlist));
+        fabric = std::make_unique<fpga::Bitstream>(twin);
+        for (size_t i = 0; i < specs.size(); ++i) {
+            fpga::Bitstream::DebugTrigger t;
+            t.id = specs[i].id;
+            t.output = static_cast<int>(inst.trigger_outputs[i]);
+            t.watch = specs[i].watch;
+            triggers.push_back(std::move(t));
+        }
+        for (size_t i = 0; i < inst.probe_names.size(); ++i) {
+            fpga::Bitstream::DebugProbe p;
+            p.name = inst.probe_names[i];
+            p.output = static_cast<int>(inst.probe_outputs[i]);
+            p.width = inst.probe_widths[i];
+            ring_probes.push_back(std::move(p));
+        }
+        fabric->arm_debug(triggers, ring_probes, debug_ring_.depth);
+    } else {
+        // Last point deleted: swap back to the uninstrumented twin.
+        fabric = std::make_unique<fpga::Bitstream>(hw_rebuild_->netlist);
+    }
+
+    // Hot-swap the engine around the new fabric: the same name-based
+    // state transfer as an adoption, minus the slot rebuild.
+    size_t slot_index = 0;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        if (&slots_[i] == user) {
+            slot_index = i;
+            break;
+        }
+    }
+    sim::StateSnapshot snap = user->engine->get_state();
+    auto e = std::make_unique<HwEngine>(
+        std::move(fabric), hw_rebuild_->map, hw_rebuild_->port_names,
+        hw_rebuild_->port_is_input, this, hw_rebuild_->clock_mhz,
+        options_.mmio_latency_s);
+    HwEngine* hw = e.get();
+    user->engine = std::move(e);
+    hw_engine_ = hw;
+    // Re-deliver current input levels (clock phase, pads); any spurious
+    // edge is neutralized by the state restore, as at adoption.
+    for (Net& net : nets_) {
+        if (!net.has_value) {
+            continue;
+        }
+        for (const auto& [s, p] : net.readers) {
+            if (s == slot_index) {
+                slots_[s].engine->read({p, net.value});
+            }
+        }
+    }
+    if (hw->there_are_updates()) {
+        hw->update();
+    }
+    hw->set_state(snap);
+    hw->discard_pending_tasks();
+    hw->set_profiling(options_.profiling);
+    hw_debug_armed_.store(!triggers.empty(), std::memory_order_relaxed);
+    journal_.record("debug.rearm",
+                    telemetry::JsonWriter()
+                        .num("triggers", triggers.size())
+                        .num("probes", ring_probes.size())
+                        .boolean("armed", !triggers.empty())
+                        .build());
+    log_event(LogLevel::Info, "debug",
+              !triggers.empty()
+                  ? "fabric re-armed with " +
+                        std::to_string(triggers.size()) +
+                        " synthesized trigger cell(s), " +
+                        std::to_string(ring_probes.size()) +
+                        " capture-ring probe(s)"
+                  : "fabric debug instrumentation removed");
+    return true;
+}
+
+std::string
+Runtime::debug_table() const
+{
+    const auto points = debugger_.points();
+    std::string out;
+    out += "debugger: ";
+    out += debug_halted_.load(std::memory_order_relaxed)
+               ? "HALTED at tick " + std::to_string(virtual_ticks())
+               : "running";
+    out += hw_debug_armed_.load(std::memory_order_relaxed)
+               ? " (triggers in fabric)"
+               : "";
+    out += "\n";
+    if (points.empty()) {
+        out += "  no points armed (:break <sig> <op> <val>, "
+               ":watch <sig>)\n";
+        return out;
+    }
+    for (const auto& p : points) {
+        out += "  #" + std::to_string(p.id);
+        if (p.kind == Debugger::Kind::Watch) {
+            out += " watch " + p.signal;
+        } else {
+            out += " break " + p.signal + " " + p.op + " " +
+                   p.value.to_dec_string();
+        }
+        out += " [hits " + std::to_string(p.hits) + "]\n";
+    }
+    return out;
+}
+
+std::string
+Runtime::debug_json() const
+{
+    // Thread-safe: the monitor server calls this off-thread (the point
+    // table is snapshotted under the debugger's lock, the rest is
+    // atomics).
+    const auto points = debugger_.points();
+    telemetry::JsonWriter w;
+    w.str("schema", "cascade.debug.v1");
+    w.boolean("halted", debug_halted_.load(std::memory_order_relaxed));
+    w.boolean("hw_armed",
+              hw_debug_armed_.load(std::memory_order_relaxed));
+    w.num("fires", debugger_.total_fires());
+    w.num("points", points.size());
+    std::string items = "[";
+    bool first = true;
+    for (const auto& p : points) {
+        telemetry::JsonWriter pw;
+        pw.num("id", p.id);
+        pw.str("kind", p.kind == Debugger::Kind::Watch ? "watch"
+                                                       : "break");
+        pw.str("signal", p.signal);
+        if (p.kind == Debugger::Kind::Break) {
+            pw.str("op", p.op);
+            pw.str("value", p.value.to_dec_string());
+        }
+        pw.num("hits", p.hits);
+        if (!first) {
+            items += ",";
+        }
+        first = false;
+        items += pw.build();
+    }
+    items += "]";
+    w.raw("table", items);
+    return w.build();
 }
 
 // ---------------------------------------------------------------------------
@@ -2428,6 +3121,34 @@ Runtime::adopt_hardware(CompileOutcome outcome,
                   std::to_string(iterations_));
     telemetry::Tracer::global().instant("transition.sw_to_hw",
                                         outcome.version);
+    // Debugger support: keep everything needed to rebuild this engine
+    // around an instrumented bitstream (the compiled netlist is
+    // cache-shared and const — arming a trigger synthesizes comparator
+    // cells into a copy and hot-swaps the engine). Native engines run
+    // uninstrumented by definition, so conditions on them stay in
+    // software.
+    if (hw != nullptr && outcome.result.netlist != nullptr) {
+        HwRebuildInfo info;
+        info.netlist = outcome.result.netlist;
+        info.map = outcome.map;
+        info.port_names = port_names;
+        info.port_is_input = port_is_input;
+        info.clock_mhz = actual_clock_mhz;
+        hw_rebuild_ = std::move(info);
+        if (debugger_.armed()) {
+            std::string derr;
+            if (!rearm_hardware_debug(&derr)) {
+                log_event(LogLevel::Warn, "debug",
+                          "hardware trigger instrumentation unavailable: " +
+                              derr +
+                              " (conditions evaluate in software; "
+                              "open loop suspended)");
+            }
+        }
+    } else {
+        hw_rebuild_.reset();
+        hw_debug_armed_.store(false, std::memory_order_relaxed);
+    }
     // The hardware attribution window opens now: ticks from here on
     // execute on the fabric (any spurious adoption-time fabric edges
     // above are invisible to tick-based attribution).
@@ -3009,6 +3730,9 @@ Runtime::sample_monitor()
         "runtime.resident", t,
         user_location_ != Location::Software ? 1.0 : 0.0);
     timeseries_.sample(
+        "runtime.halted", t,
+        debug_halted_.load(std::memory_order_relaxed) ? 1.0 : 0.0);
+    timeseries_.sample(
         "service.queue_depth", t,
         static_cast<double>(compile_service_->queued_jobs()));
     timeseries_.sample("service.cache_hit_rate", t,
@@ -3069,8 +3793,21 @@ Runtime::start_monitor(uint16_t port, std::string* err)
         out += "}\n";
         return out;
     });
-    server->handle("/timeseries", "application/json",
-                   [this] { return timeseries_json(); });
+    server->handle("/timeseries", "application/json", [this] {
+        // While halted at a debugger point the scheduler — and with it
+        // the in-window sampler — is parked, which used to flatline the
+        // series mid-halt. Heartbeat from the scrape itself instead:
+        // TimeSeries is internally locked, so the server thread may
+        // sample concurrently with the scheduler.
+        if (debug_halted_.load(std::memory_order_relaxed)) {
+            const double t = wall_seconds() - monitor_epoch_wall_;
+            timeseries_.sample("runtime.halted", t, 1.0);
+            timeseries_.sample("runtime.ticks_per_s", t, 0.0);
+        }
+        return timeseries_json();
+    });
+    server->handle("/debug", "application/json",
+                   [this] { return debug_json(); });
     server->handle("/requests", "application/x-ndjson",
                    [this] { return requests_ndjson(); });
     server->attach_journal(&journal_);

@@ -9,6 +9,7 @@
 #ifndef CASCADE_RUNTIME_RUNTIME_H
 #define CASCADE_RUNTIME_RUNTIME_H
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <map>
@@ -21,6 +22,7 @@
 #include "fpga/compile.h"
 #include "ir/hw_wrapper.h"
 #include "ir/subprogram.h"
+#include "runtime/debugger.h"
 #include "runtime/engine.h"
 #include "sim/vcd.h"
 #include "telemetry/export.h"
@@ -212,6 +214,70 @@ class Runtime : public EngineCallbacks {
     /// time — so a program can start on the simulated fabric at tick 0.
     /// Returns true once the user subprogram left software.
     bool wait_for_hardware(double timeout_s = 10.0);
+    /// @}
+
+    /// @{ Interactive debugger (README §Interactive debugging, REPL
+    /// :break/:watch/:step/:continue/:peek). Conditions are named-signal
+    /// breakpoints and value-change watchpoints, evaluated uniformly
+    /// across engines: in software they are checked once per
+    /// inter-timestep window behind a single relaxed atomic load (zero
+    /// cost while disarmed); while the program is hardware-resident the
+    /// synthesis path emits an ILA-style instrumented twin — trigger
+    /// comparator cells on the watched nets plus a bounded pre-trigger
+    /// capture ring — and a fabric fire cooperatively evicts the program
+    /// to software over the state-transfer ABI so stepping is
+    /// cycle-accurate in the interpreter. A fire pauses the virtual
+    /// clock: the scheduler holds at the halted iteration (open-loop
+    /// grants suspended, like VCD capture) until debug_step()/
+    /// debug_continue(). All fires/steps/peeks are journaled, so a
+    /// recorded debug session replays deterministically.
+
+    /// Arms `signal op value` (op: == != < > <= >=; value: unsigned
+    /// decimal, resized to the signal's width). Returns the point id, or
+    /// 0 with *err set.
+    uint64_t debug_break(const std::string& signal, const std::string& op,
+                         const std::string& value,
+                         std::string* err = nullptr);
+    /// Arms a value-change watchpoint. Returns the point id, or 0.
+    uint64_t debug_watch(const std::string& signal,
+                         std::string* err = nullptr);
+    /// Disarms one point by id. False if no such point.
+    bool debug_delete(uint64_t id);
+    /// While halted: advances exactly \p cycles virtual clock cycles,
+    /// then re-halts. No-op (false + *err) when not halted.
+    bool debug_step(uint64_t cycles = 1, std::string* err = nullptr);
+    /// Releases the halt; execution (and hardware re-admission, if a
+    /// compile is pending) resumes on the next scheduler call.
+    bool debug_continue();
+    /// Live value of one signal at honest cost (interpreter map lookup
+    /// in software, one MMIO readback in hardware). Journaled as a
+    /// compared `debug.peek` event, so a replayed peek cross-checks the
+    /// recorded value.
+    std::optional<BitVector> debug_peek(const std::string& signal,
+                                        std::string* err = nullptr);
+    bool debug_halted() const
+    {
+        return debug_halted_.load(std::memory_order_relaxed);
+    }
+    Debugger& debugger() { return debugger_; }
+    /// True when trigger comparator cells are live in the fabric twin.
+    bool hw_debug_armed() const
+    {
+        return hw_debug_armed_.load(std::memory_order_relaxed);
+    }
+    /// Where a fired point's pre-trigger window is dumped (VCD).
+    void set_debug_window_path(const std::string& path)
+    {
+        debug_window_path_ = path;
+    }
+    const std::string& debug_window_path() const
+    {
+        return debug_window_path_;
+    }
+    /// Human-readable point table (the REPL's :debug view).
+    std::string debug_table() const;
+    /// {"schema":"cascade.debug.v1"} snapshot (GET /debug). Thread-safe.
+    std::string debug_json() const;
     /// @}
 
     /// @{ Telemetry (see README.md §Observability).
@@ -610,6 +676,39 @@ class Runtime : public EngineCallbacks {
     /// True if \p name resolves to a net or user register right now.
     bool signal_exists(const std::string& name) const;
 
+    /// @{ Debugger internals (see the public block above).
+    /// Armed-condition evaluation hook, called once per inter-timestep
+    /// window when debugger_.armed(): samples the pre-trigger ring,
+    /// evaluates software conditions (or drains the fabric's trigger
+    /// state while hw_debug_armed_), and dispatches fires.
+    void debug_eval_window();
+    /// One fired point: journals `debug.fire`, posts the operator line,
+    /// dumps the pre-trigger window, halts the virtual clock, and — on a
+    /// hardware-origin fire — evicts to software so stepping is
+    /// cycle-accurate in the interpreter.
+    void handle_debug_fire(const Debugger::Fire& fire, bool hw_fire);
+    /// Writes the pre-trigger capture ring (fabric ring on a hardware
+    /// fire, the runtime's mirror ring otherwise) to debug_window_path_.
+    void dump_debug_window(bool hw_fire);
+    /// Pushes one sample of the probed signal set into debug_ring_.
+    /// Mirrors the frozen VCD probe set when a dump is active (same
+    /// signal order, so a dumped window byte-matches the main file's
+    /// tail), else explicit probes, else the armed signals.
+    void sample_debug_ring(std::map<std::string, BitVector>* cache);
+    /// Swaps the resident hardware engine for an instrumented twin
+    /// (trigger comparator cells + capture ring) — or back to a plain
+    /// one when the last point is deleted — rebuilding from
+    /// hw_rebuild_ with name-based state transfer. False + *err when
+    /// instrumentation is unavailable (condition evaluation then falls
+    /// back to per-window software reads with open loop suspended).
+    bool rearm_hardware_debug(std::string* err);
+    /// Name lookup for condition evaluation / :peek: global nets first,
+    /// then the user engine's peek ABI (\p cache owns engine readbacks
+    /// so repeated lookups in one window cost one MMIO read).
+    const BitVector* debug_read(const std::string& name,
+                                std::map<std::string, BitVector>* cache);
+    /// @}
+
     /// Cached handles into telemetry_ so hot-path recording is a single
     /// relaxed atomic op (no name lookup). Initialized in the ctor.
     struct Metrics {
@@ -632,8 +731,13 @@ class Runtime : public EngineCallbacks {
         telemetry::Counter* vcd_bytes = nullptr;
         telemetry::Counter* monitor_lines = nullptr;
         telemetry::Counter* monitor_suppressed = nullptr;
+        telemetry::Counter* debug_fires = nullptr;
+        telemetry::Counter* debug_steps = nullptr;
+        telemetry::Counter* debug_peeks = nullptr;
         telemetry::Gauge* interrupt_depth = nullptr;
         telemetry::Gauge* fifo_backlog = nullptr;
+        telemetry::Gauge* debug_points = nullptr;
+        telemetry::Gauge* debug_halted = nullptr;
         telemetry::Histogram* step_ns = nullptr;
         telemetry::Histogram* eval_ns = nullptr;
         telemetry::Histogram* open_loop_batch = nullptr;
@@ -721,6 +825,39 @@ class Runtime : public EngineCallbacks {
     class ClockEngine* clock_engine_ = nullptr;
     class HwEngine* hw_engine_ = nullptr;
     class NativeEngine* native_engine_ = nullptr;
+
+    // Interactive-debugger state.
+    Debugger debugger_;
+    /// Virtual clock paused at a fired point (read by the monitor
+    /// thread for GET /debug and the halted heartbeat).
+    std::atomic<bool> debug_halted_{false};
+    /// Inside debug_step(): the halt gate lets exactly the requested
+    /// cycles through.
+    bool debug_stepping_ = false;
+    /// The resident hardware engine carries synthesized trigger cells
+    /// (conditions fire in the fabric; the runtime only drains state).
+    std::atomic<bool> hw_debug_armed_{false};
+    /// Software-side pre-trigger capture ring (hardware keeps its own).
+    CaptureRing debug_ring_;
+    std::string debug_window_path_ = "cascade-debug-window.vcd";
+    /// Point id -> journal seq of its arming event (flow arrows from
+    /// arming eval to fire on the trace timeline).
+    std::map<uint64_t, uint64_t> debug_arm_seq_;
+    /// Tracer timestamp at the halting fire (closes a "debug.halt" span
+    /// at debug_continue()).
+    double debug_halt_start_us_ = 0;
+    /// Everything needed to rebuild the user hardware engine around a
+    /// new bitstream without a recompile (captured at adoption): the
+    /// cache-shared compiled netlist is never mutated — the debugger
+    /// instruments a copy and hot-swaps the engine.
+    struct HwRebuildInfo {
+        std::shared_ptr<const fpga::Netlist> netlist;
+        ir::WrapperMap map;
+        std::vector<std::string> port_names;
+        std::vector<bool> port_is_input;
+        double clock_mhz = 0;
+    };
+    std::optional<HwRebuildInfo> hw_rebuild_;
 
     /// Adaptive open-loop batch size (§4.4).
     uint64_t open_loop_batch_ = 0;

@@ -37,6 +37,12 @@ class SwEngine : public Engine, private sim::SystemTaskHandler {
     bool finished() const override;
     bool is_hardware() const override { return hardware_resident_; }
 
+    std::optional<BitVector> peek(const std::string& name) override
+    {
+        const BitVector* v = interp_.find(name);
+        return v != nullptr ? std::optional<BitVector>(*v) : std::nullopt;
+    }
+
     const verilog::ElaboratedModule& module() const
     {
         return interp_.module();

@@ -1294,6 +1294,13 @@ ModuleInterpreter::get(uint32_t net_id) const
     return values_[net_id];
 }
 
+const BitVector*
+ModuleInterpreter::find(const std::string& name) const
+{
+    const auto it = em_->net_index.find(name);
+    return it == em_->net_index.end() ? nullptr : &values_[it->second];
+}
+
 void
 ModuleInterpreter::set_input(const std::string& name, const BitVector& value)
 {

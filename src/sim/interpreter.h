@@ -119,6 +119,9 @@ class ModuleInterpreter {
     /// @{ Value access by net name (ports, regs, wires alike).
     const BitVector& get(const std::string& name) const;
     const BitVector& get(uint32_t net_id) const;
+    /// Like get(), but returns nullptr for unknown names (debugger
+    /// `:peek`/condition evaluation probes speculatively).
+    const BitVector* find(const std::string& name) const;
     /// Drives an input port (or any net) from outside; triggers edge
     /// detection and marks dependents for re-evaluation.
     void set_input(const std::string& name, const BitVector& value);

@@ -6,10 +6,14 @@
 /// repository: it pins the interpreter, the synthesizer, the constant
 /// folder, the canonicalizer, and the bitstream evaluator to one another.
 
+#include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <random>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -130,25 +134,68 @@ gen_module(uint64_t seed)
     return src.str();
 }
 
+/// Cap on retained repro bundles: an unattended fuzz loop (or a broken
+/// build failing every seed) would otherwise grow repro/ without bound.
+constexpr size_t kMaxRepros = 20;
+
+/// Keeps only the newest kMaxRepros .v/.jsonl bundles under repro/ (by
+/// file mtime, the fuzzer's discovery order). Every dropped bundle is
+/// recorded in \p journal as a `repro.pruned` event, so the ring that
+/// ships with the surviving repro says what was discarded and when.
+void
+prune_repros(telemetry::Journal* journal)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    std::vector<std::pair<fs::file_time_type, fs::path>> bundles;
+    for (const auto& entry : fs::directory_iterator("repro", ec)) {
+        if (entry.path().extension() == ".v") {
+            bundles.emplace_back(fs::last_write_time(entry.path(), ec),
+                                 entry.path());
+        }
+    }
+    if (bundles.size() <= kMaxRepros) {
+        return;
+    }
+    std::sort(bundles.begin(), bundles.end()); // oldest first
+    const size_t excess = bundles.size() - kMaxRepros;
+    for (size_t i = 0; i < excess; ++i) {
+        fs::path verilog = bundles[i].second;
+        fs::path ring = verilog;
+        ring.replace_extension(".jsonl");
+        fs::remove(verilog, ec);
+        fs::remove(ring, ec);
+        journal->record("repro.pruned",
+                        telemetry::JsonWriter()
+                            .str("file", verilog.filename().string())
+                            .num("kept", kMaxRepros)
+                            .build());
+    }
+}
+
 /// On a mismatch, preserves everything needed to reproduce the failure
 /// offline: the generated module and a `cascade.events.v1` journal of the
 /// stimulus that exposed it, under repro/ in the test's working directory
 /// (build/tests/repro under ctest; CI uploads it as an artifact).
 std::string
 write_repro(uint64_t seed, const std::string& src,
-            const telemetry::Journal& journal)
+            telemetry::Journal* journal)
 {
     std::error_code ec;
     std::filesystem::create_directories("repro", ec);
     const std::string base = "repro/fuzz_" + std::to_string(seed);
     std::ofstream(base + ".v") << src;
+    // Prune after writing so the fresh bundle is the newest of the
+    // survivors, then dump the ring (which now also carries any
+    // repro.pruned events from this pass).
+    prune_repros(journal);
     std::string err;
-    journal.write_ring(base + ".jsonl",
-                       telemetry::JsonWriter()
-                           .str("kind", "fuzz_differential")
-                           .num("seed", seed)
-                           .build(),
-                       &err);
+    journal->write_ring(base + ".jsonl",
+                        telemetry::JsonWriter()
+                            .str("kind", "fuzz_differential")
+                            .num("seed", seed)
+                            .build(),
+                        &err);
     return base;
 }
 
@@ -219,7 +266,7 @@ TEST_P(FuzzDifferential, InterpreterMatchesNetlist)
                                .num("hw", hw.output(out).to_uint64())
                                .build());
             const std::string base =
-                write_repro(GetParam(), src, journal);
+                write_repro(GetParam(), src, &journal);
             FAIL() << "cycle " << cycle << " output " << out << ": sw="
                    << sw.get(out).to_uint64()
                    << " hw=" << hw.output(out).to_uint64()
@@ -235,6 +282,65 @@ TEST_P(FuzzDifferential, InterpreterMatchesNetlist)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential,
                          ::testing::Range<uint64_t>(1, 41));
+
+/// The repro directory is bounded: seed it past the cap, prune, and
+/// exactly kMaxRepros bundles survive -- the newest ones -- with every
+/// eviction journaled as repro.pruned.
+TEST(ReproPrune, KeepsNewestBundles)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::remove_all("repro", ec);
+    fs::create_directories("repro", ec);
+
+    // Seed kMaxRepros + 5 bundles with strictly increasing mtimes
+    // (explicit timestamps: no sleeping on filesystem granularity).
+    const auto now = fs::file_time_type::clock::now();
+    for (size_t i = 0; i < kMaxRepros + 5; ++i) {
+        const std::string base = "repro/fuzz_" + std::to_string(9000 + i);
+        std::ofstream(base + ".v") << "// seeded bundle\n";
+        std::ofstream(base + ".jsonl") << "{}\n";
+        fs::last_write_time(base + ".v",
+                            now - std::chrono::seconds(1000 - i), ec);
+    }
+
+    telemetry::Journal journal(64);
+    prune_repros(&journal);
+
+    size_t survivors = 0;
+    bool oldest_gone = true;
+    for (const auto& entry : fs::directory_iterator("repro", ec)) {
+        if (entry.path().extension() != ".v") {
+            continue;
+        }
+        ++survivors;
+        const std::string name = entry.path().filename().string();
+        // The five oldest (9000..9004) must be the ones evicted.
+        for (size_t i = 0; i < 5; ++i) {
+            if (name == "fuzz_" + std::to_string(9000 + i) + ".v") {
+                oldest_gone = false;
+            }
+        }
+    }
+    EXPECT_EQ(survivors, kMaxRepros);
+    EXPECT_TRUE(oldest_gone);
+
+    // The evictions are on the record: dump the ring and count them.
+    const std::string ring_path = "repro/prune_audit.jsonl";
+    std::string err;
+    ASSERT_TRUE(journal.write_ring(ring_path, "{}", &err)) << err;
+    std::ifstream in(ring_path);
+    std::string line;
+    size_t pruned_events = 0;
+    while (std::getline(in, line)) {
+        if (line.find("\"repro.pruned\"") != std::string::npos) {
+            ++pruned_events;
+        }
+    }
+    EXPECT_EQ(pruned_events, 5u);
+
+    fs::remove_all("repro", ec);
+}
 
 } // namespace
 } // namespace cascade

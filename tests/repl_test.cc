@@ -195,8 +195,10 @@ TEST(ReplMeta, HelpListsEveryCommand)
           ":top", ":requests", ":requests json", ":why <id>",
           ":contention", ":contention json", ":contention reset",
           ":monitor <port>", ":monitor off", ":slo", ":slo json",
-          ":trace", ":probe", ":unprobe", ":vcd", ":record",
-          ":record stop", ":replay", ":help"}) {
+          ":trace", ":probe", ":unprobe", ":vcd",
+          ":break <sig> <op> <val>", ":watch <signal>", ":delete <id>",
+          ":debug", ":step [n]", ":continue", ":peek <signal>",
+          ":record", ":record stop", ":replay", ":help"}) {
         EXPECT_NE(out.find(cmd), std::string::npos)
             << "missing " << cmd << " in:\n" << out;
     }
