@@ -10,6 +10,8 @@
 
 #include "fpga/bitstream.h"
 #include "fpga/synth.h"
+#include "jit/jit_cache.h"
+#include "jit/jit_kernel.h"
 #include "runtime/runtime.h"
 #include "sim/interpreter.h"
 #include "telemetry/sync.h"
@@ -119,6 +121,35 @@ BM_BitstreamCycle(benchmark::State& state)
 }
 BENCHMARK(BM_BitstreamCycle);
 
+/// The same netlist through the native-code JIT tier. The acceptance
+/// gate for the tier (EXPERIMENTS.md) is >=10x over BM_BitstreamCycle:
+/// levelized dispatch, BitVector boxing, and per-cell virtual calls all
+/// compile away. Skips when no system compiler is usable.
+void
+BM_JitCycle(benchmark::State& state)
+{
+    if (!jit::compiler_available()) {
+        state.SkipWithError("no system compiler; JIT tier unavailable");
+        return;
+    }
+    Diagnostics diags;
+    auto nl = fpga::synthesize(*counter_module(), &diags);
+    std::shared_ptr<const fpga::Netlist> shared(std::move(nl));
+    std::string error;
+    auto kern = jit::JitKernel::create(shared, &error);
+    if (kern == nullptr) {
+        state.SkipWithError(("jit build failed: " + error).c_str());
+        return;
+    }
+    bool level = false;
+    for (auto _ : state) {
+        level = !level;
+        kern->set_input("clk", BitVector(1, level ? 1 : 0));
+        kern->step();
+    }
+}
+BENCHMARK(BM_JitCycle);
+
 /// Fabric-activity counters toggled by the benchmark arg; Arg(0) must
 /// match BM_BitstreamCycle (the instrumented eval is a separate twin, so
 /// the disabled path carries no per-cell bookkeeping).
@@ -156,6 +187,37 @@ BM_ShaBitstreamCycle(benchmark::State& state)
     }
 }
 BENCHMARK(BM_ShaBitstreamCycle);
+
+/// The SHA round datapath through the JIT tier — the wide-datapath
+/// counterpart of BM_JitCycle (compare against BM_ShaBitstreamCycle).
+void
+BM_ShaJitCycle(benchmark::State& state)
+{
+    if (!jit::compiler_available()) {
+        state.SkipWithError("no system compiler; JIT tier unavailable");
+        return;
+    }
+    Diagnostics diags;
+    auto unit = verilog::parse(workloads::proof_of_work_module(16), &diags);
+    verilog::Elaborator elab(&diags);
+    std::shared_ptr<const verilog::ElaboratedModule> em(
+        elab.elaborate(*unit.modules[0]));
+    auto nl = fpga::synthesize(*em, &diags);
+    std::shared_ptr<const fpga::Netlist> shared(std::move(nl));
+    std::string error;
+    auto kern = jit::JitKernel::create(shared, &error);
+    if (kern == nullptr) {
+        state.SkipWithError(("jit build failed: " + error).c_str());
+        return;
+    }
+    bool level = false;
+    for (auto _ : state) {
+        level = !level;
+        kern->set_input("clk", BitVector(1, level ? 1 : 0));
+        kern->step();
+    }
+}
+BENCHMARK(BM_ShaJitCycle);
 
 /// Uncontended lock/unlock cost of the raw std::mutex — the baseline for
 /// BM_TelemetryMutexLockUnlock below.

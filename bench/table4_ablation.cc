@@ -4,21 +4,32 @@
 /// workload with one more optimization enabled:
 ///   stage 1: separate software engines per module (no inlining)
 ///   stage 2: user logic inlined into one software engine
-///   stage 3: hardware engine, runtime-driven (per-tick MMIO)
-///   stage 4: + standard components forwarded into the user engine
-///   stage 5: + open-loop scheduling
+///   stage 3: + native-code JIT tier (compiled kernel, no fabric)
+///   stage 4: hardware engine, runtime-driven (per-tick MMIO)
+///   stage 5: + standard components forwarded into the user engine
+///   stage 6: + open-loop scheduling
 /// The paper's claim: each stage removes data/control-plane communication;
-/// only stage 5 approaches native speed.
+/// only open-loop scheduling approaches native speed. The JIT row is this
+/// repo's addition: it bounds how much of the gap software evaluation
+/// itself is responsible for (levelized dispatch vs compiled code), with
+/// zero fabric involvement. Stages 4-6 run with the JIT tier disabled so
+/// each row isolates exactly one mechanism.
 ///
-/// Output: stage, virtual clock Hz (measured or modeled), notes.
+/// Output: stage, virtual clock Hz (measured or modeled), notes; headline
+/// JSON in BENCH_table4_ablation.json (schema cascade.bench.v1) for the
+/// CI regression gate.
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <vector>
 
+#include "jit/jit_cache.h"
 #include "runtime/runtime.h"
 #include "workloads/workloads.h"
 
+using cascade::runtime::Location;
 using cascade::runtime::Runtime;
 
 namespace {
@@ -74,6 +85,55 @@ measure(Runtime::Options options, bool needs_hardware, const char* stage)
            (now_s() - w0);
 }
 
+/// The JIT rung in isolation: fabric compiles are launched (the tier
+/// shadows them) but a 10-LE device guarantees admission rejects the
+/// result, so the program climbs interpreter -> compiled kernel and
+/// stays there. (A huge compile_effort would also park the program on
+/// the JIT tier, but the annealer is not cancellable — the service
+/// destructor would block on it at exit.)
+double
+measure_jit(const char* stage)
+{
+    Runtime::Options options;
+    options.enable_hardware = true;
+    options.enable_jit = true;
+    options.compile_effort = 0.05;
+    options.device_les = 10; // nothing fits: fabric rejects, JIT keeps it
+    // On the JIT rung each scheduler iteration free-runs one open-loop
+    // grant sized to this wall target; the 1 s default would turn the
+    // warm-up loop below into minutes of wall clock.
+    options.open_loop_target_wall_s = 0.05;
+    Runtime rt(options);
+    rt.on_output = [](const std::string&) {};
+    std::string errors;
+    if (!rt.eval(cascade::workloads::proof_of_work_source(20, false),
+                 &errors)) {
+        std::fprintf(stderr, "%s eval failed: %s\n", stage,
+                     errors.c_str());
+        return -1;
+    }
+    const double t0 = now_s();
+    while (rt.user_location() != Location::Jit && now_s() - t0 < 120.0) {
+        if (rt.telemetry().counter("jit.unavailable")->value() > 0) {
+            std::fprintf(stderr, "%s: jit tier unavailable\n", stage);
+            return -1;
+        }
+        rt.run(256);
+    }
+    if (rt.user_location() != Location::Jit) {
+        std::fprintf(stderr, "%s: jit never adopted\n", stage);
+        return -1;
+    }
+    rt.run(16); // warm up on the kernel (each iteration is one grant)
+    const uint64_t ticks0 = rt.virtual_ticks();
+    const double w0 = now_s();
+    while (now_s() - w0 < 1.5) {
+        rt.run(16);
+    }
+    return static_cast<double>(rt.virtual_ticks() - ticks0) /
+           (now_s() - w0);
+}
+
 } // namespace
 
 int
@@ -83,50 +143,85 @@ main()
                 "(virtual clock)\n");
     std::printf("%-44s %14s\n", "configuration", "virtual_hz");
 
+    std::vector<std::pair<std::string, double>> rows;
+    const auto row = [&rows](const char* key, const char* label,
+                             double hz) {
+        rows.emplace_back(key, hz);
+        std::printf("%-44s %14.0f\n", label, hz);
+    };
+
     {
         Runtime::Options o;
         o.enable_hardware = false;
         o.enable_inlining = false;
-        std::printf("%-44s %14.0f\n",
-                    "1. software engines, no inlining",
-                    measure(o, false, "stage1"));
+        row("sw_no_inline_hz", "1. software engines, no inlining",
+            measure(o, false, "stage1"));
     }
     {
         Runtime::Options o;
         o.enable_hardware = false;
-        std::printf("%-44s %14.0f\n", "2. + user logic inlined",
-                    measure(o, false, "stage2"));
+        row("sw_inlined_hz", "2. + user logic inlined",
+            measure(o, false, "stage2"));
+    }
+    if (cascade::jit::compiler_available()) {
+        row("jit_hz", "3. + native-code JIT tier (no fabric)",
+            measure_jit("stage3"));
+    } else {
+        std::printf("%-44s %14s\n", "3. + native-code JIT tier (no fabric)",
+                    "(skipped)");
     }
     {
         Runtime::Options o;
         o.compile_effort = 0.25;
+        o.enable_jit = false;
         o.enable_forwarding = false;
         o.enable_open_loop = false;
-        std::printf("%-44s %14.0f\n",
-                    "3. + hardware engine (runtime-driven)",
-                    measure(o, true, "stage3"));
+        row("hw_runtime_driven_hz",
+            "4. hardware engine (runtime-driven)",
+            measure(o, true, "stage4"));
     }
     {
         Runtime::Options o;
         o.compile_effort = 0.25;
+        o.enable_jit = false;
         o.enable_open_loop = false;
-        std::printf("%-44s %14.0f\n", "4. + stdlib forwarding",
-                    measure(o, true, "stage4"));
+        row("hw_forwarding_hz", "5. + stdlib forwarding",
+            measure(o, true, "stage5"));
     }
     {
         Runtime::Options o;
         o.compile_effort = 0.25;
-        std::printf("%-44s %14.0f\n", "5. + open-loop scheduling",
-                    measure(o, true, "stage5"));
+        o.enable_jit = false;
+        row("hw_open_loop_hz", "6. + open-loop scheduling",
+            measure(o, true, "stage6"));
     }
     {
         Runtime::Options o;
         o.compile_effort = 0.25;
         o.native_mode = true;
-        std::printf("%-44s %14.0f\n", "6. native mode (reference)",
-                    measure(o, true, "native"));
+        row("native_hz", "7. native mode (reference)",
+            measure(o, true, "native"));
     }
-    std::printf("\npaper: stage 5 within ~2.9x of the native clock; each "
-                "earlier stage is communication-bound\n");
+
+    {
+        std::ofstream out("BENCH_table4_ablation.json");
+        out << "{\"schema\":\"cascade.bench.v1\","
+            << "\"bench\":\"table4_ablation\",\"stages\":{";
+        bool first = true;
+        for (const auto& [key, hz] : rows) {
+            if (hz < 0) {
+                continue; // failed stage: omit rather than poison the gate
+            }
+            out << (first ? "" : ",") << "\"" << key << "\":" << hz;
+            first = false;
+        }
+        out << "}}\n";
+        std::fprintf(stderr,
+                     "# results -> BENCH_table4_ablation.json\n");
+    }
+
+    std::printf("\npaper: open-loop within ~2.9x of the native clock; "
+                "each earlier stage is communication-bound. The JIT row "
+                "bounds pure software-evaluation overhead.\n");
     return 0;
 }

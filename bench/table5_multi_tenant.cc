@@ -47,7 +47,9 @@
 #include "workloads/workloads.h"
 
 using cascade::hypervisor::FabricManager;
+using cascade::runtime::Location;
 using cascade::runtime::Runtime;
+using cascade::runtime::location_name;
 using cascade::service::CompileService;
 
 namespace {
@@ -101,7 +103,15 @@ struct TenantSample {
     double wall_s = 0;      ///< measured-run wall time
     double cpu_s = 0;       ///< thread CPU time inside the measured run
     double lock_wait_s = 0; ///< SyncRegistry wait total for this tenant
+    std::string location;   ///< tier at the end of the measured run
 };
+
+bool
+fabric_location(const std::string& loc)
+{
+    return loc == "Hardware" || loc == "HardwareForwarded" ||
+           loc == "Native";
+}
 
 struct FleetResult {
     double aggregate_ticks_per_s = 0;
@@ -136,9 +146,13 @@ run_fleet(int tenants, CompileService* service)
                 start_barrier.arrive_and_drop();
                 return;
             }
-            if (!rt.wait_for_hardware(120)) {
-                std::fprintf(stderr, "tenant %d never reached hardware\n",
-                             i);
+            if (!rt.wait_for_hardware(120) &&
+                rt.user_location() == Location::Software) {
+                // No fabric slice AND no JIT rung to fall back to: this
+                // tenant cannot contribute a steady-state sample. (A
+                // tenant parked on the JIT tier stays in the fleet — that
+                // residency mix is part of the result.)
+                std::fprintf(stderr, "tenant %d never left software\n", i);
                 start_barrier.arrive_and_drop();
                 return;
             }
@@ -154,6 +168,7 @@ run_fleet(int tenants, CompileService* service)
             s.rate = s.wall_s > 0
                          ? static_cast<double>(s.ticks) / s.wall_s
                          : 0;
+            s.location = location_name(rt.user_location());
             // Snapshot this tenant's blocked total before the Runtime
             // destructor adds its teardown lock traffic.
             const auto waits =
@@ -308,8 +323,9 @@ main()
     fleet_cfg.workers = 2;
     CompileService fleet_svc(fleet_cfg);
 
-    std::printf("%-8s %18s %14s %16s\n", "tenants", "aggregate ticks/s",
-                "total ticks", "min..max /tenant");
+    std::printf("%-8s %18s %14s %16s %18s\n", "tenants",
+                "aggregate ticks/s", "total ticks", "min..max /tenant",
+                "residency f/j/i");
     std::string results_body;
     std::string sidecar_body;
     double baseline_rate = 0; // single-tenant ticks/s, the 1-> M yardstick
@@ -326,28 +342,47 @@ main()
             const TenantSample& s = r.tenants[i];
             rate_min = std::min(rate_min, s.rate);
             rate_max = std::max(rate_max, s.rate);
-            char t[192];
+            char t[256];
             std::snprintf(t, sizeof t,
                           "{\"tenant\":%zu,\"ticks\":%llu,"
                           "\"ticks_per_s\":%.1f,\"wall_s\":%.4f,"
-                          "\"cpu_s\":%.4f,\"lock_wait_s\":%.6f}",
+                          "\"cpu_s\":%.4f,\"lock_wait_s\":%.6f,"
+                          "\"location\":\"%s\"}",
                           i, static_cast<unsigned long long>(s.ticks),
-                          s.rate, s.wall_s, s.cpu_s, s.lock_wait_s);
+                          s.rate, s.wall_s, s.cpu_s, s.lock_wait_s,
+                          s.location.c_str());
             if (!per_tenant.empty()) {
                 per_tenant += ',';
             }
             per_tenant += t;
         }
-        std::printf("%-8d %18.0f %14llu %7.0f..%-7.0f\n", m,
+        // Per-tier residency at the end of the measured window: fabric
+        // (Hardware/HardwareForwarded/Native LE slices), the JIT rung
+        // (no LEs), and tenants still on the interpreter.
+        int res_fabric = 0;
+        int res_jit = 0;
+        int res_interp = 0;
+        for (const TenantSample& s : r.tenants) {
+            if (fabric_location(s.location)) {
+                ++res_fabric;
+            } else if (s.location == "Jit") {
+                ++res_jit;
+            } else {
+                ++res_interp;
+            }
+        }
+        std::printf("%-8d %18.0f %14llu %7.0f..%-7.0f %8d/%d/%d\n", m,
                     r.aggregate_ticks_per_s,
                     static_cast<unsigned long long>(r.total_ticks),
-                    rate_min, rate_max);
-        char row[160];
+                    rate_min, rate_max, res_fabric, res_jit, res_interp);
+        char row[256];
         std::snprintf(row, sizeof row,
                       "{\"tenants\":%d,\"aggregate_ticks_per_s\":%.1f,"
-                      "\"total_ticks\":%llu,\"per_tenant\":[",
+                      "\"total_ticks\":%llu,\"residency\":{\"fabric\":%d,"
+                      "\"jit\":%d,\"interpreter\":%d},\"per_tenant\":[",
                       m, r.aggregate_ticks_per_s,
-                      static_cast<unsigned long long>(r.total_ticks));
+                      static_cast<unsigned long long>(r.total_ticks),
+                      res_fabric, res_jit, res_interp);
         if (!results_body.empty()) {
             results_body += ',';
         }

@@ -18,7 +18,7 @@ using cascade::runtime::Runtime;
 namespace {
 
 const char*
-location_name(Location loc)
+tier_label(Location loc)
 {
     switch (loc) {
       case Location::Software: return "software (interpreted)";
@@ -26,6 +26,7 @@ location_name(Location loc)
       case Location::HardwareForwarded:
         return "hardware (stdlib forwarded, open loop)";
       case Location::Native: return "native";
+      case Location::Jit: return "jit (compiled kernel)";
     }
     return "?";
 }
@@ -40,7 +41,7 @@ show_leds(Runtime& rt)
     }
     std::printf("  LED [%s]  ticks=%llu  engine: %s\n", bar.c_str(),
                 static_cast<unsigned long long>(rt.virtual_ticks()),
-                location_name(rt.user_location()));
+                tier_label(rt.user_location()));
 }
 
 } // namespace

@@ -17,60 +17,59 @@
 #include <vector>
 
 #include "common/bitvector.h"
+#include "fpga/fabric_exec.h"
 #include "fpga/netlist.h"
 
 namespace cascade::fpga {
 
-class Bitstream {
+class Bitstream : public FabricExec {
   public:
     explicit Bitstream(std::shared_ptr<const Netlist> netlist);
 
-    const Netlist& netlist() const { return *nl_; }
+    const Netlist& netlist() const override { return *nl_; }
 
     /// @{ Port access by name (cached index lookups available below).
-    void set_input(const std::string& name, const BitVector& value);
-    const BitVector& output(const std::string& name) const;
-    int input_index(const std::string& name) const;
-    int output_index(const std::string& name) const;
-    void set_input(int index, const BitVector& value);
-    const BitVector& output(int index) const;
+    void set_input(const std::string& name, const BitVector& value) override;
+    const BitVector& output(const std::string& name) const override;
+    int input_index(const std::string& name) const override;
+    int output_index(const std::string& name) const override;
+    void set_input(int index, const BitVector& value) override;
+    const BitVector& output(int index) const override;
     /// @}
 
     /// Settles all combinational logic for the current inputs/state.
-    void eval_comb();
+    void eval_comb() override;
 
     /// One device clock cycle: settle, latch every register whose clock
     /// rose (cascading derived clock domains), settle again.
-    void step();
+    void step() override;
 
     /// @{ Direct state access (used by native mode and tests; the hardware
     /// engine goes through MMIO instead).
-    const BitVector& reg_value(const std::string& name) const;
-    void set_reg(const std::string& name, const BitVector& value);
-    const BitVector& mem_value(const std::string& name, uint64_t idx) const;
+    const BitVector& reg_value(const std::string& name) const override;
+    void set_reg(const std::string& name, const BitVector& value) override;
+    const BitVector& mem_value(const std::string& name,
+                               uint64_t idx) const override;
     void set_mem(const std::string& name, uint64_t idx,
-                 const BitVector& value);
+                 const BitVector& value) override;
     /// @}
 
-    uint64_t cycles() const { return cycles_; }
+    uint64_t cycles() const override { return cycles_; }
 
     /// @{ Source-level activity profiling. When enabled, eval_comb counts
     /// per-node evaluations and value toggles; when off, the evaluator
     /// runs the original uninstrumented loop (no per-node overhead).
     /// Register latch events are always counted (one add per actual
     /// latch, far off the hot path).
-    void set_profiling(bool on);
-    bool profiling() const { return profile_; }
+    void set_profiling(bool on) override;
+    bool profiling() const override { return profile_; }
     /// Per-source-construct activity, aggregated over nodes through the
     /// netlist's provenance labels (synth -> techmap -> fabric).
-    struct SourceActivity {
-        uint64_t evals = 0;   ///< node evaluations attributed to the label
-        uint64_t toggles = 0; ///< evaluations that changed the value
-    };
-    std::map<std::string, SourceActivity> activity_by_source() const;
+    std::map<std::string, SourceActivity>
+    activity_by_source() const override;
     /// Latch events for register \p name (0 if unknown). Every commit of
     /// a new value into the register counts.
-    uint64_t latch_count(const std::string& name) const;
+    uint64_t latch_count(const std::string& name) const override;
     /// @}
 
     /// @{ Debugger instrumentation (ILA-style). arm_debug installs the
@@ -81,33 +80,18 @@ class Bitstream {
     /// cost is a single branch per step. A fire is sticky — the ring
     /// freezes on the firing cycle so the window survives the MMIO
     /// traffic that follows — until the twin is discarded or cleared.
-    struct DebugTrigger {
-        uint64_t id = 0;    ///< debugger point id (reported on fire)
-        int output = -1;    ///< trigger cell's output index
-        bool watch = false; ///< change-detect instead of condition edge
-        bool has_prev = false;
-        BitVector prev;
-    };
-    struct DebugProbe {
-        std::string name;
-        int output = -1;
-        uint32_t width = 1;
-    };
-    struct DebugSample {
-        uint64_t cycle = 0; ///< device cycle (cycles())
-        std::vector<BitVector> values; ///< parallel to debug_probes()
-    };
     void arm_debug(std::vector<DebugTrigger> triggers,
-                   std::vector<DebugProbe> probes, size_t ring_depth);
-    void disarm_debug();
-    bool debug_armed() const { return debug_armed_; }
+                   std::vector<DebugProbe> probes,
+                   size_t ring_depth) override;
+    void disarm_debug() override;
+    bool debug_armed() const override { return debug_armed_; }
     /// Point id of the first trigger that fired, or 0 while none has.
-    uint64_t debug_fired() const { return debug_fired_; }
-    uint64_t debug_fire_cycle() const { return debug_fire_cycle_; }
-    const std::vector<DebugProbe>& debug_probes() const {
+    uint64_t debug_fired() const override { return debug_fired_; }
+    uint64_t debug_fire_cycle() const override { return debug_fire_cycle_; }
+    const std::vector<DebugProbe>& debug_probes() const override {
         return debug_probes_;
     }
-    const std::deque<DebugSample>& debug_ring() const {
+    const std::deque<DebugSample>& debug_ring() const override {
         return debug_ring_;
     }
     /// @}

@@ -20,7 +20,7 @@ tasks_serviced_counter()
 
 } // namespace
 
-HwEngine::HwEngine(std::unique_ptr<fpga::Bitstream> fabric,
+HwEngine::HwEngine(std::unique_ptr<fpga::FabricExec> fabric,
                    ir::WrapperMap map, std::vector<std::string> port_names,
                    std::vector<bool> port_is_input,
                    EngineCallbacks* callbacks, double clock_mhz,

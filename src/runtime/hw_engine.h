@@ -14,7 +14,7 @@
 #include <memory>
 #include <unordered_map>
 
-#include "fpga/bitstream.h"
+#include "fpga/fabric_exec.h"
 #include "ir/hw_wrapper.h"
 #include "runtime/engine.h"
 
@@ -24,7 +24,9 @@ class HwEngine : public Engine {
   public:
     /// \p port_names: the subprogram's port order (each must be a VarSlot
     /// in \p map). \p clock_mhz / \p mmio_latency_s define the time model.
-    HwEngine(std::unique_ptr<fpga::Bitstream> fabric, ir::WrapperMap map,
+    /// The fabric may be a levelized-netlist interpreter (Bitstream) or a
+    /// native-code JIT kernel — the stub drives either via FabricExec.
+    HwEngine(std::unique_ptr<fpga::FabricExec> fabric, ir::WrapperMap map,
              std::vector<std::string> port_names,
              std::vector<bool> port_is_input, EngineCallbacks* callbacks,
              double clock_mhz, double mmio_latency_s);
@@ -88,11 +90,11 @@ class HwEngine : public Engine {
     {
         return fabric_->debug_fire_cycle();
     }
-    const std::vector<fpga::Bitstream::DebugProbe>& debug_probes() const
+    const std::vector<fpga::FabricExec::DebugProbe>& debug_probes() const
     {
         return fabric_->debug_probes();
     }
-    const std::deque<fpga::Bitstream::DebugSample>& debug_ring() const
+    const std::deque<fpga::FabricExec::DebugSample>& debug_ring() const
     {
         return fabric_->debug_ring();
     }
@@ -102,7 +104,7 @@ class HwEngine : public Engine {
     /// fabric's per-node eval/toggle counters (provenance-labeled).
     void set_profiling(bool on) { fabric_->set_profiling(on); }
     bool profiling() const { return fabric_->profiling(); }
-    std::map<std::string, fpga::Bitstream::SourceActivity>
+    std::map<std::string, fpga::FabricExec::SourceActivity>
     fabric_activity() const
     {
         return fabric_->activity_by_source();
@@ -115,7 +117,7 @@ class HwEngine : public Engine {
     /// Services pending task sites; returns true if any fired.
     bool service_tasks();
 
-    std::unique_ptr<fpga::Bitstream> fabric_;
+    std::unique_ptr<fpga::FabricExec> fabric_;
     ir::WrapperMap map_;
     std::vector<const ir::VarSlot*> port_slots_;
     std::vector<bool> port_is_input_;

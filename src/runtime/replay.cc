@@ -18,7 +18,9 @@ is_compared(const std::string& type)
            type == "interrupt.enqueue" || type == "interrupt.flush" ||
            type == "monitor.line" || type == "compile.launch" ||
            type == "compile.done" || type == "compile.rejected" ||
-           type == "adopt" || type == "openloop.grant" ||
+           type == "adopt" || type == "jit.launch" ||
+           type == "jit.adopt" || type == "jit.unavailable" ||
+           type == "openloop.grant" ||
            type == "vcd.digest" || type == "finish" ||
            type == "debug.fire" || type == "debug.peek" ||
            type == "debug.step" || type == "debug.resume";
@@ -163,6 +165,7 @@ options_from_header(const telemetry::JsonValue& header)
         header.get_bool("enable_inlining", o.enable_inlining);
     o.enable_hardware =
         header.get_bool("enable_hardware", o.enable_hardware);
+    o.enable_jit = header.get_bool("enable_jit", o.enable_jit);
     o.enable_forwarding =
         header.get_bool("enable_forwarding", o.enable_forwarding);
     o.enable_open_loop =
@@ -205,6 +208,17 @@ replay_into(Runtime* rt, const ReplayLog& log, const ReplayOptions& opts)
                 // re-derived against the exclusive replay device.
                 schedule.rejections[point.version] =
                     ev.data.get_str("error");
+            }
+        } else if (ev.type == "jit.adopt" || ev.type == "jit.unavailable") {
+            // JIT-tier decisions replay at their recorded iteration, and
+            // a recorded "no usable compiler" is forced verbatim (the
+            // replay host's toolchain may differ from the recording's).
+            Runtime::ReplaySchedule::CompilePoint point;
+            point.iteration = ev.data.get_u64("iteration");
+            point.version = ev.data.get_u64("version");
+            schedule.jit_points.push_back(point);
+            if (ev.type == "jit.unavailable") {
+                schedule.jit_unavailable.insert(point.version);
             }
         } else if (ev.type == "openloop.grant") {
             schedule.grants.push_back(ev.data.get_u64("batch"));

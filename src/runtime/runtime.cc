@@ -13,6 +13,7 @@
 #include "fpga/synth.h"
 #include "hypervisor/fabric_manager.h"
 #include "ir/rewrite.h"
+#include "jit/jit_kernel.h"
 #include "runtime/hw_engine.h"
 #include "runtime/sw_engine.h"
 #include "service/compile_service.h"
@@ -55,18 +56,6 @@ wall_seconds()
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
-}
-
-const char*
-location_name(Location loc)
-{
-    switch (loc) {
-    case Location::Software: return "Software";
-    case Location::Hardware: return "Hardware";
-    case Location::HardwareForwarded: return "HardwareForwarded";
-    case Location::Native: return "Native";
-    }
-    return "Unknown";
 }
 
 /// Journal payload for one interrupt: full digest, text capped so a hot
@@ -137,6 +126,19 @@ file_digest_hex(const std::string& path)
 }
 
 } // namespace
+
+const char*
+location_name(Location loc)
+{
+    switch (loc) {
+    case Location::Software: return "Software";
+    case Location::Hardware: return "Hardware";
+    case Location::HardwareForwarded: return "HardwareForwarded";
+    case Location::Native: return "Native";
+    case Location::Jit: return "Jit";
+    }
+    return "Unknown";
+}
 
 // ---------------------------------------------------------------------------
 // ClockEngine: the standard clock is "just another engine" (§4.1) whose
@@ -214,7 +216,7 @@ class ClockEngine : public Engine {
 
 class NativeEngine : public Engine {
   public:
-    NativeEngine(std::unique_ptr<fpga::Bitstream> fabric,
+    NativeEngine(std::unique_ptr<fpga::FabricExec> fabric,
                  std::vector<std::string> port_names,
                  std::vector<bool> port_is_input, std::string clock_port,
                  double clock_mhz)
@@ -368,7 +370,7 @@ class NativeEngine : public Engine {
     }
 
   private:
-    std::unique_ptr<fpga::Bitstream> fabric_;
+    std::unique_ptr<fpga::FabricExec> fabric_;
     std::vector<std::string> port_names_;
     std::vector<bool> port_is_input_;
     std::vector<int> port_index_;
@@ -504,6 +506,10 @@ Runtime::init_metrics()
     m_.compiles_launched = telemetry_.counter("compile.launched");
     m_.compiles_adopted = telemetry_.counter("compile.adopted");
     m_.compiles_rejected = telemetry_.counter("compile.rejected");
+    m_.jit_launched = telemetry_.counter("jit.launched");
+    m_.jit_adopted = telemetry_.counter("jit.adopted");
+    m_.jit_unavailable = telemetry_.counter("jit.unavailable");
+    m_.jit_discarded = telemetry_.counter("jit.discarded");
     m_.transitions = telemetry_.counter("transition.count");
     m_.open_loop_iterations = telemetry_.counter("openloop.iterations");
     m_.vcd_samples = telemetry_.counter("vcd.samples");
@@ -700,7 +706,8 @@ Runtime::rebuild_program(std::string* errors, const char* reason)
     // A hardware engine's snapshot covers the stdlib components inlined
     // into it; split it back out by prefix.
     if (user_location_ == Location::HardwareForwarded ||
-        user_location_ == Location::Native) {
+        user_location_ == Location::Native ||
+        user_location_ == Location::Jit) {
         const auto it = old_state.find("root");
         if (it != old_state.end()) {
             for (const auto& [instance, prefix] : adopted_prefixes_) {
@@ -775,7 +782,7 @@ Runtime::rebuild_program(std::string* errors, const char* reason)
     // The old engines die with this swap: bank their profile counters
     // first (every failure path above returns with slots_ untouched, so
     // each engine is absorbed exactly once).
-    const bool was_hardware = user_location_ != Location::Software;
+    const bool was_fabric = fabric_resident();
     fold_hw_window();
     for (const Slot& slot : slots_) {
         absorb_slot_profile(slot);
@@ -792,7 +799,7 @@ Runtime::rebuild_program(std::string* errors, const char* reason)
     // Falling off hardware hands our fabric slot back; in shared mode
     // that completes any pending eviction and wakes tenants parked on
     // capacity.
-    if (was_hardware && fabric_ != nullptr) {
+    if (was_fabric && fabric_ != nullptr) {
         fabric_->release_residency(tenant_);
     }
 
@@ -1118,6 +1125,11 @@ Runtime::window()
             evict_to_software();
         }
     }
+    // JIT results before fabric results: when both tiers finish inside
+    // one window the kernel is adopted first and the fabric immediately
+    // upgrades it, so the journal order (jit.adopt before adopt) is the
+    // same one replay reproduces.
+    poll_jit();
     poll_compiles();
     service_peripherals();
     // Time-series + SLO sampling (README §Monitoring): interval-gated,
@@ -1181,7 +1193,7 @@ Runtime::run(uint64_t max_iterations)
 bool
 Runtime::hardware_ready() const
 {
-    return user_location_ != Location::Software;
+    return fabric_resident();
 }
 
 bool
@@ -1197,9 +1209,13 @@ Runtime::wait_for_hardware(double timeout_s)
     const double t0 = wall_seconds();
     {
         TELEM_SPAN_HIST("compile.wait", m_.compile_wait_ns);
-        while (user_location_ == Location::Software) {
+        while (!fabric_resident()) {
+            // A JIT kernel may land (and be adopted) while the fabric
+            // compile is still running; the wait continues through it —
+            // hardware_ready() means real residency.
+            poll_jit();
             poll_compiles();
-            if (user_location_ != Location::Software) {
+            if (fabric_resident()) {
                 break;
             }
             const double remaining = timeout_s - (wall_seconds() - t0);
@@ -1230,7 +1246,7 @@ Runtime::wait_for_hardware(double timeout_s)
             }
         }
     }
-    const bool ok = user_location_ != Location::Software;
+    const bool ok = fabric_resident();
     journal_.record("api.wait_hw",
                     telemetry::JsonWriter().boolean("ok", ok).build());
     return ok;
@@ -1278,6 +1294,7 @@ Runtime::journal_header_json() const
     return telemetry::JsonWriter()
         .boolean("enable_inlining", options_.enable_inlining)
         .boolean("enable_hardware", options_.enable_hardware)
+        .boolean("enable_jit", options_.enable_jit)
         .boolean("enable_forwarding", options_.enable_forwarding)
         .boolean("enable_open_loop", options_.enable_open_loop)
         .boolean("native_mode", options_.native_mode)
@@ -2460,7 +2477,8 @@ Runtime::service_peripherals()
     // direct state writes (run_open_loop); step-mode feeding happens here,
     // one byte per clock cycle, gated on the clock being low.
     if (user_location_ == Location::HardwareForwarded ||
-        user_location_ == Location::Native) {
+        user_location_ == Location::Native ||
+        (user_location_ == Location::Jit && !adopted_fifos_.empty())) {
         return;
     }
     if (clock_engine_ == nullptr || clock_engine_->value()) {
@@ -2658,6 +2676,14 @@ Runtime::launch_compile()
     // lands in the worker's compile.exec span (phase "t"), then back at
     // adoption (phase "f").
     tracer.flow("request", 's', request);
+
+    // Shadow the fabric compile with a JIT-tier build of the same
+    // wrapper module (the middle rung of the interpreter → JIT → fabric
+    // ladder). Native mode already runs the netlist in-process, so the
+    // tier would be redundant there.
+    if (options_.enable_jit && !options_.native_mode) {
+        launch_jit(em, outcome);
+    }
 
     pending_outcome_ = std::move(outcome);
     parked_outcome_.reset();
@@ -2906,6 +2932,40 @@ Runtime::adopt_hardware(CompileOutcome outcome,
                                             outcome.version);
         return false;
     }
+    return adopt_fabric(std::move(outcome), std::move(fabric),
+                        actual_clock_mhz, admission, /*is_jit=*/false);
+}
+
+bool
+Runtime::adopt_fabric(CompileOutcome outcome,
+                      std::unique_ptr<fpga::FabricExec> fabric,
+                      double actual_clock_mhz,
+                      hypervisor::Admission* admission, bool is_jit,
+                      const std::string& jit_digest)
+{
+    // Upgrading: the real fabric landed while the same version was
+    // running on the JIT tier. The wrapper metadata is identical (both
+    // tiers come from the same launch), so the adopted peripheral lists
+    // carry over verbatim — the stdlib slots they were computed from
+    // retired at JIT adoption and cannot be recomputed here.
+    const bool upgrading = user_location_ == Location::Jit;
+    if (upgrading) {
+        // Attribute the kernel's window before the engine swap. Not
+        // fold_hw_window(): the clock-port map survives the upgrade (the
+        // fabric keeps the same clock wiring and the retired stdlib
+        // slots it was computed from no longer exist to recompute it).
+        attribute_hw_ticks(&profile_acc_,
+                           posedges_seen() - hw_adopt_ticks_);
+        hw_adopt_ticks_ = posedges_seen();
+        m_.jit_discarded->inc();
+        // Info-class: replay infers the same upgrade from the compared
+        // adopt event that follows.
+        journal_.record("jit.discard",
+                        telemetry::JsonWriter()
+                            .num("version", outcome.version)
+                            .str("reason", "fabric")
+                            .build());
+    }
 
     // Gather state: the user subprogram plus (under forwarding) each
     // stdlib component, re-prefixed to the merged module's names.
@@ -2950,9 +3010,13 @@ Runtime::adopt_hardware(CompileOutcome outcome,
         native = e.get();
         engine = std::move(e);
     } else {
+        // The JIT kernel is in-process: the MMIO slot protocol is the
+        // same, but each access is a function call, not a bus round
+        // trip, so the modeled MMIO latency is zero for that tier.
         auto e = std::make_unique<HwEngine>(
             std::move(fabric), outcome.map, port_names, port_is_input,
-            this, actual_clock_mhz, options_.mmio_latency_s);
+            this, actual_clock_mhz,
+            is_jit ? 0.0 : options_.mmio_latency_s);
         hw = e.get();
         engine = std::move(e);
     }
@@ -2965,25 +3029,29 @@ Runtime::adopt_hardware(CompileOutcome outcome,
     // profile and record the local port name its clock entered through,
     // so device ticks can be attributed to its clock-driven processes
     // (trigger descriptions use subprogram-local net names).
-    hw_clock_ports_.clear();
-    for (const Slot& slot : slots_) {
-        if (slot.sub.path != "root" && !(merged && !slot.is_clock)) {
-            continue; // survives the adoption; absorbed when it retires
-        }
-        absorb_slot_profile(slot);
-        if (!outcome.clock_net.empty()) {
-            for (const auto& b : slot.sub.bindings) {
-                if (b.global_net == outcome.clock_net) {
-                    hw_clock_ports_[slot.instance] = b.port;
+    if (!upgrading) {
+        hw_clock_ports_.clear();
+        for (const Slot& slot : slots_) {
+            if (slot.sub.path != "root" && !(merged && !slot.is_clock)) {
+                continue; // survives the adoption; absorbed on retire
+            }
+            absorb_slot_profile(slot);
+            if (!outcome.clock_net.empty()) {
+                for (const auto& b : slot.sub.bindings) {
+                    if (b.global_net == outcome.clock_net) {
+                        hw_clock_ports_[slot.instance] = b.port;
+                    }
                 }
             }
         }
     }
 
     std::vector<Slot> new_slots;
-    adopted_pads_.clear();
-    adopted_leds_.clear();
-    adopted_fifos_.clear();
+    if (!upgrading) {
+        adopted_pads_.clear();
+        adopted_leds_.clear();
+        adopted_fifos_.clear();
+    }
     for (Slot& slot : slots_) {
         if (slot.is_clock) {
             new_slots.push_back(std::move(slot));
@@ -2992,7 +3060,7 @@ Runtime::adopt_hardware(CompileOutcome outcome,
         if (slot.sub.path == "root") {
             continue; // replaced below
         }
-        if (merged) {
+        if (merged && !upgrading) {
             // Forwarded into the hardware engine; remember peripherals.
             const std::string& type = slot.sub.module_name;
             if (type == "Pad" || type == "Reset") {
@@ -3030,10 +3098,11 @@ Runtime::adopt_hardware(CompileOutcome outcome,
     hw_engine_ = hw;
     native_engine_ = native;
     adopted_prefixes_ = outcome.prefixes;
-    user_location_ = outcome.native
-                         ? Location::Native
-                         : (merged ? Location::HardwareForwarded
-                                   : Location::Hardware);
+    user_location_ =
+        is_jit ? Location::Jit
+               : (outcome.native ? Location::Native
+                                 : (merged ? Location::HardwareForwarded
+                                           : Location::Hardware));
     clock_net_name_ = outcome.clock_net;
 
     // Net values must survive the rewiring (pad levels, clock phase, ...).
@@ -3085,9 +3154,14 @@ Runtime::adopt_hardware(CompileOutcome outcome,
         native_engine_->sync_clock_level(clock_engine_->value());
     }
 
-    // The software-to-hardware transition, tagged with the adopted
-    // version (the event SYNERGY-style schedulers key off).
-    m_.compiles_adopted->inc();
+    // The software-to-hardware (or software-to-JIT) transition, tagged
+    // with the adopted version (the event SYNERGY-style schedulers key
+    // off).
+    if (is_jit) {
+        m_.jit_adopted->inc();
+    } else {
+        m_.compiles_adopted->inc();
+    }
     m_.transitions->inc();
     TransitionRecord rec;
     rec.version = outcome.version;
@@ -3096,13 +3170,26 @@ Runtime::adopt_hardware(CompileOutcome outcome,
     rec.trace_ts_us = telemetry::Tracer::global().now_us();
     rec.clock_mhz = actual_clock_mhz;
     transitions_.push_back(rec);
-    journal_.record("adopt",
-                    telemetry::JsonWriter()
-                        .num("version", outcome.version)
-                        .num("iteration", iterations_)
-                        .str("location", location_name(user_location_))
-                        .dbl("clock_mhz", actual_clock_mhz)
-                        .build());
+    if (is_jit) {
+        // Compared: the kernel digest is deterministic (content-addressed
+        // codegen over the synthesized netlist), unlike build timing or
+        // cache residency, which stay in the info-class jit.cache event.
+        journal_.record("jit.adopt",
+                        telemetry::JsonWriter()
+                            .num("version", outcome.version)
+                            .num("iteration", iterations_)
+                            .str("digest", jit_digest)
+                            .build());
+    } else {
+        journal_.record("adopt",
+                        telemetry::JsonWriter()
+                            .num("version", outcome.version)
+                            .num("iteration", iterations_)
+                            .str("location",
+                                 location_name(user_location_))
+                            .dbl("clock_mhz", actual_clock_mhz)
+                            .build());
+    }
     if (fabric_ != nullptr && admission != nullptr) {
         // Info-class slot record: where on the shared fabric this tenant
         // landed (first-fit, so placement depends on neighbors).
@@ -3114,13 +3201,16 @@ Runtime::adopt_hardware(CompileOutcome outcome,
                             .dbl("clock_mhz", actual_clock_mhz)
                             .build());
     }
-    log_event(LogLevel::Info, "adopt",
+    log_event(LogLevel::Info, is_jit ? "jit" : "adopt",
               std::string("program v") +
                   std::to_string(outcome.version) + " moved to " +
                   location_name(user_location_) + " at iteration " +
                   std::to_string(iterations_));
-    telemetry::Tracer::global().instant("transition.sw_to_hw",
-                                        outcome.version);
+    telemetry::Tracer::global().instant(
+        is_jit ? "transition.sw_to_jit"
+               : (upgrading ? "transition.jit_to_hw"
+                            : "transition.sw_to_hw"),
+        outcome.version);
     // Debugger support: keep everything needed to rebuild this engine
     // around an instrumented bitstream (the compiled netlist is
     // cache-shared and const — arming a trigger synthesizes comparator
@@ -3151,9 +3241,208 @@ Runtime::adopt_hardware(CompileOutcome outcome,
     }
     // The hardware attribution window opens now: ticks from here on
     // execute on the fabric (any spurious adoption-time fabric edges
-    // above are invisible to tick-based attribution).
-    hw_adopt_ticks_ = virtual_ticks();
+    // above are invisible to tick-based attribution). Posedge-exact: a
+    // mid-window adoption right after a posedge must not re-attribute
+    // the tick the retiring engine already executed.
+    hw_adopt_ticks_ = posedges_seen();
     return true;
+}
+
+void
+Runtime::launch_jit(std::shared_ptr<const verilog::ElaboratedModule> em,
+                    const CompileOutcome& outcome)
+{
+    // The JIT tier shadows every fabric compile: same wrapper module,
+    // lowered to native code on an async worker instead of LEs on the
+    // compile service. At most one build is in flight — a newer launch
+    // overwrites the job and poll_jit() discards the orphaned result as
+    // stale by version when its future eventually resolves.
+    m_.jit_launched->inc();
+    journal_.record("jit.launch", telemetry::JsonWriter()
+                                      .num("version", outcome.version)
+                                      .build());
+    telemetry::Tracer::global().instant("jit.launch", outcome.version);
+    JitJob job;
+    job.version = outcome.version;
+    job.map = outcome.map;
+    job.ports = outcome.ports;
+    job.prefixes = outcome.prefixes;
+    job.clock_net = outcome.clock_net;
+    job.future = std::async(std::launch::async, [em]() {
+        JitBuild build;
+        Diagnostics diags;
+        auto nl = fpga::synthesize(*em, &diags);
+        if (nl == nullptr) {
+            build.error = "synthesis failed: " + diags.str();
+            return build;
+        }
+        std::shared_ptr<const fpga::Netlist> shared(std::move(nl));
+        build.kernel = jit::JitKernel::create(shared, &build.error,
+                                              &build.digest,
+                                              &build.cache_hit);
+        if (build.kernel != nullptr) {
+            build.netlist = std::move(shared);
+        }
+        return build;
+    });
+    jit_job_ = std::move(job);
+}
+
+void
+Runtime::poll_jit()
+{
+    if (replay_) {
+        replay_poll_jit();
+        return;
+    }
+    // A halted debugger pins the program in the interpreter — that is
+    // where the user is cycle-stepping. The build stays pending (a warm
+    // cache hit can otherwise land in the very window a hardware fire
+    // evicted the tenant) and adopts when execution resumes.
+    if (debug_halted_.load(std::memory_order_relaxed)) {
+        return;
+    }
+    if (!jit_job_.has_value() ||
+        jit_job_->future.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+        return;
+    }
+    JitJob job = std::move(*jit_job_);
+    jit_job_.reset();
+    JitBuild build = job.future.get();
+    if (job.version != version_ ||
+        user_location_ != Location::Software || finished_) {
+        // Stale (the program changed since launch) or the tenant is
+        // already somewhere faster than software. Info-class event:
+        // whether an orphaned build surfaces before the queue clears is
+        // a wall-clock race, exactly like compile.stale.
+        journal_.record("jit.discard",
+                        telemetry::JsonWriter()
+                            .num("version", job.version)
+                            .str("reason", "stale")
+                            .build());
+        m_.jit_discarded->inc();
+        return;
+    }
+    if (build.kernel == nullptr) {
+        // Graceful degradation: no usable compiler (or codegen/compile
+        // failure) leaves the tenant on the interpreter tier until the
+        // fabric compile lands. Compared payload carries no error text —
+        // it contains machine-dependent paths.
+        m_.jit_unavailable->inc();
+        journal_.record("jit.unavailable",
+                        telemetry::JsonWriter()
+                            .num("version", job.version)
+                            .num("iteration", iterations_)
+                            .build());
+        log_event(LogLevel::Warn, "jit",
+                  "native tier unavailable for v" +
+                      std::to_string(job.version) + ": " + build.error);
+        telemetry::Tracer::global().instant("jit.unavailable",
+                                            job.version);
+        return;
+    }
+    // Cache attribution is info-class for the same reason compile.cache
+    // is: who built the kernel first is a wall-clock artifact.
+    journal_.record("jit.cache", telemetry::JsonWriter()
+                                     .num("version", job.version)
+                                     .boolean("hit", build.cache_hit)
+                                     .build());
+    adopt_jit(std::move(job), std::move(build));
+}
+
+void
+Runtime::replay_poll_jit()
+{
+    // Replay pins the JIT tier's decisions to their recorded scheduler
+    // iterations, mirroring replay_poll_compiles: the kernel build still
+    // runs for real (codegen is content-addressed, so the digest in the
+    // compared jit.adopt reproduces), but it is acted on only at the
+    // iteration the recording acted.
+    if (replay_schedule_.jit_points.empty() ||
+        replay_schedule_.jit_points.front().iteration != iterations_) {
+        return;
+    }
+    const ReplaySchedule::CompilePoint point =
+        replay_schedule_.jit_points.front();
+    replay_schedule_.jit_points.pop_front();
+    if (replay_schedule_.jit_unavailable.count(point.version) != 0) {
+        // Forced verbatim: the recording host had no usable JIT
+        // toolchain. Re-probing here would diverge on hosts where one
+        // exists, so the in-flight build (if any) is dropped unseen.
+        jit_job_.reset();
+        m_.jit_unavailable->inc();
+        journal_.record("jit.unavailable",
+                        telemetry::JsonWriter()
+                            .num("version", point.version)
+                            .num("iteration", iterations_)
+                            .build());
+        return;
+    }
+    if (!jit_job_.has_value() || jit_job_->version != point.version) {
+        log_event(LogLevel::Warn, "replay",
+                  "recorded jit adoption for v" +
+                      std::to_string(point.version) +
+                      " has no matching in-flight build");
+        return;
+    }
+    const double t0 = wall_seconds();
+    while (wall_seconds() - t0 < 300.0) {
+        if (jit_job_->future.wait_for(std::chrono::milliseconds(250)) !=
+            std::future_status::ready) {
+            continue;
+        }
+        JitJob job = std::move(*jit_job_);
+        jit_job_.reset();
+        JitBuild build = job.future.get();
+        if (build.kernel == nullptr) {
+            // The recording adopted a kernel this host cannot build;
+            // journal the divergence honestly and stay in software.
+            m_.jit_unavailable->inc();
+            journal_.record("jit.unavailable",
+                            telemetry::JsonWriter()
+                                .num("version", job.version)
+                                .num("iteration", iterations_)
+                                .build());
+            log_event(LogLevel::Warn, "replay",
+                      "recorded jit adoption for v" +
+                          std::to_string(job.version) +
+                          " failed to rebuild: " + build.error);
+            return;
+        }
+        journal_.record("jit.cache", telemetry::JsonWriter()
+                                         .num("version", job.version)
+                                         .boolean("hit", build.cache_hit)
+                                         .build());
+        adopt_jit(std::move(job), std::move(build));
+        return;
+    }
+    log_event(LogLevel::Warn, "replay",
+              "jit build for v" + std::to_string(point.version) +
+                  " did not finish within the replay wait bound");
+}
+
+bool
+Runtime::adopt_jit(JitJob job, JitBuild build)
+{
+    // The kernel adopts through the same back half as the fabric: the
+    // wrapper metadata recorded at launch makes an outcome
+    // indistinguishable from a fabric compile's, and the kernel rides in
+    // as the FabricExec behind a standard HwEngine.
+    CompileOutcome outcome;
+    outcome.version = job.version;
+    outcome.native = false;
+    outcome.map = std::move(job.map);
+    outcome.ports = std::move(job.ports);
+    outcome.prefixes = std::move(job.prefixes);
+    outcome.clock_net = std::move(job.clock_net);
+    outcome.result.ok = true;
+    // The JIT-synthesized netlist backs the debugger's instrumented-twin
+    // rebuild (rearm_hardware_debug), exactly like a fabric netlist.
+    outcome.result.netlist = build.netlist;
+    return adopt_fabric(std::move(outcome), std::move(build.kernel),
+                        device_.clock_mhz(), nullptr, /*is_jit=*/true,
+                        build.digest);
 }
 
 void
@@ -3297,8 +3586,14 @@ Runtime::replay_poll_compiles()
 void
 Runtime::run_open_loop()
 {
+    // The JIT tier free-runs only in the forwarded-equivalent shape
+    // (stdlib merged into the kernel): with software peripherals still
+    // alongside — the plain-Hardware analogue — every tick must
+    // interleave with their step-mode servicing.
     if (user_location_ != Location::HardwareForwarded &&
-        user_location_ != Location::Native) {
+        user_location_ != Location::Native &&
+        !(user_location_ == Location::Jit &&
+          !adopted_prefixes_.empty())) {
         return;
     }
     Slot* user = nullptr;
@@ -4149,8 +4444,8 @@ Runtime::fold_hw_window()
     if (hw_clock_ports_.empty()) {
         return;
     }
-    attribute_hw_ticks(&profile_acc_, virtual_ticks() - hw_adopt_ticks_);
-    hw_adopt_ticks_ = virtual_ticks();
+    attribute_hw_ticks(&profile_acc_, posedges_seen() - hw_adopt_ticks_);
+    hw_adopt_ticks_ = posedges_seen();
     hw_clock_ports_.clear();
 }
 
@@ -4178,7 +4473,7 @@ Runtime::profile() const
             a.eval_ns += p.eval_ns;
         }
     }
-    attribute_hw_ticks(&acc, virtual_ticks() - hw_adopt_ticks_);
+    attribute_hw_ticks(&acc, posedges_seen() - hw_adopt_ticks_);
 
     std::vector<ProfileEntry> out;
     for (const auto& [instance, procs] : acc) {

@@ -12,9 +12,11 @@
 #include <atomic>
 #include <deque>
 #include <functional>
+#include <future>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -41,6 +43,9 @@ namespace cascade::hypervisor {
 class FabricManager;
 struct Admission;
 }
+namespace cascade::jit {
+class JitKernel;
+}
 
 namespace cascade::runtime {
 
@@ -50,7 +55,18 @@ enum class Location {
     Hardware,
     HardwareForwarded, ///< stdlib components inlined into the user engine
     Native,            ///< compiled exactly as written, no instrumentation
+    /// Native-code JIT tier: the levelized netlist compiled to machine
+    /// code and driven through the hardware-engine ABI. Fabric semantics
+    /// (same wrapper, MMIO map, open loop) on the host CPU — the middle
+    /// rung of the software -> jit -> fabric ladder, and the landing spot
+    /// after a hypervisor eviction while the fabric recompile is pending.
+    Jit,
 };
+
+/// Stable display name for a tier ("Software", "Jit", "Hardware", ...):
+/// the string used in transition logs, stats_json, and the per-tenant
+/// residency column of the multi-tenant bench.
+const char* location_name(Location loc);
 
 class Runtime : public EngineCallbacks {
   public:
@@ -59,6 +75,13 @@ class Runtime : public EngineCallbacks {
         bool enable_inlining = true;
         /// Background compilation to hardware engines.
         bool enable_hardware = true;
+        /// Native-code JIT tier: every background compile also lowers the
+        /// levelized netlist to C++, compiles it in-process (system
+        /// compiler, content-addressed cache), and adopts the resulting
+        /// kernel while the (much slower) fabric place-and-route is still
+        /// running. Degrades cleanly to software-only when no compiler is
+        /// usable (journaled as jit.unavailable).
+        bool enable_jit = true;
         /// §4.3: inline standard components into the user hardware engine.
         bool enable_forwarding = true;
         /// §4.4: let the hardware engine toggle its own clock.
@@ -167,11 +190,21 @@ class Runtime : public EngineCallbacks {
 
     /// @{ Introspection for benches and tests.
     uint64_t virtual_ticks() const { return clock_toggles_ / 2; }
+    /// Posedges already executed — unlike virtual_ticks() this counts a
+    /// tick whose posedge ran but whose negedge hasn't yet. Engine
+    /// handoffs open/close their attribution windows on this boundary so
+    /// a mid-window adoption never double-counts (or drops) the
+    /// in-flight tick.
+    uint64_t posedges_seen() const { return (clock_toggles_ + 1) / 2; }
     /// The virtual timeline (seconds): wall time while user logic runs in
     /// software, modeled device/bus time while it runs in hardware.
     double timeline_seconds() const { return timeline_s_; }
     Location user_location() const { return user_location_; }
-    bool hardware_ready() const; ///< a compile finished and was adopted
+    /// A fabric compile finished and was adopted (Hardware,
+    /// HardwareForwarded or Native). The JIT tier does not count: it is
+    /// hardware-shaped but fabric-free, so callers waiting on real
+    /// residency keep waiting through a JIT adoption.
+    bool hardware_ready() const;
     const std::optional<fpga::CompileReport>& last_compile_report() const
     {
         return last_report_;
@@ -454,6 +487,13 @@ class Runtime : public EngineCallbacks {
             uint64_t version = 0;   ///< program version decided on
         };
         std::deque<CompilePoint> compile_points; ///< adoptions + rejections
+        /// JIT-tier decisions (jit.adopt / jit.unavailable events), pinned
+        /// to their recorded scheduler iteration exactly like
+        /// compile_points so the compared event order reproduces.
+        std::deque<CompilePoint> jit_points;
+        /// Versions whose recorded JIT build reported no usable compiler:
+        /// forced verbatim (the replay host's toolchain may differ).
+        std::set<uint64_t> jit_unavailable;
         std::deque<uint64_t> grants;             ///< open-loop batch sizes
         std::map<uint64_t, uint64_t> seeds;      ///< version -> place seed
         /// Scheduler iterations at which the recorded session was evicted
@@ -547,6 +587,31 @@ class Runtime : public EngineCallbacks {
         std::string prefix; ///< inline prefix for hardware state access
     };
 
+    /// One finished JIT-tier build, produced on the async worker thread:
+    /// the compiled kernel (null when the tier is unavailable, with
+    /// \p error saying why), the netlist it was generated from (kept for
+    /// the debugger's instrumented-twin rebuild), and its content
+    /// address.
+    struct JitBuild {
+        std::unique_ptr<jit::JitKernel> kernel;
+        std::shared_ptr<const fpga::Netlist> netlist;
+        std::string digest;
+        bool cache_hit = false;
+        std::string error;
+    };
+
+    /// An in-flight JIT build: the wrapper metadata adoption needs
+    /// (identical to what the fabric path carries in its CompileOutcome)
+    /// plus the worker's future.
+    struct JitJob {
+        uint64_t version = 0;
+        ir::WrapperMap map;
+        std::vector<std::tuple<std::string, std::string, bool>> ports;
+        std::map<std::string, std::string> prefixes;
+        std::string clock_net;
+        std::future<JitBuild> future;
+    };
+
     bool rebuild_program(std::string* errors, const char* reason);
     /// One scheduler iteration; step()/run()/run_for_ticks() wrap this so
     /// the public entry points journal api.* input events exactly once.
@@ -600,6 +665,37 @@ class Runtime : public EngineCallbacks {
     bool adopt_hardware(CompileOutcome outcome,
                         hypervisor::Admission* admission);
     void launch_compile();
+    /// The shared back half of every adoption: state gather, slot rebuild
+    /// around the new engine, net rewiring, state restore, journaling.
+    /// \p fabric is a programmed Bitstream (is_jit false) or a compiled
+    /// JitKernel (is_jit true); \p jit_digest names the kernel's content
+    /// address for the jit.adopt event.
+    bool adopt_fabric(CompileOutcome outcome,
+                      std::unique_ptr<fpga::FabricExec> fabric,
+                      double actual_clock_mhz,
+                      hypervisor::Admission* admission, bool is_jit,
+                      const std::string& jit_digest = std::string());
+    /// Spawns the async JIT build for the wrapper module just submitted
+    /// to the fabric compiler (journals jit.launch).
+    void launch_jit(std::shared_ptr<const verilog::ElaboratedModule> em,
+                    const CompileOutcome& outcome);
+    /// Adopts/discards a finished JIT build. Called right before
+    /// poll_compiles() so that, when both tiers land in one window, the
+    /// jit.adopt always precedes the fabric adopt in the journal.
+    void poll_jit();
+    /// poll_jit() in replay mode: act only at recorded jit_points.
+    void replay_poll_jit();
+    /// Wraps the build into a CompileOutcome and runs adopt_fabric.
+    bool adopt_jit(JitJob job, JitBuild build);
+    /// The user program occupies actual fabric (Hardware,
+    /// HardwareForwarded or Native — not Jit, not Software). Gates
+    /// hypervisor residency release and hardware_ready().
+    bool fabric_resident() const
+    {
+        return user_location_ == Location::Hardware ||
+               user_location_ == Location::HardwareForwarded ||
+               user_location_ == Location::Native;
+    }
     /// Closes an adopted compile request once the fabric executed its
     /// first post-adoption tick (called from window()); also closes it
     /// at the adoption point if the tenant is evicted before ticking.
@@ -725,6 +821,10 @@ class Runtime : public EngineCallbacks {
         telemetry::Counter* compiles_launched = nullptr;
         telemetry::Counter* compiles_adopted = nullptr;
         telemetry::Counter* compiles_rejected = nullptr;
+        telemetry::Counter* jit_launched = nullptr;
+        telemetry::Counter* jit_adopted = nullptr;
+        telemetry::Counter* jit_unavailable = nullptr;
+        telemetry::Counter* jit_discarded = nullptr;
         telemetry::Counter* transitions = nullptr;
         telemetry::Counter* open_loop_iterations = nullptr;
         telemetry::Counter* vcd_samples = nullptr;
@@ -874,6 +974,9 @@ class Runtime : public EngineCallbacks {
     uint64_t tenant_ = 0;
     uint64_t compile_inflight_version_ = 0;
     std::optional<CompileOutcome> pending_outcome_;
+    /// The in-flight JIT build for the current version (at most one; a
+    /// rebuild obsoletes it and poll_jit discards the stale result).
+    std::optional<JitJob> jit_job_;
     /// Shared mode: a finished compile awaiting fabric capacity (its
     /// admission was denied retryable). Re-tried when the hypervisor's
     /// capacity epoch moves past parked_epoch_.

@@ -237,7 +237,11 @@ TEST(Debugger, HardwareTriggerEvictsStepsAndReadmits)
     const uint64_t id = rt.debug_break("cnt", "==", "300", &err);
     ASSERT_NE(id, 0u) << err;
     rt.run_for_ticks(4);
-    EXPECT_FALSE(rt.hw_debug_armed());
+    // Fabric instrumentation appears exactly when the program leaves the
+    // interpreter — which may be almost immediately when a warm JIT
+    // kernel (cached .so from an earlier run) adopts within these ticks.
+    EXPECT_EQ(rt.hw_debug_armed(),
+              rt.user_location() != Location::Software);
 
     ASSERT_TRUE(rt.wait_for_hardware(30.0));
     EXPECT_NE(rt.user_location(), Location::Software);

@@ -293,7 +293,13 @@ TEST(Hypervisor, QuotaDenialIsFinalAndReported)
     ASSERT_TRUE(rt.eval(tenant_program(0)));
     EXPECT_FALSE(rt.wait_for_hardware(30.0));
     rt.run_for_ticks(4); // flush the rejection interrupt
-    EXPECT_EQ(rt.user_location(), runtime::Location::Software);
+    // The quota denial keeps the tenant off the FABRIC for good; the
+    // JIT tier consumes no LEs, so the program may still climb to the
+    // in-process kernel (or stay in software on hosts without a
+    // compiler). Either way it never becomes fabric-resident.
+    EXPECT_TRUE(rt.user_location() == runtime::Location::Software ||
+                rt.user_location() == runtime::Location::Jit)
+        << static_cast<int>(rt.user_location());
     EXPECT_NE(out.find("hardware compilation rejected"), std::string::npos)
         << out;
     EXPECT_NE(out.find("tenant LE quota exceeded"), std::string::npos)
@@ -353,7 +359,12 @@ TEST(Hypervisor, CapacityPressureEvictsIdleTenantAndAdmitsWaiter)
                   120.0)
             << "second tenant was never admitted";
     }
-    EXPECT_EQ(a.user_location(), runtime::Location::Software);
+    // Evicted off the FABRIC — but the JIT tier holds no LEs, so the
+    // evictee may land on its in-process kernel instead of the bare
+    // interpreter (the eviction-fallback rung of the tier ladder).
+    EXPECT_TRUE(a.user_location() == runtime::Location::Software ||
+                a.user_location() == runtime::Location::Jit)
+        << static_cast<int>(a.user_location());
     EXPECT_EQ(fm.resident_count(), 1u);
     bool a_evicted = false;
     for (const auto& s : fm.slot_map()) {

@@ -188,6 +188,10 @@ TEST(RuntimeExtra, DeviceOptionsGateHardwareAdoption)
     opts.enable_hardware = true;
     opts.compile_effort = 0.05;
     opts.device_les = 10;
+    // This test is about the FABRIC capacity gate; the JIT tier needs no
+    // LEs and would otherwise adopt (and open-loop free-run) while the
+    // doomed compile is in flight.
+    opts.enable_jit = false;
     Runtime rt(opts);
     std::string output;
     rt.on_output = [&output](const std::string& s) { output += s; };
